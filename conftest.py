@@ -1,0 +1,8 @@
+"""Pytest bootstrap: make the in-tree sources importable without installation."""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

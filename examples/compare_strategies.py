@@ -1,0 +1,76 @@
+"""Compare view-maintenance strategies on one query (a miniature Figure 6).
+
+Picks a query from the workload registry, replays the same update stream
+through every strategy the paper evaluates (DBToaster's HO-IVM, the naive
+viewlet transform, classical first-order IVM, full re-evaluation, and the
+nested-loop reference engine standing in for the commercial systems), checks
+that they all agree, and prints the measured refresh rates side by side.
+
+Run with:  python examples/compare_strategies.py [query-name] [events]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.harness import measure_refresh_rate
+from repro.bench.report import format_refresh_rate_table, format_speedup_summary
+from repro.bench.strategies import build_engine
+from repro.workloads import all_workloads, workload
+
+STRATEGIES = ("dbtoaster", "naive", "ivm", "rep", "dbx-rep")
+
+
+def main() -> None:
+    query_name = sys.argv[1] if len(sys.argv) > 1 else "Q3"
+    events = int(sys.argv[2]) if len(sys.argv) > 2 else 1200
+    if query_name not in all_workloads():
+        raise SystemExit(f"unknown query {query_name!r}; choose one of {sorted(all_workloads())}")
+
+    spec = workload(query_name)
+    translated = spec.query_factory()
+    agenda = spec.stream_factory(events=events)
+    static = spec.static_tables()
+    print(f"query {query_name} ({spec.family}); stream of {len(agenda)} events\n")
+
+    results = {query_name: {}}
+    views = {}
+    for strategy in STRATEGIES:
+        engine = build_engine(strategy, translated)
+        run = measure_refresh_rate(
+            engine, agenda, static, max_seconds=10.0, strategy=strategy, query=query_name
+        )
+        results[query_name][strategy] = run
+        views[strategy] = {name: engine.view(name) for name in translated.roots()}
+        flag = "" if run.completed else f"  (timed out after {run.events_processed} events)"
+        print(f"  {strategy:10s} {run.refresh_rate:>12,.1f} refreshes/s{flag}")
+
+    # Strategies that processed the full stream must agree exactly.
+    complete = [s for s in STRATEGIES if results[query_name][s].completed]
+    baseline = views[complete[0]]
+    for strategy in complete[1:]:
+        for root, expected in baseline.items():
+            assert views[strategy][root] == expected or _close(views[strategy][root], expected), (
+                f"{strategy} disagrees on {root}"
+            )
+    print(f"\nall {len(complete)} strategies that finished the stream agree on the result\n")
+
+    print(format_refresh_rate_table(results, STRATEGIES))
+    print()
+    print(format_speedup_summary(results, baseline="rep"))
+
+
+def _close(left, right) -> bool:
+    keys = {row for row, _ in left.items()} | {row for row, _ in right.items()}
+    for key in keys:
+        a, b = left[key], right[key]
+        if isinstance(a, str) or isinstance(b, str):
+            if a != b:
+                return False
+        elif abs(a - b) > 1e-6 * max(1.0, abs(a), abs(b)):
+            return False
+    return True
+
+
+if __name__ == "__main__":
+    main()

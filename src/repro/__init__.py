@@ -1,0 +1,54 @@
+"""repro — a from-scratch Python reproduction of DBToaster (higher-order IVM).
+
+The public API, in the order a new user typically needs it:
+
+* build a query — either from SQL with :func:`repro.sql.parse_sql_query` or
+  directly in AGCA with the builders in :mod:`repro.agca`;
+* compile it with :func:`repro.compiler.compile_query` (or the preset engine
+  factories in :mod:`repro.runtime`);
+* feed :class:`repro.delta.StreamEvent` updates to an
+  :class:`repro.runtime.IncrementalEngine` and read the continuously fresh
+  views back.
+
+See ``examples/quickstart.py`` for a complete walk-through and ``DESIGN.md``
+for the system inventory.
+"""
+
+from repro.agca import builders as agca
+from repro.compiler import CompilerOptions, TriggerProgram, compile_query, viewlet_transform
+from repro.core import GMR, Row
+from repro.delta import StreamEvent, delete, insert
+from repro.runtime import (
+    Database,
+    IncrementalEngine,
+    ReferenceEngine,
+    dbtoaster_engine,
+    engine_for_strategy,
+    ivm_engine,
+    naive_engine,
+    rep_engine,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "agca",
+    "CompilerOptions",
+    "TriggerProgram",
+    "compile_query",
+    "viewlet_transform",
+    "GMR",
+    "Row",
+    "StreamEvent",
+    "insert",
+    "delete",
+    "Database",
+    "IncrementalEngine",
+    "ReferenceEngine",
+    "dbtoaster_engine",
+    "engine_for_strategy",
+    "ivm_engine",
+    "naive_engine",
+    "rep_engine",
+    "__version__",
+]

@@ -1,0 +1,438 @@
+"""AGCA abstract syntax.
+
+The node set follows Section 3.2 of the paper with two pragmatic refinements
+that mirror what the released DBToaster compiler does internally:
+
+* scalar arithmetic (constants, variables, ``+ - * /`` and external functions
+  such as ``LIKE`` or ``SUBSTRING``) lives in a small *value expression* tree
+  (:class:`VConst`, :class:`VVar`, :class:`VArith`, :class:`VFunc`) wrapped in
+  the :class:`Value` query node; value expressions contain no relation atoms,
+  so their delta is always zero,
+* conditions are :class:`Cmp` nodes comparing two value expressions (the
+  paper's ``x θ 0`` with syntactic sugar), and :class:`Exists` exposes the
+  domain-to-{0,1} coercion used to encode EXISTS / IN clauses.
+
+Everything else is exactly the paper's calculus: :class:`Relation` atoms,
+:class:`Product` (natural join ``*`` with sideways binding), :class:`Sum`
+(bag union ``+``), :class:`AggSum` (group-by summation) and :class:`Lift`
+(the assignment ``x := Q`` used for nested aggregates).  :class:`MapRef`
+refers to a materialized view and only appears in compiled trigger programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping, Sequence, Union
+
+
+# ---------------------------------------------------------------------------
+# Value expressions (scalar arithmetic over bound variables)
+# ---------------------------------------------------------------------------
+
+
+class ValueExpr:
+    """Base class for scalar value expressions (no relation atoms inside)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class VConst(ValueExpr):
+    """A literal constant (number or string)."""
+
+    value: Any
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class VVar(ValueExpr):
+    """A reference to a (bound) variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class VArith(ValueExpr):
+    """Binary arithmetic over value expressions: ``+ - * /``."""
+
+    op: str
+    left: ValueExpr
+    right: ValueExpr
+
+    def __post_init__(self) -> None:
+        if self.op not in ("+", "-", "*", "/"):
+            raise ValueError(f"unsupported arithmetic operator {self.op!r}")
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class VFunc(ValueExpr):
+    """An external scalar function application (LIKE, SUBSTRING, ...)."""
+
+    name: str
+    args: tuple[ValueExpr, ...]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+
+def value_variables(vexpr: ValueExpr) -> frozenset[str]:
+    """All variable names referenced by a value expression."""
+    if isinstance(vexpr, VVar):
+        return frozenset((vexpr.name,))
+    if isinstance(vexpr, VConst):
+        return frozenset()
+    if isinstance(vexpr, VArith):
+        return value_variables(vexpr.left) | value_variables(vexpr.right)
+    if isinstance(vexpr, VFunc):
+        out: frozenset[str] = frozenset()
+        for arg in vexpr.args:
+            out = out | value_variables(arg)
+        return out
+    raise TypeError(f"not a value expression: {vexpr!r}")
+
+
+def substitute_value(vexpr: ValueExpr, mapping: Mapping[str, ValueExpr]) -> ValueExpr:
+    """Substitute variables in a value expression by other value expressions."""
+    if isinstance(vexpr, VVar):
+        return mapping.get(vexpr.name, vexpr)
+    if isinstance(vexpr, VConst):
+        return vexpr
+    if isinstance(vexpr, VArith):
+        return VArith(
+            vexpr.op,
+            substitute_value(vexpr.left, mapping),
+            substitute_value(vexpr.right, mapping),
+        )
+    if isinstance(vexpr, VFunc):
+        return VFunc(vexpr.name, tuple(substitute_value(a, mapping) for a in vexpr.args))
+    raise TypeError(f"not a value expression: {vexpr!r}")
+
+
+# ---------------------------------------------------------------------------
+# Query expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for AGCA query expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Value(Expr):
+    """A scalar factor: maps the empty tuple to the value of ``vexpr``."""
+
+    vexpr: ValueExpr
+
+    def __repr__(self) -> str:
+        return f"Value({self.vexpr!r})"
+
+
+@dataclass(frozen=True)
+class Relation(Expr):
+    """A base relation atom ``R(x1, ..., xk)`` with column variables."""
+
+    name: str
+    columns: tuple[str, ...]
+
+    def __init__(self, name: str, columns: Sequence[str]) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "columns", tuple(columns))
+
+    def __repr__(self) -> str:
+        return f"{self.name}({', '.join(self.columns)})"
+
+
+@dataclass(frozen=True)
+class MapRef(Expr):
+    """A reference to a materialized view (map), keyed by ``keys``.
+
+    A map associates key tuples with aggregate values; like every GMR the
+    value is carried in the multiplicity, so a :class:`MapRef` evaluates just
+    like a relation atom over the map's contents.
+    """
+
+    name: str
+    keys: tuple[str, ...]
+
+    def __init__(self, name: str, keys: Sequence[str]) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "keys", tuple(keys))
+
+    def __repr__(self) -> str:
+        return f"{self.name}[{', '.join(self.keys)}]"
+
+
+@dataclass(frozen=True)
+class Product(Expr):
+    """Natural join / multiplication with left-to-right sideways binding."""
+
+    terms: tuple[Expr, ...]
+
+    def __init__(self, terms: Sequence[Expr]) -> None:
+        object.__setattr__(self, "terms", tuple(terms))
+
+    def __repr__(self) -> str:
+        return "(" + " * ".join(repr(t) for t in self.terms) + ")"
+
+
+@dataclass(frozen=True)
+class Sum(Expr):
+    """Bag union / addition of query expressions."""
+
+    terms: tuple[Expr, ...]
+
+    def __init__(self, terms: Sequence[Expr]) -> None:
+        object.__setattr__(self, "terms", tuple(terms))
+
+    def __repr__(self) -> str:
+        return "(" + " + ".join(repr(t) for t in self.terms) + ")"
+
+
+@dataclass(frozen=True)
+class AggSum(Expr):
+    """Group-by summation ``Sum_A(Q)``: project onto ``group`` and add multiplicities."""
+
+    group: tuple[str, ...]
+    term: Expr
+
+    def __init__(self, group: Sequence[str], term: Expr) -> None:
+        object.__setattr__(self, "group", tuple(group))
+        object.__setattr__(self, "term", term)
+
+    def __repr__(self) -> str:
+        return f"Sum[{', '.join(self.group)}]({self.term!r})"
+
+
+@dataclass(frozen=True)
+class Lift(Expr):
+    """The assignment ``var := term`` (used to name nested aggregate values).
+
+    When ``var`` is already bound in the evaluation context, a lift acts as an
+    equality condition instead of producing a binding.
+    """
+
+    var: str
+    term: Expr
+
+    def __repr__(self) -> str:
+        return f"({self.var} := {self.term!r})"
+
+
+@dataclass(frozen=True)
+class Cmp(Expr):
+    """A comparison condition between two scalar value expressions."""
+
+    left: ValueExpr
+    op: str
+    right: ValueExpr
+
+    def __repr__(self) -> str:
+        return f"{{{self.left!r} {self.op} {self.right!r}}}"
+
+
+@dataclass(frozen=True)
+class Exists(Expr):
+    """Domain coercion: multiplicity 1 when the inner query is non-empty, else 0."""
+
+    term: Expr
+
+    def __repr__(self) -> str:
+        return f"Exists({self.term!r})"
+
+
+QueryLike = Union[Expr, int, float, str]
+
+
+# ---------------------------------------------------------------------------
+# Structural helpers
+# ---------------------------------------------------------------------------
+
+
+def children(expr: Expr) -> tuple[Expr, ...]:
+    """The immediate query-expression children of a node."""
+    if isinstance(expr, (Product, Sum)):
+        return expr.terms
+    if isinstance(expr, AggSum):
+        return (expr.term,)
+    if isinstance(expr, Lift):
+        return (expr.term,)
+    if isinstance(expr, Exists):
+        return (expr.term,)
+    return ()
+
+
+def walk(expr: Expr) -> Iterator[Expr]:
+    """Depth-first pre-order traversal of all query nodes."""
+    yield expr
+    for child in children(expr):
+        yield from walk(child)
+
+
+def relations_of(expr: Expr) -> frozenset[str]:
+    """Names of base relations referenced anywhere in ``expr``."""
+    return frozenset(node.name for node in walk(expr) if isinstance(node, Relation))
+
+
+def maps_of(expr: Expr) -> frozenset[str]:
+    """Names of materialized maps referenced anywhere in ``expr``."""
+    return frozenset(node.name for node in walk(expr) if isinstance(node, MapRef))
+
+
+def relation_atoms(expr: Expr) -> list[Relation]:
+    """All relation atom nodes in ``expr`` (with repetition for self-joins)."""
+    return [node for node in walk(expr) if isinstance(node, Relation)]
+
+
+def contains_relation(expr: Expr, name: str) -> bool:
+    """True when ``expr`` references the base relation ``name``."""
+    return any(isinstance(node, Relation) and node.name == name for node in walk(expr))
+
+
+def free_variables(expr: Expr) -> frozenset[str]:
+    """All variable names appearing in ``expr`` (columns, lift vars, value vars).
+
+    This is a syntactic notion used for caching and freshness checks, not the
+    input/output classification — see :mod:`repro.agca.schema` for that.
+    """
+    out: set[str] = set()
+    for node in walk(expr):
+        if isinstance(node, (Relation, MapRef)):
+            out.update(node.columns if isinstance(node, Relation) else node.keys)
+        elif isinstance(node, Value):
+            out.update(value_variables(node.vexpr))
+        elif isinstance(node, Cmp):
+            out.update(value_variables(node.left))
+            out.update(value_variables(node.right))
+        elif isinstance(node, Lift):
+            out.add(node.var)
+        elif isinstance(node, AggSum):
+            out.update(node.group)
+    return frozenset(out)
+
+
+def rename_variables(expr: Expr, mapping: Mapping[str, str]) -> Expr:
+    """Consistently rename variables throughout ``expr``.
+
+    Renaming applies to relation/map columns, lift variables, group-by lists
+    and value expressions alike; it is the substitution used by duplicate-view
+    detection and by unification when the replacement is itself a variable.
+    """
+    if not mapping:
+        return expr
+    vmap = {old: VVar(new) for old, new in mapping.items()}
+
+    def rename_value(vexpr: ValueExpr) -> ValueExpr:
+        return substitute_value(vexpr, vmap)
+
+    def rec(node: Expr) -> Expr:
+        if isinstance(node, Value):
+            return Value(rename_value(node.vexpr))
+        if isinstance(node, Relation):
+            return Relation(node.name, tuple(mapping.get(c, c) for c in node.columns))
+        if isinstance(node, MapRef):
+            return MapRef(node.name, tuple(mapping.get(c, c) for c in node.keys))
+        if isinstance(node, Product):
+            return Product(tuple(rec(t) for t in node.terms))
+        if isinstance(node, Sum):
+            return Sum(tuple(rec(t) for t in node.terms))
+        if isinstance(node, AggSum):
+            return AggSum(tuple(mapping.get(g, g) for g in node.group), rec(node.term))
+        if isinstance(node, Lift):
+            return Lift(mapping.get(node.var, node.var), rec(node.term))
+        if isinstance(node, Cmp):
+            return Cmp(rename_value(node.left), node.op, rename_value(node.right))
+        if isinstance(node, Exists):
+            return Exists(rec(node.term))
+        raise TypeError(f"not an AGCA expression: {node!r}")
+
+    return rec(expr)
+
+
+def substitute_variable(expr: Expr, var: str, replacement: ValueExpr) -> Expr:
+    """Substitute ``var`` by a value expression in value positions.
+
+    Variable-to-variable substitutions additionally rename relation/map column
+    occurrences (which is plain renaming); substituting a non-variable value
+    into a relation column position is not expressible in AGCA, so such atoms
+    are left untouched and the caller must keep the defining lift/condition.
+    """
+    if isinstance(replacement, VVar):
+        return rename_variables(expr, {var: replacement.name})
+    vmap = {var: replacement}
+
+    def rec(node: Expr) -> Expr:
+        if isinstance(node, Value):
+            return Value(substitute_value(node.vexpr, vmap))
+        if isinstance(node, (Relation, MapRef)):
+            return node
+        if isinstance(node, Product):
+            return Product(tuple(rec(t) for t in node.terms))
+        if isinstance(node, Sum):
+            return Sum(tuple(rec(t) for t in node.terms))
+        if isinstance(node, AggSum):
+            return AggSum(node.group, rec(node.term))
+        if isinstance(node, Lift):
+            return Lift(node.var, rec(node.term))
+        if isinstance(node, Cmp):
+            return Cmp(
+                substitute_value(node.left, vmap), node.op, substitute_value(node.right, vmap)
+            )
+        if isinstance(node, Exists):
+            return Exists(rec(node.term))
+        raise TypeError(f"not an AGCA expression: {node!r}")
+
+    return rec(expr)
+
+
+def transform_bottom_up(expr: Expr, fn: Callable[[Expr], Expr]) -> Expr:
+    """Rebuild ``expr`` applying ``fn`` to every node after its children."""
+    if isinstance(expr, Product):
+        rebuilt: Expr = Product(tuple(transform_bottom_up(t, fn) for t in expr.terms))
+    elif isinstance(expr, Sum):
+        rebuilt = Sum(tuple(transform_bottom_up(t, fn) for t in expr.terms))
+    elif isinstance(expr, AggSum):
+        rebuilt = AggSum(expr.group, transform_bottom_up(expr.term, fn))
+    elif isinstance(expr, Lift):
+        rebuilt = Lift(expr.var, transform_bottom_up(expr.term, fn))
+    elif isinstance(expr, Exists):
+        rebuilt = Exists(transform_bottom_up(expr.term, fn))
+    else:
+        rebuilt = expr
+    return fn(rebuilt)
+
+
+def is_constant_value(expr: Expr) -> bool:
+    """True for ``Value(VConst(_))`` nodes."""
+    return isinstance(expr, Value) and isinstance(expr.vexpr, VConst)
+
+
+def constant_of(expr: Expr) -> Any:
+    """The constant carried by a ``Value(VConst(c))`` node."""
+    if not is_constant_value(expr):
+        raise ValueError(f"not a constant value node: {expr!r}")
+    return expr.vexpr.value  # type: ignore[union-attr]
+
+
+ZERO = Value(VConst(0))
+ONE = Value(VConst(1))
+
+
+def is_zero_expr(expr: Expr) -> bool:
+    """True for the literal zero query (additive identity)."""
+    return is_constant_value(expr) and constant_of(expr) == 0
+
+
+def is_one_expr(expr: Expr) -> bool:
+    """True for the literal one query (multiplicative identity)."""
+    return is_constant_value(expr) and constant_of(expr) == 1

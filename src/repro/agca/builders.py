@@ -1,0 +1,172 @@
+"""Concise constructors for AGCA expressions.
+
+These helpers keep query definitions (tests, workload query library, SQL
+translation output) readable: plain Python numbers and strings are promoted
+to value expressions automatically and nested products/sums are flattened.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Union
+
+from repro.agca.ast import (
+    AggSum,
+    Cmp,
+    Exists,
+    Expr,
+    Lift,
+    MapRef,
+    Product,
+    Relation,
+    Sum,
+    Value,
+    VArith,
+    VConst,
+    VFunc,
+    VVar,
+    ValueExpr,
+)
+
+ValueLike = Union[ValueExpr, int, float, str]
+ExprLike = Union[Expr, int, float]
+
+
+def vval(value: ValueLike) -> ValueExpr:
+    """Promote a Python value to a value expression.
+
+    Strings are treated as *variable names*; use :func:`vconst` for string
+    literals.
+    """
+    if isinstance(value, ValueExpr):
+        return value
+    if isinstance(value, str):
+        return VVar(value)
+    return VConst(value)
+
+
+def vconst(value: Any) -> ValueExpr:
+    """A literal constant value expression (including string literals)."""
+    return VConst(value)
+
+
+def vadd(left: ValueLike, right: ValueLike) -> ValueExpr:
+    """Value expression ``left + right``."""
+    return VArith("+", vval(left), vval(right))
+
+
+def vsub(left: ValueLike, right: ValueLike) -> ValueExpr:
+    """Value expression ``left - right``."""
+    return VArith("-", vval(left), vval(right))
+
+
+def vmul(left: ValueLike, right: ValueLike) -> ValueExpr:
+    """Value expression ``left * right``."""
+    return VArith("*", vval(left), vval(right))
+
+
+def vdiv(left: ValueLike, right: ValueLike) -> ValueExpr:
+    """Value expression ``left / right`` (division by zero evaluates to 0)."""
+    return VArith("/", vval(left), vval(right))
+
+
+def vfunc(name: str, *args: ValueLike) -> ValueExpr:
+    """An external scalar function call, e.g. ``vfunc('like', 'p_name', vconst('%green%'))``."""
+    return VFunc(name, tuple(vval(a) for a in args))
+
+
+def _promote(expr: ExprLike) -> Expr:
+    if isinstance(expr, Expr):
+        return expr
+    if isinstance(expr, (int, float)):
+        return Value(VConst(expr))
+    raise TypeError(f"cannot promote {expr!r} to an AGCA expression")
+
+
+def const(value: Any) -> Expr:
+    """A constant query (nullary GMR with multiplicity ``value``)."""
+    return Value(VConst(value))
+
+
+def var(name: str) -> Expr:
+    """A bound-variable query (nullary GMR whose multiplicity is the variable's value)."""
+    return Value(VVar(name))
+
+
+def val(vexpr: ValueLike) -> Expr:
+    """Wrap a value expression as a scalar query factor."""
+    return Value(vval(vexpr))
+
+
+def rel(name: str, *columns: str) -> Expr:
+    """A relation atom ``name(columns...)``."""
+    return Relation(name, columns)
+
+
+def mapref(name: str, *keys: str) -> Expr:
+    """A materialized-map reference ``name[keys...]``."""
+    return MapRef(name, keys)
+
+
+def prod(*terms: ExprLike) -> Expr:
+    """Product (natural join) of terms, flattening nested products."""
+    flat: list[Expr] = []
+    for term in terms:
+        promoted = _promote(term)
+        if isinstance(promoted, Product):
+            flat.extend(promoted.terms)
+        else:
+            flat.append(promoted)
+    if not flat:
+        return Value(VConst(1))
+    if len(flat) == 1:
+        return flat[0]
+    return Product(tuple(flat))
+
+
+times = prod
+
+
+def plus(*terms: ExprLike) -> Expr:
+    """Sum (bag union) of terms, flattening nested sums."""
+    flat: list[Expr] = []
+    for term in terms:
+        promoted = _promote(term)
+        if isinstance(promoted, Sum):
+            flat.extend(promoted.terms)
+        else:
+            flat.append(promoted)
+    if not flat:
+        return Value(VConst(0))
+    if len(flat) == 1:
+        return flat[0]
+    return Sum(tuple(flat))
+
+
+def neg(expr: ExprLike) -> Expr:
+    """Additive inverse ``-Q``, encoded as ``(-1) * Q``."""
+    return prod(const(-1), _promote(expr))
+
+
+def agg(group: Sequence[str], expr: ExprLike) -> Expr:
+    """Group-by summation ``Sum_group(expr)``."""
+    return AggSum(tuple(group), _promote(expr))
+
+
+def total(expr: ExprLike) -> Expr:
+    """Non-grouping summation ``Sum_[](expr)`` (a scalar aggregate)."""
+    return AggSum((), _promote(expr))
+
+
+def lift(variable: str, expr: ExprLike) -> Expr:
+    """The assignment ``variable := expr``."""
+    return Lift(variable, _promote(expr))
+
+
+def cmp(left: ValueLike, op: str, right: ValueLike) -> Expr:
+    """A comparison condition; bare strings on either side denote variables."""
+    return Cmp(vval(left), op, vval(right))
+
+
+def exists(expr: ExprLike) -> Expr:
+    """EXISTS-style coercion of a subquery to a {0, 1} multiplicity."""
+    return Exists(_promote(expr))

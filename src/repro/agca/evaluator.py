@@ -1,0 +1,326 @@
+"""Denotational semantics of AGCA: ``[[Q]](D, b)`` (Section 3.2 of the paper).
+
+The evaluator implements the paper's evaluation function with sideways
+information passing: products evaluate left to right, extending the context
+(the tuple of bound variables) with the output of earlier factors before
+evaluating later ones.  The result of evaluating an expression is a
+:class:`~repro.core.gmr.GMR` over the expression's output variables (bound
+variables may additionally appear in result rows, which is harmless for the
+natural-join style merging done by the caller).
+
+Data access goes through the :class:`DataSource` protocol: the source knows
+the *stored* column order of every relation and materialized map and can
+answer partially-bound scans.  The runtime's map store answers those scans
+through hash indexes, which is what makes compiled trigger statements cheap;
+the :class:`DictSource` used in tests and small examples simply scans.
+
+The evaluator is deliberately a straightforward tree walker — it serves both
+as the reference semantics for correctness tests and as the execution engine
+for compiled trigger statements, whose expressions are small.  A per-call
+memo table avoids re-evaluating context-independent subexpressions inside
+product loops (simple hoisting), which matters for the re-evaluation
+baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Protocol, Sequence
+
+from repro.agca.ast import (
+    AggSum,
+    Cmp,
+    Exists,
+    Expr,
+    Lift,
+    MapRef,
+    Product,
+    Relation,
+    Sum,
+    Value,
+    VArith,
+    VConst,
+    VFunc,
+    VVar,
+    ValueExpr,
+    free_variables,
+)
+from repro.agca.functions import lookup_function
+from repro.core.gmr import GMR
+from repro.core.rows import Row
+from repro.core.values import comparison_holds, div, is_zero
+from repro.errors import EvaluationError, UnboundVariableError
+
+
+class DataSource(Protocol):
+    """What the evaluator needs from the runtime: relations and maps.
+
+    Stored rows are keyed by the source's own column names; ``*_columns``
+    exposes their order so atoms can rename positionally.  ``scan_*`` yields
+    ``(row, multiplicity)`` pairs matching the given bound column values
+    (an empty binding means a full scan).
+    """
+
+    def relation_columns(self, name: str) -> tuple[str, ...]:
+        ...
+
+    def map_columns(self, name: str) -> tuple[str, ...]:
+        ...
+
+    def scan_relation(
+        self, name: str, bound: Mapping[str, Any]
+    ) -> Iterable[tuple[Row, Any]]:
+        ...
+
+    def scan_map(self, name: str, bound: Mapping[str, Any]) -> Iterable[tuple[Row, Any]]:
+        ...
+
+
+class DictSource:
+    """A simple in-memory data source backed by dictionaries of GMRs.
+
+    ``relations`` / ``maps`` map names to GMRs whose rows are keyed by the
+    stored column names; ``schemas`` optionally fixes the column order (when
+    omitted the sorted column names of the first row are used, which is fine
+    for single-column or alphabetically ordered schemas).
+    """
+
+    def __init__(
+        self,
+        relations: Mapping[str, GMR] | None = None,
+        maps: Mapping[str, GMR] | None = None,
+        schemas: Mapping[str, Sequence[str]] | None = None,
+    ) -> None:
+        self._relations = dict(relations or {})
+        self._maps = dict(maps or {})
+        self._schemas = {name: tuple(cols) for name, cols in (schemas or {}).items()}
+
+    def _columns(self, name: str, contents: GMR) -> tuple[str, ...]:
+        if name in self._schemas:
+            return self._schemas[name]
+        for row in contents.rows():
+            return tuple(sorted(row.columns))
+        return ()
+
+    def relation_columns(self, name: str) -> tuple[str, ...]:
+        return self._columns(name, self._relations.get(name, GMR.empty()))
+
+    def map_columns(self, name: str) -> tuple[str, ...]:
+        return self._columns(name, self._maps.get(name, GMR.empty()))
+
+    def scan_relation(
+        self, name: str, bound: Mapping[str, Any]
+    ) -> Iterator[tuple[Row, Any]]:
+        yield from _scan_gmr(self._relations.get(name, GMR.empty()), bound)
+
+    def scan_map(self, name: str, bound: Mapping[str, Any]) -> Iterator[tuple[Row, Any]]:
+        yield from _scan_gmr(self._maps.get(name, GMR.empty()), bound)
+
+
+def _scan_gmr(contents: GMR, bound: Mapping[str, Any]) -> Iterator[tuple[Row, Any]]:
+    if not bound:
+        yield from contents.items()
+        return
+    for row, mult in contents.items():
+        if all(row.get(col) == value for col, value in bound.items()):
+            yield row, mult
+
+
+def eval_value(vexpr: ValueExpr, context: Mapping[str, Any]) -> Any:
+    """Evaluate a scalar value expression under a variable context."""
+    if isinstance(vexpr, VConst):
+        return vexpr.value
+    if isinstance(vexpr, VVar):
+        try:
+            return context[vexpr.name]
+        except KeyError:
+            raise UnboundVariableError(vexpr.name, repr(vexpr)) from None
+    if isinstance(vexpr, VArith):
+        left = eval_value(vexpr.left, context)
+        right = eval_value(vexpr.right, context)
+        if vexpr.op == "+":
+            return left + right
+        if vexpr.op == "-":
+            return left - right
+        if vexpr.op == "*":
+            return left * right
+        return div(left, right)
+    if isinstance(vexpr, VFunc):
+        fn = lookup_function(vexpr.name)
+        args = [eval_value(a, context) for a in vexpr.args]
+        return fn(*args)
+    raise TypeError(f"not a value expression: {vexpr!r}")
+
+
+class Evaluator:
+    """Evaluates AGCA expressions against a :class:`DataSource`."""
+
+    def __init__(self, source: DataSource) -> None:
+        self._source = source
+        # Per-expression free-variable cache used for context-projection memoization.
+        self._free_vars: dict[int, frozenset[str]] = {}
+
+    # -- public API -----------------------------------------------------------
+    def evaluate(self, expr: Expr, context: Mapping[str, Any] | None = None) -> GMR:
+        """Evaluate ``expr`` under ``context`` and return the result GMR."""
+        ctx = dict(context or {})
+        memo: dict[tuple[int, Row], GMR] = {}
+        return self._eval(expr, ctx, memo)
+
+    def evaluate_scalar(self, expr: Expr, context: Mapping[str, Any] | None = None) -> Any:
+        """Evaluate ``expr`` and return its total multiplicity (scalar value)."""
+        return self.evaluate(expr, context).total_multiplicity()
+
+    # -- internals --------------------------------------------------------------
+    def _relevant(self, expr: Expr) -> frozenset[str]:
+        key = id(expr)
+        cached = self._free_vars.get(key)
+        if cached is None:
+            cached = free_variables(expr)
+            self._free_vars[key] = cached
+        return cached
+
+    def _eval(self, expr: Expr, ctx: dict[str, Any], memo: dict) -> GMR:
+        relevant = self._relevant(expr)
+        memo_key = (id(expr), Row({v: ctx[v] for v in relevant if v in ctx}))
+        cached = memo.get(memo_key)
+        if cached is not None:
+            return cached
+        result = self._eval_uncached(expr, ctx, memo)
+        memo[memo_key] = result
+        return result
+
+    def _eval_uncached(self, expr: Expr, ctx: dict[str, Any], memo: dict) -> GMR:
+        if isinstance(expr, Value):
+            value = eval_value(expr.vexpr, ctx)
+            if is_zero(value):
+                return GMR.empty()
+            return GMR.scalar(value)
+
+        if isinstance(expr, Cmp):
+            left = eval_value(expr.left, ctx)
+            right = eval_value(expr.right, ctx)
+            return GMR.scalar(comparison_holds(left, expr.op, right))
+
+        if isinstance(expr, Relation):
+            stored = self._source.relation_columns(expr.name)
+            return self._eval_atom("relation", expr.name, stored, expr.columns, ctx)
+
+        if isinstance(expr, MapRef):
+            stored = self._source.map_columns(expr.name)
+            return self._eval_atom("map", expr.name, stored, expr.keys, ctx)
+
+        if isinstance(expr, Product):
+            return self._eval_product(expr, ctx, memo)
+
+        if isinstance(expr, Sum):
+            total = GMR.empty()
+            for term in expr.terms:
+                total = total + self._eval(term, ctx, memo)
+            return total
+
+        if isinstance(expr, AggSum):
+            inner = self._eval(expr.term, ctx, memo)
+            out = GMR()
+            for row, mult in inner.items():
+                key = {}
+                for g in expr.group:
+                    if g in row:
+                        key[g] = row[g]
+                    elif g in ctx:
+                        key[g] = ctx[g]
+                    else:
+                        raise EvaluationError(
+                            f"group-by variable {g!r} is neither produced nor bound in {expr!r}"
+                        )
+                out.add_tuple(Row(key), mult)
+            return out
+
+        if isinstance(expr, Lift):
+            inner = self._eval(expr.term, ctx, memo)
+            for row in inner.rows():
+                if len(row) != 0:
+                    raise EvaluationError(f"lift body produced non-scalar rows: {expr!r}")
+            value = inner.scalar_value() if inner else 0
+            if expr.var in ctx:
+                if ctx[expr.var] == value:
+                    return GMR.scalar(1)
+                return GMR.empty()
+            return GMR.singleton(Row({expr.var: value}), 1)
+
+        if isinstance(expr, Exists):
+            inner = self._eval(expr.term, ctx, memo)
+            value = inner.total_multiplicity()
+            return GMR.scalar(0 if is_zero(value) else 1)
+
+        raise TypeError(f"not an AGCA expression: {expr!r}")
+
+    def _eval_atom(
+        self,
+        kind: str,
+        name: str,
+        stored_columns: tuple[str, ...],
+        atom_columns: tuple[str, ...],
+        ctx: Mapping[str, Any],
+    ) -> GMR:
+        """Evaluate a relation/map atom: scan, rename positionally, filter on ctx."""
+        if stored_columns and len(stored_columns) != len(atom_columns):
+            raise EvaluationError(
+                f"{kind} {name!r} has {len(stored_columns)} stored columns but the atom "
+                f"names {len(atom_columns)}"
+            )
+        rename = dict(zip(stored_columns, atom_columns))
+        bound_stored = {
+            stored: ctx[atom]
+            for stored, atom in zip(stored_columns, atom_columns)
+            if atom in ctx
+        }
+        if kind == "relation":
+            entries = self._source.scan_relation(name, bound_stored)
+        else:
+            entries = self._source.scan_map(name, bound_stored)
+        out = GMR()
+        for row, mult in entries:
+            renamed: dict[str, Any] = {}
+            consistent = True
+            for stored, value in row.items():
+                atom_var = rename.get(stored, stored)
+                if atom_var in renamed and renamed[atom_var] != value:
+                    consistent = False  # repeated variable in the atom acts as equality
+                    break
+                renamed[atom_var] = value
+            if consistent:
+                out.add_tuple(Row(renamed), mult)
+        return out
+
+    def _eval_product(self, expr: Product, ctx: dict[str, Any], memo: dict) -> GMR:
+        partial: list[tuple[Row, Any]] = [(Row(), 1)]
+        for term in expr.terms:
+            next_partial: list[tuple[Row, Any]] = []
+            for row, mult in partial:
+                extended_ctx = dict(ctx)
+                extended_ctx.update(row)
+                rhs = self._eval(term, extended_ctx, memo)
+                for rrow, rmult in rhs.items():
+                    if not row.consistent_with(rrow):
+                        continue
+                    next_partial.append((row.extend(rrow), mult * rmult))
+            if not next_partial:
+                return GMR.empty()
+            partial = next_partial
+        return GMR(partial)
+
+
+def evaluate(
+    expr: Expr,
+    source: DataSource | Mapping[str, GMR],
+    context: Mapping[str, Any] | None = None,
+    schemas: Mapping[str, Sequence[str]] | None = None,
+) -> GMR:
+    """Convenience wrapper: evaluate ``expr`` against ``source`` under ``context``.
+
+    ``source`` may be a :class:`DataSource` or a plain mapping of relation
+    names to GMRs (optionally with explicit ``schemas`` giving column order).
+    """
+    if not hasattr(source, "scan_relation"):
+        source = DictSource(relations=dict(source), schemas=schemas)  # type: ignore[arg-type]
+    return Evaluator(source).evaluate(expr, context)  # type: ignore[arg-type]

@@ -1,0 +1,178 @@
+"""Registry of external scalar functions usable in value expressions.
+
+AGCA itself only has ``+``, ``*`` and comparisons; everything else the SQL
+workload needs (LIKE patterns, SUBSTRING, EXTRACT, the LISTMAX guard, the
+MDDB geometry functions) is exposed as an *external function*.  External
+functions operate on already-bound scalar values, contain no relation atoms,
+and therefore always have delta zero — exactly how DBToaster treats them.
+
+New functions can be registered at runtime with :func:`register_function`,
+which is how applications embed custom UDFs.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import math
+from typing import Any, Callable
+
+from repro.errors import EvaluationError
+
+ScalarFunction = Callable[..., Any]
+
+_REGISTRY: dict[str, ScalarFunction] = {}
+
+
+def register_function(name: str, fn: ScalarFunction, *, overwrite: bool = False) -> None:
+    """Register an external scalar function under ``name`` (case-insensitive)."""
+    key = name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise ValueError(f"scalar function {name!r} is already registered")
+    _REGISTRY[key] = fn
+
+
+def lookup_function(name: str) -> ScalarFunction:
+    """Look up a registered scalar function; raises ``EvaluationError`` if unknown."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise EvaluationError(f"unknown scalar function {name!r}") from None
+
+
+def registered_functions() -> tuple[str, ...]:
+    """Names of all registered scalar functions (sorted)."""
+    return tuple(sorted(_REGISTRY))
+
+
+# ---------------------------------------------------------------------------
+# Built-in functions used by the paper's workload
+# ---------------------------------------------------------------------------
+
+
+def _like(value: Any, pattern: Any) -> int:
+    """SQL LIKE: ``%`` matches any run of characters, ``_`` a single character."""
+    text = "" if value is None else str(value)
+    translated = str(pattern).replace("%", "*").replace("_", "?")
+    return 1 if fnmatch.fnmatchcase(text, translated) else 0
+
+
+def _substring(value: Any, start: Any, length: Any) -> str:
+    """SQL SUBSTRING with 1-based start (0 is clamped to 1, as DBToaster does)."""
+    text = "" if value is None else str(value)
+    begin = max(int(start), 1) - 1
+    return text[begin : begin + int(length)]
+
+
+def _extract_year(value: Any) -> int:
+    """EXTRACT(YEAR FROM date) for dates encoded as 'YYYY-MM-DD' strings or ints."""
+    if isinstance(value, (int, float)):
+        return int(value) // 10000
+    return int(str(value)[:4])
+
+
+def _listmax(*values: Any) -> Any:
+    """LISTMAX: maximum of its arguments (used to guard divisions by zero)."""
+    return max(values)
+
+
+def _listmin(*values: Any) -> Any:
+    """LISTMIN: minimum of its arguments."""
+    return min(values)
+
+
+def _vec_length(dx: float, dy: float, dz: float) -> float:
+    """Euclidean length of a 3-vector (MDDB radial distribution workload)."""
+    return math.sqrt(dx * dx + dy * dy + dz * dz)
+
+
+def _dihedral_angle(
+    x1: float, y1: float, z1: float,
+    x2: float, y2: float, z2: float,
+    x3: float, y3: float, z3: float,
+    x4: float, y4: float, z4: float,
+) -> float:
+    """Dihedral angle defined by four atom positions (MDDB phi/psi workload)."""
+    b1 = (x2 - x1, y2 - y1, z2 - z1)
+    b2 = (x3 - x2, y3 - y2, z3 - z2)
+    b3 = (x4 - x3, y4 - y3, z4 - z3)
+
+    def cross(a: tuple, b: tuple) -> tuple:
+        return (
+            a[1] * b[2] - a[2] * b[1],
+            a[2] * b[0] - a[0] * b[2],
+            a[0] * b[1] - a[1] * b[0],
+        )
+
+    def dot(a: tuple, b: tuple) -> float:
+        return a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+
+    n1 = cross(b1, b2)
+    n2 = cross(b2, b3)
+    m1 = cross(n1, (b2[0], b2[1], b2[2]))
+    norm_b2 = math.sqrt(dot(b2, b2)) or 1.0
+    x = dot(n1, n2)
+    y = dot(m1, n2) / norm_b2
+    if x == 0 and y == 0:
+        return 0.0
+    return math.atan2(y, x)
+
+
+def _date(value: Any) -> str:
+    """DATE('YYYY-MM-DD'): dates are compared lexicographically as strings."""
+    return str(value)
+
+
+def _if_then_else(condition: Any, then_value: Any, else_value: Any) -> Any:
+    """CASE WHEN helper: condition is a 0/1 scalar."""
+    return then_value if condition else else_value
+
+
+def _in_list(value: Any, *options: Any) -> int:
+    """SQL ``x IN (v1, ..., vn)`` over literal lists."""
+    return 1 if value in options else 0
+
+
+def _bool_not(value: Any) -> int:
+    """Boolean negation over 0/1 scalars (used by CASE conditions)."""
+    return 0 if value else 1
+
+
+def _bool_and(*values: Any) -> int:
+    """Boolean conjunction over 0/1 scalars."""
+    return 1 if all(values) else 0
+
+
+def _bool_or(*values: Any) -> int:
+    """Boolean disjunction over 0/1 scalars."""
+    return 1 if any(values) else 0
+
+
+def _cmp(op: str) -> ScalarFunction:
+    from repro.core.values import comparison_holds
+
+    def compare(left: Any, right: Any) -> int:
+        return comparison_holds(left, op, right)
+
+    compare.__doc__ = f"Value-level comparison '{op}' returning 0/1."
+    return compare
+
+
+register_function("like", _like)
+register_function("not", _bool_not)
+register_function("and", _bool_and)
+register_function("or", _bool_or)
+register_function("eq", _cmp("="))
+register_function("ne", _cmp("!="))
+register_function("lt", _cmp("<"))
+register_function("le", _cmp("<="))
+register_function("gt", _cmp(">"))
+register_function("ge", _cmp(">="))
+register_function("substring", _substring)
+register_function("extract_year", _extract_year)
+register_function("listmax", _listmax)
+register_function("listmin", _listmin)
+register_function("vec_length", _vec_length)
+register_function("dihedral_angle", _dihedral_angle)
+register_function("date", _date)
+register_function("if_then_else", _if_then_else)
+register_function("in_list", _in_list)

@@ -1,0 +1,64 @@
+"""Human-readable pretty printing of AGCA expressions.
+
+The printed syntax follows the paper: ``R(A, B) * {A < B} * Sum[y](...)``,
+lifts as ``(x := Q)`` and map references as ``M[keys]``.  The printer is also
+used to produce canonical strings for duplicate-view elimination, so its
+output is deterministic.
+"""
+
+from __future__ import annotations
+
+from repro.agca.ast import (
+    AggSum,
+    Cmp,
+    Exists,
+    Expr,
+    Lift,
+    MapRef,
+    Product,
+    Relation,
+    Sum,
+    Value,
+    VArith,
+    VConst,
+    VFunc,
+    VVar,
+    ValueExpr,
+)
+
+
+def value_to_string(vexpr: ValueExpr) -> str:
+    """Render a scalar value expression."""
+    if isinstance(vexpr, VConst):
+        return repr(vexpr.value)
+    if isinstance(vexpr, VVar):
+        return vexpr.name
+    if isinstance(vexpr, VArith):
+        return f"({value_to_string(vexpr.left)} {vexpr.op} {value_to_string(vexpr.right)})"
+    if isinstance(vexpr, VFunc):
+        args = ", ".join(value_to_string(a) for a in vexpr.args)
+        return f"{vexpr.name}({args})"
+    raise TypeError(f"not a value expression: {vexpr!r}")
+
+
+def to_string(expr: Expr) -> str:
+    """Render an AGCA expression in paper-style concrete syntax."""
+    if isinstance(expr, Value):
+        return value_to_string(expr.vexpr)
+    if isinstance(expr, Cmp):
+        return f"{{{value_to_string(expr.left)} {expr.op} {value_to_string(expr.right)}}}"
+    if isinstance(expr, Relation):
+        return f"{expr.name}({', '.join(expr.columns)})"
+    if isinstance(expr, MapRef):
+        return f"{expr.name}[{', '.join(expr.keys)}]"
+    if isinstance(expr, Product):
+        return "(" + " * ".join(to_string(t) for t in expr.terms) + ")"
+    if isinstance(expr, Sum):
+        return "(" + " + ".join(to_string(t) for t in expr.terms) + ")"
+    if isinstance(expr, AggSum):
+        return f"Sum[{', '.join(expr.group)}]({to_string(expr.term)})"
+    if isinstance(expr, Lift):
+        return f"({expr.var} := {to_string(expr.term)})"
+    if isinstance(expr, Exists):
+        return f"Exists({to_string(expr.term)})"
+    raise TypeError(f"not an AGCA expression: {expr!r}")

@@ -1,0 +1,179 @@
+"""Binding patterns (input/output variables) and query degree (Sections 3.3–4).
+
+Every AGCA expression, evaluated under a set of already-bound variables, has
+
+* *input variables* — variables whose values must be supplied from outside
+  (trigger arguments, correlation variables of nested subqueries), and
+* *output variables* — the columns of the query result schema.
+
+The classification drives both evaluation (a query with unbound input
+variables is illegal) and the materialization heuristics (expressions with
+input variables lack finite support and cannot be materialized as plain maps).
+
+The *degree* of a query is the number of relation atoms joined together in
+its largest monomial; Theorem 1 of the paper guarantees that (in the absence
+of nested aggregates) each delta strictly reduces the degree, which is what
+makes the viewlet transform terminate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.agca.ast import (
+    AggSum,
+    Cmp,
+    Exists,
+    Expr,
+    Lift,
+    MapRef,
+    Product,
+    Relation,
+    Sum,
+    Value,
+    value_variables,
+)
+from repro.errors import SchemaError
+
+
+def schema_of(
+    expr: Expr, bound: Iterable[str] = ()
+) -> tuple[frozenset[str], frozenset[str]]:
+    """Return ``(input_variables, output_variables)`` of ``expr`` under ``bound``.
+
+    ``bound`` is the set of variables already bound by the surrounding context
+    (e.g. trigger arguments or variables bound by terms to the left inside a
+    product).
+    """
+    bound_set = frozenset(bound)
+    return _schema(expr, bound_set)
+
+
+def input_variables(expr: Expr, bound: Iterable[str] = ()) -> frozenset[str]:
+    """Input variables (parameters) of ``expr`` under ``bound``."""
+    return schema_of(expr, bound)[0]
+
+
+def output_variables(expr: Expr, bound: Iterable[str] = ()) -> frozenset[str]:
+    """Output variables (result schema) of ``expr`` under ``bound``."""
+    return schema_of(expr, bound)[1]
+
+
+_SCHEMA_CACHE: dict[tuple[Expr, frozenset[str]], tuple[frozenset[str], frozenset[str]]] = {}
+
+
+def _schema(expr: Expr, bound: frozenset[str]) -> tuple[frozenset[str], frozenset[str]]:
+    key = (expr, bound)
+    cached = _SCHEMA_CACHE.get(key)
+    if cached is not None:
+        return cached
+    result = _schema_uncached(expr, bound)
+    if len(_SCHEMA_CACHE) > 200_000:  # avoid unbounded growth across long sessions
+        _SCHEMA_CACHE.clear()
+    _SCHEMA_CACHE[key] = result
+    return result
+
+
+def _schema_uncached(
+    expr: Expr, bound: frozenset[str]
+) -> tuple[frozenset[str], frozenset[str]]:
+    empty: frozenset[str] = frozenset()
+
+    if isinstance(expr, Value):
+        needed = value_variables(expr.vexpr)
+        return (needed - bound, empty)
+
+    if isinstance(expr, Cmp):
+        needed = value_variables(expr.left) | value_variables(expr.right)
+        return (needed - bound, empty)
+
+    if isinstance(expr, Relation):
+        return (empty, frozenset(expr.columns))
+
+    if isinstance(expr, MapRef):
+        return (empty, frozenset(expr.keys))
+
+    if isinstance(expr, Lift):
+        inner_in, inner_out = _schema(expr.term, bound)
+        if inner_out:
+            raise SchemaError(
+                f"lift body must be scalar (non-grouping); got output vars {sorted(inner_out)}"
+                f" in {expr!r}"
+            )
+        if expr.var in bound:
+            # A lift over an already-bound variable is an equality condition.
+            return (inner_in, empty)
+        return (inner_in, frozenset((expr.var,)))
+
+    if isinstance(expr, Exists):
+        inner_in, _ = _schema(expr.term, bound)
+        return (inner_in, empty)
+
+    if isinstance(expr, Product):
+        inputs: set[str] = set()
+        outputs: set[str] = set()
+        current = set(bound)
+        for term in expr.terms:
+            t_in, t_out = _schema(term, frozenset(current))
+            inputs.update(t_in)
+            outputs.update(t_out)
+            current.update(t_out)
+        return (frozenset(inputs) - bound, frozenset(outputs))
+
+    if isinstance(expr, Sum):
+        inputs = set()
+        outputs = set()
+        for term in expr.terms:
+            t_in, t_out = _schema(term, bound)
+            inputs.update(t_in)
+            outputs.update(t_out)
+        return (frozenset(inputs) - bound, frozenset(outputs))
+
+    if isinstance(expr, AggSum):
+        t_in, t_out = _schema(expr.term, bound)
+        missing = set(expr.group) - set(t_out) - set(bound)
+        if missing:
+            raise SchemaError(
+                f"group-by variables {sorted(missing)} are not produced by the aggregated "
+                f"expression {expr.term!r}"
+            )
+        return (t_in, frozenset(expr.group))
+
+    raise TypeError(f"not an AGCA expression: {expr!r}")
+
+
+def degree(expr: Expr) -> int:
+    """Number of relation atoms joined in the widest monomial of ``expr``.
+
+    Materialized map references contribute 0 (they are already maintained);
+    lift and exists bodies contribute their own degree, so queries with nested
+    aggregates over base relations report a positive degree and are handled by
+    the nested-aggregate materialization rule before recursion.
+    """
+    if isinstance(expr, Relation):
+        return 1
+    if isinstance(expr, (Value, Cmp, MapRef)):
+        return 0
+    if isinstance(expr, Product):
+        return sum(degree(t) for t in expr.terms)
+    if isinstance(expr, Sum):
+        return max((degree(t) for t in expr.terms), default=0)
+    if isinstance(expr, (AggSum, Lift, Exists)):
+        return degree(expr.term)
+    raise TypeError(f"not an AGCA expression: {expr!r}")
+
+
+def has_nested_relation(expr: Expr) -> bool:
+    """True when a relation atom occurs inside a Lift or Exists body.
+
+    Such queries are the "nested aggregate" case: their delta is not strictly
+    simpler than the original (Theorem 1 does not apply) and the compiler must
+    apply the nested-aggregate materialization rule.
+    """
+    if isinstance(expr, (Lift, Exists)):
+        return degree(expr.term) > 0
+    if isinstance(expr, (Product, Sum)):
+        return any(has_nested_relation(t) for t in expr.terms)
+    if isinstance(expr, AggSum):
+        return has_nested_relation(expr.term)
+    return False

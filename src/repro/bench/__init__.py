@@ -1,0 +1,45 @@
+"""Benchmark harness reproducing the paper's evaluation (Section 9).
+
+* :mod:`repro.bench.harness` — measure refresh rates, traces and memory for
+  one engine on one stream;
+* :mod:`repro.bench.strategies` — build engines for every strategy compared
+  in the paper (DBToaster, IVM, REP, Naive, and the DBX/SPY stand-ins);
+* :mod:`repro.bench.report` — render the tables and series the paper reports;
+* :mod:`repro.bench.scenarios` — one entry point per paper table/figure.
+"""
+
+from repro.bench.harness import RunResult, TracePoint, measure_refresh_rate, run_trace
+from repro.bench.report import (
+    format_refresh_rate_table,
+    format_scaling_table,
+    format_trace,
+    format_feature_table,
+)
+from repro.bench.scenarios import (
+    DEFAULT_STRATEGIES,
+    run_ablation,
+    run_refresh_rate_table,
+    run_scaling,
+    run_trace_figure,
+    workload_feature_table,
+)
+from repro.bench.strategies import STRATEGIES, build_engine
+
+__all__ = [
+    "RunResult",
+    "TracePoint",
+    "measure_refresh_rate",
+    "run_trace",
+    "format_refresh_rate_table",
+    "format_scaling_table",
+    "format_trace",
+    "format_feature_table",
+    "DEFAULT_STRATEGIES",
+    "run_ablation",
+    "run_refresh_rate_table",
+    "run_scaling",
+    "run_trace_figure",
+    "workload_feature_table",
+    "STRATEGIES",
+    "build_engine",
+]

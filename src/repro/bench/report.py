@@ -1,0 +1,107 @@
+"""Rendering benchmark results in the shape the paper reports them.
+
+The formatting helpers return plain strings (monospace tables) so benchmark
+runs can print them directly and EXPERIMENTS.md can embed them verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.bench.harness import RunResult, TraceResult
+
+
+def _format_rate(value: float) -> str:
+    if value >= 1000:
+        return f"{value:,.0f}"
+    if value >= 10:
+        return f"{value:.1f}"
+    return f"{value:.2f}"
+
+
+def format_refresh_rate_table(
+    results: Mapping[str, Mapping[str, RunResult]],
+    strategies: Sequence[str],
+) -> str:
+    """Figure 6/7 style table: one row per query, one column per strategy."""
+    header = ["Query"] + list(strategies)
+    widths = [max(10, len(h) + 2) for h in header]
+    lines = ["".join(h.ljust(w) for h, w in zip(header, widths))]
+    lines.append("".join("-" * (w - 1) + " " for w in widths))
+    for query in sorted(results):
+        row = [query]
+        for strategy in strategies:
+            result = results[query].get(strategy)
+            row.append("-" if result is None else _format_rate(result.refresh_rate))
+        lines.append("".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_speedup_summary(
+    results: Mapping[str, Mapping[str, RunResult]],
+    baseline: str,
+    subject: str = "dbtoaster",
+) -> str:
+    """Per-query speed-up of ``subject`` over ``baseline`` (who wins, by how much)."""
+    lines = [f"speed-up of {subject} over {baseline}:"]
+    for query in sorted(results):
+        subject_result = results[query].get(subject)
+        baseline_result = results[query].get(baseline)
+        if subject_result is None or baseline_result is None:
+            continue
+        if baseline_result.refresh_rate <= 0:
+            lines.append(f"  {query:10s}  baseline produced no refreshes")
+            continue
+        ratio = subject_result.refresh_rate / baseline_result.refresh_rate
+        lines.append(f"  {query:10s}  {ratio:10.1f}x")
+    return "\n".join(lines)
+
+
+def format_trace(trace: TraceResult) -> str:
+    """Figure 8-10 style series: fraction, cumulative time, rate, memory."""
+    lines = [
+        f"trace for {trace.query} / {trace.strategy} "
+        f"({'complete' if trace.completed else 'timed out'})",
+        f"{'fraction':>10} {'time (s)':>10} {'refreshes/s':>14} {'memory (KB)':>12}",
+    ]
+    for point in trace.points:
+        lines.append(
+            f"{point.fraction:>10.2f} {point.cumulative_seconds:>10.2f} "
+            f"{point.window_refresh_rate:>14.1f} {point.memory_bytes / 1024:>12.1f}"
+        )
+    return "\n".join(lines)
+
+
+def format_scaling_table(
+    results: Mapping[str, Mapping[float, RunResult]], base_scale: float
+) -> str:
+    """Figure 11 style table: refresh rate relative to the smallest scale factor."""
+    scales = sorted({scale for rows in results.values() for scale in rows})
+    header = ["Query"] + [f"x{scale:g}" for scale in scales]
+    widths = [max(9, len(h) + 2) for h in header]
+    lines = ["".join(h.ljust(w) for h, w in zip(header, widths))]
+    lines.append("".join("-" * (w - 1) + " " for w in widths))
+    for query in sorted(results):
+        base = results[query].get(base_scale)
+        row = [query]
+        for scale in scales:
+            result = results[query].get(scale)
+            if result is None or base is None or base.refresh_rate == 0:
+                row.append("-")
+            else:
+                row.append(f"{result.refresh_rate / base.refresh_rate:.2f}")
+        lines.append("".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_feature_table(features: Mapping[str, Mapping[str, object]]) -> str:
+    """Figure 2 style workload feature matrix."""
+    columns = ["tables", "join", "where", "group_by", "nesting", "maps", "statements"]
+    header = ["Query"] + columns
+    widths = [max(9, len(h) + 2) for h in header]
+    lines = ["".join(h.ljust(w) for h, w in zip(header, widths))]
+    lines.append("".join("-" * (w - 1) + " " for w in widths))
+    for query in sorted(features):
+        row = [query] + [str(features[query].get(column, "-")) for column in columns]
+        lines.append("".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

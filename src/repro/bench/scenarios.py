@@ -1,0 +1,222 @@
+"""One entry point per paper table/figure (the experiment index of DESIGN.md).
+
+Every scenario takes explicit size parameters so the same code drives both
+the quick pytest-benchmark runs in ``benchmarks/`` and larger standalone runs
+whose output is recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Iterable, Mapping, Sequence
+
+from repro.bench.harness import RunResult, TraceResult, measure_refresh_rate, run_trace
+from repro.bench.strategies import build_engine, custom_options_engine
+from repro.compiler.hoivm import compile_query
+from repro.workloads import WorkloadSpec, all_workloads, workload
+
+#: Strategy columns of the Figure 6/7 table, in the paper's order.
+DEFAULT_STRATEGIES: tuple[str, ...] = (
+    "rep",
+    "dbx-rep",
+    "dbx-ivm",
+    "spy",
+    "dbtoaster",
+    "naive",
+    "ivm",
+)
+
+#: The trace queries shown in Figures 8, 9, 10 (one representative per panel).
+TRACE_QUERIES: tuple[str, ...] = (
+    "Q1", "Q3", "Q17a", "Q19", "Q22a", "AXF", "MST", "PSP", "VWAP",
+)
+
+#: TPC-H subset used for the scaling experiment (Figure 11).
+SCALING_QUERIES: tuple[str, ...] = ("Q1", "Q3", "Q4", "Q6", "Q11a", "Q12", "Q17a", "Q18a")
+
+
+def _call_with_supported(fn, **kwargs):
+    """Call ``fn`` passing only the keyword arguments it accepts."""
+    parameters = inspect.signature(fn).parameters
+    if any(p.kind == inspect.Parameter.VAR_KEYWORD for p in parameters.values()):
+        return fn(**kwargs)
+    return fn(**{k: v for k, v in kwargs.items() if k in parameters})
+
+
+def _prepare(spec: WorkloadSpec, events: int, scale: float | None, seed: int):
+    kwargs = {"events": events, "seed": seed}
+    if scale is not None:
+        kwargs["scale"] = scale
+    agenda = _call_with_supported(spec.stream_factory, **kwargs)
+    static_kwargs = {"seed": seed}
+    if scale is not None:
+        static_kwargs["scale"] = scale
+    static = (
+        _call_with_supported(spec.static_factory, **static_kwargs)
+        if spec.static_factory is not None
+        else {}
+    )
+    return agenda, static
+
+
+# ---------------------------------------------------------------------------
+# Figures 6 and 7: refresh-rate comparison across strategies
+# ---------------------------------------------------------------------------
+
+
+def run_refresh_rate_table(
+    queries: Iterable[str] | None = None,
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    events: int = 1500,
+    max_seconds_per_run: float = 5.0,
+    seed: int = 7,
+) -> dict[str, dict[str, RunResult]]:
+    """Average refresh rate per query and strategy (Figures 6 and 7)."""
+    names = list(queries) if queries is not None else sorted(all_workloads())
+    results: dict[str, dict[str, RunResult]] = {}
+    for name in names:
+        spec = workload(name)
+        agenda, static = _prepare(spec, events, None, seed)
+        translated = spec.query_factory()
+        per_query: dict[str, RunResult] = {}
+        for strategy in strategies:
+            engine = build_engine(strategy, translated)
+            per_query[strategy] = measure_refresh_rate(
+                engine,
+                agenda,
+                static,
+                max_seconds=max_seconds_per_run,
+                strategy=strategy,
+                query=name,
+            )
+        results[name] = per_query
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figures 8-10 (and 13-18): per-query traces
+# ---------------------------------------------------------------------------
+
+
+def run_trace_figure(
+    query: str,
+    strategies: Sequence[str] = ("dbtoaster", "ivm"),
+    events: int = 2000,
+    samples: int = 20,
+    max_seconds_per_run: float = 10.0,
+    seed: int = 7,
+) -> dict[str, TraceResult]:
+    """Time / refresh-rate / memory traces for one query (Figures 8-10, 13-18)."""
+    spec = workload(query)
+    agenda, static = _prepare(spec, events, None, seed)
+    translated = spec.query_factory()
+    traces: dict[str, TraceResult] = {}
+    for strategy in strategies:
+        engine = build_engine(strategy, translated)
+        traces[strategy] = run_trace(
+            engine,
+            agenda,
+            static,
+            samples=samples,
+            max_seconds=max_seconds_per_run,
+            strategy=strategy,
+            query=query,
+        )
+    return traces
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: stream scalability
+# ---------------------------------------------------------------------------
+
+
+def run_scaling(
+    queries: Sequence[str] = SCALING_QUERIES,
+    scales: Sequence[float] = (1.0, 2.0, 5.0, 10.0),
+    events_per_scale_unit: int = 800,
+    max_seconds_per_run: float = 10.0,
+    seed: int = 7,
+) -> dict[str, dict[float, RunResult]]:
+    """Refresh rate as the stream grows with the scale factor (Figure 11)."""
+    results: dict[str, dict[float, RunResult]] = {}
+    for name in queries:
+        spec = workload(name)
+        translated = spec.query_factory()
+        per_scale: dict[float, RunResult] = {}
+        for scale in scales:
+            events = int(events_per_scale_unit * scale)
+            agenda, static = _prepare(spec, events, scale, seed)
+            engine = build_engine("dbtoaster", translated)
+            per_scale[scale] = measure_refresh_rate(
+                engine,
+                agenda,
+                static,
+                max_seconds=max_seconds_per_run,
+                strategy="dbtoaster",
+                query=name,
+            )
+        results[name] = per_scale
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: workload features / applied rewrites
+# ---------------------------------------------------------------------------
+
+
+def workload_feature_table(queries: Iterable[str] | None = None) -> dict[str, dict[str, object]]:
+    """Query features plus compiled-program statistics (Figure 2)."""
+    names = list(queries) if queries is not None else sorted(all_workloads())
+    table: dict[str, dict[str, object]] = {}
+    for name in names:
+        spec = workload(name)
+        translated = spec.query_factory()
+        program = compile_query(
+            translated.roots(),
+            translated.schemas(),
+            static_relations=translated.static_relations(),
+        )
+        row: dict[str, object] = dict(spec.features or {})
+        row.update(program.summary())
+        table[name] = row
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Ablations: effect of individual compiler heuristics
+# ---------------------------------------------------------------------------
+
+ABLATION_VARIANTS: Mapping[str, Mapping[str, object]] = {
+    "full": {},
+    "no-decomposition": {"decomposition": False},
+    "no-range-extraction": {"extract_ranges": False},
+    "no-factorization": {"factorization": False},
+    "no-dedup": {"dedup": False},
+    "nested-incremental": {"nested_strategy": "incremental"},
+    "nested-reeval": {"nested_strategy": "reeval"},
+}
+
+
+def run_ablation(
+    query: str,
+    variants: Mapping[str, Mapping[str, object]] = ABLATION_VARIANTS,
+    events: int = 1200,
+    max_seconds_per_run: float = 5.0,
+    seed: int = 7,
+) -> dict[str, RunResult]:
+    """Refresh rate of one query under individual heuristic ablations."""
+    spec = workload(query)
+    agenda, static = _prepare(spec, events, None, seed)
+    translated = spec.query_factory()
+    results: dict[str, RunResult] = {}
+    for label, overrides in variants.items():
+        engine = custom_options_engine(translated, overrides)
+        results[label] = measure_refresh_rate(
+            engine,
+            agenda,
+            static,
+            max_seconds=max_seconds_per_run,
+            strategy=label,
+            query=query,
+        )
+    return results

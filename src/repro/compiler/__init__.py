@@ -1,0 +1,22 @@
+"""The DBToaster compiler: viewlet transform, HO-IVM and trigger programs."""
+
+from repro.compiler.program import (
+    MapDeclaration,
+    Statement,
+    Trigger,
+    TriggerProgram,
+)
+from repro.compiler.materialization import CompilerOptions, MaterializationContext
+from repro.compiler.hoivm import compile_query
+from repro.compiler.viewlet import viewlet_transform
+
+__all__ = [
+    "MapDeclaration",
+    "Statement",
+    "Trigger",
+    "TriggerProgram",
+    "CompilerOptions",
+    "MaterializationContext",
+    "compile_query",
+    "viewlet_transform",
+]

@@ -1,0 +1,483 @@
+"""Materialization decisions (Section 5.1 of the paper, Figure 1 rules).
+
+Given a (delta) query to be used inside an update statement, the
+materialization pass decides which subexpressions become materialized maps
+and rewrites the statement to reference those maps.  The heuristics follow
+the paper:
+
+* **polynomial expansion** (rule 2) — work monomial by monomial;
+* **query decomposition** (rule 1) — factors connected only through bound
+  (trigger) variables fall into separate components, each materialized on its
+  own, avoiding cross-product views;
+* **input variables** (rule 3) — factors that reference trigger variables in
+  scalar positions are left out of the materialized views, and the views
+  export exactly the columns those factors (and the statement) need;
+* **nested aggregates** (rule 4) — lift/exists bodies containing relations are
+  materialized separately (after decorrelating equality correlations), so the
+  compiler terminates even though their deltas are not degree-reducing;
+* **duplicate view elimination** — structurally identical view definitions
+  (up to variable renaming) share one map.
+
+Trigger variables that appear as relation columns become *parameter keys* of
+the materialized view: the view is keyed by them and the statement looks the
+value up with the trigger variable, which is how ``QO[ordk]``-style constant
+time lookups arise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping, Sequence
+
+from repro.agca.ast import (
+    AggSum,
+    Cmp,
+    Exists,
+    Expr,
+    Lift,
+    MapRef,
+    Product,
+    Relation,
+    Sum,
+    Value,
+    VArith,
+    VConst,
+    free_variables,
+    relations_of,
+    rename_variables,
+    value_variables,
+    walk,
+)
+from repro.agca.builders import plus, prod
+from repro.agca.printer import to_string
+from repro.agca.schema import degree, input_variables, output_variables
+from repro.compiler.program import MapDeclaration
+from repro.errors import CompilationError
+from repro.optimizer.decomposition import connected_components
+from repro.optimizer.expansion import factorize_sum, monomials, product_factors
+
+
+@dataclass(frozen=True)
+class CompilerOptions:
+    """Knobs controlling compilation; the defaults give full Higher-Order IVM.
+
+    * ``depth`` — maximum delta order.  ``None`` is unlimited (HO-IVM),
+      ``1`` emulates classical first-order IVM (deltas evaluated over base
+      tables), ``0`` emulates full re-evaluation (REP).
+    * ``decomposition`` / ``simplify`` / ``factorization`` /
+      ``extract_ranges`` / ``dedup`` — individual heuristics, switchable for
+      the Naive baseline and the ablation benchmarks.
+    * ``nested_strategy`` — how deltas of nested aggregates are handled:
+      ``"auto"`` uses the paper's equality-correlation rule to pick between
+      incremental maintenance and re-evaluation; ``"incremental"`` and
+      ``"reeval"`` force one behaviour.
+    """
+
+    depth: int | None = None
+    decomposition: bool = True
+    simplify: bool = True
+    factorization: bool = True
+    extract_ranges: bool = True
+    dedup: bool = True
+    nested_strategy: str = "auto"
+    map_prefix: str = "M"
+
+    def __post_init__(self) -> None:
+        if self.nested_strategy not in ("auto", "incremental", "reeval"):
+            raise CompilationError(
+                f"unknown nested_strategy {self.nested_strategy!r}; "
+                "expected 'auto', 'incremental' or 'reeval'"
+            )
+        if self.depth is not None and self.depth < 0:
+            raise CompilationError("depth must be None or a non-negative integer")
+
+
+#: Options for the paper's baselines, usable as ``CompilerOptions(**PRESETS[name])``.
+PRESETS: dict[str, dict] = {
+    "dbtoaster": {},
+    "naive": {"decomposition": False, "extract_ranges": False, "factorization": False},
+    "ivm": {"depth": 1},
+    "rep": {"depth": 0},
+}
+
+
+def options_for(preset: str) -> CompilerOptions:
+    """Compiler options for a named strategy preset (dbtoaster/naive/ivm/rep)."""
+    try:
+        return CompilerOptions(**PRESETS[preset])
+    except KeyError:
+        raise CompilationError(
+            f"unknown compiler preset {preset!r}; expected one of {sorted(PRESETS)}"
+        ) from None
+
+
+class MaterializationContext:
+    """Holds the maps created so far, performs dedup, and rewrites expressions."""
+
+    def __init__(
+        self,
+        schemas: Mapping[str, Sequence[str]],
+        stream_relations: Iterable[str],
+        static_relations: Iterable[str] = (),
+        options: CompilerOptions | None = None,
+    ) -> None:
+        self.schemas = {name: tuple(cols) for name, cols in schemas.items()}
+        self.stream_relations = frozenset(stream_relations)
+        self.static_relations = frozenset(static_relations)
+        self.options = options or CompilerOptions()
+        self.maps: dict[str, MapDeclaration] = {}
+        self.pending: list[str] = []
+        self._canonical: dict[str, str] = {}
+        self._counter = 0
+
+    # -- map registry -----------------------------------------------------------
+    def _fresh_name(self) -> str:
+        self._counter += 1
+        return f"{self.options.map_prefix}{self._counter}"
+
+    def register_root(
+        self, name: str, keys: Sequence[str], definition: Expr, level: int = 0
+    ) -> MapDeclaration:
+        """Register a top-level query view under a caller-chosen name."""
+        if name in self.maps:
+            raise CompilationError(f"duplicate root map name {name!r}")
+        decl = MapDeclaration(name, tuple(keys), definition, level=level, description="root")
+        self.maps[name] = decl
+        self.pending.append(name)
+        self._canonical[_canonical_form(decl.keys, definition)] = name
+        return decl
+
+    def register_map(
+        self,
+        keys: Sequence[str],
+        definition: Expr,
+        level: int,
+        description: str = "",
+        avoid: str | None = None,
+    ) -> MapDeclaration | None:
+        """Register (or reuse) a materialized view for ``definition``.
+
+        Returns the declaration, or ``None`` when the definition collides with
+        the ``avoid`` map (self-referential re-evaluation guard).
+        """
+        canonical = _canonical_form(tuple(keys), definition)
+        if self.options.dedup and canonical in self._canonical:
+            existing = self._canonical[canonical]
+            if avoid is not None and existing == avoid:
+                return None
+            return self.maps[existing]
+        if avoid is not None:
+            avoided = self.maps.get(avoid)
+            if avoided is not None and _canonical_form(avoided.keys, avoided.definition) == canonical:
+                return None
+        name = self._fresh_name()
+        decl = MapDeclaration(name, tuple(keys), definition, level=level, description=description)
+        self.maps[name] = decl
+        self.pending.append(name)
+        self._canonical[canonical] = name
+        return decl
+
+    # -- the materialization operator M(.) ---------------------------------------
+    def materialize(
+        self,
+        expr: Expr,
+        bound: Iterable[str],
+        needed: Iterable[str],
+        level: int,
+        avoid: str | None = None,
+    ) -> Expr:
+        """Rewrite ``expr`` to reference materialized maps, registering new maps.
+
+        ``bound`` are trigger variables (input variables of the statement),
+        ``needed`` the output variables the statement must still produce
+        (target keys).  ``level`` is the delta order of newly created maps.
+        """
+        bound_set = frozenset(bound)
+        needed_set = frozenset(needed)
+        terms = monomials(expr)
+        rewritten = [
+            self._materialize_monomial(term, bound_set, needed_set, level, avoid)
+            for term in terms
+        ]
+        result = plus(*rewritten)
+        if self.options.factorization and isinstance(result, Sum):
+            result = factorize_sum(result)
+        return result
+
+    # -- monomials ------------------------------------------------------------------
+    def _materialize_monomial(
+        self,
+        term: Expr,
+        bound: frozenset[str],
+        needed: frozenset[str],
+        level: int,
+        avoid: str | None,
+    ) -> Expr:
+        if isinstance(term, AggSum):
+            inner = self._materialize_monomial(
+                term.term, bound, needed | set(term.group), level, avoid
+            )
+            return AggSum(term.group, inner)
+
+        factors = product_factors(term)
+        if not factors:
+            return term
+
+        nested_idx: list[int] = []
+        heavy_idx: list[int] = []
+        passthrough_idx: list[int] = []
+        for i, factor in enumerate(factors):
+            if isinstance(factor, (Lift, Exists)) and degree(factor.term) > 0:
+                nested_idx.append(i)
+            elif degree(factor) > 0:
+                heavy_idx.append(i)
+            else:
+                passthrough_idx.append(i)
+
+        if not heavy_idx and not nested_idx:
+            return term
+
+        heavy = [factors[i] for i in heavy_idx]
+        if self.options.decomposition:
+            components = connected_components(heavy, bound)
+        else:
+            components = [heavy] if heavy else []
+
+        # Polynomial expansion of additive value factors that span several
+        # components (e.g. SUM(a.price - b.price) over a decomposed join):
+        # splitting them lets each resulting monomial decompose cleanly.
+        if self.options.decomposition and len(components) > 1:
+            split = self._split_spanning_value(factors, components, bound)
+            if split is not None:
+                return plus(
+                    *(
+                        self._materialize_monomial(piece, bound, needed, level, avoid)
+                        for piece in split
+                    )
+                )
+
+        # Push relation-free factors with no trigger variables into the unique
+        # component that provides all their variables (aggregate/selection push-down).
+        component_vars = [free_variables(prod(*component)) for component in components]
+        absorbed: set[int] = set()
+        for i in list(passthrough_idx):
+            factor = factors[i]
+            fvars = free_variables(factor)
+            if not fvars or fvars & bound:
+                continue
+            homes = [ci for ci, cvars in enumerate(component_vars) if fvars <= cvars]
+            if len(homes) == 1:
+                components[homes[0]].append(factor)
+                absorbed.add(i)
+        passthrough_idx = [i for i in passthrough_idx if i not in absorbed]
+
+        # Variables needed outside each component: statement outputs, trigger
+        # variables do not count, everything referenced by the other factors does.
+        outside_refs: list[frozenset[str]] = []
+        for ci in range(len(components)):
+            refs = set(needed)
+            for cj, component in enumerate(components):
+                if cj != ci:
+                    refs |= free_variables(prod(*component))
+            for i in passthrough_idx + nested_idx:
+                refs |= free_variables(factors[i])
+            outside_refs.append(frozenset(refs))
+
+        rewritten_components: list[Expr] = []
+        for component, refs in zip(components, outside_refs):
+            rewritten_components.append(
+                self._materialize_component(component, bound, refs, level, avoid)
+            )
+
+        other_available = bound | frozenset().union(
+            *(free_variables(prod(*c)) for c in components)
+        ) if components else bound
+
+        rebuilt_rest: list[Expr] = []
+        for i in sorted(passthrough_idx + nested_idx):
+            factor = factors[i]
+            if i in nested_idx:
+                rebuilt_rest.append(
+                    self._materialize_nested(factor, other_available, level, avoid)
+                )
+            else:
+                rebuilt_rest.append(factor)
+
+        return prod(*rewritten_components, *rebuilt_rest)
+
+    def _split_spanning_value(
+        self,
+        factors: list[Expr],
+        components: list[list[Expr]],
+        bound: frozenset[str],
+    ) -> list[Expr] | None:
+        """Split a monomial on an additive value factor spanning several components.
+
+        Returns the replacement monomials, or ``None`` when no factor needs
+        splitting.  ``SUM(a.x - b.y)``-style values connect otherwise
+        disconnected components; expanding the sum lets the decomposition rule
+        apply to each resulting monomial separately.
+        """
+        component_vars = [free_variables(prod(*component)) - bound for component in components]
+        for index, factor in enumerate(factors):
+            if not (isinstance(factor, Value) and isinstance(factor.vexpr, VArith)):
+                continue
+            if factor.vexpr.op not in ("+", "-"):
+                continue
+            fvars = value_variables(factor.vexpr) - bound
+            touched = sum(1 for cvars in component_vars if fvars & cvars)
+            if touched < 2:
+                continue
+            left = Value(factor.vexpr.left)
+            right: Expr = Value(factor.vexpr.right)
+            if factor.vexpr.op == "-":
+                right = prod(Value(VConst(-1)), right)
+            pieces = []
+            for part in (left, right):
+                replaced = list(factors)
+                replaced[index] = part
+                pieces.append(prod(*replaced))
+            return pieces
+        return None
+
+    # -- components -----------------------------------------------------------------
+    def _materialize_component(
+        self,
+        component: list[Expr],
+        bound: frozenset[str],
+        outside_refs: frozenset[str],
+        level: int,
+        avoid: str | None,
+    ) -> Expr:
+        comp_expr = prod(*component)
+        comp_relations = relations_of(comp_expr)
+
+        # Purely static components are read directly from the loaded tables.
+        if comp_relations and comp_relations <= self.static_relations:
+            return comp_expr
+
+        used_bound = free_variables(comp_expr) & bound
+        column_bound = _column_variables(comp_expr) & bound
+        if used_bound - column_bound:
+            # A trigger variable appears in a scalar position inside the
+            # component; the component cannot be keyed by it, so it stays
+            # unmaterialized (the statement will read base relations).
+            return comp_expr
+
+        try:
+            outputs = output_variables(comp_expr, bound)
+        except Exception:
+            return comp_expr
+
+        param_keys = sorted(column_bound)
+        out_keys = sorted((outputs - bound) & outside_refs)
+        fresh = {p: _fresh_key_name(p, comp_expr) for p in param_keys}
+        def_keys = tuple(fresh[p] for p in param_keys) + tuple(out_keys)
+        definition = AggSum(def_keys, rename_variables(comp_expr, fresh))
+
+        if input_variables(definition, ()):
+            return comp_expr
+
+        decl = self.register_map(def_keys, definition, level, avoid=avoid)
+        if decl is None:
+            return comp_expr
+        call_keys = tuple(param_keys) + tuple(out_keys)
+        return MapRef(decl.name, call_keys)
+
+    # -- nested aggregates ---------------------------------------------------------
+    def _materialize_nested(
+        self,
+        factor: Expr,
+        available: frozenset[str],
+        level: int,
+        avoid: str | None,
+    ) -> Expr:
+        assert isinstance(factor, (Lift, Exists))
+        body = self.materialize(factor.term, available, frozenset(), level, avoid)
+        if isinstance(factor, Lift):
+            return Lift(factor.var, body)
+        return Exists(body)
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _column_variables(expr: Expr) -> frozenset[str]:
+    """Variables appearing as relation/map columns anywhere in ``expr``."""
+    out: set[str] = set()
+    for node in walk(expr):
+        if isinstance(node, Relation):
+            out.update(node.columns)
+        elif isinstance(node, MapRef):
+            out.update(node.keys)
+    return frozenset(out)
+
+
+def _fresh_key_name(base: str, expr: Expr) -> str:
+    taken = free_variables(expr)
+    candidate = f"{base}_k"
+    counter = 1
+    while candidate in taken:
+        candidate = f"{base}_k{counter}"
+        counter += 1
+    return candidate
+
+
+def _variables_in_order(expr: Expr) -> list[str]:
+    """All variables of ``expr`` in a deterministic traversal order."""
+    seen: list[str] = []
+
+    def add(name: str) -> None:
+        if name not in seen:
+            seen.append(name)
+
+    def visit(node: Expr) -> None:
+        if isinstance(node, Relation):
+            for column in node.columns:
+                add(column)
+        elif isinstance(node, MapRef):
+            for key in node.keys:
+                add(key)
+        elif isinstance(node, Value):
+            for name in sorted(value_variables(node.vexpr)):
+                add(name)
+        elif isinstance(node, Cmp):
+            for name in sorted(value_variables(node.left)):
+                add(name)
+            for name in sorted(value_variables(node.right)):
+                add(name)
+        elif isinstance(node, (Product, Sum)):
+            for child in node.terms:
+                visit(child)
+            return
+        elif isinstance(node, AggSum):
+            for g in node.group:
+                add(g)
+            visit(node.term)
+            return
+        elif isinstance(node, Lift):
+            add(node.var)
+            visit(node.term)
+            return
+        elif isinstance(node, Exists):
+            visit(node.term)
+            return
+
+    visit(expr)
+    return seen
+
+
+def _canonical_form(keys: tuple[str, ...], definition: Expr) -> str:
+    """A renaming-invariant string used for duplicate view elimination."""
+    mapping: dict[str, str] = {}
+    for i, key in enumerate(keys):
+        mapping.setdefault(key, f"__k{i}")
+    counter = 0
+    for name in _variables_in_order(definition):
+        if name not in mapping:
+            mapping[name] = f"__v{counter}"
+            counter += 1
+    renamed = rename_variables(definition, mapping)
+    return f"<{len(keys)}> {to_string(renamed)}"

@@ -1,0 +1,45 @@
+"""The naive viewlet transform (Section 4, Algorithm 1).
+
+The viewlet transform is the conceptual core of the paper: materialize the
+query, its deltas, the deltas of the deltas and so on, until the remaining
+deltas are constants.  In this reproduction it is implemented as Higher-Order
+IVM with the aggressive heuristics switched off (no join-graph decomposition,
+no range-restriction extraction, no factorization), which is exactly the
+"Naive" configuration evaluated in the paper's experiments.
+
+``viewlet_transform`` exists mainly for exposition and for the tests that
+reproduce Example 1 / Example 8; production code should call
+:func:`repro.compiler.hoivm.compile_query` with explicit options.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.agca.ast import Expr
+from repro.compiler.hoivm import compile_query
+from repro.compiler.materialization import CompilerOptions
+from repro.compiler.program import TriggerProgram
+
+
+def viewlet_transform(
+    queries: Expr | Mapping[str, Expr],
+    schemas: Mapping[str, Sequence[str]],
+    stream_relations: Iterable[str] | None = None,
+    static_relations: Iterable[str] = (),
+    name: str = "Q",
+) -> TriggerProgram:
+    """Compile with the naive viewlet transform (no decomposition heuristics)."""
+    options = CompilerOptions(
+        decomposition=False,
+        extract_ranges=False,
+        factorization=False,
+    )
+    return compile_query(
+        queries,
+        schemas,
+        stream_relations=stream_relations,
+        static_relations=static_relations,
+        options=options,
+        name=name,
+    )

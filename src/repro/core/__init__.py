@@ -1,0 +1,16 @@
+"""Core data model: rows (tuples), value arithmetic and generalized multiset relations."""
+
+from repro.core.rows import Row, merge_rows, rows_consistent
+from repro.core.gmr import GMR
+from repro.core.values import compare, div, is_zero, normalize_number
+
+__all__ = [
+    "Row",
+    "merge_rows",
+    "rows_consistent",
+    "GMR",
+    "compare",
+    "div",
+    "is_zero",
+    "normalize_number",
+]

@@ -1,0 +1,244 @@
+"""Generalized multiset relations (GMRs).
+
+A GMR is a finitely supported function from tuples (:class:`~repro.core.rows.Row`)
+to rational multiplicities (Section 3.1 of the paper).  GMRs with ``+`` (bag
+union / addition) and ``*`` (natural join / multiplication) form a ring, which
+is what makes the delta transform purely syntactic.
+
+This module provides the concrete dictionary-backed GMR used both for base
+relations in the runtime database and for query results produced by the AGCA
+evaluator.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.core.rows import Row
+from repro.core.values import is_zero, normalize_number
+
+
+class GMR:
+    """A finitely supported map from rows to numeric multiplicities.
+
+    Entries with zero multiplicity are dropped eagerly, so two GMRs describing
+    the same function always compare equal.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, entries: "Mapping[Row, Any] | GMR | Iterable[tuple[Row, Any]]" = ()) -> None:
+        data: dict[Row, Any] = {}
+        if isinstance(entries, GMR):
+            items = entries.items()
+        elif isinstance(entries, Mapping):
+            items = entries.items()
+        else:
+            items = entries
+        for row, multiplicity in items:
+            if not isinstance(row, Row):
+                row = Row(row)
+            if is_zero(multiplicity):
+                continue
+            if row in data:
+                total = data[row] + multiplicity
+                if is_zero(total):
+                    del data[row]
+                else:
+                    data[row] = normalize_number(total)
+            else:
+                data[row] = normalize_number(multiplicity)
+        self._data = data
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "GMR":
+        """The zero GMR (additive identity)."""
+        return cls()
+
+    @classmethod
+    def singleton(cls, row: Row | Mapping[str, Any], multiplicity: Any = 1) -> "GMR":
+        """A GMR containing exactly one tuple."""
+        return cls([(Row(row), multiplicity)])
+
+    @classmethod
+    def scalar(cls, value: Any) -> "GMR":
+        """A nullary GMR mapping the empty tuple to ``value`` (a 'constant')."""
+        return cls([(Row(), value)])
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[Mapping[str, Any]]) -> "GMR":
+        """Build a GMR from an iterable of plain dict rows, each with multiplicity 1."""
+        return cls((Row(row), 1) for row in rows)
+
+    # -- basic access ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __bool__(self) -> bool:
+        return bool(self._data)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._data)
+
+    def __contains__(self, row: object) -> bool:
+        if not isinstance(row, Row):
+            row = Row(row)  # type: ignore[arg-type]
+        return row in self._data
+
+    def __getitem__(self, row: Row | Mapping[str, Any]) -> Any:
+        if not isinstance(row, Row):
+            row = Row(row)
+        return self._data.get(row, 0)
+
+    def items(self) -> Iterator[tuple[Row, Any]]:
+        """Iterate over ``(row, multiplicity)`` pairs of the support."""
+        return iter(self._data.items())
+
+    def rows(self) -> Iterator[Row]:
+        """Iterate over the support rows."""
+        return iter(self._data)
+
+    @property
+    def support_size(self) -> int:
+        """Number of tuples with nonzero multiplicity."""
+        return len(self._data)
+
+    def columns(self) -> frozenset[str]:
+        """The set of column names used by the support (empty for the zero GMR)."""
+        cols: set[str] = set()
+        for row in self._data:
+            cols.update(row.columns)
+        return frozenset(cols)
+
+    def scalar_value(self) -> Any:
+        """The multiplicity of the empty tuple (aggregate value of a nullary GMR)."""
+        return self._data.get(Row(), 0)
+
+    # -- mutation (used only by the runtime database / map store) --------------
+    def add_tuple(self, row: Row | Mapping[str, Any], multiplicity: Any = 1) -> None:
+        """Add ``multiplicity`` to ``row`` in place, dropping the entry at zero."""
+        if not isinstance(row, Row):
+            row = Row(row)
+        total = self._data.get(row, 0) + multiplicity
+        if is_zero(total):
+            self._data.pop(row, None)
+        else:
+            self._data[row] = normalize_number(total)
+
+    def update(self, other: "GMR", scale: Any = 1) -> None:
+        """In-place ``self += scale * other``."""
+        for row, multiplicity in other.items():
+            self.add_tuple(row, multiplicity * scale)
+
+    # -- ring operations --------------------------------------------------------
+    def __add__(self, other: "GMR") -> "GMR":
+        if not isinstance(other, GMR):
+            return NotImplemented
+        result = dict(self._data)
+        out = GMR()
+        out._data = result
+        out.update(other)
+        return out
+
+    def __neg__(self) -> "GMR":
+        return GMR((row, -mult) for row, mult in self.items())
+
+    def __sub__(self, other: "GMR") -> "GMR":
+        if not isinstance(other, GMR):
+            return NotImplemented
+        return self + (-other)
+
+    def scale(self, factor: Any) -> "GMR":
+        """Multiply every multiplicity by ``factor``."""
+        if is_zero(factor):
+            return GMR()
+        return GMR((row, mult * factor) for row, mult in self.items())
+
+    def natural_join(self, other: "GMR") -> "GMR":
+        """Generalized natural join: multiplicities of joinable tuples multiply.
+
+        This is the ``*`` of the GMR ring restricted to the case where both
+        operands are already fully evaluated (no sideways binding involved).
+        """
+        if not self._data or not other._data:
+            return GMR()
+        shared = self.columns() & other.columns()
+        out = GMR()
+        if not shared:
+            for lrow, lmult in self.items():
+                for rrow, rmult in other.items():
+                    out.add_tuple(lrow.extend(rrow), lmult * rmult)
+            return out
+        index: dict[Row, list[tuple[Row, Any]]] = {}
+        for rrow, rmult in other.items():
+            index.setdefault(rrow.project(shared), []).append((rrow, rmult))
+        for lrow, lmult in self.items():
+            for rrow, rmult in index.get(lrow.project(shared), ()):  # joinable partners
+                out.add_tuple(lrow.extend(rrow), lmult * rmult)
+        return out
+
+    def __mul__(self, other: "GMR") -> "GMR":
+        if not isinstance(other, GMR):
+            return NotImplemented
+        return self.natural_join(other)
+
+    # -- relational helpers -------------------------------------------------------
+    def project(self, columns: Iterable[str]) -> "GMR":
+        """Multiplicity-preserving projection (``Sum_A`` over the given columns)."""
+        wanted = tuple(columns)
+        out = GMR()
+        for row, mult in self.items():
+            out.add_tuple(row.project(wanted), mult)
+        return out
+
+    def select(self, predicate: Callable[[Row], bool]) -> "GMR":
+        """Keep only rows for which ``predicate`` is true."""
+        return GMR((row, mult) for row, mult in self.items() if predicate(row))
+
+    def rename(self, mapping: Mapping[str, str]) -> "GMR":
+        """Rename columns of every row."""
+        return GMR((row.rename(mapping), mult) for row, mult in self.items())
+
+    def filter_consistent(self, context: Mapping[str, Any]) -> "GMR":
+        """Keep rows consistent with ``context`` (selection on bound variables)."""
+        return GMR(
+            (row, mult) for row, mult in self.items() if row.consistent_with(context)
+        )
+
+    def total_multiplicity(self) -> Any:
+        """Sum of all multiplicities (the value of ``Sum_[]`` over this GMR)."""
+        total = 0
+        for mult in self._data.values():
+            total = total + mult
+        return normalize_number(total)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Expand to a list of plain dict rows, repeating rows by multiplicity.
+
+        Only valid for non-negative integer multiplicities; used by tests and
+        by the reference engine when exporting results.
+        """
+        out: list[dict[str, Any]] = []
+        for row, mult in sorted(self.items(), key=lambda item: repr(item[0])):
+            if not isinstance(mult, int) or mult < 0:
+                raise ValueError("to_dicts requires non-negative integer multiplicities")
+            out.extend(dict(row) for _ in range(mult))
+        return out
+
+    # -- identity ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, GMR):
+            return self._data == other._data
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - GMRs are not meant to be dict keys
+        return hash(frozenset(self._data.items()))
+
+    def __repr__(self) -> str:
+        if not self._data:
+            return "GMR{}"
+        inner = ", ".join(
+            f"{row!r} -> {mult}" for row, mult in sorted(self.items(), key=lambda i: repr(i[0]))
+        )
+        return f"GMR{{{inner}}}"

@@ -1,0 +1,26 @@
+"""Delta processing: update events and the (higher-order) delta transform."""
+
+from repro.delta.events import (
+    DELETE,
+    INSERT,
+    BulkUpdate,
+    StreamEvent,
+    TriggerEvent,
+    delete,
+    insert,
+    trigger_events_for,
+)
+from repro.delta.rules import delta, delta_is_zero
+
+__all__ = [
+    "DELETE",
+    "INSERT",
+    "BulkUpdate",
+    "StreamEvent",
+    "TriggerEvent",
+    "delete",
+    "insert",
+    "trigger_events_for",
+    "delta",
+    "delta_is_zero",
+]

@@ -1,0 +1,172 @@
+"""Update events.
+
+Two kinds of objects describe updates:
+
+* :class:`StreamEvent` — a concrete runtime event: the insertion (+1) or
+  deletion (-1) of one tuple into/from a base relation.  Streams, agendas and
+  the engines all speak :class:`StreamEvent`.
+* :class:`TriggerEvent` — a *symbolic* single-tuple update used at compile
+  time: it fixes the relation, the sign, and the fresh trigger variable names
+  that stand for the inserted/deleted tuple's fields.  The delta transform is
+  taken with respect to a :class:`TriggerEvent`.
+
+:class:`BulkUpdate` describes the general (multi-tuple) update of the viewlet
+transform: the delta of a relation atom is then another relation atom over a
+"delta relation", exactly as in Section 3.4 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+INSERT = 1
+DELETE = -1
+
+_SIGN_NAMES = {INSERT: "insert", DELETE: "delete"}
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """A concrete single-tuple update: ``sign`` is +1 (insert) or -1 (delete)."""
+
+    relation: str
+    values: tuple[Any, ...]
+    sign: int = INSERT
+
+    def __post_init__(self) -> None:
+        if self.sign not in (INSERT, DELETE):
+            raise ValueError(f"sign must be +1 or -1, got {self.sign}")
+        object.__setattr__(self, "values", tuple(self.values))
+
+    @property
+    def kind(self) -> str:
+        """``"insert"`` or ``"delete"``."""
+        return _SIGN_NAMES[self.sign]
+
+    def inverted(self) -> "StreamEvent":
+        """The event that undoes this one."""
+        return StreamEvent(self.relation, self.values, -self.sign)
+
+    def __repr__(self) -> str:
+        return f"{'+' if self.sign == INSERT else '-'}{self.relation}{self.values!r}"
+
+
+def insert(relation: str, *values: Any) -> StreamEvent:
+    """Convenience constructor for an insertion event."""
+    return StreamEvent(relation, values, INSERT)
+
+
+def delete(relation: str, *values: Any) -> StreamEvent:
+    """Convenience constructor for a deletion event."""
+    return StreamEvent(relation, values, DELETE)
+
+
+@dataclass(frozen=True)
+class TriggerEvent:
+    """A symbolic single-tuple update ``±R(t1, ..., tk)`` used at compile time.
+
+    ``columns`` are the relation's schema columns and ``trigger_vars`` the
+    fresh variables standing for the update's field values, in the same order.
+    """
+
+    relation: str
+    sign: int
+    columns: tuple[str, ...]
+    trigger_vars: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.sign not in (INSERT, DELETE):
+            raise ValueError(f"sign must be +1 or -1, got {self.sign}")
+        if len(self.columns) != len(self.trigger_vars):
+            raise ValueError("columns and trigger_vars must have the same length")
+        object.__setattr__(self, "columns", tuple(self.columns))
+        object.__setattr__(self, "trigger_vars", tuple(self.trigger_vars))
+
+    @property
+    def kind(self) -> str:
+        """``"insert"`` or ``"delete"``."""
+        return _SIGN_NAMES[self.sign]
+
+    @property
+    def name(self) -> str:
+        """A stable identifier such as ``insert_lineitem`` used to key triggers."""
+        return f"{self.kind}_{self.relation.lower()}"
+
+    def bindings_for(self, event: StreamEvent) -> dict[str, Any]:
+        """Bind the trigger variables to a concrete event's field values."""
+        if event.relation != self.relation:
+            raise ValueError(
+                f"event for relation {event.relation!r} does not match trigger on "
+                f"{self.relation!r}"
+            )
+        if len(event.values) != len(self.trigger_vars):
+            raise ValueError(
+                f"event arity {len(event.values)} does not match relation arity "
+                f"{len(self.trigger_vars)}"
+            )
+        return dict(zip(self.trigger_vars, event.values))
+
+    def __repr__(self) -> str:
+        sign = "+" if self.sign == INSERT else "-"
+        return f"{sign}{self.relation}({', '.join(self.trigger_vars)})"
+
+
+@dataclass(frozen=True)
+class BulkUpdate:
+    """A symbolic bulk update: the change to ``relation`` is itself a GMR.
+
+    The delta of a relation atom with respect to a bulk update is an atom over
+    the ``delta_relation`` name.
+    """
+
+    relation: str
+    delta_relation: str
+
+    def __repr__(self) -> str:
+        return f"∆{self.relation}(as {self.delta_relation})"
+
+
+def fresh_trigger_vars(
+    relation: str, columns: Sequence[str], avoid: Iterable[str]
+) -> tuple[str, ...]:
+    """Generate trigger variable names for ``relation`` avoiding collisions.
+
+    The default scheme mirrors the paper's trigger signatures: the variables
+    are the lower-cased column names prefixed with the relation, e.g.
+    ``lineitem_orderkey``.  Names colliding with ``avoid`` get a numeric
+    suffix.
+    """
+    taken = set(avoid)
+    out: list[str] = []
+    for column in columns:
+        base = f"{relation.lower()}_{column.lower()}"
+        name = base
+        counter = 1
+        while name in taken or name in out:
+            name = f"{base}_{counter}"
+            counter += 1
+        out.append(name)
+    return tuple(out)
+
+
+def trigger_events_for(
+    schemas: Mapping[str, Sequence[str]],
+    avoid: Iterable[str] = (),
+    relations: Iterable[str] | None = None,
+    include_deletes: bool = True,
+) -> list[TriggerEvent]:
+    """Build the insert (and optionally delete) trigger events for a schema set.
+
+    ``schemas`` maps relation names to their column lists; ``relations``
+    restricts the set (defaults to all of them, e.g. excluding static tables).
+    """
+    wanted = list(relations) if relations is not None else list(schemas)
+    events: list[TriggerEvent] = []
+    for relation in wanted:
+        columns = tuple(schemas[relation])
+        trigger_vars = fresh_trigger_vars(relation, columns, avoid)
+        events.append(TriggerEvent(relation, INSERT, columns, trigger_vars))
+        if include_deletes:
+            events.append(TriggerEvent(relation, DELETE, columns, trigger_vars))
+    return events

@@ -1,0 +1,142 @@
+"""The delta transform (Section 3.4 of the paper).
+
+``delta(Q, u)`` returns an AGCA expression for the change of ``Q``'s result
+when the database is changed by the update ``u``:
+
+* sums distribute,
+* products follow the Leibniz-like rule
+  ``∆(A * B) = ∆A * B + A * ∆B + ∆A * ∆B`` (a consequence of ring
+  distributivity),
+* aggregation commutes with the delta,
+* constants, values, and conditions have delta zero,
+* a relation atom matching the update becomes the update itself — for a
+  single-tuple update ``±R(t)`` it is the product of lifts
+  ``±(x1 := t1) * ... * (xk := tk)``,
+* lifts (nested aggregates) and EXISTS use the re-evaluation form
+  ``(x := Q + ∆Q) - (x := Q)`` which references the original query twice;
+  the materialization heuristics deal with the consequences (Section 5.1).
+
+The function is purely syntactic; simplification is a separate pass
+(:mod:`repro.optimizer.simplify`).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.agca.ast import (
+    AggSum,
+    Cmp,
+    Exists,
+    Expr,
+    Lift,
+    MapRef,
+    Product,
+    Relation,
+    Sum,
+    Value,
+    VConst,
+    VVar,
+)
+from repro.agca.builders import const, lift, neg, plus, prod
+from repro.delta.events import BulkUpdate, TriggerEvent
+from repro.errors import DeltaError
+
+Update = Union[TriggerEvent, BulkUpdate]
+
+_ZERO = Value(VConst(0))
+
+
+def delta_is_zero(expr: Expr) -> bool:
+    """True when an expression is the literal zero produced by the delta rules."""
+    return isinstance(expr, Value) and isinstance(expr.vexpr, VConst) and expr.vexpr.value == 0
+
+
+def delta(expr: Expr, update: Update) -> Expr:
+    """Delta of ``expr`` with respect to ``update`` (syntactic, unsimplified)."""
+    if isinstance(expr, (Value, Cmp)):
+        return _ZERO
+
+    if isinstance(expr, MapRef):
+        raise DeltaError(
+            "cannot take the delta of a materialized map reference; deltas are taken "
+            "over base-relation queries before materialization"
+        )
+
+    if isinstance(expr, Relation):
+        return _delta_relation(expr, update)
+
+    if isinstance(expr, Sum):
+        parts = [delta(t, update) for t in expr.terms]
+        nonzero = [p for p in parts if not delta_is_zero(p)]
+        if not nonzero:
+            return _ZERO
+        return plus(*nonzero)
+
+    if isinstance(expr, Product):
+        return _delta_product(expr, update)
+
+    if isinstance(expr, AggSum):
+        inner = delta(expr.term, update)
+        if delta_is_zero(inner):
+            return _ZERO
+        return AggSum(expr.group, inner)
+
+    if isinstance(expr, Lift):
+        inner = delta(expr.term, update)
+        if delta_is_zero(inner):
+            return _ZERO
+        new_value = Lift(expr.var, plus(expr.term, inner))
+        old_value = Lift(expr.var, expr.term)
+        return plus(new_value, neg(old_value))
+
+    if isinstance(expr, Exists):
+        inner = delta(expr.term, update)
+        if delta_is_zero(inner):
+            return _ZERO
+        new_value = Exists(plus(expr.term, inner))
+        old_value = Exists(expr.term)
+        return plus(new_value, neg(old_value))
+
+    raise TypeError(f"not an AGCA expression: {expr!r}")
+
+
+def _delta_relation(atom: Relation, update: Update) -> Expr:
+    if isinstance(update, BulkUpdate):
+        if atom.name != update.relation:
+            return _ZERO
+        return Relation(update.delta_relation, atom.columns)
+
+    if atom.name != update.relation:
+        return _ZERO
+    if len(atom.columns) != len(update.trigger_vars):
+        raise DeltaError(
+            f"relation {atom.name!r} used with arity {len(atom.columns)} but the update "
+            f"provides {len(update.trigger_vars)} fields"
+        )
+    factors = [
+        lift(column, Value(VVar(trigger_var)))
+        for column, trigger_var in zip(atom.columns, update.trigger_vars)
+    ]
+    if update.sign < 0:
+        return prod(const(-1), *factors)
+    return prod(*factors)
+
+
+def _delta_product(expr: Product, update: Update) -> Expr:
+    terms = list(expr.terms)
+    if len(terms) == 1:
+        return delta(terms[0], update)
+    head, tail = terms[0], Product(tuple(terms[1:]))
+    d_head = delta(head, update)
+    d_tail = delta(tail, update)
+    parts: list[Expr] = []
+    if not delta_is_zero(d_head):
+        parts.append(prod(d_head, tail))
+    if not delta_is_zero(d_tail):
+        parts.append(prod(head, d_tail))
+    if not delta_is_zero(d_head) and not delta_is_zero(d_tail):
+        parts.append(prod(d_head, d_tail))
+    if not parts:
+        return _ZERO
+    return plus(*parts)

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro (DBToaster reproduction) library.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch everything coming out of the library with a single ``except`` clause
+while still being able to discriminate the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A query references variables/columns inconsistently with its schema."""
+
+
+class EvaluationError(ReproError):
+    """An AGCA expression could not be evaluated (e.g. unbound variable)."""
+
+
+class UnboundVariableError(EvaluationError):
+    """A variable was read before any binding was available for it."""
+
+    def __init__(self, variable: str, context: str = "") -> None:
+        self.variable = variable
+        message = f"variable {variable!r} is unbound"
+        if context:
+            message = f"{message} while evaluating {context}"
+        super().__init__(message)
+
+
+class DeltaError(ReproError):
+    """The delta transform was applied to an unsupported expression."""
+
+
+class CompilationError(ReproError):
+    """The viewlet transform / HO-IVM compiler could not compile a query."""
+
+
+class SQLSyntaxError(ReproError):
+    """The SQL frontend could not parse a query string."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class SQLTranslationError(ReproError):
+    """A parsed SQL query uses a feature the AGCA translation does not support."""
+
+
+class RuntimeEngineError(ReproError):
+    """The runtime (interpreter / engines / map store) hit an invalid state."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator or stream synthesizer was misconfigured."""
+
+
+class BenchmarkError(ReproError):
+    """The benchmark harness was asked to run an unknown or invalid scenario."""

@@ -1,0 +1,23 @@
+"""Expression simplification and structural rewrites used by the compiler.
+
+The passes here implement Section 5.3 of the paper (unification, partial
+evaluation, algebraic identities, range-restriction extraction) plus the
+structural helpers the materialization heuristics of Section 5.1 rely on
+(polynomial expansion, factorization, join-graph decomposition).
+"""
+
+from repro.optimizer.decomposition import connected_components, decompose_product
+from repro.optimizer.expansion import expand, factorize_sum, monomials, product_factors
+from repro.optimizer.range_restriction import extract_range_restrictions
+from repro.optimizer.simplify import simplify
+
+__all__ = [
+    "connected_components",
+    "decompose_product",
+    "expand",
+    "factorize_sum",
+    "monomials",
+    "product_factors",
+    "extract_range_restrictions",
+    "simplify",
+]

@@ -1,0 +1,105 @@
+"""Polynomial expansion and factorization (rewrite rule 2, Figure 1).
+
+AGCA queries are polynomials over relation atoms: any query can be expanded
+into a sum of *monomials* (products free of top-level sums), which is the
+form the decomposition and input-variable rules operate on.  Factorization is
+the reverse rewrite, used to shrink rewritten statements after a
+materialization decision has been made.
+
+Sums inside Lift and Exists bodies are left alone — they belong to nested
+subqueries that the nested-aggregate rule handles separately.
+"""
+
+from __future__ import annotations
+
+from repro.agca.ast import AggSum, Exists, Expr, Lift, Product, Sum, Value, VConst
+from repro.agca.builders import plus, prod
+
+
+def product_factors(expr: Expr) -> list[Expr]:
+    """The factors of a product (a non-product expression is its own factor)."""
+    if isinstance(expr, Product):
+        out: list[Expr] = []
+        for term in expr.terms:
+            out.extend(product_factors(term))
+        return out
+    return [expr]
+
+
+def expand(expr: Expr) -> Expr:
+    """Expand ``expr`` into a sum of monomials (distribute ``*`` over ``+``).
+
+    Aggregation distributes over the resulting sum as well:
+    ``Sum_A(Q1 + Q2) = Sum_A(Q1) + Sum_A(Q2)``.
+    """
+    terms = monomials(expr)
+    return plus(*terms)
+
+
+def monomials(expr: Expr) -> list[Expr]:
+    """The list of monomials of the expanded form of ``expr``."""
+    if isinstance(expr, Sum):
+        out: list[Expr] = []
+        for term in expr.terms:
+            out.extend(monomials(term))
+        return out
+
+    if isinstance(expr, Product):
+        # Cartesian product of the children's monomial lists, preserving order.
+        result: list[list[Expr]] = [[]]
+        for term in expr.terms:
+            term_monomials = monomials(term)
+            result = [existing + [m] for existing in result for m in term_monomials]
+        return [prod(*factors) for factors in result]
+
+    if isinstance(expr, AggSum):
+        return [AggSum(expr.group, m) for m in monomials(expr.term)]
+
+    # Lift / Exists / atoms / values / comparisons are treated as opaque factors.
+    return [expr]
+
+
+def factorize_sum(expr: Expr) -> Expr:
+    """Factor common leading/trailing factors out of a sum of monomials.
+
+    A lightweight version of the paper's factorization: if every monomial of a
+    sum shares its first (or last) factor, the factor is pulled out.  Applied
+    repeatedly this recovers forms such as ``(2*R(x) + 1) * S(B)`` from the
+    expanded delta of a self-join (Example 12).
+    """
+    if not isinstance(expr, Sum):
+        return expr
+    terms = [m for t in expr.terms for m in monomials(t)]
+    if len(terms) < 2:
+        return plus(*terms)
+
+    changed = True
+    while changed and len(terms) >= 2:
+        changed = False
+        factor_lists = [product_factors(t) for t in terms]
+        if all(len(f) > 1 for f in factor_lists):
+            first = factor_lists[0][0]
+            if all(f[0] == first for f in factor_lists[1:]):
+                rest = [prod(*f[1:]) for f in factor_lists]
+                return prod(first, factorize_sum(plus(*rest)))
+            last = factor_lists[0][-1]
+            if all(f[-1] == last for f in factor_lists[1:]):
+                rest = [prod(*f[:-1]) for f in factor_lists]
+                return prod(factorize_sum(plus(*rest)), last)
+        # Merge syntactically identical monomials into a single scaled monomial.
+        merged: list[Expr] = []
+        counts: list[int] = []
+        for term in terms:
+            for i, existing in enumerate(merged):
+                if existing == term:
+                    counts[i] += 1
+                    changed = True
+                    break
+            else:
+                merged.append(term)
+                counts.append(1)
+        terms = [
+            term if count == 1 else prod(Value(VConst(count)), term)
+            for term, count in zip(merged, counts)
+        ]
+    return plus(*terms)

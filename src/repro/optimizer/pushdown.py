@@ -1,0 +1,61 @@
+"""Aggregate push-down over statement bodies.
+
+After materialization, an update statement's right-hand side is a product of
+map references, conditions and lifts.  When that product contains groups of
+factors that only talk to each other through variables the statement does not
+need (not target keys, not trigger variables), evaluating the raw product
+enumerates the Cartesian product of the groups' rows.  Pushing a summation
+into each group first (``Sum_K(G1) * Sum_K(G2)`` instead of
+``Sum_K(G1 * G2)``) makes every group a small independent aggregate — this is
+the aggregate/projection push-down the paper applies as part of the
+input-variable rule, and it is what turns the PSP/MST re-evaluation
+statements into sums of scans rather than nested loops.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.agca.ast import AggSum, Expr, Product, free_variables
+from repro.agca.builders import plus, prod
+from repro.agca.schema import output_variables
+from repro.optimizer.decomposition import connected_components
+from repro.optimizer.expansion import monomials, product_factors
+
+
+def push_aggregates(expr: Expr, keep: Iterable[str]) -> Expr:
+    """Wrap independent factor groups of ``expr`` in their own aggregations.
+
+    ``keep`` is the set of variables the caller still needs (statement target
+    keys plus trigger variables); groups are formed by connectivity over all
+    *other* variables, and each group that produces variables outside ``keep``
+    is collapsed to ``Sum_{outputs ∩ keep}(group)``.
+    """
+    keep_set = frozenset(keep)
+    terms = [_push_monomial(term, keep_set) for term in monomials(expr)]
+    return plus(*terms)
+
+
+def _push_monomial(term: Expr, keep: frozenset[str]) -> Expr:
+    if isinstance(term, AggSum):
+        return AggSum(term.group, _push_monomial(term.term, keep | frozenset(term.group)))
+    if not isinstance(term, Product):
+        return term
+    factors = product_factors(term)
+    groups = connected_components(factors, keep)
+    if len(groups) <= 1:
+        return term
+    rebuilt: list[Expr] = []
+    for group in groups:
+        group_expr = prod(*group)
+        try:
+            outputs = output_variables(group_expr, keep)
+        except Exception:
+            rebuilt.append(group_expr)
+            continue
+        extra = outputs - keep
+        if not extra:
+            rebuilt.extend(group)
+            continue
+        rebuilt.append(AggSum(tuple(sorted(outputs & keep)), group_expr))
+    return prod(*rebuilt)

@@ -1,0 +1,90 @@
+"""Extracting range restrictions from update statements (Section 5.3).
+
+After simplification, the right-hand side of an update statement often keeps
+assignments of the form ``(A := x)`` where ``A`` is one of the statement's
+loop variables and ``x`` a trigger variable.  Looping over the full domain of
+``A`` and filtering would be wasteful; instead the assignment is *extracted*:
+the loop variable is replaced by the trigger variable in both the statement's
+target keys and its right-hand side, eliminating the loop entirely (compare
+Example 12/13 of the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.agca.ast import Expr, Lift, Product, Value, VVar, rename_variables
+from repro.agca.builders import prod
+from repro.optimizer.expansion import monomials, product_factors
+
+
+def extract_range_restrictions(
+    expr: Expr, loop_vars: Iterable[str], bound: Iterable[str]
+) -> tuple[dict[str, str], Expr]:
+    """Pull ``(loop_var := bound_var)`` assignments out of ``expr``.
+
+    Returns ``(mapping, residual)`` where ``mapping`` sends loop variables to
+    the bound (trigger) variables they are pinned to and ``residual`` is the
+    expression with those assignments removed and the variables renamed.
+
+    The extraction is only performed when the assignment appears in *every*
+    monomial of the expression (otherwise different union branches could pin
+    the variable differently and the rewrite would be unsound).
+    """
+    loop_set = set(loop_vars)
+    bound_set = set(bound)
+    if not loop_set:
+        return {}, expr
+
+    terms = monomials(expr)
+    if not terms:
+        return {}, expr
+
+    candidate: dict[str, str] | None = None
+    for term in terms:
+        term_map: dict[str, str] = {}
+        for factor in product_factors(term):
+            if (
+                isinstance(factor, Lift)
+                and factor.var in loop_set
+                and isinstance(factor.term, Value)
+                and isinstance(factor.term.vexpr, VVar)
+                and factor.term.vexpr.name in bound_set
+            ):
+                term_map.setdefault(factor.var, factor.term.vexpr.name)
+        if candidate is None:
+            candidate = term_map
+        else:
+            candidate = {
+                var: trig for var, trig in candidate.items() if term_map.get(var) == trig
+            }
+        if not candidate:
+            return {}, expr
+
+    assert candidate is not None
+    if not candidate:
+        return {}, expr
+
+    rewritten_terms = []
+    for term in terms:
+        factors = [
+            f
+            for f in product_factors(term)
+            if not (
+                isinstance(f, Lift)
+                and f.var in candidate
+                and isinstance(f.term, Value)
+                and isinstance(f.term.vexpr, VVar)
+                and f.term.vexpr.name == candidate[f.var]
+            )
+        ]
+        rewritten_terms.append(rename_variables(prod(*factors), candidate))
+
+    from repro.agca.builders import plus  # local import to avoid a cycle at module load
+
+    return dict(candidate), plus(*rewritten_terms)
+
+
+def apply_key_mapping(keys: Iterable[str], mapping: Mapping[str, str]) -> tuple[str, ...]:
+    """Rename statement target keys according to an extraction mapping."""
+    return tuple(mapping.get(k, k) for k in keys)

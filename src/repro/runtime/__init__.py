@@ -1,0 +1,27 @@
+"""Runtime: map storage, base-relation store, trigger interpreter and engines."""
+
+from repro.runtime.maps import IndexedTable, MapStore, ViewCache
+from repro.runtime.database import Database
+from repro.runtime.engine import IncrementalEngine
+from repro.runtime.reference import ReferenceEngine
+from repro.runtime.factory import (
+    dbtoaster_engine,
+    engine_for_strategy,
+    ivm_engine,
+    naive_engine,
+    rep_engine,
+)
+
+__all__ = [
+    "IndexedTable",
+    "MapStore",
+    "ViewCache",
+    "Database",
+    "IncrementalEngine",
+    "ReferenceEngine",
+    "dbtoaster_engine",
+    "engine_for_strategy",
+    "ivm_engine",
+    "naive_engine",
+    "rep_engine",
+]

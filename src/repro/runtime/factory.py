@@ -1,0 +1,108 @@
+"""Convenience factories for the engines compared in the paper's experiments.
+
+Every strategy runs on the same runtime (:class:`IncrementalEngine`); only
+the compiled trigger program differs:
+
+* ``dbtoaster_engine`` — full Higher-Order IVM (the paper's "DBToaster");
+* ``ivm_engine`` — depth-1 compilation: classical first-order IVM with deltas
+  evaluated over the base tables;
+* ``rep_engine`` — depth-0 compilation: full re-evaluation on every update;
+* ``naive_engine`` — the naive viewlet transform (no decomposition, no
+  range-restriction extraction).
+
+``engine_for_strategy`` maps the strategy names used throughout the benchmark
+harness ("dbtoaster", "ivm", "rep", "naive") to these factories.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.agca.ast import Expr
+from repro.compiler.hoivm import compile_query
+from repro.compiler.materialization import CompilerOptions, options_for
+from repro.errors import CompilationError
+from repro.runtime.engine import IncrementalEngine
+
+
+def _build(
+    preset: str,
+    queries: Expr | Mapping[str, Expr],
+    schemas: Mapping[str, Sequence[str]],
+    stream_relations: Iterable[str] | None = None,
+    static_relations: Iterable[str] = (),
+    options: CompilerOptions | None = None,
+) -> IncrementalEngine:
+    program = compile_query(
+        queries,
+        schemas,
+        stream_relations=stream_relations,
+        static_relations=static_relations,
+        options=options if options is not None else options_for(preset),
+    )
+    return IncrementalEngine(program)
+
+
+def dbtoaster_engine(
+    queries: Expr | Mapping[str, Expr],
+    schemas: Mapping[str, Sequence[str]],
+    stream_relations: Iterable[str] | None = None,
+    static_relations: Iterable[str] = (),
+) -> IncrementalEngine:
+    """Engine running full Higher-Order IVM."""
+    return _build("dbtoaster", queries, schemas, stream_relations, static_relations)
+
+
+def ivm_engine(
+    queries: Expr | Mapping[str, Expr],
+    schemas: Mapping[str, Sequence[str]],
+    stream_relations: Iterable[str] | None = None,
+    static_relations: Iterable[str] = (),
+) -> IncrementalEngine:
+    """Engine emulating classical first-order IVM (depth-1 compilation)."""
+    return _build("ivm", queries, schemas, stream_relations, static_relations)
+
+
+def rep_engine(
+    queries: Expr | Mapping[str, Expr],
+    schemas: Mapping[str, Sequence[str]],
+    stream_relations: Iterable[str] | None = None,
+    static_relations: Iterable[str] = (),
+) -> IncrementalEngine:
+    """Engine emulating full re-evaluation on every update (depth-0 compilation)."""
+    return _build("rep", queries, schemas, stream_relations, static_relations)
+
+
+def naive_engine(
+    queries: Expr | Mapping[str, Expr],
+    schemas: Mapping[str, Sequence[str]],
+    stream_relations: Iterable[str] | None = None,
+    static_relations: Iterable[str] = (),
+) -> IncrementalEngine:
+    """Engine running the naive viewlet transform."""
+    return _build("naive", queries, schemas, stream_relations, static_relations)
+
+
+_FACTORIES = {
+    "dbtoaster": dbtoaster_engine,
+    "ivm": ivm_engine,
+    "rep": rep_engine,
+    "naive": naive_engine,
+}
+
+
+def engine_for_strategy(
+    strategy: str,
+    queries: Expr | Mapping[str, Expr],
+    schemas: Mapping[str, Sequence[str]],
+    stream_relations: Iterable[str] | None = None,
+    static_relations: Iterable[str] = (),
+) -> IncrementalEngine:
+    """Build an engine for one of the named strategies used by the benchmarks."""
+    try:
+        factory = _FACTORIES[strategy]
+    except KeyError:
+        raise CompilationError(
+            f"unknown strategy {strategy!r}; expected one of {sorted(_FACTORIES)}"
+        ) from None
+    return factory(queries, schemas, stream_relations, static_relations)

@@ -1,0 +1,134 @@
+"""Trigger-program interpreter.
+
+Executes the update statements of a compiled
+:class:`~repro.compiler.program.TriggerProgram` against a
+:class:`~repro.runtime.maps.MapStore` (and, where needed, a
+:class:`~repro.runtime.database.Database` of base relations).
+
+Statement semantics:
+
+* ``target[keys] += expr`` — evaluate ``expr`` under the trigger bindings and
+  add every result row's multiplicity to the map entry obtained by projecting
+  the row (plus the bindings) onto the target keys;
+* ``target[keys] := expr`` — evaluate ``expr`` and *replace* the map contents
+  with the result grouped by the target keys.
+
+Within one event, ``+=`` statements run against the pre-update state of the
+maps and base relations (they implement ``Q(D + ∆D) - Q(D)``), the base
+relations are then brought up to date, and ``:=`` statements run last against
+the post-update state; the compiler orders statements accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro.agca.evaluator import Evaluator
+from repro.compiler.program import ASSIGN, INCREMENT, Statement, TriggerProgram
+from repro.core.rows import Row
+from repro.delta.events import StreamEvent
+from repro.errors import RuntimeEngineError
+from repro.runtime.database import Database
+from repro.runtime.maps import MapStore
+
+
+class RuntimeSource:
+    """DataSource combining base relations and materialized maps."""
+
+    def __init__(self, database: Database, maps: MapStore) -> None:
+        self._database = database
+        self._maps = maps
+
+    def relation_columns(self, name: str) -> tuple[str, ...]:
+        return self._database.relation_columns(name)
+
+    def scan_relation(self, name: str, bound: Mapping[str, Any]) -> Iterator:
+        return self._database.scan_relation(name, bound)
+
+    def map_columns(self, name: str) -> tuple[str, ...]:
+        return self._maps.map_columns(name)
+
+    def scan_map(self, name: str, bound: Mapping[str, Any]) -> Iterator:
+        return self._maps.scan_map(name, bound)
+
+
+class TriggerExecutor:
+    """Applies stream events to the materialized views of one program."""
+
+    def __init__(
+        self,
+        program: TriggerProgram,
+        database: Database,
+        maps: MapStore,
+        maintained_relations: frozenset[str] = frozenset(),
+    ) -> None:
+        self._program = program
+        self._database = database
+        self._maps = maps
+        self._maintained = maintained_relations
+        self._evaluator = Evaluator(RuntimeSource(database, maps))
+
+    # -- event application -----------------------------------------------------
+    def apply(self, event: StreamEvent) -> None:
+        """Apply one insert/delete event: run its trigger and update base tables."""
+        trigger = self._program.trigger_for(event.sign, event.relation)
+        statements = trigger.statements if trigger is not None else []
+
+        increments = [s for s in statements if s.operation == INCREMENT]
+        assigns = [s for s in statements if s.operation == ASSIGN]
+
+        for statement in increments:
+            self._execute_increment(statement, event)
+
+        if event.relation in self._maintained:
+            self._database.apply(event)
+
+        for statement in assigns:
+            self._execute_assign(statement, event)
+
+    # -- statement execution -------------------------------------------------------
+    def _bindings(self, statement: Statement, event: StreamEvent) -> dict[str, Any]:
+        return statement.event.bindings_for(
+            event if event.sign == statement.event.sign else event
+        )
+
+    def _execute_increment(self, statement: Statement, event: StreamEvent) -> None:
+        bindings = self._bindings(statement, event)
+        result = self._evaluator.evaluate(statement.expr, bindings)
+        if not result:
+            return
+        table = self._maps.table(statement.target)
+        keys = statement.target_keys
+        for row, multiplicity in result.items():
+            table.add(self._key_values(keys, row, bindings, statement), multiplicity)
+
+    def _execute_assign(self, statement: Statement, event: StreamEvent) -> None:
+        bindings = self._bindings(statement, event)
+        result = self._evaluator.evaluate(statement.expr, bindings)
+        table = self._maps.table(statement.target)
+        keys = statement.target_keys
+        grouped: dict[Row, Any] = {}
+        for row, multiplicity in result.items():
+            key_row = Row(zip(table.columns, self._key_values(keys, row, bindings, statement)))
+            grouped[key_row] = grouped.get(key_row, 0) + multiplicity
+        table.replace(grouped.items())
+
+    @staticmethod
+    def _key_values(
+        keys: tuple[str, ...],
+        row: Row,
+        bindings: Mapping[str, Any],
+        statement: Statement,
+    ) -> tuple[Any, ...]:
+        values = []
+        for key in keys:
+            if key in row:
+                values.append(row[key])
+            elif key in bindings:
+                values.append(bindings[key])
+            else:
+                raise RuntimeEngineError(
+                    f"statement for {statement.target!r} produced no value for key "
+                    f"{key!r}: {statement.pretty()}"
+                )
+        return tuple(values)

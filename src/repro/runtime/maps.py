@@ -1,0 +1,275 @@
+"""Map data structures for materialized views (Sections 5.2 and 7.1).
+
+The generated C++/Scala runtimes of the paper store views in multi-indexed
+map containers (Boost Multi-Index): a primary index over the full key plus
+secondary hash indexes for every binding pattern occurring in the trigger
+program.  :class:`IndexedTable` reproduces that design in Python: a primary
+``dict`` keyed by the full key row plus lazily created, incrementally
+maintained secondary indexes keyed by column subsets.
+
+:class:`MapStore` is the collection of all materialized views of one engine,
+and :class:`ViewCache` implements the paper's view-cache data structure for
+expressions with input variables (multiple full view copies, one per input
+valuation, updated rather than invalidated on change).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.core.gmr import GMR
+from repro.core.rows import Row
+from repro.core.values import is_zero, normalize_number
+from repro.errors import RuntimeEngineError
+
+
+class IndexedTable:
+    """A mutable map from key rows to numeric values with secondary indexes."""
+
+    def __init__(self, columns: Sequence[str]) -> None:
+        self.columns = tuple(columns)
+        self._data: dict[Row, Any] = {}
+        self._indexes: dict[frozenset[str], dict[Row, dict[Row, Any]]] = {}
+
+    # -- basic access -------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __bool__(self) -> bool:
+        return bool(self._data)
+
+    def items(self) -> Iterator[tuple[Row, Any]]:
+        """Iterate over ``(key row, value)`` pairs."""
+        return iter(self._data.items())
+
+    def get(self, key: Row | Mapping[str, Any] | Sequence[Any], default: Any = 0) -> Any:
+        """Value stored under ``key`` (0 when absent)."""
+        return self._data.get(self._normalize(key), default)
+
+    def to_gmr(self) -> GMR:
+        """A snapshot of the table contents as a GMR."""
+        return GMR(self._data)
+
+    # -- normalization --------------------------------------------------------
+    def _normalize(self, key: Row | Mapping[str, Any] | Sequence[Any]) -> Row:
+        if isinstance(key, Row):
+            return key
+        if isinstance(key, Mapping):
+            return Row(key)
+        values = tuple(key)
+        if len(values) != len(self.columns):
+            raise RuntimeEngineError(
+                f"key of arity {len(values)} for table with columns {self.columns}"
+            )
+        return Row(zip(self.columns, values))
+
+    # -- mutation ---------------------------------------------------------------
+    def add(self, key: Row | Mapping[str, Any] | Sequence[Any], delta: Any) -> None:
+        """Add ``delta`` to the value stored under ``key`` (removing zeros)."""
+        if is_zero(delta):
+            return
+        row = self._normalize(key)
+        old = self._data.get(row)
+        new = normalize_number((old or 0) + delta)
+        if is_zero(new):
+            if old is not None:
+                del self._data[row]
+                self._index_remove(row)
+        else:
+            self._data[row] = new
+            if old is None:
+                self._index_add(row)
+            else:
+                self._index_update(row, new)
+
+    def set(self, key: Row | Mapping[str, Any] | Sequence[Any], value: Any) -> None:
+        """Overwrite the value stored under ``key`` (removing it when zero)."""
+        row = self._normalize(key)
+        old = self._data.pop(row, None)
+        if old is not None:
+            self._index_remove(row)
+        if not is_zero(value):
+            self._data[row] = normalize_number(value)
+            self._index_add(row)
+
+    def replace(self, entries: Iterable[tuple[Row | Sequence[Any], Any]]) -> None:
+        """Replace the entire contents (used by ``:=`` re-evaluation statements)."""
+        self._data = {}
+        self._indexes = {}
+        for key, value in entries:
+            if is_zero(value):
+                continue
+            row = self._normalize(key)
+            self._data[row] = normalize_number(self._data.get(row, 0) + value)
+            if is_zero(self._data[row]):
+                del self._data[row]
+        # Secondary indexes are rebuilt lazily on the next partially-bound scan.
+
+    def clear(self) -> None:
+        """Remove every entry."""
+        self._data = {}
+        self._indexes = {}
+
+    # -- scans ---------------------------------------------------------------------
+    def scan(self, bound: Mapping[str, Any]) -> Iterator[tuple[Row, Any]]:
+        """Yield entries whose key agrees with ``bound`` (a column->value mapping)."""
+        if not bound:
+            yield from self._data.items()
+            return
+        columns = frozenset(bound)
+        if columns == frozenset(self.columns):
+            row = Row(bound)
+            value = self._data.get(row)
+            if value is not None:
+                yield row, value
+            return
+        unknown = columns - frozenset(self.columns)
+        if unknown:
+            raise RuntimeEngineError(
+                f"scan on unknown columns {sorted(unknown)}; table has {self.columns}"
+            )
+        index = self._ensure_index(columns)
+        bucket = index.get(Row(bound))
+        if bucket:
+            yield from bucket.items()
+
+    # -- secondary indexes ------------------------------------------------------------
+    def _ensure_index(self, columns: frozenset[str]) -> dict[Row, dict[Row, Any]]:
+        index = self._indexes.get(columns)
+        if index is None:
+            index = {}
+            for row, value in self._data.items():
+                index.setdefault(row.project(columns), {})[row] = value
+            self._indexes[columns] = index
+        return index
+
+    def _index_add(self, row: Row) -> None:
+        value = self._data[row]
+        for columns, index in self._indexes.items():
+            index.setdefault(row.project(columns), {})[row] = value
+
+    def _index_update(self, row: Row, value: Any) -> None:
+        for columns, index in self._indexes.items():
+            index.setdefault(row.project(columns), {})[row] = value
+
+    def _index_remove(self, row: Row) -> None:
+        for columns, index in self._indexes.items():
+            projected = row.project(columns)
+            bucket = index.get(projected)
+            if bucket is not None:
+                bucket.pop(row, None)
+                if not bucket:
+                    del index[projected]
+
+    # -- accounting ----------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Rough resident size of the primary data (keys + values), in bytes."""
+        total = sys.getsizeof(self._data)
+        for row, value in self._data.items():
+            total += sys.getsizeof(value) + 64 * max(len(row), 1)
+        return total
+
+
+class MapStore:
+    """All materialized views of one engine, addressable by name."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, IndexedTable] = {}
+
+    def declare(self, name: str, columns: Sequence[str]) -> IndexedTable:
+        """Create (or return) the table backing map ``name``."""
+        table = self._tables.get(name)
+        if table is None:
+            table = IndexedTable(columns)
+            self._tables[name] = table
+        return table
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def table(self, name: str) -> IndexedTable:
+        """The table backing map ``name`` (raises if undeclared)."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise RuntimeEngineError(f"unknown map {name!r}") from None
+
+    def names(self) -> tuple[str, ...]:
+        """All declared map names."""
+        return tuple(self._tables)
+
+    # -- DataSource protocol (map side) --------------------------------------
+    def map_columns(self, name: str) -> tuple[str, ...]:
+        return self.table(name).columns
+
+    def scan_map(self, name: str, bound: Mapping[str, Any]) -> Iterator[tuple[Row, Any]]:
+        return self.table(name).scan(bound)
+
+    # -- accounting -------------------------------------------------------------
+    def sizes(self) -> dict[str, int]:
+        """Entry counts per map."""
+        return {name: len(table) for name, table in self._tables.items()}
+
+    def memory_bytes(self) -> int:
+        """Approximate total resident size of all maps."""
+        return sum(table.memory_bytes() for table in self._tables.values())
+
+
+class ViewCache:
+    """The paper's view cache: one materialized view copy per input valuation.
+
+    A view cache materializes an expression with input variables.  Lookups
+    bind the input variables; on a miss the supplied ``compute`` callback
+    evaluates the defining expression for that valuation and the result is
+    cached.  Unlike an ordinary cache, entries are never invalidated: when the
+    underlying data changes the caller *updates* every cached copy through
+    :meth:`update_all`.
+    """
+
+    def __init__(
+        self,
+        input_variables: Sequence[str],
+        output_columns: Sequence[str],
+        compute: Callable[[Mapping[str, Any]], Iterable[tuple[Row, Any]]],
+    ) -> None:
+        self.input_variables = tuple(input_variables)
+        self.output_columns = tuple(output_columns)
+        self._compute = compute
+        self._entries: dict[Row, IndexedTable] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, bindings: Mapping[str, Any]) -> Row:
+        try:
+            return Row({v: bindings[v] for v in self.input_variables})
+        except KeyError as exc:
+            raise RuntimeEngineError(
+                f"view-cache lookup missing input variable {exc.args[0]!r}"
+            ) from None
+
+    def lookup(self, bindings: Mapping[str, Any]) -> IndexedTable:
+        """The materialized view for this input valuation (computing it on a miss)."""
+        key = self._key(bindings)
+        table = self._entries.get(key)
+        if table is not None:
+            self.hits += 1
+            return table
+        self.misses += 1
+        table = IndexedTable(self.output_columns)
+        for row, value in self._compute(dict(key)):
+            table.add(row, value)
+        self._entries[key] = table
+        return table
+
+    def update_all(self, updater: Callable[[Mapping[str, Any], IndexedTable], None]) -> None:
+        """Apply ``updater`` to every cached copy (called when base data changes)."""
+        for key, table in self._entries.items():
+            updater(dict(key), table)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def memory_bytes(self) -> int:
+        """Approximate resident size of every cached copy."""
+        return sum(table.memory_bytes() for table in self._entries.values())

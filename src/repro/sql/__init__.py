@@ -1,0 +1,56 @@
+"""SQL frontend: parse a practical SQL subset and translate it to AGCA.
+
+The supported fragment covers what the paper's workload needs (and what the
+released DBToaster parser accepted after the paper's own query rewrites):
+select-project-join-aggregate queries with GROUP BY, arithmetic, AND/OR/NOT,
+BETWEEN, IN, LIKE, CASE, EXISTS / NOT EXISTS and (correlated) scalar
+subqueries.  Unsupported features (outer joins, NULLs, ORDER BY/LIMIT,
+FROM-clause subqueries) raise :class:`repro.errors.SQLTranslationError`.
+"""
+
+from repro.sql.ast import (
+    BinaryOp,
+    CaseExpr,
+    ColumnRef,
+    ExistsExpr,
+    FuncCall,
+    InExpr,
+    Literal,
+    SelectItem,
+    SelectQuery,
+    SubqueryExpr,
+    TableRef,
+    UnaryOp,
+)
+from repro.sql.catalog import Catalog, TableSchema
+from repro.sql.parser import parse_sql
+from repro.sql.translate import TranslatedQuery, translate_query
+from repro.sql.views import QueryView
+
+
+def parse_sql_query(sql: str, catalog: "Catalog", name: str = "Q") -> "TranslatedQuery":
+    """Parse ``sql`` and translate it to AGCA against ``catalog``."""
+    return translate_query(parse_sql(sql), catalog, name=name)
+
+
+__all__ = [
+    "BinaryOp",
+    "CaseExpr",
+    "ColumnRef",
+    "ExistsExpr",
+    "FuncCall",
+    "InExpr",
+    "Literal",
+    "SelectItem",
+    "SelectQuery",
+    "SubqueryExpr",
+    "TableRef",
+    "UnaryOp",
+    "Catalog",
+    "TableSchema",
+    "parse_sql",
+    "parse_sql_query",
+    "TranslatedQuery",
+    "translate_query",
+    "QueryView",
+]

@@ -1,0 +1,180 @@
+"""SQL abstract syntax tree.
+
+The node set mirrors the supported fragment: a :class:`SelectQuery` with a
+select list, FROM tables, an optional WHERE expression and an optional GROUP
+BY list.  Scalar expressions cover literals, column references, arithmetic,
+boolean connectives, comparisons, BETWEEN/IN/LIKE predicates, CASE, function
+calls, EXISTS and scalar subqueries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence, Union
+
+
+class SqlExpr:
+    """Base class for scalar / boolean SQL expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(SqlExpr):
+    """A number, string or date literal."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class ColumnRef(SqlExpr):
+    """A (possibly qualified) column reference ``alias.column`` or ``column``."""
+
+    column: str
+    table: Optional[str] = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class BinaryOp(SqlExpr):
+    """Arithmetic, comparison or boolean binary operator."""
+
+    op: str
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclass(frozen=True)
+class UnaryOp(SqlExpr):
+    """Unary minus or NOT."""
+
+    op: str
+    operand: SqlExpr
+
+
+@dataclass(frozen=True)
+class FuncCall(SqlExpr):
+    """A function call; aggregates (SUM/COUNT/AVG/MIN/MAX) use this node too."""
+
+    name: str
+    args: tuple[SqlExpr, ...]
+    star: bool = False
+    distinct: bool = False
+
+    @property
+    def is_aggregate(self) -> bool:
+        """True for SQL aggregate functions."""
+        return self.name.lower() in ("sum", "count", "avg", "min", "max")
+
+
+@dataclass(frozen=True)
+class CaseExpr(SqlExpr):
+    """``CASE WHEN cond THEN value [WHEN ...] [ELSE value] END``."""
+
+    branches: tuple[tuple[SqlExpr, SqlExpr], ...]
+    default: Optional[SqlExpr] = None
+
+
+@dataclass(frozen=True)
+class InExpr(SqlExpr):
+    """``expr [NOT] IN (values...)`` or ``expr [NOT] IN (subquery)``."""
+
+    operand: SqlExpr
+    options: tuple[SqlExpr, ...] = ()
+    subquery: Optional["SelectQuery"] = None
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class LikeExpr(SqlExpr):
+    """``expr [NOT] LIKE pattern``."""
+
+    operand: SqlExpr
+    pattern: str
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class BetweenExpr(SqlExpr):
+    """``expr BETWEEN low AND high``."""
+
+    operand: SqlExpr
+    low: SqlExpr
+    high: SqlExpr
+
+
+@dataclass(frozen=True)
+class ExistsExpr(SqlExpr):
+    """``[NOT] EXISTS (subquery)``."""
+
+    subquery: "SelectQuery"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class SubqueryExpr(SqlExpr):
+    """A scalar subquery used as a value inside an expression."""
+
+    subquery: "SelectQuery"
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A table in the FROM clause with its alias (defaults to the table name)."""
+
+    table: str
+    alias: str
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One item of the select list: an expression and an optional output name."""
+
+    expr: SqlExpr
+    alias: Optional[str] = None
+
+
+@dataclass
+class SelectQuery:
+    """A parsed SELECT statement."""
+
+    select: list[SelectItem] = field(default_factory=list)
+    tables: list[TableRef] = field(default_factory=list)
+    where: Optional[SqlExpr] = None
+    group_by: list[ColumnRef] = field(default_factory=list)
+    select_star: bool = False
+
+    def aggregates(self) -> list[FuncCall]:
+        """All aggregate calls appearing in the select list."""
+        found: list[FuncCall] = []
+        for item in self.select:
+            found.extend(collect_aggregates(item.expr))
+        return found
+
+
+def collect_aggregates(expr: SqlExpr) -> list[FuncCall]:
+    """Aggregate function calls inside ``expr`` (not descending into subqueries)."""
+    out: list[FuncCall] = []
+    if isinstance(expr, FuncCall):
+        if expr.is_aggregate:
+            out.append(expr)
+            return out
+        for arg in expr.args:
+            out.extend(collect_aggregates(arg))
+    elif isinstance(expr, BinaryOp):
+        out.extend(collect_aggregates(expr.left))
+        out.extend(collect_aggregates(expr.right))
+    elif isinstance(expr, UnaryOp):
+        out.extend(collect_aggregates(expr.operand))
+    elif isinstance(expr, CaseExpr):
+        for condition, value in expr.branches:
+            out.extend(collect_aggregates(condition))
+            out.extend(collect_aggregates(value))
+        if expr.default is not None:
+            out.extend(collect_aggregates(expr.default))
+    return out
+
+
+SqlNode = Union[SqlExpr, SelectQuery, TableRef, SelectItem]

@@ -1,0 +1,79 @@
+"""Schema catalog for the SQL frontend.
+
+A :class:`Catalog` knows every table's ordered column list and which tables
+are static (loaded once, never updated) versus streams.  Both the SQL
+translation (to resolve column references) and the compiler (to build trigger
+events) read it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import SQLTranslationError
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """One table: its name, ordered columns, and whether it is static."""
+
+    name: str
+    columns: tuple[str, ...]
+    static: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "columns", tuple(c.lower() for c in self.columns))
+
+    def has_column(self, column: str) -> bool:
+        """True when ``column`` (case-insensitive) belongs to this table."""
+        return column.lower() in self.columns
+
+
+class Catalog:
+    """A set of table schemas addressable case-insensitively."""
+
+    def __init__(self, tables: Iterable[TableSchema] = ()) -> None:
+        self._tables: dict[str, TableSchema] = {}
+        for table in tables:
+            self.add(table)
+
+    @classmethod
+    def from_dict(
+        cls, schemas: Mapping[str, Sequence[str]], static: Iterable[str] = ()
+    ) -> "Catalog":
+        """Build a catalog from ``{table: [columns]}`` plus a set of static tables."""
+        static_set = {name.lower() for name in static}
+        return cls(
+            TableSchema(name, tuple(columns), static=name.lower() in static_set)
+            for name, columns in schemas.items()
+        )
+
+    def add(self, table: TableSchema) -> None:
+        """Register a table schema."""
+        self._tables[table.name.lower()] = table
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def __iter__(self) -> Iterator[TableSchema]:
+        return iter(self._tables.values())
+
+    def table(self, name: str) -> TableSchema:
+        """Look up a table schema; raises when unknown."""
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise SQLTranslationError(f"unknown table {name!r}") from None
+
+    def schemas(self) -> dict[str, tuple[str, ...]]:
+        """Relation -> ordered columns, in the form the compiler expects."""
+        return {table.name: table.columns for table in self._tables.values()}
+
+    def static_relations(self) -> tuple[str, ...]:
+        """Names of the static tables."""
+        return tuple(table.name for table in self._tables.values() if table.static)
+
+    def stream_relations(self) -> tuple[str, ...]:
+        """Names of the stream (updatable) tables."""
+        return tuple(table.name for table in self._tables.values() if not table.static)

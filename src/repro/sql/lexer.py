@@ -1,0 +1,83 @@
+"""SQL tokenizer.
+
+A small regular-expression based scanner producing the token stream consumed
+by :mod:`repro.sql.parser`.  Keywords are case-insensitive; identifiers keep
+their original case but compare case-insensitively.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import SQLSyntaxError
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "having", "order", "as", "and", "or",
+    "not", "in", "like", "between", "exists", "case", "when", "then", "else", "end",
+    "sum", "count", "avg", "min", "max", "distinct", "date", "null", "is", "limit",
+    "asc", "desc", "union", "all",
+}
+
+_TOKEN_SPEC = [
+    ("WS", r"\s+"),
+    ("COMMENT", r"--[^\n]*"),
+    ("NUMBER", r"\d+\.\d+|\d+"),
+    ("STRING", r"'(?:[^']|'')*'"),
+    ("OP", r"<=|>=|<>|!=|=|<|>|\+|-|\*|/"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("DOT", r"\."),
+    ("SEMI", r";"),
+    ("IDENT", r"[A-Za-z_][A-Za-z_0-9]*"),
+]
+
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source offset (for error messages)."""
+
+    kind: str
+    text: str
+    position: int
+
+    @property
+    def upper(self) -> str:
+        """Uppercased token text (keyword/identifier comparisons)."""
+        return self.text.upper()
+
+    def is_keyword(self, *names: str) -> bool:
+        """True when the token is one of the given keywords (case-insensitive)."""
+        return self.kind == "KEYWORD" and self.text.lower() in names
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``, raising :class:`SQLSyntaxError` on illegal characters."""
+    tokens: list[Token] = []
+    position = 0
+    length = len(sql)
+    while position < length:
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            raise SQLSyntaxError(f"unexpected character {sql[position]!r}", position)
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind not in ("WS", "COMMENT"):
+            if kind == "IDENT" and text.lower() in KEYWORDS:
+                kind = "KEYWORD"
+            tokens.append(Token(kind, text, position))
+        position = match.end()
+    tokens.append(Token("EOF", "", length))
+    return tokens
+
+
+def iter_statements(sql: str) -> Iterator[str]:
+    """Split a script on semicolons (naive; good enough for workload files)."""
+    for piece in sql.split(";"):
+        piece = piece.strip()
+        if piece:
+            yield piece

@@ -1,0 +1,396 @@
+"""Recursive-descent parser for the supported SQL fragment.
+
+The grammar (roughly):
+
+.. code-block:: text
+
+    query      := SELECT select_list FROM table_list [WHERE expr] [GROUP BY columns]
+    select_list:= '*' | item (',' item)*          item := expr [AS name]
+    table_list := table [AS? alias] (',' table [AS? alias])*
+    expr       := or_expr
+    or_expr    := and_expr (OR and_expr)*
+    and_expr   := not_expr (AND not_expr)*
+    not_expr   := NOT not_expr | predicate
+    predicate  := additive [cmp additive | BETWEEN .. AND .. | [NOT] IN (...) |
+                  [NOT] LIKE string]
+    additive   := multiplicative (('+'|'-') multiplicative)*
+    multiplicative := unary (('*'|'/') unary)*
+    unary      := '-' unary | primary
+    primary    := literal | DATE('...') | CASE ... END | EXISTS (query) |
+                  aggregate '(' [DISTINCT] (expr|'*') ')' | func '(' args ')' |
+                  column | '(' query ')' | '(' expr ')'
+
+Unsupported syntax (outer joins, ORDER BY, HAVING, UNION, IS NULL) raises
+:class:`repro.errors.SQLSyntaxError` with the offending position.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SQLSyntaxError
+from repro.sql.ast import (
+    BetweenExpr,
+    BinaryOp,
+    CaseExpr,
+    ColumnRef,
+    ExistsExpr,
+    FuncCall,
+    InExpr,
+    LikeExpr,
+    Literal,
+    SelectItem,
+    SelectQuery,
+    SqlExpr,
+    SubqueryExpr,
+    TableRef,
+    UnaryOp,
+)
+from repro.sql.lexer import Token, tokenize
+
+_COMPARISONS = ("=", "<", "<=", ">", ">=", "<>", "!=")
+_AGGREGATES = ("sum", "count", "avg", "min", "max")
+
+
+def parse_sql(sql: str) -> SelectQuery:
+    """Parse a single SELECT statement."""
+    parser = _Parser(tokenize(sql))
+    query = parser.parse_select()
+    parser.skip_semicolons()
+    parser.expect_eof()
+    return query
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def accept_keyword(self, *names: str) -> Optional[Token]:
+        if self.peek().is_keyword(*names):
+            return self.advance()
+        return None
+
+    def expect_keyword(self, *names: str) -> Token:
+        token = self.peek()
+        if not token.is_keyword(*names):
+            raise SQLSyntaxError(
+                f"expected {'/'.join(n.upper() for n in names)}, found {token.text!r}",
+                token.position,
+            )
+        return self.advance()
+
+    def accept(self, kind: str, text: str | None = None) -> Optional[Token]:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.accept(kind, text)
+        if token is None:
+            found = self.peek()
+            raise SQLSyntaxError(
+                f"expected {text or kind}, found {found.text!r}", found.position
+            )
+        return token
+
+    def skip_semicolons(self) -> None:
+        while self.accept("SEMI"):
+            pass
+
+    def expect_eof(self) -> None:
+        token = self.peek()
+        if token.kind != "EOF":
+            raise SQLSyntaxError(f"unexpected trailing input {token.text!r}", token.position)
+
+    # -- grammar --------------------------------------------------------------
+    def parse_select(self) -> SelectQuery:
+        self.expect_keyword("select")
+        query = SelectQuery()
+        query.select, query.select_star = self._parse_select_list()
+        self.expect_keyword("from")
+        query.tables = self._parse_table_list()
+        if self.accept_keyword("where"):
+            query.where = self.parse_expr()
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            query.group_by = self._parse_column_list()
+        for unsupported in ("having", "order", "union", "limit"):
+            if self.peek().is_keyword(unsupported):
+                raise SQLSyntaxError(
+                    f"{unsupported.upper()} is not supported by this SQL fragment",
+                    self.peek().position,
+                )
+        return query
+
+    def _parse_select_list(self) -> tuple[list[SelectItem], bool]:
+        if self.peek().kind == "OP" and self.peek().text == "*":
+            self.advance()
+            return [], True
+        items = [self._parse_select_item()]
+        while self.accept("COMMA"):
+            items.append(self._parse_select_item())
+        return items, False
+
+    def _parse_select_item(self) -> SelectItem:
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect("IDENT").text
+        elif self.peek().kind == "IDENT":
+            alias = self.advance().text
+        return SelectItem(expr, alias)
+
+    def _parse_table_list(self) -> list[TableRef]:
+        tables = [self._parse_table_ref()]
+        while self.accept("COMMA"):
+            tables.append(self._parse_table_ref())
+        return tables
+
+    def _parse_table_ref(self) -> TableRef:
+        token = self.peek()
+        if token.kind == "LPAREN":
+            raise SQLSyntaxError(
+                "subqueries in the FROM clause are not supported; materialize them "
+                "as separate queries instead",
+                token.position,
+            )
+        name = self.expect("IDENT").text
+        alias = name
+        if self.accept_keyword("as"):
+            alias = self.expect("IDENT").text
+        elif self.peek().kind == "IDENT":
+            alias = self.advance().text
+        return TableRef(name, alias)
+
+    def _parse_column_list(self) -> list[ColumnRef]:
+        columns = [self._parse_column_ref()]
+        while self.accept("COMMA"):
+            columns.append(self._parse_column_ref())
+        return columns
+
+    def _parse_column_ref(self) -> ColumnRef:
+        first = self.expect("IDENT").text
+        if self.accept("DOT"):
+            second = self.expect("IDENT").text
+            return ColumnRef(second, first)
+        return ColumnRef(first)
+
+    # -- expressions ----------------------------------------------------------------
+    def parse_expr(self) -> SqlExpr:
+        return self._parse_or()
+
+    def _parse_or(self) -> SqlExpr:
+        left = self._parse_and()
+        while self.accept_keyword("or"):
+            right = self._parse_and()
+            left = BinaryOp("or", left, right)
+        return left
+
+    def _parse_and(self) -> SqlExpr:
+        left = self._parse_not()
+        while self.accept_keyword("and"):
+            right = self._parse_not()
+            left = BinaryOp("and", left, right)
+        return left
+
+    def _parse_not(self) -> SqlExpr:
+        if self.peek().is_keyword("not"):
+            if self.peek(1).is_keyword("exists"):
+                self.advance()
+                exists = self._parse_exists()
+                return ExistsExpr(exists.subquery, negated=True)
+            self.advance()
+            return UnaryOp("not", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> SqlExpr:
+        if self.peek().is_keyword("exists"):
+            return self._parse_exists()
+        left = self._parse_additive()
+
+        negated = False
+        if self.peek().is_keyword("not") and self.peek(1).is_keyword("in", "like", "between"):
+            self.advance()
+            negated = True
+
+        token = self.peek()
+        if token.kind == "OP" and token.text in _COMPARISONS:
+            self.advance()
+            right = self._parse_additive()
+            return BinaryOp(token.text, left, right)
+        if token.is_keyword("between"):
+            self.advance()
+            low = self._parse_additive()
+            self.expect_keyword("and")
+            high = self._parse_additive()
+            if negated:
+                return UnaryOp("not", BetweenExpr(left, low, high))
+            return BetweenExpr(left, low, high)
+        if token.is_keyword("in"):
+            self.advance()
+            return self._parse_in(left, negated)
+        if token.is_keyword("like"):
+            self.advance()
+            pattern = self.expect("STRING").text
+            return LikeExpr(left, _unquote(pattern), negated=negated)
+        if token.is_keyword("is"):
+            raise SQLSyntaxError("IS [NOT] NULL is not supported (NULLs are out of scope)",
+                                 token.position)
+        return left
+
+    def _parse_exists(self) -> ExistsExpr:
+        self.expect_keyword("exists")
+        self.expect("LPAREN")
+        subquery = self.parse_select()
+        self.expect("RPAREN")
+        return ExistsExpr(subquery)
+
+    def _parse_in(self, operand: SqlExpr, negated: bool) -> InExpr:
+        self.expect("LPAREN")
+        if self.peek().is_keyword("select"):
+            subquery = self.parse_select()
+            self.expect("RPAREN")
+            return InExpr(operand, subquery=subquery, negated=negated)
+        options = [self.parse_expr()]
+        while self.accept("COMMA"):
+            options.append(self.parse_expr())
+        self.expect("RPAREN")
+        return InExpr(operand, options=tuple(options), negated=negated)
+
+    def _parse_additive(self) -> SqlExpr:
+        left = self._parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "OP" and token.text in ("+", "-"):
+                self.advance()
+                right = self._parse_multiplicative()
+                left = BinaryOp(token.text, left, right)
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> SqlExpr:
+        left = self._parse_unary()
+        while True:
+            token = self.peek()
+            if token.kind == "OP" and token.text in ("*", "/"):
+                self.advance()
+                right = self._parse_unary()
+                left = BinaryOp(token.text, left, right)
+            else:
+                return left
+
+    def _parse_unary(self) -> SqlExpr:
+        token = self.peek()
+        if token.kind == "OP" and token.text == "-":
+            self.advance()
+            return UnaryOp("-", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> SqlExpr:
+        token = self.peek()
+
+        if token.kind == "NUMBER":
+            self.advance()
+            value = float(token.text) if "." in token.text else int(token.text)
+            return Literal(value)
+
+        if token.kind == "STRING":
+            self.advance()
+            return Literal(_unquote(token.text))
+
+        if token.is_keyword("date"):
+            self.advance()
+            self.expect("LPAREN")
+            literal = self.expect("STRING")
+            self.expect("RPAREN")
+            return Literal(_unquote(literal.text))
+
+        if token.is_keyword("case"):
+            return self._parse_case()
+
+        if token.is_keyword("exists"):
+            return self._parse_exists()
+
+        if token.is_keyword(*_AGGREGATES):
+            return self._parse_aggregate()
+
+        if token.kind == "LPAREN":
+            self.advance()
+            if self.peek().is_keyword("select"):
+                subquery = self.parse_select()
+                self.expect("RPAREN")
+                return SubqueryExpr(subquery)
+            inner = self.parse_expr()
+            self.expect("RPAREN")
+            return inner
+
+        if token.kind == "IDENT":
+            return self._parse_identifier()
+
+        raise SQLSyntaxError(f"unexpected token {token.text!r}", token.position)
+
+    def _parse_aggregate(self) -> FuncCall:
+        name = self.advance().text.lower()
+        self.expect("LPAREN")
+        distinct = bool(self.accept_keyword("distinct"))
+        if self.peek().kind == "OP" and self.peek().text == "*":
+            self.advance()
+            self.expect("RPAREN")
+            return FuncCall(name, (), star=True, distinct=distinct)
+        arg = self.parse_expr()
+        self.expect("RPAREN")
+        return FuncCall(name, (arg,), distinct=distinct)
+
+    def _parse_case(self) -> CaseExpr:
+        self.expect_keyword("case")
+        operand: SqlExpr | None = None
+        if not self.peek().is_keyword("when"):
+            operand = self.parse_expr()
+        branches: list[tuple[SqlExpr, SqlExpr]] = []
+        while self.accept_keyword("when"):
+            condition = self.parse_expr()
+            if operand is not None:
+                condition = BinaryOp("=", operand, condition)
+            self.expect_keyword("then")
+            value = self.parse_expr()
+            branches.append((condition, value))
+        default = None
+        if self.accept_keyword("else"):
+            default = self.parse_expr()
+        self.expect_keyword("end")
+        if not branches:
+            raise SQLSyntaxError("CASE expression without WHEN branches", self.peek().position)
+        return CaseExpr(tuple(branches), default)
+
+    def _parse_identifier(self) -> SqlExpr:
+        first = self.expect("IDENT").text
+        if self.peek().kind == "LPAREN":
+            self.advance()
+            args: list[SqlExpr] = []
+            if self.peek().kind != "RPAREN":
+                args.append(self.parse_expr())
+                while self.accept("COMMA"):
+                    args.append(self.parse_expr())
+            self.expect("RPAREN")
+            return FuncCall(first.lower(), tuple(args))
+        if self.accept("DOT"):
+            column = self.expect("IDENT").text
+            return ColumnRef(column, first)
+        return ColumnRef(first)
+
+
+def _unquote(text: str) -> str:
+    return text[1:-1].replace("''", "'")

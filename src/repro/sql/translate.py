@@ -1,0 +1,579 @@
+"""Translation of parsed SQL into AGCA (Section 3.2, Examples 5 and on).
+
+The translation follows the paper's recipe:
+
+* every table in the FROM clause becomes a relation atom whose columns are
+  renamed to per-alias variables (``lineitem l`` -> ``Lineitem(l_orderkey,
+  ...)``), so self-joins and correlated subqueries just work;
+* the WHERE clause becomes a list of multiplicative factors: comparisons turn
+  into condition atoms, scalar subqueries into lifts of fresh variables
+  (``x := Sum[](...)``) followed by a comparison on the lifted variable,
+  EXISTS / IN subqueries into count aggregates compared against zero;
+* each aggregate of the select list becomes its own AGCA root
+  (``Sum_groupvars(atoms * conditions * value)``); select expressions that
+  combine several aggregates (AVG, ratios, CASE arithmetic) become *derived
+  outputs* reconstructed from the aggregate maps at read time — the paper's
+  generalized Higher-Order IVM treatment of algebraic aggregates.
+
+The result is a :class:`TranslatedQuery` bundling the AGCA roots, the group
+columns and the derived-output recipes; :class:`repro.sql.views.QueryView`
+knows how to assemble final result rows from a running engine.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.agca.ast import (
+    Cmp,
+    Expr,
+    Lift,
+    Relation,
+    Value,
+    VArith,
+    VConst,
+    VFunc,
+    VVar,
+    ValueExpr,
+)
+from repro.agca.builders import agg, plus, prod
+from repro.errors import SQLTranslationError
+from repro.sql.ast import (
+    BetweenExpr,
+    BinaryOp,
+    CaseExpr,
+    ColumnRef,
+    ExistsExpr,
+    FuncCall,
+    InExpr,
+    LikeExpr,
+    Literal,
+    SelectItem,
+    SelectQuery,
+    SqlExpr,
+    SubqueryExpr,
+    TableRef,
+    UnaryOp,
+    collect_aggregates,
+)
+from repro.sql.catalog import Catalog
+
+_ARITHMETIC = {"+", "-", "*", "/"}
+_COMPARISON_FUNCS = {"=": "eq", "<>": "ne", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge"}
+
+
+@dataclass(frozen=True)
+class OutputColumn:
+    """One column of the query result.
+
+    ``kind`` is ``"group"`` (a GROUP BY column), ``"aggregate"`` (the value of
+    one aggregate map) or ``"derived"`` (an arithmetic expression combining
+    aggregate maps and group columns, evaluated at read time).
+    """
+
+    name: str
+    kind: str
+    source: Optional[str] = None
+    expression: Optional[ValueExpr] = None
+
+
+@dataclass
+class TranslatedQuery:
+    """The AGCA translation of one SQL query."""
+
+    name: str
+    catalog: Catalog
+    group_columns: tuple[str, ...]
+    group_vars: tuple[str, ...]
+    aggregates: dict[str, Expr]
+    outputs: tuple[OutputColumn, ...]
+    sql: Optional[SelectQuery] = None
+
+    def roots(self) -> dict[str, Expr]:
+        """The AGCA expressions to hand to the compiler (one per aggregate)."""
+        return dict(self.aggregates)
+
+    def schemas(self) -> dict[str, tuple[str, ...]]:
+        """Relation schemas, as the compiler expects them."""
+        return self.catalog.schemas()
+
+    def static_relations(self) -> tuple[str, ...]:
+        """Static relations declared by the catalog."""
+        return self.catalog.static_relations()
+
+    def primary_root(self) -> str:
+        """The first aggregate root name (convenient for single-aggregate queries)."""
+        return next(iter(self.aggregates))
+
+
+class _Scope:
+    """Alias resolution with correlation to enclosing query scopes."""
+
+    def __init__(self, tables: list[TableRef], catalog: Catalog, parent: Optional["_Scope"]) -> None:
+        self.catalog = catalog
+        self.parent = parent
+        self.depth = 0 if parent is None else parent.depth + 1
+        self.aliases: dict[str, TableRef] = {}
+        self.prefixes: dict[str, str] = {}
+        for ref in tables:
+            alias = ref.alias.lower()
+            if alias in self.aliases:
+                raise SQLTranslationError(f"duplicate table alias {ref.alias!r}")
+            self.aliases[alias] = ref
+            prefix = alias
+            if parent is not None and parent.knows_prefix(prefix):
+                prefix = f"{alias}_s{self.depth}"
+            self.prefixes[alias] = prefix
+
+    def knows_prefix(self, prefix: str) -> bool:
+        if prefix in self.prefixes.values():
+            return True
+        return self.parent.knows_prefix(prefix) if self.parent else False
+
+    def variable(self, alias: str, column: str) -> str:
+        return f"{self.prefixes[alias.lower()]}_{column.lower()}"
+
+    def atoms(self) -> list[Expr]:
+        out: list[Expr] = []
+        for alias, ref in self.aliases.items():
+            schema = self.catalog.table(ref.table)
+            columns = tuple(self.variable(alias, column) for column in schema.columns)
+            out.append(Relation(schema.name, columns))
+        return out
+
+    def resolve(self, ref: ColumnRef) -> str:
+        if ref.table is not None:
+            alias = ref.table.lower()
+            scope: Optional[_Scope] = self
+            while scope is not None:
+                if alias in scope.aliases:
+                    table = scope.catalog.table(scope.aliases[alias].table)
+                    if not table.has_column(ref.column):
+                        raise SQLTranslationError(
+                            f"table {table.name!r} (alias {ref.table!r}) has no column "
+                            f"{ref.column!r}"
+                        )
+                    return scope.variable(alias, ref.column)
+                scope = scope.parent
+            raise SQLTranslationError(f"unknown table alias {ref.table!r}")
+        # Unqualified column: search this scope, then enclosing scopes.
+        scope = self
+        while scope is not None:
+            matches = [
+                alias
+                for alias, table_ref in scope.aliases.items()
+                if scope.catalog.table(table_ref.table).has_column(ref.column)
+            ]
+            if len(matches) > 1:
+                raise SQLTranslationError(f"ambiguous column reference {ref.column!r}")
+            if matches:
+                return scope.variable(matches[0], ref.column)
+            scope = scope.parent
+        raise SQLTranslationError(f"cannot resolve column reference {ref.column!r}")
+
+
+class _Translator:
+    def __init__(self, catalog: Catalog, name: str) -> None:
+        self.catalog = catalog
+        self.name = name
+        self._fresh = itertools.count(1)
+
+    def fresh_var(self, hint: str = "v") -> str:
+        return f"__{hint}{next(self._fresh)}"
+
+    # -- whole queries --------------------------------------------------------
+    def translate(self, query: SelectQuery) -> TranslatedQuery:
+        if query.select_star:
+            raise SQLTranslationError(
+                "SELECT * is not supported for maintained views; list the columns"
+            )
+        scope = _Scope(query.tables, self.catalog, None)
+        atoms = scope.atoms()
+        where_factors = self.condition_factors(query.where, scope)
+
+        group_vars = tuple(scope.resolve(col) for col in query.group_by)
+        group_columns = tuple(str(col) for col in query.group_by)
+
+        aggregates: dict[str, Expr] = {}
+        outputs: list[OutputColumn] = []
+
+        has_aggregates = any(collect_aggregates(item.expr) for item in query.select)
+
+        if not has_aggregates:
+            # A non-aggregate query: the result is the bag of selected rows;
+            # we maintain it as one count map keyed by the selected columns.
+            select_vars = []
+            for item in query.select:
+                if not isinstance(item.expr, ColumnRef):
+                    raise SQLTranslationError(
+                        "non-aggregate select items must be plain columns"
+                    )
+                var = scope.resolve(item.expr)
+                select_vars.append(var)
+                outputs.append(OutputColumn(item.alias or str(item.expr), "group", source=var))
+            keys = group_vars if group_vars else tuple(select_vars)
+            aggregates[self.name] = agg(keys, prod(*atoms, *where_factors))
+            return TranslatedQuery(
+                self.name, self.catalog, group_columns or tuple(str(i.expr) for i in query.select),
+                keys, aggregates, tuple(outputs), sql=query,
+            )
+
+        for column in group_columns:
+            base = column.split(".")[-1]
+            outputs.append(
+                OutputColumn(base, "group", source=group_vars[group_columns.index(column)])
+            )
+
+        for index, item in enumerate(query.select, start=1):
+            if isinstance(item.expr, ColumnRef):
+                var = scope.resolve(item.expr)
+                if var not in group_vars:
+                    raise SQLTranslationError(
+                        f"select column {item.expr} must appear in GROUP BY"
+                    )
+                continue  # group columns are already part of `outputs`
+            self._translate_select_item(
+                item, index, scope, atoms, where_factors, group_vars, aggregates, outputs
+            )
+
+        return TranslatedQuery(
+            self.name,
+            self.catalog,
+            group_columns,
+            group_vars,
+            aggregates,
+            tuple(outputs),
+            sql=query,
+        )
+
+    def _translate_select_item(
+        self,
+        item: SelectItem,
+        index: int,
+        scope: _Scope,
+        atoms: list[Expr],
+        where_factors: list[Expr],
+        group_vars: tuple[str, ...],
+        aggregates: dict[str, Expr],
+        outputs: list[OutputColumn],
+    ) -> None:
+        calls = collect_aggregates(item.expr)
+        if not calls:
+            raise SQLTranslationError(
+                f"select item {item.expr!r} mixes no aggregate with non-group columns"
+            )
+        label = item.alias or f"agg{index}"
+        replacements: dict[int, ValueExpr] = {}
+        for position, call in enumerate(calls, start=1):
+            call_label = label if len(calls) == 1 else f"{label}_{position}"
+            for map_name, root in self.aggregate_roots(
+                call, call_label, scope, atoms, where_factors, group_vars, aggregates
+            ).items():
+                aggregates.setdefault(map_name, root)
+            replacements[id(call)] = self.aggregate_value(call, call_label)
+
+        if len(calls) == 1 and item.expr is calls[0] and calls[0].name != "avg":
+            outputs.append(OutputColumn(label, "aggregate", source=f"{self.name}_{label}"))
+            return
+        derived = self.value_expr(item.expr, scope, aggregate_replacements=replacements)
+        outputs.append(OutputColumn(label, "derived", expression=derived))
+
+    def aggregate_roots(
+        self,
+        call: FuncCall,
+        label: str,
+        scope: _Scope,
+        atoms: list[Expr],
+        where_factors: list[Expr],
+        group_vars: tuple[str, ...],
+        aggregates: dict[str, Expr],
+    ) -> dict[str, Expr]:
+        """AGCA root expressions for one aggregate call (AVG expands to two)."""
+        base = prod(*atoms, *where_factors)
+        name = f"{self.name}_{label}"
+        if call.distinct:
+            raise SQLTranslationError("DISTINCT aggregates are not supported")
+        if call.name in ("min", "max"):
+            raise SQLTranslationError(
+                "MIN/MAX must be rewritten as nested subqueries (as the paper does)"
+            )
+        if call.name == "count" or call.star:
+            return {name: agg(group_vars, base)}
+        value = self.value_expr(call.args[0], scope)
+        if call.name == "sum":
+            return {name: agg(group_vars, prod(base, Value(value)))}
+        if call.name == "avg":
+            return {
+                f"{name}_sum": agg(group_vars, prod(base, Value(value))),
+                f"{name}_cnt": agg(group_vars, base),
+            }
+        raise SQLTranslationError(f"unsupported aggregate {call.name!r}")
+
+    def aggregate_value(self, call: FuncCall, label: str) -> ValueExpr:
+        """The value expression standing for one aggregate in a derived output."""
+        name = f"{self.name}_{label}"
+        if call.name == "avg":
+            return VArith("/", VVar(f"{name}_sum"), VVar(f"{name}_cnt"))
+        return VVar(name)
+
+    # -- conditions ----------------------------------------------------------------
+    def condition_factors(self, expr: Optional[SqlExpr], scope: _Scope) -> list[Expr]:
+        """Translate a WHERE expression into a list of multiplicative factors."""
+        if expr is None:
+            return []
+        if isinstance(expr, BinaryOp) and expr.op == "and":
+            return self.condition_factors(expr.left, scope) + self.condition_factors(
+                expr.right, scope
+            )
+        if isinstance(expr, BinaryOp) and expr.op == "or":
+            return [self._or_factor(expr, scope)]
+        if isinstance(expr, UnaryOp) and expr.op == "not":
+            return [self._negate(self.condition_factors(expr.operand, scope))]
+        if isinstance(expr, BinaryOp) and expr.op in _COMPARISON_FUNCS:
+            return self._comparison_factors(expr, scope)
+        if isinstance(expr, BetweenExpr):
+            low = BinaryOp(">=", expr.operand, expr.low)
+            high = BinaryOp("<=", expr.operand, expr.high)
+            return self.condition_factors(low, scope) + self.condition_factors(high, scope)
+        if isinstance(expr, ExistsExpr):
+            return self._exists_factors(expr, scope)
+        if isinstance(expr, InExpr):
+            return self._in_factors(expr, scope)
+        if isinstance(expr, LikeExpr):
+            value = VFunc("like", (self.value_expr(expr.operand, scope), VConst(expr.pattern)))
+            if expr.negated:
+                value = VFunc("not", (value,))
+            return [Value(value)]
+        # Anything else is a scalar 0/1 expression usable directly as a factor.
+        return [Value(self.value_expr(expr, scope))]
+
+    def _comparison_factors(self, expr: BinaryOp, scope: _Scope) -> list[Expr]:
+        lifts: list[Expr] = []
+        replacements: dict[int, ValueExpr] = {}
+        for side in (expr.left, expr.right):
+            for subquery in _find_subqueries(side):
+                variable = self.fresh_var("sq")
+                lifts.append(Lift(variable, self.scalar_subquery(subquery.subquery, scope)))
+                replacements[id(subquery)] = VVar(variable)
+        left = self.value_expr(expr.left, scope, subquery_replacements=replacements)
+        right = self.value_expr(expr.right, scope, subquery_replacements=replacements)
+        return lifts + [Cmp(left, "=" if expr.op == "=" else expr.op, right)]
+
+    def _or_factor(self, expr: BinaryOp, scope: _Scope) -> Expr:
+        left = self.condition_factors(expr.left, scope)
+        right = self.condition_factors(expr.right, scope)
+        for side in (left, right):
+            for factor in side:
+                from repro.agca.schema import degree
+
+                if degree(factor) > 0:
+                    raise SQLTranslationError(
+                        "OR over subqueries is not supported; rewrite the query"
+                    )
+        left_expr = prod(*left) if left else Value(VConst(1))
+        right_expr = prod(*right) if right else Value(VConst(1))
+        # a OR b  ==  a + b - a*b  over 0/1 condition factors.
+        return plus(left_expr, right_expr, prod(Value(VConst(-1)), left_expr, right_expr))
+
+    def _negate(self, factors: list[Expr]) -> Expr:
+        from repro.agca.schema import degree
+
+        for factor in factors:
+            if degree(factor) > 0:
+                raise SQLTranslationError("NOT over subqueries is only supported via NOT EXISTS")
+        inner = prod(*factors) if factors else Value(VConst(1))
+        return plus(Value(VConst(1)), prod(Value(VConst(-1)), inner))
+
+    def _exists_factors(self, expr: ExistsExpr, scope: _Scope) -> list[Expr]:
+        count = self.count_subquery(expr.subquery, scope)
+        variable = self.fresh_var("ex")
+        comparison = Cmp(VVar(variable), "=" if expr.negated else ">", VConst(0))
+        return [Lift(variable, count), comparison]
+
+    def _in_factors(self, expr: InExpr, scope: _Scope) -> list[Expr]:
+        operand = self.value_expr(expr.operand, scope)
+        if expr.subquery is None:
+            options = []
+            for option in expr.options:
+                if not isinstance(option, Literal):
+                    raise SQLTranslationError("IN lists must contain literals")
+                options.append(VConst(option.value))
+            value: ValueExpr = VFunc("in_list", (operand, *options))
+            if expr.negated:
+                value = VFunc("not", (value,))
+            return [Value(value)]
+        count = self.count_subquery(expr.subquery, scope, equals=operand)
+        variable = self.fresh_var("in")
+        comparison = Cmp(VVar(variable), "=" if expr.negated else ">", VConst(0))
+        return [Lift(variable, count), comparison]
+
+    # -- subqueries --------------------------------------------------------------------
+    def scalar_subquery(self, query: SelectQuery, outer: _Scope) -> Expr:
+        """A correlated scalar subquery as a (nullary) AGCA aggregate."""
+        if query.group_by or query.select_star or len(query.select) != 1:
+            raise SQLTranslationError(
+                "scalar subqueries must select exactly one expression and have no GROUP BY"
+            )
+        scope = _Scope(query.tables, self.catalog, outer)
+        atoms = scope.atoms()
+        factors = self.condition_factors(query.where, scope)
+        item = query.select[0].expr
+        calls = collect_aggregates(item)
+        if not calls:
+            raise SQLTranslationError("scalar subqueries must compute an aggregate")
+
+        replacements: dict[int, ValueExpr] = {}
+        lifts: list[Expr] = []
+        simple: dict[int, Expr] = {}
+        for call in calls:
+            if call.name in ("min", "max"):
+                raise SQLTranslationError("MIN/MAX subqueries must be rewritten (as in the paper)")
+            if call.name == "count" or call.star:
+                body = agg((), prod(*atoms, *factors))
+            elif call.name == "sum":
+                value = self.value_expr(call.args[0], scope)
+                body = agg((), prod(*atoms, *factors, Value(value)))
+            elif call.name == "avg":
+                sum_body = agg(
+                    (), prod(*atoms, *factors, Value(self.value_expr(call.args[0], scope)))
+                )
+                cnt_body = agg((), prod(*atoms, *factors))
+                sum_var, cnt_var = self.fresh_var("avs"), self.fresh_var("avc")
+                lifts.extend([Lift(sum_var, sum_body), Lift(cnt_var, cnt_body)])
+                replacements[id(call)] = VArith("/", VVar(sum_var), VVar(cnt_var))
+                continue
+            else:
+                raise SQLTranslationError(f"unsupported aggregate {call.name!r} in subquery")
+            simple[id(call)] = body
+
+        if len(calls) == 1 and item is calls[0] and id(calls[0]) in simple:
+            return simple[id(calls[0])]
+
+        for call_id, body in simple.items():
+            variable = self.fresh_var("ag")
+            lifts.append(Lift(variable, body))
+            replacements[call_id] = VVar(variable)
+        value = self.value_expr(item, scope, aggregate_replacements=replacements)
+        return agg((), prod(*lifts, Value(value)))
+
+    def count_subquery(
+        self, query: SelectQuery, outer: _Scope, equals: ValueExpr | None = None
+    ) -> Expr:
+        """An EXISTS / IN subquery as a count aggregate (optionally value-matched)."""
+        scope = _Scope(query.tables, self.catalog, outer)
+        atoms = scope.atoms()
+        factors = self.condition_factors(query.where, scope)
+        extra: list[Expr] = []
+        if equals is not None:
+            if query.select_star or len(query.select) != 1:
+                raise SQLTranslationError("IN subqueries must select exactly one column")
+            item = query.select[0].expr
+            if collect_aggregates(item):
+                raise SQLTranslationError("IN over aggregate subqueries is not supported")
+            extra.append(Cmp(self.value_expr(item, scope), "=", equals))
+        return agg((), prod(*atoms, *factors, *extra))
+
+    # -- scalar value expressions -----------------------------------------------------------
+    def value_expr(
+        self,
+        expr: SqlExpr,
+        scope: _Scope,
+        aggregate_replacements: dict[int, ValueExpr] | None = None,
+        subquery_replacements: dict[int, ValueExpr] | None = None,
+    ) -> ValueExpr:
+        """Translate a scalar SQL expression into an AGCA value expression."""
+        aggregate_replacements = aggregate_replacements or {}
+        subquery_replacements = subquery_replacements or {}
+
+        def rec(node: SqlExpr) -> ValueExpr:
+            if id(node) in aggregate_replacements:
+                return aggregate_replacements[id(node)]
+            if id(node) in subquery_replacements:
+                return subquery_replacements[id(node)]
+            if isinstance(node, Literal):
+                return VConst(node.value)
+            if isinstance(node, ColumnRef):
+                return VVar(scope.resolve(node))
+            if isinstance(node, BinaryOp):
+                if node.op in _ARITHMETIC:
+                    return VArith(node.op, rec(node.left), rec(node.right))
+                if node.op in _COMPARISON_FUNCS:
+                    return VFunc(_COMPARISON_FUNCS[node.op], (rec(node.left), rec(node.right)))
+                if node.op in ("and", "or"):
+                    return VFunc(node.op, (rec(node.left), rec(node.right)))
+                raise SQLTranslationError(f"unsupported operator {node.op!r} in value position")
+            if isinstance(node, UnaryOp):
+                if node.op == "-":
+                    return VArith("-", VConst(0), rec(node.operand))
+                if node.op == "not":
+                    return VFunc("not", (rec(node.operand),))
+                raise SQLTranslationError(f"unsupported unary operator {node.op!r}")
+            if isinstance(node, CaseExpr):
+                result: ValueExpr = rec(node.default) if node.default is not None else VConst(0)
+                for condition, value in reversed(node.branches):
+                    result = VFunc("if_then_else", (rec(condition), rec(value), result))
+                return result
+            if isinstance(node, LikeExpr):
+                value: ValueExpr = VFunc("like", (rec(node.operand), VConst(node.pattern)))
+                if node.negated:
+                    value = VFunc("not", (value,))
+                return value
+            if isinstance(node, BetweenExpr):
+                return VFunc(
+                    "and",
+                    (
+                        VFunc("ge", (rec(node.operand), rec(node.low))),
+                        VFunc("le", (rec(node.operand), rec(node.high))),
+                    ),
+                )
+            if isinstance(node, InExpr):
+                if node.subquery is not None:
+                    raise SQLTranslationError(
+                        "IN subqueries are only supported as top-level WHERE conjuncts"
+                    )
+                options = tuple(
+                    VConst(option.value) if isinstance(option, Literal) else rec(option)
+                    for option in node.options
+                )
+                value = VFunc("in_list", (rec(node.operand), *options))
+                if node.negated:
+                    value = VFunc("not", (value,))
+                return value
+            if isinstance(node, FuncCall):
+                if node.is_aggregate:
+                    raise SQLTranslationError(
+                        "aggregates are only allowed in the select list or scalar subqueries"
+                    )
+                return VFunc(node.name, tuple(rec(a) for a in node.args))
+            if isinstance(node, SubqueryExpr):
+                raise SQLTranslationError(
+                    "scalar subqueries are only supported inside comparison predicates"
+                )
+            raise SQLTranslationError(f"unsupported SQL expression {node!r}")
+
+        return rec(expr)
+
+
+def _find_subqueries(expr: SqlExpr) -> list[SubqueryExpr]:
+    out: list[SubqueryExpr] = []
+    if isinstance(expr, SubqueryExpr):
+        out.append(expr)
+    elif isinstance(expr, BinaryOp):
+        out.extend(_find_subqueries(expr.left))
+        out.extend(_find_subqueries(expr.right))
+    elif isinstance(expr, UnaryOp):
+        out.extend(_find_subqueries(expr.operand))
+    elif isinstance(expr, CaseExpr):
+        for condition, value in expr.branches:
+            out.extend(_find_subqueries(condition))
+            out.extend(_find_subqueries(value))
+        if expr.default is not None:
+            out.extend(_find_subqueries(expr.default))
+    return out
+
+
+def translate_query(query: SelectQuery, catalog: Catalog, name: str = "Q") -> TranslatedQuery:
+    """Translate a parsed SELECT statement into AGCA roots against ``catalog``."""
+    return _Translator(catalog, name).translate(query)

@@ -1,0 +1,108 @@
+"""Assembling SQL result rows from the materialized views of an engine.
+
+A :class:`~repro.sql.translate.TranslatedQuery` maintains one map per
+aggregate; :class:`QueryView` reconstitutes the SQL-level result rows (group
+columns, aggregate values, derived expressions such as AVG or ratios) from a
+running :class:`~repro.runtime.engine.IncrementalEngine`.  This is the
+"generalized Higher-Order IVM" read path of the paper: cheap per-update
+maintenance of simple aggregates, reconstruction of algebraic aggregates on
+demand.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.agca.evaluator import eval_value
+from repro.core.rows import Row
+from repro.errors import RuntimeEngineError
+from repro.sql.translate import OutputColumn, TranslatedQuery
+
+
+class QueryView:
+    """Read SQL-shaped result rows out of an engine running a translated query."""
+
+    def __init__(self, query: TranslatedQuery, engine) -> None:
+        self.query = query
+        self.engine = engine
+
+    # -- group keys ------------------------------------------------------------
+    def _group_rows(self) -> list[Row]:
+        keys: dict[Row, None] = {}
+        for name in self.query.aggregates:
+            for row, _ in self.engine.view(name).items():
+                keys.setdefault(row.project(self.query.group_vars), None)
+        return list(keys)
+
+    def _aggregate_values(self, group_row: Row) -> dict[str, Any]:
+        values: dict[str, Any] = {}
+        for name in self.query.aggregates:
+            view = self.engine.view(name)
+            total = 0
+            for row, value in view.items():
+                if row.consistent_with(group_row) and group_row.consistent_with(row):
+                    if row.project(self.query.group_vars) == group_row:
+                        total += value
+            values[name] = total
+        return values
+
+    # -- results ----------------------------------------------------------------------
+    def rows(self) -> list[dict[str, Any]]:
+        """The current result as a list of dictionaries (one per group)."""
+        if not self.query.group_vars:
+            return [self._assemble(Row(), self._aggregate_values(Row()))]
+        out = []
+        for group_row in self._group_rows():
+            out.append(self._assemble(group_row, self._aggregate_values(group_row)))
+        return out
+
+    def scalar(self, column: str | None = None) -> Any:
+        """The single value of a scalar (no GROUP BY) single-output query."""
+        rows = self.rows()
+        if not rows:
+            return 0
+        row = rows[0]
+        if column is not None:
+            return row[column]
+        non_group = [c.name for c in self.query.outputs if c.kind != "group"]
+        if len(non_group) != 1:
+            raise RuntimeEngineError(
+                f"query has {len(non_group)} value columns; name one of {non_group}"
+            )
+        return row[non_group[0]]
+
+    def as_dict(self, value_column: str | None = None) -> dict[tuple, Any]:
+        """Result keyed by the tuple of group-column values."""
+        group_names = [c.name for c in self.query.outputs if c.kind == "group"]
+        out: dict[tuple, Any] = {}
+        for row in self.rows():
+            key = tuple(row[name] for name in group_names)
+            if value_column is None:
+                value_names = [c.name for c in self.query.outputs if c.kind != "group"]
+                out[key] = row[value_names[0]] if len(value_names) == 1 else {
+                    name: row[name] for name in value_names
+                }
+            else:
+                out[key] = row[value_column]
+        return out
+
+    # -- helpers ------------------------------------------------------------------------
+    def _assemble(self, group_row: Row, aggregate_values: Mapping[str, Any]) -> dict[str, Any]:
+        environment: dict[str, Any] = dict(aggregate_values)
+        environment.update(dict(group_row))
+        result: dict[str, Any] = {}
+        for output in self.query.outputs:
+            result[output.name] = self._output_value(output, group_row, environment)
+        return result
+
+    def _output_value(
+        self, output: OutputColumn, group_row: Row, environment: Mapping[str, Any]
+    ) -> Any:
+        if output.kind == "group":
+            return group_row.get(output.source, None)
+        if output.kind == "aggregate":
+            return environment.get(output.source, 0)
+        if output.kind == "derived":
+            assert output.expression is not None
+            return eval_value(output.expression, environment)
+        raise RuntimeEngineError(f"unknown output kind {output.kind!r}")

@@ -1,0 +1,15 @@
+"""Update streams: agendas, adapters and stream statistics."""
+
+from repro.streams.agenda import Agenda, AgendaEntry
+from repro.streams.adapters import events_from_csv, events_from_rows, write_events_csv
+from repro.streams.stats import StreamStats, summarize_stream
+
+__all__ = [
+    "Agenda",
+    "AgendaEntry",
+    "events_from_csv",
+    "events_from_rows",
+    "write_events_csv",
+    "StreamStats",
+    "summarize_stream",
+]

@@ -1,0 +1,70 @@
+"""Stream adapters: move events between files, plain rows and the engines.
+
+The released DBToaster binaries consume updates from CSV files or sockets;
+these adapters provide the file-based equivalent so generated workloads can
+be persisted, replayed and shared between benchmark runs.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.delta.events import DELETE, INSERT, StreamEvent
+from repro.errors import WorkloadError
+
+
+def events_from_rows(
+    relation: str,
+    rows: Iterable[Sequence[Any] | Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    sign: int = INSERT,
+) -> Iterator[StreamEvent]:
+    """Turn plain rows into insert (or delete) events for one relation."""
+    for row in rows:
+        if isinstance(row, Mapping):
+            if columns is None:
+                raise WorkloadError("columns are required when rows are mappings")
+            values = tuple(row[c] for c in columns)
+        else:
+            values = tuple(row)
+        yield StreamEvent(relation, values, sign)
+
+
+def write_events_csv(path: str | Path, events: Iterable[StreamEvent]) -> int:
+    """Persist events to a CSV file (kind, relation, values...); returns the count."""
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        for event in events:
+            writer.writerow([event.kind, event.relation, *event.values])
+            count += 1
+    return count
+
+
+def _parse_value(text: str) -> Any:
+    for converter in (int, float):
+        try:
+            return converter(text)
+        except ValueError:
+            continue
+    return text
+
+
+def events_from_csv(path: str | Path) -> Iterator[StreamEvent]:
+    """Read back events written by :func:`write_events_csv`."""
+    with open(path, newline="") as handle:
+        for line_number, row in enumerate(csv.reader(handle), start=1):
+            if not row:
+                continue
+            if len(row) < 2:
+                raise WorkloadError(f"malformed event on line {line_number}: {row!r}")
+            kind, relation, *values = row
+            if kind == "insert":
+                sign = INSERT
+            elif kind == "delete":
+                sign = DELETE
+            else:
+                raise WorkloadError(f"unknown event kind {kind!r} on line {line_number}")
+            yield StreamEvent(relation, tuple(_parse_value(v) for v in values), sign)

@@ -1,0 +1,99 @@
+"""The agenda: a totally ordered, replayable stream of updates.
+
+The paper's experimental methodology (Section 8) preloads all updates into a
+single "Agenda" table whose rows carry the target relation, the update kind
+and a sequence number, and then replays it against every system under test.
+:class:`Agenda` is that table: an ordered list of events that can be sliced,
+iterated repeatedly, serialized and summarized, so every engine sees exactly
+the same update sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.delta.events import DELETE, INSERT, StreamEvent
+
+
+@dataclass(frozen=True)
+class AgendaEntry:
+    """One row of the agenda: a sequence number plus the event it orders."""
+
+    sequence: int
+    event: StreamEvent
+
+    @property
+    def relation(self) -> str:
+        """Target relation of the event."""
+        return self.event.relation
+
+    @property
+    def kind(self) -> str:
+        """``"insert"`` or ``"delete"``."""
+        return self.event.kind
+
+
+class Agenda:
+    """An ordered, replayable sequence of update events."""
+
+    def __init__(self, events: Iterable[StreamEvent] = ()) -> None:
+        self._entries: list[AgendaEntry] = []
+        for event in events:
+            self.append(event)
+
+    # -- construction -----------------------------------------------------------
+    def append(self, event: StreamEvent) -> AgendaEntry:
+        """Append an event, assigning the next sequence number."""
+        entry = AgendaEntry(len(self._entries), event)
+        self._entries.append(entry)
+        return entry
+
+    def extend(self, events: Iterable[StreamEvent]) -> None:
+        """Append several events in order."""
+        for event in events:
+            self.append(event)
+
+    def insert_row(self, relation: str, *values: Any) -> AgendaEntry:
+        """Append an insertion event."""
+        return self.append(StreamEvent(relation, values, INSERT))
+
+    def delete_row(self, relation: str, *values: Any) -> AgendaEntry:
+        """Append a deletion event."""
+        return self.append(StreamEvent(relation, values, DELETE))
+
+    # -- access --------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[StreamEvent]:
+        return (entry.event for entry in self._entries)
+
+    def __getitem__(self, index: int | slice) -> StreamEvent | list[StreamEvent]:
+        if isinstance(index, slice):
+            return [entry.event for entry in self._entries[index]]
+        return self._entries[index].event
+
+    def entries(self) -> Sequence[AgendaEntry]:
+        """The agenda rows, in order."""
+        return tuple(self._entries)
+
+    def events(self) -> list[StreamEvent]:
+        """All events as a list (copies the ordering, not the events)."""
+        return [entry.event for entry in self._entries]
+
+    def prefix(self, count: int) -> "Agenda":
+        """A new agenda containing the first ``count`` events."""
+        return Agenda(entry.event for entry in self._entries[:count])
+
+    def relations(self) -> frozenset[str]:
+        """All relations touched by the agenda."""
+        return frozenset(entry.relation for entry in self._entries)
+
+    def counts(self) -> dict[str, dict[str, int]]:
+        """Per-relation insert/delete counts (used by stream summaries)."""
+        out: dict[str, dict[str, int]] = {}
+        for entry in self._entries:
+            bucket = out.setdefault(entry.relation, {"insert": 0, "delete": 0})
+            bucket[entry.kind] += 1
+        return out

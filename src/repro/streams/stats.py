@@ -1,0 +1,42 @@
+"""Stream statistics used by reports and by the workload tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.delta.events import StreamEvent
+
+
+@dataclass
+class StreamStats:
+    """Counts describing an update stream."""
+
+    total: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    per_relation: dict[str, int] = field(default_factory=dict)
+    peak_live_tuples: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def delete_fraction(self) -> float:
+        """Fraction of events that are deletions."""
+        return self.deletes / self.total if self.total else 0.0
+
+
+def summarize_stream(events: Iterable[StreamEvent]) -> StreamStats:
+    """Single pass over a stream computing counts and peak live-tuple sizes."""
+    stats = StreamStats()
+    live: dict[str, int] = {}
+    for event in events:
+        stats.total += 1
+        if event.sign > 0:
+            stats.inserts += 1
+        else:
+            stats.deletes += 1
+        stats.per_relation[event.relation] = stats.per_relation.get(event.relation, 0) + 1
+        live[event.relation] = live.get(event.relation, 0) + event.sign
+        peak = stats.peak_live_tuples.get(event.relation, 0)
+        if live[event.relation] > peak:
+            stats.peak_live_tuples[event.relation] = live[event.relation]
+    return stats

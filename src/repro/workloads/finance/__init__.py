@@ -1,0 +1,18 @@
+"""Financial (algorithmic order-book trading) workload."""
+
+from repro.workloads.finance.orderbook import OrderBookGenerator, finance_catalog
+from repro.workloads.finance.queries import (
+    FINANCE_QUERIES,
+    FINANCE_QUERY_FEATURES,
+    finance_query,
+    workload_specs,
+)
+
+__all__ = [
+    "OrderBookGenerator",
+    "finance_catalog",
+    "FINANCE_QUERIES",
+    "FINANCE_QUERY_FEATURES",
+    "finance_query",
+    "workload_specs",
+]

@@ -1,0 +1,96 @@
+"""Synthetic order-book stream (substitute for the paper's MSFT trace).
+
+The paper replays one trading day of MSFT order-book activity: 2.63 million
+updates to ``Bids`` and ``Asks`` tables with schema
+``(t, id, broker_id, volume, price)``.  That trace is proprietary, so
+:class:`OrderBookGenerator` synthesizes a stream with the same structure:
+
+* prices follow a random walk around a mid price, bids below and asks above;
+* orders are inserted with random volumes and broker ids;
+* a configurable fraction of live orders is later deleted (executions and
+  cancellations), so deletions are interleaved with insertions exactly as the
+  engines must handle them.
+
+The generator is fully deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.delta.events import DELETE, INSERT, StreamEvent
+from repro.errors import WorkloadError
+from repro.sql.catalog import Catalog
+from repro.streams.agenda import Agenda
+
+#: Order-book schema used by every financial query (paper Section 8).
+ORDER_BOOK_SCHEMA = {
+    "Bids": ("t", "id", "broker_id", "volume", "price"),
+    "Asks": ("t", "id", "broker_id", "volume", "price"),
+}
+
+
+def finance_catalog() -> Catalog:
+    """Catalog with the Bids and Asks stream tables."""
+    return Catalog.from_dict(ORDER_BOOK_SCHEMA)
+
+
+class OrderBookGenerator:
+    """Deterministic synthetic order-book update stream."""
+
+    def __init__(
+        self,
+        seed: int = 42,
+        brokers: int = 10,
+        base_price: float = 10000.0,
+        tick: float = 25.0,
+        max_volume: int = 500,
+        delete_fraction: float = 0.25,
+    ) -> None:
+        if not 0 <= delete_fraction < 1:
+            raise WorkloadError("delete_fraction must be in [0, 1)")
+        self.seed = seed
+        self.brokers = brokers
+        self.base_price = base_price
+        self.tick = tick
+        self.max_volume = max_volume
+        self.delete_fraction = delete_fraction
+
+    def events(self, count: int) -> Iterator[StreamEvent]:
+        """Yield ``count`` events (inserts mixed with deletions of live orders)."""
+        rng = random.Random(self.seed)
+        mid = self.base_price
+        live: list[StreamEvent] = []
+        order_id = 0
+        produced = 0
+        timestamp = 0
+        while produced < count:
+            timestamp += 1
+            mid = max(self.tick, mid + rng.choice((-1, 0, 1)) * self.tick)
+            if live and rng.random() < self.delete_fraction:
+                victim = live.pop(rng.randrange(len(live)))
+                yield StreamEvent(victim.relation, victim.values, DELETE)
+                produced += 1
+                continue
+            order_id += 1
+            relation = "Bids" if rng.random() < 0.5 else "Asks"
+            offset = rng.randint(1, 10) * self.tick
+            price = round(mid - offset if relation == "Bids" else mid + offset, 2)
+            volume = rng.randint(1, self.max_volume)
+            broker = rng.randint(1, self.brokers)
+            event = StreamEvent(
+                relation, (timestamp, order_id, broker, volume, price), INSERT
+            )
+            live.append(event)
+            yield event
+            produced += 1
+
+    def agenda(self, count: int) -> Agenda:
+        """The same stream packaged as a replayable agenda."""
+        return Agenda(self.events(count))
+
+
+def order_book_stream(events: int = 2000, seed: int = 42, **kwargs) -> Agenda:
+    """Convenience used by the workload registry and the benchmarks."""
+    return OrderBookGenerator(seed=seed, **kwargs).agenda(events)

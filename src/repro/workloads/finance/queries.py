@@ -1,0 +1,102 @@
+"""The six financial queries of the paper (Appendix A.2).
+
+All six are defined in SQL and translated through the regular frontend; the
+schemas follow the paper's condensed order-book schema
+``(t, id, broker_id, volume, price)``.
+"""
+
+from __future__ import annotations
+
+from repro.sql import parse_sql_query
+from repro.sql.translate import TranslatedQuery
+from repro.workloads.finance.orderbook import finance_catalog, order_book_stream
+
+#: SQL text of every financial query, keyed by the paper's query name.
+FINANCE_QUERIES: dict[str, str] = {
+    # Axis-crossing finder: bid/ask pairs of the same broker far apart in price.
+    "AXF": """
+        SELECT b.broker_id, SUM(a.volume - b.volume) AS axfinder
+        FROM Bids b, Asks a
+        WHERE b.broker_id = a.broker_id
+          AND (a.price - b.price > 1000 OR b.price - a.price > 1000)
+        GROUP BY b.broker_id
+    """,
+    # Bids self-join on time: later orders against earlier orders per broker.
+    "BSP": """
+        SELECT x.broker_id, SUM(x.volume * x.price - y.volume * y.price) AS bsp
+        FROM Bids x, Bids y
+        WHERE x.broker_id = y.broker_id AND x.t > y.t
+        GROUP BY x.broker_id
+    """,
+    # Bids self-join variance-style product aggregate.
+    "BSV": """
+        SELECT x.broker_id, SUM(x.volume * x.price * y.volume * y.price * 0.5) AS bsv
+        FROM Bids x, Bids y
+        WHERE x.broker_id = y.broker_id
+        GROUP BY x.broker_id
+    """,
+    # Monitor spread between the deep ends of both books (two inequality-correlated
+    # nested aggregates per side).
+    "MST": """
+        SELECT b.broker_id, SUM(a.price * a.volume - b.price * b.volume) AS mst
+        FROM Bids b, Asks a
+        WHERE 0.25 * (SELECT SUM(a1.volume) FROM Asks a1) >
+              (SELECT SUM(a2.volume) FROM Asks a2 WHERE a2.price > a.price)
+          AND 0.25 * (SELECT SUM(b1.volume) FROM Bids b1) >
+              (SELECT SUM(b2.volume) FROM Bids b2 WHERE b2.price > b.price)
+        GROUP BY b.broker_id
+    """,
+    # Price spread between high-volume bids and asks (two uncorrelated nested
+    # aggregates).
+    "PSP": """
+        SELECT SUM(a.price - b.price) AS psp
+        FROM Bids b, Asks a
+        WHERE b.volume > 0.0001 * (SELECT SUM(b1.volume) FROM Bids b1)
+          AND a.volume > 0.0001 * (SELECT SUM(a1.volume) FROM Asks a1)
+    """,
+    # Volume-weighted average price over the top quartile of the bid book
+    # (inequality-correlated nested aggregate).
+    "VWAP": """
+        SELECT SUM(b1.price * b1.volume) AS vwap
+        FROM Bids b1
+        WHERE 0.25 * (SELECT SUM(b3.volume) FROM Bids b3) >
+              (SELECT SUM(b2.volume) FROM Bids b2 WHERE b2.price > b1.price)
+    """,
+}
+
+#: Figure-2 style feature annotations (tables/joins, where-clause, group-by, nesting).
+FINANCE_QUERY_FEATURES: dict[str, dict[str, object]] = {
+    "AXF": {"tables": 2, "join": "equi", "where": "or/range", "group_by": True, "nesting": 0},
+    "BSP": {"tables": 2, "join": "self", "where": "range", "group_by": True, "nesting": 0},
+    "BSV": {"tables": 2, "join": "self", "where": "equality", "group_by": True, "nesting": 0},
+    "MST": {"tables": 2, "join": "cross", "where": "range", "group_by": True, "nesting": 1},
+    "PSP": {"tables": 2, "join": "cross", "where": "range", "group_by": False, "nesting": 1},
+    "VWAP": {"tables": 1, "join": "none", "where": "range", "group_by": False, "nesting": 1},
+}
+
+
+def finance_query(name: str) -> TranslatedQuery:
+    """Parse and translate one financial query by name."""
+    sql = FINANCE_QUERIES[name]
+    return parse_sql_query(sql, finance_catalog(), name=name)
+
+
+def workload_specs():
+    """Workload registry entries for the financial family."""
+    from repro.workloads import WorkloadSpec
+
+    specs = []
+    for name, sql in FINANCE_QUERIES.items():
+        specs.append(
+            WorkloadSpec(
+                name=name,
+                family="finance",
+                sql=sql,
+                catalog_factory=finance_catalog,
+                query_factory=(lambda n=name: finance_query(n)),
+                stream_factory=order_book_stream,
+                description=f"Financial order-book query {name} (paper Appendix A.2)",
+                features=FINANCE_QUERY_FEATURES.get(name),
+            )
+        )
+    return specs

@@ -1,0 +1,20 @@
+"""Scientific (molecular dynamics, MDDB) workload."""
+
+from repro.workloads.mddb.generator import MDDBGenerator, mddb_catalog, mddb_static_tables, mddb_stream
+from repro.workloads.mddb.queries import (
+    MDDB_QUERIES,
+    MDDB_QUERY_FEATURES,
+    mddb_query,
+    workload_specs,
+)
+
+__all__ = [
+    "MDDBGenerator",
+    "mddb_catalog",
+    "mddb_static_tables",
+    "mddb_stream",
+    "MDDB_QUERIES",
+    "MDDB_QUERY_FEATURES",
+    "mddb_query",
+    "workload_specs",
+]

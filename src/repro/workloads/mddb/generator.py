@@ -1,0 +1,120 @@
+"""Synthetic molecular-dynamics trajectory (MDDB trace substitute).
+
+The paper's scientific workload replays a 3.6 million tuple trace of atom
+positions from a molecular dynamics simulation, with static metadata tables
+describing the atoms and the dihedral quadruples of interest.  The trace is
+not redistributable, so :class:`MDDBGenerator` produces a synthetic
+trajectory with the same structure: a stream of ``AtomPositions`` insertions
+(one row per atom per time step, following a random walk) plus static
+``AtomMeta`` and ``Dihedrals`` tables that include the residue/atom names the
+queries filter on (``LYS``/``NZ`` and ``TIP3``/``OH2``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.delta.events import StreamEvent, insert
+from repro.sql.catalog import Catalog
+from repro.streams.agenda import Agenda
+
+#: MDDB schema: positions stream plus static metadata.
+MDDB_SCHEMA = {
+    "AtomPositions": ("trj_id", "t", "atom_id", "x", "y", "z"),
+    "AtomMeta": ("atom_id", "residue_name", "atom_name"),
+    "Dihedrals": ("atom_id1", "atom_id2", "atom_id3", "atom_id4"),
+}
+
+MDDB_STATIC = ("AtomMeta", "Dihedrals")
+
+_RESIDUES = (("LYS", "NZ"), ("TIP3", "OH2"), ("ALA", "CA"), ("GLY", "N"), ("VAL", "C"))
+
+
+def mddb_catalog() -> Catalog:
+    """Catalog with the atom-positions stream and the static metadata tables."""
+    return Catalog.from_dict(MDDB_SCHEMA, static=MDDB_STATIC)
+
+
+class MDDBGenerator:
+    """Deterministic synthetic molecular-dynamics trajectory."""
+
+    def __init__(
+        self,
+        atoms: int = 24,
+        trajectories: int = 2,
+        seed: int = 5,
+        box_size: float = 50.0,
+    ) -> None:
+        self.atoms = atoms
+        self.trajectories = trajectories
+        self.seed = seed
+        self.box_size = box_size
+
+    # -- static tables ---------------------------------------------------------
+    def atom_meta(self) -> list[tuple]:
+        """The static AtomMeta rows (atom_id, residue_name, atom_name)."""
+        rng = random.Random(self.seed)
+        rows = []
+        for atom_id in range(1, self.atoms + 1):
+            residue, name = _RESIDUES[rng.randrange(len(_RESIDUES))]
+            rows.append((atom_id, residue, name))
+        return rows
+
+    def dihedrals(self) -> list[tuple]:
+        """The static Dihedrals rows (quadruples of consecutive atom ids)."""
+        rows = []
+        for start in range(1, self.atoms - 3, 4):
+            rows.append((start, start + 1, start + 2, start + 3))
+        return rows
+
+    def static_tables(self) -> dict[str, list[tuple]]:
+        """Both static tables keyed by relation name."""
+        return {"AtomMeta": self.atom_meta(), "Dihedrals": self.dihedrals()}
+
+    # -- the position stream -----------------------------------------------------
+    def events(self, count: int) -> Iterator[StreamEvent]:
+        """Yield up to ``count`` AtomPositions insertions (random-walk trajectory)."""
+        rng = random.Random(self.seed + 1)
+        positions = {
+            (trj, atom): [rng.uniform(0, self.box_size) for _ in range(3)]
+            for trj in range(1, self.trajectories + 1)
+            for atom in range(1, self.atoms + 1)
+        }
+        produced = 0
+        timestep = 0
+        while produced < count:
+            timestep += 1
+            for trj in range(1, self.trajectories + 1):
+                for atom in range(1, self.atoms + 1):
+                    if produced >= count:
+                        return
+                    coords = positions[(trj, atom)]
+                    for axis in range(3):
+                        coords[axis] = min(
+                            self.box_size, max(0.0, coords[axis] + rng.uniform(-0.5, 0.5))
+                        )
+                    yield insert(
+                        "AtomPositions",
+                        trj,
+                        timestep,
+                        atom,
+                        round(coords[0], 3),
+                        round(coords[1], 3),
+                        round(coords[2], 3),
+                    )
+                    produced += 1
+
+    def agenda(self, count: int) -> Agenda:
+        """The position stream packaged as a replayable agenda."""
+        return Agenda(self.events(count))
+
+
+def mddb_stream(events: int = 2000, seed: int = 5, atoms: int = 24, **kwargs) -> Agenda:
+    """Convenience used by the workload registry and the benchmarks."""
+    return MDDBGenerator(atoms=atoms, seed=seed, **kwargs).agenda(events)
+
+
+def mddb_static_tables(seed: int = 5, atoms: int = 24, **kwargs) -> dict[str, list[tuple]]:
+    """Static tables matching :func:`mddb_stream` for the same parameters."""
+    return MDDBGenerator(atoms=atoms, seed=seed, **kwargs).static_tables()

@@ -1,0 +1,24 @@
+"""TPC-H-like decision-support workload (generator, stream synthesizer, queries)."""
+
+from repro.workloads.tpch.schema import TPCH_SCHEMA, TPCH_STATIC, tpch_catalog
+from repro.workloads.tpch.generator import TPCHGenerator
+from repro.workloads.tpch.stream import synthesize_tpch_stream, tpch_stream
+from repro.workloads.tpch.queries import (
+    TPCH_QUERIES,
+    TPCH_QUERY_FEATURES,
+    tpch_query,
+    workload_specs,
+)
+
+__all__ = [
+    "TPCH_SCHEMA",
+    "TPCH_STATIC",
+    "tpch_catalog",
+    "TPCHGenerator",
+    "synthesize_tpch_stream",
+    "tpch_stream",
+    "TPCH_QUERIES",
+    "TPCH_QUERY_FEATURES",
+    "tpch_query",
+    "workload_specs",
+]

@@ -1,0 +1,215 @@
+"""Synthetic TPC-H-like data generator (DBGEN substitute).
+
+The generator produces rows with the same schema shape, foreign-key structure
+and value distributions that the workload queries are sensitive to (market
+segments, brands, containers, ship modes, date ranges, 'green' part names,
+'BRASS' types, ...), at laptop scale.  ``scale=1.0`` corresponds to roughly
+200 customers / 1 000 orders / 3 000 line items; the paper's scaling
+experiment is reproduced by increasing ``scale``, not by matching DBGEN's
+absolute row counts.
+
+Everything is deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import WorkloadError
+
+_SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD")
+_PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+_RETURN_FLAGS = ("R", "A", "N")
+_LINE_STATUS = ("O", "F")
+_SHIP_MODES = ("MAIL", "SHIP", "AIR", "AIR REG", "TRUCK", "RAIL", "FOB")
+_SHIP_INSTRUCT = ("DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN")
+_BRANDS = ("Brand#12", "Brand#23", "Brand#34", "Brand#45", "Brand#55")
+_TYPES = (
+    "ECONOMY ANODIZED STEEL",
+    "STANDARD POLISHED BRASS",
+    "PROMO BURNISHED COPPER",
+    "MEDIUM POLISHED TIN",
+    "SMALL PLATED BRASS",
+    "PROMO ANODIZED NICKEL",
+    "LARGE BRUSHED STEEL",
+)
+_CONTAINERS = (
+    "SM CASE", "SM BOX", "SM PACK", "SM PKG",
+    "MED BAG", "MED BOX", "MED PKG", "MED PACK",
+    "LG CASE", "LG BOX", "LG PACK", "LG PKG",
+)
+_PART_ADJECTIVES = ("green", "blue", "red", "ivory", "antique", "metallic", "misty")
+_PART_NOUNS = ("almond", "linen", "steel", "copper", "thistle", "powder", "chiffon")
+_NATIONS = (
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
+    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
+    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
+    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+)
+_REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+
+
+def _date(rng: random.Random, start_year: int = 1992, end_year: int = 1998) -> str:
+    year = rng.randint(start_year, end_year)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+def _shift_date(date: str, rng: random.Random, max_days: int = 60) -> str:
+    """A later date within ~``max_days`` of ``date`` (coarse, month-level shift)."""
+    year, month, day = (int(part) for part in date.split("-"))
+    day += rng.randint(1, max_days)
+    while day > 28:
+        day -= 28
+        month += 1
+        if month > 12:
+            month = 1
+            year += 1
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+@dataclass
+class TPCHData:
+    """All generated rows, keyed by relation name (column order per TPCH_SCHEMA)."""
+
+    customers: list[tuple[Any, ...]] = field(default_factory=list)
+    orders: list[tuple[Any, ...]] = field(default_factory=list)
+    lineitems: list[tuple[Any, ...]] = field(default_factory=list)
+    parts: list[tuple[Any, ...]] = field(default_factory=list)
+    suppliers: list[tuple[Any, ...]] = field(default_factory=list)
+    partsupps: list[tuple[Any, ...]] = field(default_factory=list)
+    nations: list[tuple[Any, ...]] = field(default_factory=list)
+    regions: list[tuple[Any, ...]] = field(default_factory=list)
+
+    def as_dict(self) -> dict[str, list[tuple[Any, ...]]]:
+        """Relation name -> rows."""
+        return {
+            "Customer": self.customers,
+            "Orders": self.orders,
+            "Lineitem": self.lineitems,
+            "Part": self.parts,
+            "Supplier": self.suppliers,
+            "Partsupp": self.partsupps,
+            "Nation": self.nations,
+            "Region": self.regions,
+        }
+
+
+class TPCHGenerator:
+    """Deterministic TPC-H-like row generator."""
+
+    def __init__(self, scale: float = 1.0, seed: int = 7) -> None:
+        if scale <= 0:
+            raise WorkloadError("scale must be positive")
+        self.scale = scale
+        self.seed = seed
+        self.customer_count = max(5, int(200 * scale))
+        self.part_count = max(5, int(100 * scale))
+        self.supplier_count = max(3, int(20 * scale))
+        self.order_count = max(10, int(1000 * scale))
+        self.max_lineitems_per_order = 5
+
+    def generate(self) -> TPCHData:
+        """Generate the full dataset with consistent foreign keys."""
+        rng = random.Random(self.seed)
+        data = TPCHData()
+
+        data.regions = [(i, name) for i, name in enumerate(_REGIONS)]
+        data.nations = [
+            (i, name, region) for i, (name, region) in enumerate(_NATIONS)
+        ]
+
+        for custkey in range(1, self.customer_count + 1):
+            nation = rng.randrange(len(_NATIONS))
+            data.customers.append(
+                (
+                    custkey,
+                    f"Customer#{custkey:06d}",
+                    nation,
+                    round(rng.uniform(-999.0, 9999.0), 2),
+                    rng.choice(_SEGMENTS),
+                    f"{10 + nation}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}",
+                )
+            )
+
+        for partkey in range(1, self.part_count + 1):
+            name = f"{rng.choice(_PART_ADJECTIVES)} {rng.choice(_PART_NOUNS)}"
+            data.parts.append(
+                (
+                    partkey,
+                    name,
+                    f"Manufacturer#{rng.randint(1, 5)}",
+                    rng.choice(_BRANDS),
+                    rng.choice(_TYPES),
+                    rng.randint(1, 50),
+                    rng.choice(_CONTAINERS),
+                )
+            )
+
+        for suppkey in range(1, self.supplier_count + 1):
+            data.suppliers.append(
+                (
+                    suppkey,
+                    f"Supplier#{suppkey:06d}",
+                    rng.randrange(len(_NATIONS)),
+                    round(rng.uniform(-999.0, 9999.0), 2),
+                )
+            )
+
+        seen_pairs: set[tuple[int, int]] = set()
+        for partkey in range(1, self.part_count + 1):
+            for _ in range(2):
+                suppkey = rng.randint(1, self.supplier_count)
+                if (partkey, suppkey) in seen_pairs:
+                    continue
+                seen_pairs.add((partkey, suppkey))
+                data.partsupps.append(
+                    (partkey, suppkey, rng.randint(1, 1000), round(rng.uniform(1.0, 1000.0), 2))
+                )
+
+        partsupp_pairs = [(ps[0], ps[1]) for ps in data.partsupps]
+        for orderkey in range(1, self.order_count + 1):
+            orderdate = _date(rng, 1992, 1998)
+            data.orders.append(
+                (
+                    orderkey,
+                    rng.randint(1, self.customer_count),
+                    rng.choice(("F", "O", "P")),
+                    round(rng.uniform(1000.0, 300000.0), 2),
+                    orderdate,
+                    rng.choice(_PRIORITIES),
+                    rng.randint(0, 2),
+                )
+            )
+            for linenumber in range(1, rng.randint(1, self.max_lineitems_per_order) + 1):
+                partkey, suppkey = rng.choice(partsupp_pairs)
+                quantity = rng.randint(1, 50)
+                extendedprice = round(quantity * rng.uniform(900.0, 1100.0), 2)
+                shipdate = _shift_date(orderdate, rng, 90)
+                commitdate = _shift_date(orderdate, rng, 60)
+                receiptdate = _shift_date(shipdate, rng, 30)
+                data.lineitems.append(
+                    (
+                        orderkey,
+                        partkey,
+                        suppkey,
+                        linenumber,
+                        quantity,
+                        extendedprice,
+                        round(rng.uniform(0.0, 0.1), 2),
+                        round(rng.uniform(0.0, 0.08), 2),
+                        rng.choice(_RETURN_FLAGS),
+                        rng.choice(_LINE_STATUS),
+                        shipdate,
+                        commitdate,
+                        receiptdate,
+                        rng.choice(_SHIP_MODES),
+                        rng.choice(_SHIP_INSTRUCT),
+                    )
+                )
+        return data

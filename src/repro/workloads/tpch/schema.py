@@ -1,0 +1,59 @@
+"""TPC-H-like schema (condensed to the columns the workload queries use).
+
+The paper runs against streams synthesized from DBGEN databases; here the
+schema keeps the original table and column names (so the queries read like
+TPC-H) but drops columns none of the supported queries touch, keeping events
+compact.  ``Nation`` and ``Region`` are static tables, exactly as DBToaster
+treats them.
+"""
+
+from __future__ import annotations
+
+from repro.sql.catalog import Catalog
+
+#: Relation name -> ordered column names.
+TPCH_SCHEMA: dict[str, tuple[str, ...]] = {
+    "Customer": ("custkey", "name", "nationkey", "acctbal", "mktsegment", "phone"),
+    "Orders": (
+        "orderkey",
+        "custkey",
+        "orderstatus",
+        "totalprice",
+        "orderdate",
+        "orderpriority",
+        "shippriority",
+    ),
+    "Lineitem": (
+        "orderkey",
+        "partkey",
+        "suppkey",
+        "linenumber",
+        "quantity",
+        "extendedprice",
+        "discount",
+        "tax",
+        "returnflag",
+        "linestatus",
+        "shipdate",
+        "commitdate",
+        "receiptdate",
+        "shipmode",
+        "shipinstruct",
+    ),
+    "Part": ("partkey", "name", "mfgr", "brand", "type", "size", "container"),
+    "Supplier": ("suppkey", "name", "nationkey", "acctbal"),
+    "Partsupp": ("partkey", "suppkey", "availqty", "supplycost"),
+    "Nation": ("nationkey", "name", "regionkey"),
+    "Region": ("regionkey", "name"),
+}
+
+#: Tables treated as static (loaded before stream processing, never updated).
+TPCH_STATIC: tuple[str, ...] = ("Nation", "Region")
+
+#: Stream tables, i.e. everything that receives inserts/deletes.
+TPCH_STREAMS: tuple[str, ...] = tuple(r for r in TPCH_SCHEMA if r not in TPCH_STATIC)
+
+
+def tpch_catalog() -> Catalog:
+    """Catalog with all eight TPC-H tables (Nation/Region marked static)."""
+    return Catalog.from_dict(TPCH_SCHEMA, static=TPCH_STATIC)

@@ -1,0 +1,159 @@
+"""Tests for AGCA AST construction and structural helpers."""
+
+import pytest
+
+from repro.agca.ast import (
+    AggSum,
+    Cmp,
+    Lift,
+    MapRef,
+    Product,
+    Relation,
+    Sum,
+    Value,
+    VArith,
+    VConst,
+    VFunc,
+    VVar,
+    constant_of,
+    contains_relation,
+    free_variables,
+    is_constant_value,
+    is_one_expr,
+    is_zero_expr,
+    maps_of,
+    relation_atoms,
+    relations_of,
+    rename_variables,
+    substitute_value,
+    substitute_variable,
+    value_variables,
+    walk,
+)
+from repro.agca.builders import agg, cmp, const, exists, lift, mapref, neg, plus, prod, rel, val, var, vmul
+
+
+def test_builders_flatten_products_and_sums():
+    expr = prod(rel("R", "a"), prod(rel("S", "b"), const(2)))
+    assert isinstance(expr, Product)
+    assert len(expr.terms) == 3
+    expr2 = plus(const(1), plus(const(2), const(3)))
+    assert isinstance(expr2, Sum) and len(expr2.terms) == 3
+
+
+def test_builders_promote_numbers():
+    expr = prod(rel("R", "a"), 3)
+    assert isinstance(expr.terms[1], Value)
+    assert expr.terms[1].vexpr == VConst(3)
+
+
+def test_empty_product_and_sum_are_identities():
+    assert is_one_expr(prod())
+    assert is_zero_expr(plus())
+
+
+def test_single_term_builders_unwrap():
+    atom = rel("R", "a")
+    assert prod(atom) is atom
+    assert plus(atom) is atom
+
+
+def test_neg_is_product_with_minus_one():
+    expr = neg(rel("R", "a"))
+    assert isinstance(expr, Product)
+    assert constant_of(expr.terms[0]) == -1
+
+
+def test_constant_helpers():
+    assert is_constant_value(const(5))
+    assert constant_of(const(5)) == 5
+    assert not is_constant_value(var("x"))
+    with pytest.raises(ValueError):
+        constant_of(var("x"))
+
+
+def test_relation_and_mapref_columns_are_tuples():
+    atom = Relation("R", ["a", "b"])
+    assert atom.columns == ("a", "b")
+    ref = MapRef("M", ["k"])
+    assert ref.keys == ("k",)
+
+
+def test_walk_visits_all_nodes():
+    expr = agg(("a",), prod(rel("R", "a", "b"), cmp("a", "<", "b")))
+    kinds = [type(node).__name__ for node in walk(expr)]
+    assert kinds.count("Relation") == 1
+    assert kinds.count("Cmp") == 1
+    assert kinds[0] == "AggSum"
+
+
+def test_relations_and_maps_of():
+    expr = prod(rel("R", "a"), mapref("M1", "a"), lift("x", rel("S", "b")))
+    assert relations_of(expr) == frozenset({"R", "S"})
+    assert maps_of(expr) == frozenset({"M1"})
+    assert contains_relation(expr, "S")
+    assert not contains_relation(expr, "T")
+
+
+def test_relation_atoms_keeps_duplicates_for_self_joins():
+    expr = prod(rel("R", "a"), rel("R", "b"))
+    assert len(relation_atoms(expr)) == 2
+
+
+def test_free_variables_covers_all_positions():
+    expr = agg(("g",), prod(rel("R", "g", "a"), lift("x", val(vmul("a", 2))), cmp("x", ">", "b")))
+    assert free_variables(expr) >= {"g", "a", "x", "b"}
+
+
+def test_value_variables_and_substitute_value():
+    vexpr = VArith("+", VVar("a"), VFunc("f", (VVar("b"), VConst(1))))
+    assert value_variables(vexpr) == {"a", "b"}
+    substituted = substitute_value(vexpr, {"a": VConst(10)})
+    assert value_variables(substituted) == {"b"}
+
+
+def test_rename_variables_touches_every_position():
+    expr = agg(("a",), prod(rel("R", "a", "b"), lift("x", val("b")), cmp("x", "=", "a")))
+    renamed = rename_variables(expr, {"a": "z", "x": "y"})
+    assert "a" not in free_variables(renamed)
+    assert "z" in free_variables(renamed)
+    assert isinstance(renamed, AggSum) and renamed.group == ("z",)
+
+
+def test_rename_variables_empty_mapping_is_identity():
+    expr = prod(rel("R", "a"), const(1))
+    assert rename_variables(expr, {}) is expr
+
+
+def test_substitute_variable_with_variable_renames_relations():
+    expr = prod(rel("R", "a"), val("a"))
+    replaced = substitute_variable(expr, "a", VVar("t"))
+    assert rel("R", "t") in walk(replaced)
+
+
+def test_substitute_variable_with_constant_skips_relation_columns():
+    expr = prod(rel("R", "a"), val("a"), cmp("a", ">", 1))
+    replaced = substitute_variable(expr, "a", VConst(5))
+    # The relation atom still uses the variable; scalar positions got the constant.
+    assert rel("R", "a") in walk(replaced)
+    assert Value(VConst(5)) in walk(replaced)
+
+
+def test_varith_rejects_unknown_operator():
+    with pytest.raises(ValueError):
+        VArith("%", VConst(1), VConst(2))
+
+
+def test_nodes_are_hashable_and_comparable():
+    a = prod(rel("R", "x"), cmp("x", ">", 0))
+    b = prod(rel("R", "x"), cmp("x", ">", 0))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != prod(rel("R", "y"), cmp("y", ">", 0))
+
+
+def test_exists_and_lift_nodes_expose_term():
+    inner = agg((), rel("R", "a"))
+    assert exists(inner).term is inner
+    assert lift("v", inner).term is inner
+    assert Lift("v", inner).var == "v"

@@ -1,0 +1,195 @@
+"""Tests for the AGCA evaluation semantics, including the paper's Examples 3-5."""
+
+import pytest
+
+from repro.agca.builders import (
+    agg,
+    cmp,
+    const,
+    exists,
+    lift,
+    mapref,
+    plus,
+    prod,
+    rel,
+    val,
+    var,
+    vadd,
+    vconst,
+    vdiv,
+    vfunc,
+    vmul,
+)
+from repro.agca.evaluator import DictSource, Evaluator, eval_value, evaluate
+from repro.agca.ast import VArith, VConst, VVar
+from repro.core.gmr import GMR
+from repro.core.rows import Row
+from repro.errors import EvaluationError, UnboundVariableError
+
+
+@pytest.fixture()
+def example3_source():
+    # R = {(1,2) -> q1, (3,5) -> q2, (4,2) -> q3} with q1=q2=q3=1 for simplicity,
+    # stored under columns (A, B).
+    contents = GMR.from_rows([{"A": 1, "B": 2}, {"A": 3, "B": 5}, {"A": 4, "B": 2}])
+    return DictSource(relations={"R": contents}, schemas={"R": ("A", "B")})
+
+
+def test_constant_evaluates_to_scalar():
+    assert evaluate(const(7), {}).scalar_value() == 7
+    assert evaluate(const(0), {}) == GMR.empty()
+
+
+def test_variable_value_from_context():
+    assert evaluate(var("x"), {}, context={"x": 4}).scalar_value() == 4
+
+
+def test_unbound_variable_raises():
+    with pytest.raises(UnboundVariableError):
+        evaluate(var("x"), {})
+
+
+def test_relation_renames_columns_positionally(example3_source):
+    result = Evaluator(example3_source).evaluate(rel("R", "x", "y"))
+    assert result[{"x": 1, "y": 2}] == 1
+    assert result.support_size == 3
+
+
+def test_relation_filters_on_bound_variables(example3_source):
+    # Example 3: [[R(x, y)]](D, <x:3>) keeps only the tuple with x = 3.
+    result = Evaluator(example3_source).evaluate(rel("R", "x", "y"), {"x": 3})
+    assert result.support_size == 1
+    assert result[{"x": 3, "y": 5}] == 1
+
+
+def test_selection_as_condition_product(example3_source):
+    # Example 3: R(x, y) * (x < y).
+    expr = prod(rel("R", "x", "y"), cmp("x", "<", "y"))
+    result = Evaluator(example3_source).evaluate(expr)
+    assert result.support_size == 2
+    assert {"x": 4, "y": 2} not in result
+
+
+def test_example4_group_by_sum(example3_source):
+    # Sum[y](R(x, y) * 2 * x): group by y, value 2*x summed.
+    expr = agg(("y",), prod(rel("R", "x", "y"), const(2), val("x")))
+    result = Evaluator(example3_source).evaluate(expr)
+    assert result[{"y": 2}] == 2 * 1 + 2 * 4
+    assert result[{"y": 5}] == 2 * 3
+
+
+def test_repeated_column_acts_as_equality():
+    source = DictSource(
+        relations={"R": GMR.from_rows([{"A": 1, "B": 1}, {"A": 1, "B": 2}])},
+        schemas={"R": ("A", "B")},
+    )
+    result = Evaluator(source).evaluate(rel("R", "x", "x"))
+    assert result.support_size == 1
+    assert result[{"x": 1}] == 1
+
+
+def test_natural_join_with_sideways_binding():
+    source = DictSource(
+        relations={
+            "R": GMR.from_rows([{"A": 1, "B": 10}, {"A": 2, "B": 20}]),
+            "S": GMR.from_rows([{"B": 10, "C": 5}]),
+        },
+        schemas={"R": ("A", "B"), "S": ("B", "C")},
+    )
+    expr = prod(rel("R", "a", "b"), rel("S", "b", "c"))
+    result = Evaluator(source).evaluate(expr)
+    assert result.support_size == 1
+    assert result[{"a": 1, "b": 10, "c": 5}] == 1
+
+
+def test_bag_union_adds_multiplicities(example3_source):
+    expr = plus(rel("R", "x", "y"), rel("R", "x", "y"))
+    result = Evaluator(example3_source).evaluate(expr)
+    assert result[{"x": 1, "y": 2}] == 2
+
+
+def test_negative_multiplicities_model_deletions(example3_source):
+    expr = plus(rel("R", "x", "y"), prod(const(-1), rel("R", "x", "y")))
+    assert Evaluator(example3_source).evaluate(expr) == GMR.empty()
+
+
+def test_lift_binds_scalar_aggregate(example3_source):
+    expr = lift("total", agg((), prod(rel("R", "x", "y"), val("x"))))
+    result = Evaluator(example3_source).evaluate(expr)
+    assert result[{"total": 8}] == 1
+
+
+def test_lift_over_bound_variable_checks_equality(example3_source):
+    expr = lift("t", agg((), rel("R", "x", "y")))
+    assert Evaluator(example3_source).evaluate(expr, {"t": 3}).scalar_value() == 1
+    assert Evaluator(example3_source).evaluate(expr, {"t": 99}) == GMR.empty()
+
+
+def test_lift_non_scalar_body_raises(example3_source):
+    with pytest.raises(EvaluationError):
+        Evaluator(example3_source).evaluate(lift("x", rel("R", "a", "b")))
+
+
+def test_example5_correlated_nested_aggregate():
+    # SELECT * FROM R WHERE B < (SELECT SUM(D) FROM S WHERE A > C)
+    source = DictSource(
+        relations={
+            "R": GMR.from_rows([{"A": 5, "B": 3}, {"A": 1, "B": 10}]),
+            "S": GMR.from_rows([{"C": 2, "D": 4}, {"C": 0, "D": 1}]),
+        },
+        schemas={"R": ("A", "B"), "S": ("C", "D")},
+    )
+    nested = agg((), prod(rel("S", "c", "d"), cmp("a", ">", "c"), val("d")))
+    expr = agg(("a", "b"), prod(rel("R", "a", "b"), lift("z", nested), cmp("b", "<", "z")))
+    result = Evaluator(source).evaluate(expr)
+    # For (5, 3): nested sum = 4 + 1 = 5 > 3 -> kept.  For (1, 10): sum = 1 < 10 -> dropped.
+    assert result[{"a": 5, "b": 3}] == 1
+    assert result.support_size == 1
+
+
+def test_exists_collapses_multiplicity(example3_source):
+    assert Evaluator(example3_source).evaluate(exists(rel("R", "x", "y"))).scalar_value() == 1
+    assert Evaluator(example3_source).evaluate(exists(prod(rel("R", "x", "y"), cmp("x", ">", 100)))) == GMR.empty()
+
+
+def test_empty_sum_aggregate_is_zero_scalar(example3_source):
+    expr = agg((), prod(rel("R", "x", "y"), cmp("x", ">", 100)))
+    assert Evaluator(example3_source).evaluate(expr) == GMR.empty()
+
+
+def test_aggsum_group_from_context(example3_source):
+    expr = agg(("g",), prod(rel("R", "x", "y"), val("x")))
+    result = Evaluator(example3_source).evaluate(expr, {"g": "tag"})
+    assert result[{"g": "tag"}] == 8
+
+
+def test_mapref_reads_from_map_source():
+    maps = {"M": GMR.from_rows([{"k": 1}]).scale(42)}
+    source = DictSource(maps=maps, schemas={"M": ("k",)})
+    assert Evaluator(source).evaluate(mapref("M", "k"), {"k": 1}).total_multiplicity() == 42
+    assert Evaluator(source).evaluate(agg((), mapref("M", "k")), {"k": 9}) == GMR.empty()
+
+
+def test_atom_arity_mismatch_raises(example3_source):
+    with pytest.raises(EvaluationError):
+        Evaluator(example3_source).evaluate(rel("R", "only_one"))
+
+
+def test_eval_value_arithmetic_and_functions():
+    ctx = {"a": 6, "b": 3, "s": "PROMO STEEL"}
+    assert eval_value(vadd("a", "b"), ctx) == 9
+    assert eval_value(vmul("a", "b"), ctx) == 18
+    assert eval_value(vdiv("a", "b"), ctx) == 2
+    assert eval_value(vdiv("a", vconst(0)), ctx) == 0
+    assert eval_value(vfunc("like", "s", vconst("PROMO%")), ctx) == 1
+    assert eval_value(VArith("-", VVar("a"), VConst(1)), ctx) == 5
+
+
+def test_evaluate_scalar_convenience(example3_source):
+    evaluator = Evaluator(example3_source)
+    assert evaluator.evaluate_scalar(agg((), rel("R", "x", "y"))) == 3
+
+
+def test_dictsource_schema_inference_single_column():
+    source = DictSource(relations={"R": GMR.from_rows([{"a": 1}, {"a": 2}])})
+    assert evaluate(rel("R", "z"), source).support_size == 2

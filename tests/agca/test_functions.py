@@ -1,0 +1,79 @@
+"""Tests for the external scalar function registry."""
+
+import math
+
+import pytest
+
+from repro.agca.functions import lookup_function, register_function, registered_functions
+from repro.errors import EvaluationError
+
+
+def test_like_matches_sql_patterns():
+    like = lookup_function("like")
+    assert like("PROMO BURNISHED COPPER", "PROMO%") == 1
+    assert like("ECONOMY ANODIZED STEEL", "%BRASS") == 0
+    assert like("abc", "a_c") == 1
+    assert like(None, "%") == 1
+
+
+def test_substring_is_one_based_and_clamped():
+    substring = lookup_function("substring")
+    assert substring("13-555-1234", 1, 2) == "13"
+    assert substring("13-555-1234", 0, 2) == "13"
+    assert substring("abc", 2, 10) == "bc"
+
+
+def test_extract_year():
+    extract_year = lookup_function("extract_year")
+    assert extract_year("1995-03-15") == 1995
+    assert extract_year(19950315) == 1995
+
+
+def test_listmax_and_listmin():
+    assert lookup_function("listmax")(1, 5, 3) == 5
+    assert lookup_function("listmin")(1, 5, 3) == 1
+
+
+def test_vec_length():
+    assert lookup_function("vec_length")(3, 4, 0) == pytest.approx(5.0)
+
+
+def test_dihedral_angle_known_configuration():
+    dihedral = lookup_function("dihedral_angle")
+    # Four points forming a 90-degree dihedral angle (sign depends on orientation).
+    angle = dihedral(0, 1, 0, 0, 0, 0, 1, 0, 0, 1, 0, 1)
+    assert abs(angle) == pytest.approx(math.pi / 2, abs=1e-6)
+    # A planar configuration has a straight (pi) dihedral angle.
+    flat = dihedral(0, 1, 0, 0, 0, 0, 1, 0, 0, 1, -1, 0)
+    assert abs(flat) == pytest.approx(math.pi, abs=1e-6)
+
+
+def test_if_then_else_and_in_list():
+    assert lookup_function("if_then_else")(1, "yes", "no") == "yes"
+    assert lookup_function("if_then_else")(0, "yes", "no") == "no"
+    assert lookup_function("in_list")("MAIL", "MAIL", "SHIP") == 1
+    assert lookup_function("in_list")("TRUCK", "MAIL", "SHIP") == 0
+
+
+def test_boolean_helpers():
+    assert lookup_function("not")(0) == 1
+    assert lookup_function("and")(1, 1, 0) == 0
+    assert lookup_function("or")(0, 0, 1) == 1
+    assert lookup_function("lt")(1, 2) == 1
+    assert lookup_function("ge")(1, 2) == 0
+    assert lookup_function("eq")("a", "a") == 1
+
+
+def test_unknown_function_raises():
+    with pytest.raises(EvaluationError):
+        lookup_function("no_such_function")
+
+
+def test_register_function_and_conflict():
+    register_function("test_only_fn", lambda x: x + 1)
+    assert lookup_function("test_only_fn")(1) == 2
+    assert "test_only_fn" in registered_functions()
+    with pytest.raises(ValueError):
+        register_function("test_only_fn", lambda x: x)
+    register_function("test_only_fn", lambda x: x - 1, overwrite=True)
+    assert lookup_function("test_only_fn")(1) == 0

@@ -1,0 +1,31 @@
+"""Tests for the AGCA pretty printer."""
+
+from repro.agca.builders import agg, cmp, exists, lift, mapref, prod, rel, val, vconst, vmul
+from repro.agca.printer import to_string, value_to_string
+from repro.agca.ast import VArith, VConst, VVar, VFunc
+
+
+def test_print_relation_and_mapref():
+    assert to_string(rel("R", "a", "b")) == "R(a, b)"
+    assert to_string(mapref("Q_LI", "ck", "ok")) == "Q_LI[ck, ok]"
+
+
+def test_print_product_condition_and_value():
+    expr = prod(rel("R", "a", "b"), cmp("a", "<", "b"), val(vmul("a", 2)))
+    assert to_string(expr) == "(R(a, b) * {a < b} * (a * 2))"
+
+
+def test_print_aggsum_and_lift():
+    expr = agg(("b",), prod(rel("R", "a", "b"), lift("x", val("a"))))
+    assert to_string(expr) == "Sum[b]((R(a, b) * (x := a)))"
+
+
+def test_print_exists_and_functions():
+    assert to_string(exists(rel("R", "a"))) == "Exists(R(a))"
+    assert value_to_string(VFunc("like", (VVar("s"), VConst("PROMO%")))) == "like(s, 'PROMO%')"
+
+
+def test_printer_is_deterministic_for_equal_expressions():
+    a = prod(rel("R", "x"), cmp("x", ">", 0))
+    b = prod(rel("R", "x"), cmp("x", ">", 0))
+    assert to_string(a) == to_string(b)

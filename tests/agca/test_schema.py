@@ -1,0 +1,112 @@
+"""Tests for binding-pattern analysis (input/output variables) and degree."""
+
+import pytest
+
+from repro.agca.builders import agg, cmp, const, exists, lift, mapref, prod, rel, val, var
+from repro.agca.schema import degree, has_nested_relation, input_variables, output_variables, schema_of
+from repro.errors import SchemaError
+
+
+def test_relation_outputs_all_columns():
+    assert output_variables(rel("R", "a", "b")) == {"a", "b"}
+    assert input_variables(rel("R", "a", "b")) == frozenset()
+
+
+def test_value_and_cmp_have_input_variables():
+    assert input_variables(val("x")) == {"x"}
+    assert input_variables(cmp("x", "<", "y")) == {"x", "y"}
+    assert output_variables(cmp("x", "<", "y")) == frozenset()
+
+
+def test_bound_variables_are_not_inputs():
+    assert input_variables(val("x"), bound=["x"]) == frozenset()
+
+
+def test_product_sideways_binding():
+    expr = prod(rel("R", "a", "b"), cmp("a", "<", "b"), val("b"))
+    inputs, outputs = schema_of(expr)
+    assert inputs == frozenset()
+    assert outputs == {"a", "b"}
+
+
+def test_product_unbound_condition_is_input():
+    expr = prod(rel("R", "a"), cmp("a", "<", "limit"))
+    assert input_variables(expr) == {"limit"}
+
+
+def test_lift_outputs_its_variable():
+    expr = lift("x", agg((), prod(rel("S", "c"), val("c"))))
+    assert output_variables(expr) == {"x"}
+
+
+def test_lift_over_bound_variable_is_condition():
+    expr = lift("x", const(1))
+    assert output_variables(expr, bound=["x"]) == frozenset()
+
+
+def test_lift_body_must_be_scalar():
+    with pytest.raises(SchemaError):
+        schema_of(lift("x", rel("R", "a")))
+
+
+def test_correlated_subquery_has_input_variable():
+    # Example 5: the nested aggregate is correlated on A from the outside.
+    nested = agg((), prod(rel("S", "c", "d"), cmp("a", ">", "c"), val("d")))
+    assert input_variables(nested) == {"a"}
+    outer = prod(rel("R", "a", "b"), lift("z", nested), cmp("b", "<", "z"))
+    assert input_variables(outer) == frozenset()
+    assert output_variables(outer) >= {"a", "b", "z"}
+
+
+def test_aggsum_projects_outputs_to_group():
+    expr = agg(("a",), prod(rel("R", "a", "b"), val("b")))
+    assert output_variables(expr) == {"a"}
+
+
+def test_aggsum_group_var_must_be_available():
+    with pytest.raises(SchemaError):
+        schema_of(agg(("missing",), rel("R", "a")))
+
+
+def test_aggsum_group_var_may_come_from_bound_context():
+    expr = agg(("t",), rel("R", "a"))
+    assert output_variables(expr, bound=["t"]) == {"t"}
+
+
+def test_sum_unions_branch_schemas():
+    expr = prod(rel("R", "a"), cmp("a", ">", 0))
+    other = prod(rel("S", "a"), cmp("a", "<", 0))
+    assert output_variables(prod(rel("T", "z"))) == {"z"}
+    from repro.agca.builders import plus
+
+    assert output_variables(plus(expr, other)) == {"a"}
+
+
+def test_exists_has_no_outputs():
+    expr = exists(agg((), rel("R", "a")))
+    assert output_variables(expr) == frozenset()
+
+
+def test_mapref_outputs_keys_and_degree_zero():
+    assert output_variables(mapref("M", "k1", "k2")) == {"k1", "k2"}
+    assert degree(mapref("M", "k1")) == 0
+
+
+def test_degree_counts_relation_atoms():
+    assert degree(const(3)) == 0
+    assert degree(rel("R", "a")) == 1
+    assert degree(prod(rel("R", "a"), rel("S", "a"))) == 2
+    assert degree(agg((), prod(rel("R", "a"), rel("S", "a"), rel("T", "a")))) == 3
+
+
+def test_degree_of_sum_is_maximum():
+    from repro.agca.builders import plus
+
+    expr = plus(prod(rel("R", "a"), rel("S", "a")), rel("T", "b"))
+    assert degree(expr) == 2
+
+
+def test_nested_relation_detection():
+    nested = lift("x", agg((), rel("S", "c")))
+    assert has_nested_relation(prod(rel("R", "a"), nested))
+    assert not has_nested_relation(prod(rel("R", "a"), lift("x", const(1))))

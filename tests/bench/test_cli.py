@@ -1,0 +1,44 @@
+"""Tests for the benchmark command-line interface."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "Q3" in out and "VWAP" in out and "MDDB1" in out
+
+
+def test_features_command(capsys):
+    assert main(["features"]) == 0
+    out = capsys.readouterr().out
+    assert "Query" in out and "maps" in out
+
+
+def test_rates_command_small(capsys):
+    code = main(
+        ["rates", "--queries", "Q6", "--strategies", "dbtoaster", "ivm",
+         "--events", "80", "--budget", "2"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Q6" in out and "dbtoaster" in out
+
+
+def test_trace_command_small(capsys):
+    code = main(["trace", "Q6", "--strategies", "dbtoaster", "--events", "80", "--samples", "4"])
+    assert code == 0
+    assert "trace for Q6" in capsys.readouterr().out
+
+
+def test_ablation_command_small(capsys):
+    code = main(["ablation", "Q6", "--events", "60"])
+    assert code == 0
+    assert "refreshes/s" in capsys.readouterr().out
+
+
+def test_missing_command_is_an_error():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,153 @@
+"""Tests for the HO-IVM compiler driver."""
+
+import pytest
+
+from repro.agca.builders import agg, cmp, exists, lift, prod, rel, val, vmul
+from repro.compiler.hoivm import compile_query
+from repro.compiler.materialization import CompilerOptions
+from repro.compiler.program import ASSIGN, INCREMENT
+from repro.errors import CompilationError
+
+SCHEMAS = {"R": ("a", "b"), "S": ("b", "c"), "T": ("c", "d")}
+
+
+def test_compile_single_expression_uses_name():
+    program = compile_query(agg((), rel("R", "a", "b")), SCHEMAS, name="MyQuery")
+    assert "MyQuery" in program.maps
+    assert program.roots == {"MyQuery": "MyQuery"}
+
+
+def test_unknown_relation_is_rejected():
+    with pytest.raises(CompilationError):
+        compile_query(agg((), rel("Unknown", "a")), SCHEMAS)
+
+
+def test_query_with_free_input_variables_is_rejected():
+    with pytest.raises(CompilationError):
+        compile_query(agg((), prod(rel("R", "a", "b"), cmp("a", "<", "limit"))), SCHEMAS)
+
+
+def test_two_way_join_produces_first_order_maps_and_constant_triggers():
+    query = agg((), prod(rel("R", "a", "b"), rel("S", "b", "c"), val(vmul("a", "c"))))
+    program = compile_query(query, SCHEMAS, name="Q")
+    # One root plus one first-order view per input relation.
+    assert program.map_count() == 3
+    for relation in ("R", "S"):
+        trigger = program.trigger_for(1, relation)
+        assert trigger is not None and len(trigger.statements) == 2
+        for statement in trigger.statements:
+            assert statement.operation == INCREMENT
+            assert not statement.loop_keys()  # constant-time updates
+
+
+def test_insert_and_delete_triggers_are_duals():
+    query = agg((), prod(rel("R", "a", "b"), rel("S", "b", "c")))
+    program = compile_query(query, SCHEMAS)
+    insert_stmts = program.trigger_for(1, "R").statements
+    delete_stmts = program.trigger_for(-1, "R").statements
+    assert len(insert_stmts) == len(delete_stmts)
+    assert {s.target for s in insert_stmts} == {s.target for s in delete_stmts}
+
+
+def test_statement_ordering_reads_old_views():
+    query = agg((), prod(rel("R", "a", "b"), rel("S", "b", "c")))
+    program = compile_query(query, SCHEMAS, name="Q")
+    statements = program.trigger_for(1, "R").statements
+    targets = [s.target for s in statements]
+    # The root update (which reads the auxiliary view) must run before the
+    # auxiliary view's own maintenance.
+    assert targets[0] == "Q"
+
+
+def test_depth_zero_emits_reevaluation_over_base_tables():
+    query = agg((), prod(rel("R", "a", "b"), rel("S", "b", "c")))
+    program = compile_query(query, SCHEMAS, options="rep", name="Q")
+    assert program.map_count() == 1
+    statements = list(program.statements())
+    assert statements and all(s.operation == ASSIGN for s in statements)
+    assert program.requires_base_relations() == {"R", "S"}
+
+
+def test_depth_one_emits_first_order_deltas_over_base_tables():
+    query = agg((), prod(rel("R", "a", "b"), rel("S", "b", "c")))
+    program = compile_query(query, SCHEMAS, options="ivm", name="Q")
+    assert program.map_count() == 1
+    statements = list(program.statements())
+    assert all(s.operation == INCREMENT for s in statements)
+    assert program.requires_base_relations() == {"R", "S"}
+
+
+def test_static_relations_get_no_triggers():
+    query = agg((), prod(rel("R", "a", "b"), rel("S", "b", "c")))
+    program = compile_query(query, SCHEMAS, static_relations=("S",))
+    assert program.trigger_for(1, "S") is None
+    assert "S" not in program.stream_relations
+
+
+def test_multiple_roots_share_auxiliary_views():
+    q1 = agg((), prod(rel("R", "a", "b"), rel("S", "b", "c")))
+    q2 = agg(("b",), prod(rel("R", "a", "b"), rel("S", "b", "c")))
+    program = compile_query({"Q1": q1, "Q2": q2}, SCHEMAS)
+    assert set(program.roots) == {"Q1", "Q2"}
+    # Shared first-order views are deduplicated across the two roots.
+    assert program.map_count() <= 2 + 3
+
+
+def test_nested_aggregate_reevaluation_strategy_produces_assign_statement():
+    nested = lift("z", agg((), prod(rel("S", "b2", "c"), val("c"))))
+    query = agg((), prod(rel("R", "a", "b"), nested, cmp("b", "<", "z")))
+    program = compile_query(query, SCHEMAS, name="Q", options=CompilerOptions(nested_strategy="reeval"))
+    s_statements = program.trigger_for(1, "S").statements
+    assert any(s.operation == ASSIGN and s.target == "Q" for s in s_statements)
+
+
+def test_nested_aggregate_equality_correlation_stays_incremental():
+    nested = lift(
+        "z", agg((), prod(rel("S", "b2", "c"), cmp("b2", "=", "b"), val("c")))
+    )
+    query = agg(("a",), prod(rel("R", "a", "b"), nested, cmp("b", "<", "z")))
+    program = compile_query(query, SCHEMAS, name="Q")
+    s_statements = program.trigger_for(1, "S").statements
+    root_updates = [s for s in s_statements if s.target == "Q"]
+    assert root_updates and all(s.operation == INCREMENT for s in root_updates)
+
+
+def test_nested_aggregate_uncorrelated_chooses_reevaluation_automatically():
+    nested = lift("z", agg((), prod(rel("S", "b2", "c"), val("c"))))
+    query = agg((), prod(rel("R", "a", "b"), nested, cmp("b", "<", "z")))
+    program = compile_query(query, SCHEMAS, name="Q")
+    s_statements = program.trigger_for(1, "S").statements
+    root_updates = [s for s in s_statements if s.target == "Q"]
+    assert root_updates and all(s.operation == ASSIGN for s in root_updates)
+
+
+def test_forced_incremental_strategy_never_emits_assign():
+    nested = lift("z", agg((), prod(rel("S", "b2", "c"), val("c"))))
+    query = agg((), prod(rel("R", "a", "b"), nested, cmp("b", "<", "z")))
+    program = compile_query(
+        query, SCHEMAS, name="Q", options=CompilerOptions(nested_strategy="incremental")
+    )
+    assert all(s.operation == INCREMENT for s in program.statements())
+
+
+def test_exists_nested_relation_is_handled():
+    query = agg(
+        ("a",),
+        prod(rel("R", "a", "b"), exists(prod(rel("S", "b2", "c"), cmp("b2", "=", "b")))),
+    )
+    program = compile_query(query, SCHEMAS, name="Q")
+    assert program.trigger_for(1, "S") is not None
+
+
+def test_three_way_chain_join_has_polynomially_many_maps():
+    query = agg(
+        (),
+        prod(rel("R", "a", "b"), rel("S", "b", "c"), rel("T", "c", "d")),
+    )
+    program = compile_query(query, SCHEMAS, name="Q")
+    assert program.map_count() <= 10
+    # Every non-root map must be definable without input variables.
+    from repro.agca.schema import input_variables
+
+    for decl in program.maps.values():
+        assert not input_variables(decl.definition)

@@ -1,0 +1,156 @@
+"""Tests for materialization decisions (decomposition, dedup, nested aggregates)."""
+
+import pytest
+
+from repro.agca.ast import Lift, MapRef, Relation
+from repro.agca.builders import agg, cmp, lift, prod, rel, val, vmul
+from repro.agca.printer import to_string
+from repro.agca.schema import input_variables
+from repro.compiler.materialization import (
+    CompilerOptions,
+    MaterializationContext,
+    PRESETS,
+    options_for,
+)
+from repro.errors import CompilationError
+
+SCHEMAS = {"R": ("a", "b"), "S": ("b", "c"), "T": ("c", "d"), "N": ("k", "name")}
+
+
+def make_context(**options):
+    return MaterializationContext(
+        SCHEMAS, stream_relations=("R", "S", "T"), static_relations=("N",),
+        options=CompilerOptions(**options),
+    )
+
+
+def test_options_presets_exist_and_validate():
+    for name in PRESETS:
+        assert isinstance(options_for(name), CompilerOptions)
+    with pytest.raises(CompilationError):
+        options_for("bogus")
+    with pytest.raises(CompilationError):
+        CompilerOptions(nested_strategy="wrong")
+    with pytest.raises(CompilationError):
+        CompilerOptions(depth=-1)
+
+
+def test_example10_decomposition_creates_two_maps():
+    # Paper Example 10: delta of R(A,b)*T(c,D) for +S(b,c) decomposes into
+    # M1[b] := Sum[b](R(A,b)) and M2[c] := Sum[c](T(c,D)).
+    ctx = make_context()
+    expr = prod(rel("R", "A", "b"), rel("T", "c", "D"))
+    rewritten = ctx.materialize(expr, bound=["b", "c"], needed=[], level=1)
+    refs = [n for n in [rewritten, *getattr(rewritten, "terms", [])] if isinstance(n, MapRef)]
+    assert len(ctx.maps) == 2
+    assert len(refs) == 2
+    for decl in ctx.maps.values():
+        assert decl.degree == 1
+        assert not input_variables(decl.definition)
+
+
+def test_decomposition_disabled_materializes_cross_product():
+    ctx = make_context(decomposition=False)
+    expr = prod(rel("R", "A", "b"), rel("T", "c", "D"))
+    ctx.materialize(expr, bound=["b", "c"], needed=[], level=1)
+    assert len(ctx.maps) == 1
+    (decl,) = ctx.maps.values()
+    assert decl.degree == 2
+
+
+def test_duplicate_views_are_shared():
+    ctx = make_context()
+    expr = prod(rel("S", "x", "c"), val("c"))
+    first = ctx.materialize(expr, bound=["x"], needed=[], level=1)
+    second = ctx.materialize(prod(rel("S", "y", "c2"), val("c2")), bound=["y"], needed=[], level=1)
+    assert len(ctx.maps) == 1
+    assert isinstance(first, MapRef) and isinstance(second, MapRef)
+    assert first.name == second.name
+    assert first.keys == ("x",) and second.keys == ("y",)
+
+
+def test_dedup_can_be_disabled():
+    ctx = make_context(dedup=False)
+    ctx.materialize(prod(rel("S", "x", "c"), val("c")), bound=["x"], needed=[], level=1)
+    ctx.materialize(prod(rel("S", "y", "c2"), val("c2")), bound=["y"], needed=[], level=1)
+    assert len(ctx.maps) == 2
+
+
+def test_trigger_variable_as_column_becomes_parameter_key():
+    ctx = make_context()
+    rewritten = ctx.materialize(
+        prod(rel("S", "x", "c"), val("c")), bound=["x"], needed=[], level=1
+    )
+    assert isinstance(rewritten, MapRef)
+    assert rewritten.keys == ("x",)
+    (decl,) = ctx.maps.values()
+    assert len(decl.keys) == 1
+    assert decl.keys[0] != "x"  # the definition uses a fresh key variable
+
+
+def test_value_factors_are_pushed_into_the_component():
+    ctx = make_context()
+    rewritten = ctx.materialize(
+        prod(rel("S", "b", "c"), val(vmul("c", 2))), bound=[], needed=["b"], level=1
+    )
+    (decl,) = ctx.maps.values()
+    assert "c" in to_string(decl.definition)
+    assert isinstance(rewritten, MapRef)
+
+
+def test_factors_with_trigger_variables_stay_outside():
+    ctx = make_context()
+    rewritten = ctx.materialize(
+        prod(rel("S", "b", "c"), val("x")), bound=["x"], needed=["b"], level=1
+    )
+    (decl,) = ctx.maps.values()
+    assert "x" not in to_string(decl.definition)
+    assert "x" in to_string(rewritten)
+
+
+def test_static_only_component_is_not_materialized():
+    ctx = make_context()
+    rewritten = ctx.materialize(prod(rel("N", "k", "nm")), bound=[], needed=["k"], level=1)
+    assert rewritten == prod(rel("N", "k", "nm"))
+    assert len(ctx.maps) == 0
+
+
+def test_mixed_static_stream_component_is_materialized():
+    ctx = make_context()
+    rewritten = ctx.materialize(
+        prod(rel("R", "a", "k"), rel("N", "k", "nm")), bound=[], needed=["a"], level=1
+    )
+    assert isinstance(rewritten, MapRef)
+    (decl,) = ctx.maps.values()
+    assert decl.degree == 2
+
+
+def test_nested_lift_body_is_materialized():
+    ctx = make_context()
+    nested = lift("z", agg((), prod(rel("S", "b", "c"), val("c"))))
+    rewritten = ctx.materialize(
+        prod(rel("R", "a", "b"), nested, cmp("a", "<", "z")),
+        bound=[],
+        needed=["a"],
+        level=1,
+    )
+    lifts = [n for n in getattr(rewritten, "terms", []) if isinstance(n, Lift)]
+    assert lifts, to_string(rewritten)
+    assert "S(" not in to_string(lifts[0].term)  # the body now reads a map
+    assert len(ctx.maps) == 2  # outer R component + the nested aggregate map
+
+
+def test_register_map_avoid_guard_prevents_self_reference():
+    ctx = make_context()
+    definition = agg(("k",), prod(rel("S", "k", "c"), val("c")))
+    first = ctx.register_map(("k",), definition, level=1)
+    assert first is not None
+    again = ctx.register_map(("k",), definition, level=1, avoid=first.name)
+    assert again is None
+
+
+def test_register_root_rejects_duplicates():
+    ctx = make_context()
+    ctx.register_root("Q", (), agg((), rel("R", "a", "b")))
+    with pytest.raises(CompilationError):
+        ctx.register_root("Q", (), agg((), rel("R", "a", "b")))

@@ -1,0 +1,124 @@
+"""Tests for the trigger-program intermediate representation."""
+
+import pytest
+
+from repro.agca.builders import agg, mapref, prod, rel, val
+from repro.compiler.program import (
+    ASSIGN,
+    INCREMENT,
+    MapDeclaration,
+    Statement,
+    Trigger,
+    TriggerProgram,
+    order_statements,
+)
+from repro.delta.events import INSERT, TriggerEvent
+
+
+def _event(relation="R", columns=("a",), trigger_vars=("r_a",)):
+    return TriggerEvent(relation, INSERT, columns, trigger_vars)
+
+
+def _statement(target, degree, operation=INCREMENT, expr=None, keys=()):
+    return Statement(
+        target=target,
+        target_keys=tuple(keys),
+        operation=operation,
+        expr=expr if expr is not None else val("r_a"),
+        event=_event(),
+        target_degree=degree,
+    )
+
+
+def test_map_declaration_degree_and_pretty():
+    decl = MapDeclaration("Q", ("b",), agg(("b",), prod(rel("R", "a", "b"), rel("S", "b"))))
+    assert decl.degree == 2
+    assert decl.pretty().startswith("Q[b] := Sum[b]")
+
+
+def test_statement_reads_and_loop_keys():
+    stmt = Statement(
+        target="Q",
+        target_keys=("r_a", "b"),
+        operation=INCREMENT,
+        expr=prod(mapref("M1", "b"), val("r_a")),
+        event=_event(),
+        target_degree=2,
+    )
+    assert stmt.reads_maps() == {"M1"}
+    assert stmt.reads_relations() == frozenset()
+    assert stmt.loop_keys() == ("b",)
+    assert "foreach b:" in stmt.pretty()
+
+
+def test_trigger_name_and_pretty():
+    trigger = Trigger("Lineitem", INSERT, [_statement("Q", 1)])
+    assert trigger.name == "insert_lineitem"
+    assert "on insert into Lineitem" in trigger.pretty()
+    empty = Trigger("R", -1)
+    assert "(no-op)" in empty.pretty()
+
+
+def test_order_statements_parents_before_children_for_increments():
+    child = _statement("M_child", degree=1)
+    parent = _statement("Q", degree=3)
+    middle = _statement("M_mid", degree=2)
+    ordered = order_statements([child, parent, middle])
+    assert [s.target for s in ordered] == ["Q", "M_mid", "M_child"]
+
+
+def test_order_statements_assigns_run_last_in_ascending_degree():
+    inc = _statement("M_child", degree=1)
+    assign_hi = _statement("Q", degree=3, operation=ASSIGN)
+    assign_lo = _statement("M_mid", degree=2, operation=ASSIGN)
+    ordered = order_statements([assign_hi, inc, assign_lo])
+    assert [s.target for s in ordered] == ["M_child", "M_mid", "Q"]
+
+
+def _tiny_program():
+    root = MapDeclaration("Q", (), agg((), prod(rel("R", "a"), rel("S", "b"))))
+    aux = MapDeclaration("M1", (), agg((), rel("S", "b")), level=1)
+    trig = Trigger("R", INSERT, [_statement("Q", 2, expr=mapref("M1"))])
+    return TriggerProgram(
+        roots={"Q": "Q"},
+        maps={"Q": root, "M1": aux},
+        triggers={trig.name: trig},
+        schemas={"R": ("a",), "S": ("b",)},
+        stream_relations=("R", "S"),
+    )
+
+
+def test_program_root_map_and_trigger_lookup():
+    program = _tiny_program()
+    assert program.root_map().name == "Q"
+    assert program.root_map("Q").name == "Q"
+    assert program.trigger_for(INSERT, "R") is not None
+    assert program.trigger_for(-1, "R") is None
+
+
+def test_program_root_map_ambiguity():
+    program = _tiny_program()
+    program.roots["Q2"] = "M1"
+    with pytest.raises(KeyError):
+        program.root_map()
+
+
+def test_program_statistics_and_requirements():
+    program = _tiny_program()
+    assert program.map_count() == 2
+    assert program.statement_count() == 1
+    assert program.requires_base_relations() == frozenset()
+    summary = program.summary()
+    assert summary["maps"] == 2 and summary["statements"] == 1
+
+
+def test_program_requires_base_relations_when_statement_reads_them():
+    program = _tiny_program()
+    program.triggers["insert_r"].statements.append(_statement("Q", 2, expr=rel("S", "b")))
+    assert program.requires_base_relations() == {"S"}
+
+
+def test_program_pretty_lists_maps_and_triggers():
+    text = _tiny_program().pretty()
+    assert "-- materialized views --" in text
+    assert "on insert into R" in text

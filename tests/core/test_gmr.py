@@ -1,0 +1,190 @@
+"""Tests for generalized multiset relations, including the ring laws."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.gmr import GMR
+from repro.core.rows import Row
+
+
+def gmr(*entries):
+    return GMR([(Row(row), mult) for row, mult in entries])
+
+
+def test_empty_and_scalar_constructors():
+    assert len(GMR.empty()) == 0
+    assert GMR.scalar(5)[Row()] == 5
+    assert GMR.scalar(0) == GMR.empty()
+
+
+def test_singleton_and_from_rows():
+    g = GMR.from_rows([{"a": 1}, {"a": 1}, {"a": 2}])
+    assert g[{"a": 1}] == 2
+    assert g[{"a": 2}] == 1
+    assert GMR.singleton({"a": 1}, 3)[{"a": 1}] == 3
+
+
+def test_zero_multiplicities_are_dropped():
+    g = gmr(({"a": 1}, 2), ({"a": 1}, -2), ({"a": 2}, 1))
+    assert g.support_size == 1
+    assert {"a": 1} not in g
+
+
+def test_missing_rows_have_multiplicity_zero():
+    assert gmr(({"a": 1}, 2))[{"a": 5}] == 0
+
+
+def test_add_tuple_mutation_and_removal():
+    g = GMR()
+    g.add_tuple({"a": 1}, 2)
+    g.add_tuple({"a": 1}, -2)
+    assert not g
+
+
+def test_addition_merges_multiplicities():
+    left = gmr(({"a": 1}, 2), ({"a": 2}, 1))
+    right = gmr(({"a": 1}, -1), ({"a": 3}, 4))
+    total = left + right
+    assert total[{"a": 1}] == 1
+    assert total[{"a": 2}] == 1
+    assert total[{"a": 3}] == 4
+
+
+def test_negation_and_subtraction():
+    g = gmr(({"a": 1}, 2))
+    assert (-g)[{"a": 1}] == -2
+    assert (g - g) == GMR.empty()
+
+
+def test_scale():
+    g = gmr(({"a": 1}, 2))
+    assert g.scale(3)[{"a": 1}] == 6
+    assert g.scale(0) == GMR.empty()
+
+
+def test_natural_join_on_shared_column():
+    r = gmr(({"a": 1, "b": 10}, 2), ({"a": 2, "b": 20}, 1))
+    s = gmr(({"b": 10, "c": 5}, 3), ({"b": 99, "c": 7}, 1))
+    joined = r * s
+    assert joined[{"a": 1, "b": 10, "c": 5}] == 6
+    assert joined.support_size == 1
+
+
+def test_natural_join_disjoint_columns_is_cross_product():
+    r = gmr(({"a": 1}, 2), ({"a": 2}, 1))
+    s = gmr(({"b": 5}, 3))
+    joined = r * s
+    assert joined[{"a": 1, "b": 5}] == 6
+    assert joined[{"a": 2, "b": 5}] == 3
+
+
+def test_join_with_scalar_acts_as_scaling():
+    r = gmr(({"a": 1}, 2))
+    assert (r * GMR.scalar(4))[{"a": 1}] == 8
+
+
+def test_project_sums_multiplicities():
+    g = gmr(({"a": 1, "b": 1}, 2), ({"a": 1, "b": 2}, 3), ({"a": 2, "b": 1}, 1))
+    projected = g.project(["a"])
+    assert projected[{"a": 1}] == 5
+    assert projected[{"a": 2}] == 1
+
+
+def test_select_filters_rows():
+    g = gmr(({"a": 1}, 1), ({"a": 5}, 1))
+    assert g.select(lambda row: row["a"] > 2).support_size == 1
+
+
+def test_rename_columns():
+    g = gmr(({"a": 1}, 1))
+    assert g.rename({"a": "x"})[{"x": 1}] == 1
+
+
+def test_filter_consistent_with_context():
+    g = gmr(({"a": 1, "b": 2}, 1), ({"a": 2, "b": 2}, 1))
+    assert g.filter_consistent({"a": 1}).support_size == 1
+
+
+def test_total_multiplicity_and_scalar_value():
+    g = gmr(({"a": 1}, 2), ({"a": 2}, 3.5))
+    assert g.total_multiplicity() == 5.5
+    assert GMR.scalar(7).scalar_value() == 7
+    assert GMR.empty().scalar_value() == 0
+
+
+def test_to_dicts_expands_multiplicities():
+    g = gmr(({"a": 1}, 2))
+    assert g.to_dicts() == [{"a": 1}, {"a": 1}]
+
+
+def test_to_dicts_rejects_negative_or_fractional():
+    with pytest.raises(ValueError):
+        gmr(({"a": 1}, -1)).to_dicts()
+    with pytest.raises(ValueError):
+        gmr(({"a": 1}, 1.5)).to_dicts()
+
+
+def test_update_in_place_with_scale():
+    g = gmr(({"a": 1}, 1))
+    g.update(gmr(({"a": 1}, 2), ({"a": 2}, 1)), scale=-1)
+    assert g[{"a": 1}] == -1
+    assert g[{"a": 2}] == -1
+
+
+def test_columns_union():
+    g = gmr(({"a": 1}, 1), ({"a": 2, "b": 1}, 1))
+    assert g.columns() == frozenset({"a", "b"})
+
+
+# ---------------------------------------------------------------------------
+# Ring laws (property-based): GMRs with + and * form a commutative ring.
+# The paper requires all tuples of one GMR to share a schema, so the generator
+# produces union-compatible GMRs (every row binds the same columns).
+# ---------------------------------------------------------------------------
+
+rows = st.fixed_dictionaries({
+    "a": st.integers(min_value=0, max_value=2),
+    "b": st.integers(min_value=0, max_value=2),
+})
+gmrs = st.lists(
+    st.tuples(rows, st.integers(min_value=-3, max_value=3)), max_size=4
+).map(lambda entries: GMR((Row(r), m) for r, m in entries))
+
+
+@settings(max_examples=60, deadline=None)
+@given(gmrs, gmrs)
+def test_addition_is_commutative(x, y):
+    assert x + y == y + x
+
+
+@settings(max_examples=60, deadline=None)
+@given(gmrs, gmrs, gmrs)
+def test_addition_is_associative(x, y, z):
+    assert (x + y) + z == x + (y + z)
+
+
+@settings(max_examples=60, deadline=None)
+@given(gmrs)
+def test_additive_identity_and_inverse(x):
+    assert x + GMR.empty() == x
+    assert x + (-x) == GMR.empty()
+
+
+@settings(max_examples=60, deadline=None)
+@given(gmrs, gmrs)
+def test_multiplication_is_commutative_on_these_schemas(x, y):
+    # Natural join of GMRs over the same column universe is commutative.
+    assert x * y == y * x
+
+
+@settings(max_examples=40, deadline=None)
+@given(gmrs, gmrs, gmrs)
+def test_multiplication_distributes_over_addition(x, y, z):
+    assert x * (y + z) == (x * y) + (x * z)
+
+
+@settings(max_examples=40, deadline=None)
+@given(gmrs)
+def test_multiplicative_identity_is_scalar_one(x):
+    assert x * GMR.scalar(1) == x
+    assert x * GMR.empty() == GMR.empty()

@@ -1,0 +1,73 @@
+"""Tests for multiplicity/value arithmetic helpers."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.values import compare, comparison_holds, div, is_zero, normalize_number
+
+
+def test_is_zero_integers_and_fractions_exact():
+    assert is_zero(0)
+    assert is_zero(Fraction(0, 3))
+    assert not is_zero(1)
+    assert not is_zero(Fraction(1, 10**12))
+
+
+def test_is_zero_float_uses_tolerance():
+    assert is_zero(1e-15)
+    assert not is_zero(1e-6)
+
+
+def test_is_zero_bool():
+    assert is_zero(False)
+    assert not is_zero(True)
+
+
+def test_normalize_collapses_integral_values():
+    assert normalize_number(3.0) == 3 and isinstance(normalize_number(3.0), int)
+    assert normalize_number(Fraction(4, 2)) == 2 and isinstance(normalize_number(Fraction(4, 2)), int)
+    assert normalize_number(Fraction(1, 3)) == Fraction(1, 3)
+    assert normalize_number(2.5) == 2.5
+    assert normalize_number(True) == 1
+
+
+def test_div_regular():
+    assert div(6, 3) == 2
+    assert div(7, 2) == 3.5
+    assert div(1.0, 4) == 0.25
+
+
+def test_div_by_zero_yields_zero():
+    assert div(5, 0) == 0
+    assert div(0.0, 0.0) == 0
+
+
+def test_compare_numbers():
+    assert compare(1, "<", 2)
+    assert compare(2, ">=", 2)
+    assert not compare(3, "=", 4)
+    assert compare(3, "!=", 4)
+    assert compare(3, "<>", 4)
+
+
+def test_compare_strings_lexicographic():
+    assert compare("1994-01-01", "<", "1995-01-01")
+    assert compare("abc", "=", "abc")
+
+
+def test_compare_mixed_types_equality_only():
+    assert not compare(1, "=", "1")
+    assert compare(1, "!=", "1")
+    with pytest.raises(TypeError):
+        compare(1, "<", "1")
+
+
+def test_compare_unknown_operator():
+    with pytest.raises(ValueError):
+        compare(1, "~", 2)
+
+
+def test_comparison_holds_returns_multiplicity():
+    assert comparison_holds(1, "<", 2) == 1
+    assert comparison_holds(2, "<", 1) == 0

@@ -1,0 +1,83 @@
+"""Tests for stream events and symbolic trigger events."""
+
+import pytest
+
+from repro.delta.events import (
+    DELETE,
+    INSERT,
+    BulkUpdate,
+    StreamEvent,
+    TriggerEvent,
+    delete,
+    fresh_trigger_vars,
+    insert,
+    trigger_events_for,
+)
+
+
+def test_insert_delete_constructors():
+    event = insert("R", 1, "x")
+    assert event.relation == "R" and event.sign == INSERT and event.values == (1, "x")
+    assert event.kind == "insert"
+    assert delete("R", 1).kind == "delete"
+
+
+def test_invalid_sign_rejected():
+    with pytest.raises(ValueError):
+        StreamEvent("R", (1,), 2)
+
+
+def test_inverted_event_undoes():
+    event = insert("R", 1)
+    assert event.inverted() == delete("R", 1)
+    assert event.inverted().inverted() == event
+
+
+def test_trigger_event_validation():
+    with pytest.raises(ValueError):
+        TriggerEvent("R", INSERT, ("a", "b"), ("x",))
+    with pytest.raises(ValueError):
+        TriggerEvent("R", 3, ("a",), ("x",))
+
+
+def test_trigger_event_name_and_kind():
+    trigger = TriggerEvent("Lineitem", DELETE, ("a",), ("x",))
+    assert trigger.kind == "delete"
+    assert trigger.name == "delete_lineitem"
+
+
+def test_bindings_for_matches_values():
+    trigger = TriggerEvent("R", INSERT, ("a", "b"), ("r_a", "r_b"))
+    assert trigger.bindings_for(insert("R", 1, 2)) == {"r_a": 1, "r_b": 2}
+
+
+def test_bindings_for_wrong_relation_or_arity():
+    trigger = TriggerEvent("R", INSERT, ("a",), ("r_a",))
+    with pytest.raises(ValueError):
+        trigger.bindings_for(insert("S", 1))
+    with pytest.raises(ValueError):
+        trigger.bindings_for(insert("R", 1, 2))
+
+
+def test_fresh_trigger_vars_avoid_collisions():
+    names = fresh_trigger_vars("R", ("a", "b"), avoid=["r_a"])
+    assert names[0] != "r_a"
+    assert len(set(names)) == 2
+
+
+def test_trigger_events_for_builds_insert_and_delete():
+    events = trigger_events_for({"R": ("a",), "S": ("b",)})
+    assert len(events) == 4
+    kinds = {(e.relation, e.kind) for e in events}
+    assert ("R", "insert") in kinds and ("S", "delete") in kinds
+
+
+def test_trigger_events_for_restricted_relations_and_no_deletes():
+    events = trigger_events_for({"R": ("a",), "S": ("b",)}, relations=["R"], include_deletes=False)
+    assert len(events) == 1
+    assert events[0].relation == "R" and events[0].kind == "insert"
+
+
+def test_bulk_update_repr():
+    bulk = BulkUpdate("R", "delta_R")
+    assert "R" in repr(bulk) and "delta_R" in repr(bulk)

@@ -1,0 +1,208 @@
+"""Tests for the delta transform, including semantic correctness properties.
+
+The key property (checked both on hand-written queries and randomized
+databases) is the definition of the delta:
+
+    [[Q]](D + u) == [[Q]](D) + [[delta_u(Q)]](D)
+
+evaluated with the trigger variables bound to the update's values.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.agca.builders import agg, cmp, const, exists, lift, plus, prod, rel, val, var, vmul
+from repro.agca.evaluator import DictSource, Evaluator
+from repro.core.gmr import GMR
+from repro.core.rows import Row
+from repro.delta.events import DELETE, INSERT, BulkUpdate, TriggerEvent
+from repro.delta.rules import delta, delta_is_zero
+from repro.errors import DeltaError
+from repro.optimizer.simplify import simplify
+
+
+def trigger(relation, columns, sign=INSERT, prefix=None):
+    prefix = prefix or relation.lower()
+    return TriggerEvent(relation, sign, tuple(columns), tuple(f"{prefix}_{c}" for c in columns))
+
+
+def test_delta_of_constant_value_condition_is_zero():
+    event = trigger("R", ("a",))
+    assert delta_is_zero(delta(const(5), event))
+    assert delta_is_zero(delta(val("x"), event))
+    assert delta_is_zero(delta(cmp("x", "<", 3), event))
+
+
+def test_delta_of_other_relation_is_zero():
+    event = trigger("R", ("a",))
+    assert delta_is_zero(delta(rel("S", "a"), event))
+
+
+def test_delta_of_matching_relation_is_lift_product():
+    event = trigger("R", ("a", "b"))
+    result = delta(rel("R", "x", "y"), event)
+    assert not delta_is_zero(result)
+    # Evaluating the delta with the trigger bindings yields the single inserted tuple.
+    value = Evaluator(DictSource()).evaluate(result, {"r_a": 1, "r_b": 2})
+    assert value[{"x": 1, "y": 2}] == 1
+
+
+def test_delta_of_deletion_has_negative_multiplicity():
+    event = trigger("R", ("a",), sign=DELETE)
+    result = delta(rel("R", "x"), event)
+    value = Evaluator(DictSource()).evaluate(result, {"r_a": 7})
+    assert value[{"x": 7}] == -1
+
+
+def test_delta_arity_mismatch_raises():
+    event = trigger("R", ("a", "b"))
+    with pytest.raises(DeltaError):
+        delta(rel("R", "x"), event)
+
+
+def test_delta_distributes_over_sum():
+    event = trigger("R", ("a",))
+    expr = plus(rel("R", "x"), rel("S", "x"))
+    result = delta(expr, event)
+    # Only the R branch survives.
+    value = Evaluator(DictSource()).evaluate(result, {"r_a": 1})
+    assert value[{"x": 1}] == 1
+
+
+def test_delta_product_leibniz_rule_second_order_constant():
+    # Example 1: Q = Sum[](R(a) * S(b)); the second-order delta is the constant 1.
+    expr = agg((), prod(rel("R", "a"), rel("S", "b")))
+    d_r = delta(expr, trigger("R", ("a",)))
+    d_rs = delta(d_r, trigger("S", ("b",)))
+    simplified = simplify(d_rs, bound=("r_a", "s_b"))
+    assert Evaluator(DictSource()).evaluate(simplified, {"r_a": 1, "s_b": 2}).scalar_value() == 1
+
+
+def test_delta_of_self_join_example12():
+    # Q = R(a) * R(a) * S(b); the delta wrt +R(x) simplifies to (2*R(x) + 1) * S(b).
+    expr = prod(rel("R", "a"), rel("R", "a"), rel("S", "b"))
+    event = trigger("R", ("a",), prefix="ins")
+    source = DictSource(
+        relations={"R": GMR.from_rows([{"a": 5}, {"a": 5}]), "S": GMR.from_rows([{"b": 1}])},
+        schemas={"R": ("a",), "S": ("b",)},
+    )
+    d = simplify(delta(expr, event), bound=event.trigger_vars)
+    result = Evaluator(source).evaluate(d, {"ins_a": 5})
+    # Old R has multiplicity 2 at a=5: (2*2 + 1) = 5 new (a=5, b) combinations.
+    assert result.total_multiplicity() == 5
+
+
+def test_delta_of_lift_is_difference_of_lifts():
+    nested = agg((), prod(rel("S", "c"), val("c")))
+    expr = prod(rel("R", "a"), lift("z", nested), cmp("a", "<", "z"))
+    event = trigger("S", ("c",))
+    d = delta(expr, event)
+    assert not delta_is_zero(d)
+    # The unsimplified delta references the nested query twice (new minus old).
+    from repro.agca.printer import to_string
+
+    printed = to_string(d)
+    assert printed.count("S(") >= 2
+
+
+def test_delta_of_lift_without_matching_relation_is_zero():
+    nested = agg((), prod(rel("S", "c"), val("c")))
+    expr = prod(rel("R", "a"), lift("z", nested))
+    assert delta_is_zero(delta(lift("z", nested), trigger("T", ("x",))))
+    assert not delta_is_zero(delta(expr, trigger("R", ("a",))))
+
+
+def test_delta_of_exists_uses_difference_form():
+    expr = exists(agg((), rel("R", "a")))
+    d = delta(expr, trigger("R", ("a",)))
+    assert not delta_is_zero(d)
+
+
+def test_bulk_update_delta_references_delta_relation():
+    expr = agg((), prod(rel("R", "a"), rel("S", "b")))
+    d = delta(expr, BulkUpdate("R", "delta_R"))
+    from repro.agca.ast import relations_of
+
+    assert "delta_R" in relations_of(d)
+    assert "S" in relations_of(d)
+
+
+def test_delta_of_mapref_is_rejected():
+    from repro.agca.builders import mapref
+
+    with pytest.raises(DeltaError):
+        delta(mapref("M", "k"), trigger("R", ("a",)))
+
+
+# ---------------------------------------------------------------------------
+# Semantic correctness: Q(D + u) = Q(D) + delta_u(Q)(D), randomized.
+# ---------------------------------------------------------------------------
+
+QUERIES = {
+    "join_sum": agg(
+        (),
+        prod(
+            rel("R", "a", "b"), rel("S", "b", "c"), val(vmul("a", "c")),
+        ),
+    ),
+    "group_join": agg(
+        ("b",),
+        prod(rel("R", "a", "b"), rel("S", "b", "c"), cmp("a", "<", "c")),
+    ),
+    "self_join": agg((), prod(rel("R", "a", "b"), rel("R", "a", "b2"))),
+    "nested": agg(
+        ("a",),
+        prod(
+            rel("R", "a", "b"),
+            lift("z", agg((), prod(rel("S", "b2", "c"), cmp("b2", "=", "b"), val("c")))),
+            cmp("b", "<", "z"),
+        ),
+    ),
+}
+
+SCHEMAS = {"R": ("a", "b"), "S": ("b", "c")}
+
+
+def _random_database(rng):
+    relations = {}
+    for name, columns in SCHEMAS.items():
+        rows = []
+        for _ in range(rng.randint(0, 6)):
+            rows.append({c: rng.randint(0, 3) for c in columns})
+        relations[name] = GMR.from_rows(rows)
+    return DictSource(relations=relations, schemas=SCHEMAS)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    query_name=st.sampled_from(sorted(QUERIES)),
+    seed=st.integers(min_value=0, max_value=10_000),
+    relation=st.sampled_from(["R", "S"]),
+    sign=st.sampled_from([INSERT, DELETE]),
+)
+def test_delta_matches_recomputation(query_name, seed, relation, sign):
+    rng = random.Random(seed)
+    query = QUERIES[query_name]
+    source = _random_database(rng)
+    event = trigger(relation, SCHEMAS[relation], sign=sign, prefix=f"d_{relation.lower()}")
+    values = tuple(rng.randint(0, 3) for _ in SCHEMAS[relation])
+
+    evaluator = Evaluator(source)
+    before = evaluator.evaluate(query)
+    d = delta(query, event)
+    delta_value = evaluator.evaluate(d, dict(zip(event.trigger_vars, values)))
+    simplified_delta_value = evaluator.evaluate(
+        simplify(d, bound=event.trigger_vars), dict(zip(event.trigger_vars, values))
+    )
+
+    # Apply the update to the stored relation and recompute from scratch.
+    updated = dict(source._relations)  # test-only access to the backing dict
+    changed = GMR(updated[relation])
+    changed.add_tuple(Row(dict(zip(SCHEMAS[relation], values))), sign)
+    updated[relation] = changed
+    after = Evaluator(DictSource(relations=updated, schemas=SCHEMAS)).evaluate(query)
+
+    assert after == before + delta_value
+    assert after == before + simplified_delta_value

@@ -1,0 +1,38 @@
+"""Smoke tests: the shipped example scripts run end to end.
+
+Only the quick examples are executed (the dashboards replay thousands of
+events and belong to manual runs / benchmarks); the others are checked for
+importability of the modules they rely on.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent.parent / "examples"
+
+
+def test_quickstart_runs(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "final view value: 80" in out
+    assert "on insert into" in out  # the printed trigger program
+
+
+def test_compare_strategies_runs_on_a_tiny_stream(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["compare_strategies.py", "Q6", "120"])
+    runpy.run_path(str(EXAMPLES / "compare_strategies.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "refreshes/s" in out
+    assert "agree on the result" in out
+
+
+@pytest.mark.parametrize(
+    "script", ["algorithmic_trading.py", "tpch_dashboard.py"]
+)
+def test_long_running_examples_are_importable(script):
+    source = (EXAMPLES / script).read_text()
+    compile(source, script, "exec")  # syntax-checks without executing the replay

@@ -1,0 +1,52 @@
+"""Tests for join-graph decomposition."""
+
+from repro.agca.builders import cmp, const, lift, prod, rel, val
+from repro.optimizer.decomposition import connected_components, decompose_product
+
+
+def test_disconnected_relations_split():
+    components = decompose_product(prod(rel("R", "a"), rel("S", "b")))
+    assert len(components) == 2
+
+
+def test_shared_variable_connects():
+    components = decompose_product(prod(rel("R", "a", "b"), rel("S", "b", "c")))
+    assert len(components) == 1
+
+
+def test_bound_variables_do_not_connect():
+    # After a delta, the shared variable is a trigger variable: the remaining
+    # factors fall apart into independent components (this is what avoids
+    # materializing cross products).
+    expr = prod(rel("R", "a", "x"), rel("S", "x", "b"))
+    assert len(decompose_product(expr, bound=["x"])) == 2
+    assert len(decompose_product(expr)) == 1
+
+
+def test_chain_connectivity_is_transitive():
+    expr = prod(rel("R", "a", "b"), rel("S", "b", "c"), rel("T", "c", "d"))
+    assert len(decompose_product(expr)) == 1
+
+
+def test_conditions_connect_components_through_variables():
+    factors = [rel("R", "a"), rel("S", "b"), cmp("a", "<", "b")]
+    components = connected_components(factors)
+    assert len(components) == 1
+
+
+def test_constants_form_their_own_component():
+    factors = [rel("R", "a"), const(3)]
+    components = connected_components(factors)
+    assert len(components) == 2
+
+
+def test_component_order_is_preserved():
+    factors = [rel("R", "a"), rel("S", "b"), val("a")]
+    components = connected_components(factors)
+    assert components[0][0] == rel("R", "a")
+    assert components[0][1] == val("a")
+    assert components[1] == [rel("S", "b")]
+
+
+def test_empty_input():
+    assert connected_components([]) == []

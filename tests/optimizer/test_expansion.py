@@ -1,0 +1,81 @@
+"""Tests for polynomial expansion and factorization."""
+
+from repro.agca.ast import Product, Sum
+from repro.agca.builders import agg, const, plus, prod, rel, val
+from repro.agca.evaluator import DictSource, Evaluator
+from repro.core.gmr import GMR
+from repro.optimizer.expansion import expand, factorize_sum, monomials, product_factors
+
+
+def test_product_factors_flattens():
+    expr = prod(rel("R", "a"), prod(rel("S", "b"), const(2)))
+    assert len(product_factors(expr)) == 3
+    assert product_factors(rel("R", "a")) == [rel("R", "a")]
+
+
+def test_monomials_of_plain_product_is_single():
+    expr = prod(rel("R", "a"), rel("S", "b"))
+    assert monomials(expr) == [expr]
+
+
+def test_expand_distributes_product_over_sum():
+    expr = prod(rel("R", "a"), plus(rel("S", "a"), rel("T", "a")))
+    expanded = expand(expr)
+    assert isinstance(expanded, Sum)
+    assert len(expanded.terms) == 2
+    for term in expanded.terms:
+        assert isinstance(term, Product)
+
+
+def test_expand_distributes_aggsum_over_sum():
+    expr = agg(("a",), plus(rel("R", "a"), rel("S", "a")))
+    expanded = expand(expr)
+    assert isinstance(expanded, Sum)
+    assert all(term.group == ("a",) for term in expanded.terms)
+
+
+def test_expansion_preserves_semantics():
+    source = DictSource(
+        relations={
+            "R": GMR.from_rows([{"a": 1}, {"a": 2}]),
+            "S": GMR.from_rows([{"a": 1}]),
+            "T": GMR.from_rows([{"a": 2}, {"a": 2}]),
+        },
+        schemas={"R": ("a",), "S": ("a",), "T": ("a",)},
+    )
+    expr = prod(rel("R", "a"), plus(rel("S", "a"), rel("T", "a")))
+    evaluator = Evaluator(source)
+    assert evaluator.evaluate(expr) == evaluator.evaluate(expand(expr))
+
+
+def test_lift_bodies_are_not_expanded():
+    from repro.agca.builders import lift
+
+    inner = plus(rel("S", "b"), rel("T", "b"))
+    expr = prod(rel("R", "a"), lift("z", agg((), inner)))
+    assert len(monomials(expr)) == 1
+
+
+def test_factorize_common_leading_factor():
+    expr = plus(prod(rel("R", "a"), rel("S", "b")), prod(rel("R", "a"), rel("T", "b")))
+    factored = factorize_sum(expr)
+    assert isinstance(factored, Product)
+    assert factored.terms[0] == rel("R", "a")
+
+
+def test_factorize_merges_identical_monomials():
+    expr = plus(prod(rel("R", "a"), rel("S", "b")), prod(rel("R", "a"), rel("S", "b")))
+    factored = factorize_sum(expr)
+    # Either fully factored or merged with a coefficient of 2: both are fine,
+    # as long as semantics are preserved.
+    source = DictSource(
+        relations={"R": GMR.from_rows([{"a": 1}]), "S": GMR.from_rows([{"b": 2}])},
+        schemas={"R": ("a",), "S": ("b",)},
+    )
+    evaluator = Evaluator(source)
+    assert evaluator.evaluate(expr) == evaluator.evaluate(factored)
+
+
+def test_factorize_of_non_sum_is_identity():
+    expr = prod(rel("R", "a"), rel("S", "b"))
+    assert factorize_sum(expr) is expr

@@ -1,0 +1,64 @@
+"""Tests for aggregate push-down over statement bodies."""
+
+from repro.agca.ast import AggSum, Product
+from repro.agca.builders import agg, cmp, lift, mapref, prod, rel, val
+from repro.agca.evaluator import DictSource, Evaluator
+from repro.core.gmr import GMR
+from repro.optimizer.pushdown import push_aggregates
+
+
+def test_disconnected_groups_get_their_own_aggregation():
+    expr = prod(mapref("MB", "bv"), mapref("MA", "av"))
+    pushed = push_aggregates(expr, keep=[])
+    assert isinstance(pushed, Product)
+    assert all(isinstance(t, AggSum) and t.group == () for t in pushed.terms)
+
+
+def test_groups_sharing_only_keep_variables_stay_unwrapped():
+    expr = prod(mapref("M1", "k", "a"), mapref("M2", "k", "b"))
+    pushed = push_aggregates(expr, keep=["k", "a", "b"])
+    assert pushed == expr
+
+
+def test_connected_factors_stay_together():
+    expr = prod(mapref("MB", "bv"), cmp("bv", ">", "limit"), lift("limit", agg((), mapref("MT"))))
+    pushed = push_aggregates(expr, keep=[])
+    # Everything is connected through bv/limit: a single group, so there is no
+    # cross product to avoid and the expression is left as-is.
+    assert pushed == expr
+
+
+def test_pushdown_preserves_semantics():
+    maps = {
+        "MB": GMR([(r, m) for r, m in ((GMR.from_rows([{"bv": 1}]).rows().__next__(), 0),)]),
+    }
+    source = DictSource(
+        maps={
+            "MB": GMR([({"bv": 10}, 2), ({"bv": 20}, 3)]),
+            "MA": GMR([({"av": 1}, 5), ({"av": 2}, 7)]),
+        },
+        schemas={"MB": ("bv",), "MA": ("av",)},
+    )
+    expr = prod(mapref("MB", "bv"), mapref("MA", "av"))
+    pushed = push_aggregates(expr, keep=[])
+    evaluator = Evaluator(source)
+    assert (
+        evaluator.evaluate(expr).total_multiplicity()
+        == evaluator.evaluate(pushed).total_multiplicity()
+        == (2 + 3) * (5 + 7)
+    )
+
+
+def test_pushdown_keeps_group_keys():
+    expr = prod(mapref("M1", "k", "a"), mapref("M2", "b"))
+    pushed = push_aggregates(expr, keep=["k"])
+    assert isinstance(pushed, Product)
+    groups = [t for t in pushed.terms if isinstance(t, AggSum)]
+    assert any(t.group == ("k",) for t in groups)
+    assert any(t.group == () for t in groups)
+
+
+def test_pushdown_inside_existing_aggsum():
+    expr = agg(("k",), prod(mapref("M1", "k", "a"), mapref("M2", "b")))
+    pushed = push_aggregates(expr, keep=[])
+    assert isinstance(pushed, AggSum) and pushed.group == ("k",)

@@ -1,0 +1,45 @@
+"""Tests for range-restriction extraction from statement bodies."""
+
+from repro.agca.builders import cmp, lift, plus, prod, rel, val
+from repro.optimizer.range_restriction import apply_key_mapping, extract_range_restrictions
+
+
+def test_extracts_loop_variable_pinned_to_trigger_variable():
+    expr = prod(lift("a", val("x")), rel("S", "a", "b"))
+    mapping, residual = extract_range_restrictions(expr, loop_vars=["a"], bound=["x"])
+    assert mapping == {"a": "x"}
+    assert residual == rel("S", "x", "b")
+
+
+def test_no_extraction_without_matching_lift():
+    expr = prod(rel("S", "a", "b"), cmp("a", ">", "x"))
+    mapping, residual = extract_range_restrictions(expr, ["a"], ["x"])
+    assert mapping == {}
+    assert residual == expr
+
+
+def test_extraction_requires_presence_in_every_monomial():
+    pinned = prod(lift("a", val("x")), rel("S", "a", "b"))
+    unpinned = rel("T", "a", "b")
+    mapping, residual = extract_range_restrictions(plus(pinned, unpinned), ["a"], ["x"])
+    assert mapping == {}
+    assert residual == plus(pinned, unpinned)
+
+
+def test_extraction_across_all_monomials():
+    monomial1 = prod(lift("a", val("x")), rel("S", "a", "b"))
+    monomial2 = prod(lift("a", val("x")), rel("T", "a", "b"))
+    mapping, residual = extract_range_restrictions(plus(monomial1, monomial2), ["a"], ["x"])
+    assert mapping == {"a": "x"}
+    assert residual == plus(rel("S", "x", "b"), rel("T", "x", "b"))
+
+
+def test_only_listed_loop_vars_are_extracted():
+    expr = prod(lift("a", val("x")), lift("b", val("y")), rel("S", "a", "b"))
+    mapping, residual = extract_range_restrictions(expr, ["a"], ["x", "y"])
+    assert mapping == {"a": "x"}
+
+
+def test_apply_key_mapping():
+    assert apply_key_mapping(("a", "b"), {"a": "x"}) == ("x", "b")
+    assert apply_key_mapping((), {"a": "x"}) == ()

@@ -1,0 +1,54 @@
+"""Tests for the base-relation store."""
+
+import pytest
+
+from repro.delta.events import delete, insert
+from repro.errors import RuntimeEngineError
+from repro.runtime.database import Database
+
+
+def test_declare_and_schema():
+    db = Database({"R": ("a", "b")})
+    assert db.relations() == ("R",)
+    assert db.schema("R") == ("a", "b")
+    db.declare("R", ("a", "b"))  # idempotent
+    with pytest.raises(RuntimeEngineError):
+        db.declare("R", ("x",))
+    with pytest.raises(RuntimeEngineError):
+        db.schema("missing")
+
+
+def test_apply_insert_and_delete():
+    db = Database({"R": ("a",)})
+    db.apply(insert("R", 1))
+    db.apply(insert("R", 1))
+    assert db.contents("R")[{"a": 1}] == 2
+    db.apply(delete("R", 1))
+    assert db.contents("R")[{"a": 1}] == 1
+
+
+def test_apply_arity_mismatch_raises():
+    db = Database({"R": ("a", "b")})
+    with pytest.raises(RuntimeEngineError):
+        db.apply(insert("R", 1))
+
+
+def test_load_accepts_sequences_and_mappings():
+    db = Database({"R": ("a", "b")})
+    count = db.load("R", [(1, 2), {"a": 3, "b": 4}])
+    assert count == 2
+    assert db.sizes() == {"R": 2}
+
+
+def test_scan_relation_with_binding():
+    db = Database({"R": ("a", "b")})
+    db.load("R", [(1, 10), (1, 20), (2, 30)])
+    assert len(list(db.scan_relation("R", {"a": 1}))) == 2
+    assert db.relation_columns("R") == ("a", "b")
+
+
+def test_memory_accounting_grows():
+    db = Database({"R": ("a",)})
+    before = db.memory_bytes()
+    db.load("R", [(i,) for i in range(50)])
+    assert db.memory_bytes() > before

@@ -1,0 +1,90 @@
+"""Tests for the incremental engine facade."""
+
+import pytest
+
+from repro.agca.builders import agg, cmp, prod, rel, val, vmul
+from repro.compiler.hoivm import compile_query
+from repro.delta.events import delete, insert
+from repro.errors import RuntimeEngineError
+from repro.runtime.engine import IncrementalEngine
+
+SCHEMAS = {"R": ("a", "b"), "S": ("b", "c"), "N": ("k", "label")}
+
+
+def join_program(**kwargs):
+    query = agg((), prod(rel("R", "a", "b"), rel("S", "b", "c"), val(vmul("a", "c"))))
+    return compile_query(query, SCHEMAS, name="Q", **kwargs)
+
+
+def test_engine_declares_all_maps():
+    engine = IncrementalEngine(join_program(static_relations=("N",)))
+    assert set(engine.map_sizes()) == set(engine.program.maps)
+
+
+def test_engine_applies_events_and_counts_them():
+    engine = IncrementalEngine(join_program(static_relations=("N",)))
+    engine.apply(insert("R", 2, 1))
+    engine.apply(insert("S", 1, 10))
+    assert engine.events_processed == 2
+    assert engine.scalar_result("Q") == 20
+
+
+def test_engine_rejects_non_stream_relations():
+    engine = IncrementalEngine(join_program(static_relations=("N",)))
+    with pytest.raises(RuntimeEngineError):
+        engine.apply(insert("N", 1, "x"))
+    with pytest.raises(RuntimeEngineError):
+        engine.apply(insert("Unknown", 1))
+
+
+def test_load_static_only_for_declared_static_relations():
+    engine = IncrementalEngine(join_program(static_relations=("N",)))
+    assert engine.load_static("N", [(1, "x"), (2, "y")]) == 2
+    with pytest.raises(RuntimeEngineError):
+        engine.load_static("R", [(1, 2)])
+
+
+def test_insert_then_delete_returns_to_zero_state():
+    engine = IncrementalEngine(join_program())
+    events = [insert("R", 2, 1), insert("S", 1, 10), insert("S", 1, 5), insert("R", 3, 1)]
+    for event in events:
+        engine.apply(event)
+    assert engine.scalar_result("Q") == 2 * 10 + 2 * 5 + 3 * 10 + 3 * 5
+    for event in reversed(events):
+        engine.apply(event.inverted())
+    assert engine.scalar_result("Q") == 0
+    # Auxiliary views are also back to empty.
+    assert all(size == 0 for size in engine.map_sizes().values())
+
+
+def test_view_and_result_dict_for_grouped_query():
+    query = agg(("b",), prod(rel("R", "a", "b"), rel("S", "b", "c")))
+    program = compile_query(query, SCHEMAS, name="ByB")
+    engine = IncrementalEngine(program)
+    engine.apply(insert("R", 1, 7))
+    engine.apply(insert("S", 7, 100))
+    engine.apply(insert("S", 7, 200))
+    assert engine.result_dict("ByB") == {(7,): 2}
+    assert engine.view("ByB")[{"b": 7}] == 2
+
+
+def test_unknown_view_name_raises():
+    engine = IncrementalEngine(join_program())
+    with pytest.raises(RuntimeEngineError):
+        engine.view("nope")
+
+
+def test_apply_many_and_memory_reporting():
+    engine = IncrementalEngine(join_program())
+    count = engine.apply_many([insert("R", i, i % 3) for i in range(20)])
+    assert count == 20
+    assert engine.memory_bytes() > 0
+    assert "materialized views" in engine.describe()
+
+
+def test_rep_engine_maintains_base_relations():
+    engine = IncrementalEngine(join_program(options="rep"))
+    engine.apply(insert("R", 2, 1))
+    engine.apply(insert("S", 1, 3))
+    assert engine.scalar_result("Q") == 6
+    assert engine.database.sizes().get("R") == 1

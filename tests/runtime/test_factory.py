@@ -1,0 +1,51 @@
+"""Tests for the strategy engine factories."""
+
+import pytest
+
+from repro.agca.builders import agg, prod, rel
+from repro.delta.events import insert
+from repro.errors import CompilationError
+from repro.runtime.factory import (
+    dbtoaster_engine,
+    engine_for_strategy,
+    ivm_engine,
+    naive_engine,
+    rep_engine,
+)
+
+SCHEMAS = {"R": ("a", "b"), "S": ("b", "c")}
+QUERY = agg((), prod(rel("R", "a", "b"), rel("S", "b", "c")))
+EVENTS = [insert("R", 1, 1), insert("S", 1, 5), insert("R", 2, 1), insert("S", 2, 6)]
+
+
+@pytest.mark.parametrize(
+    "factory", [dbtoaster_engine, ivm_engine, rep_engine, naive_engine]
+)
+def test_every_factory_builds_a_working_engine(factory):
+    engine = factory(QUERY, SCHEMAS)
+    for event in EVENTS:
+        engine.apply(event)
+    assert engine.scalar_result("Q") == 2
+
+
+def test_all_strategies_agree():
+    results = set()
+    for strategy in ("dbtoaster", "ivm", "rep", "naive"):
+        engine = engine_for_strategy(strategy, QUERY, SCHEMAS)
+        for event in EVENTS:
+            engine.apply(event)
+        results.add(engine.scalar_result("Q"))
+    assert results == {2}
+
+
+def test_strategy_programs_differ_in_structure():
+    smart = dbtoaster_engine(QUERY, SCHEMAS)
+    rep = rep_engine(QUERY, SCHEMAS)
+    assert smart.program.map_count() > rep.program.map_count()
+    assert rep.program.requires_base_relations() == {"R", "S"}
+    assert smart.program.requires_base_relations() == frozenset()
+
+
+def test_unknown_strategy_raises():
+    with pytest.raises(CompilationError):
+        engine_for_strategy("quantum", QUERY, SCHEMAS)

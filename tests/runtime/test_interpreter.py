@@ -1,0 +1,93 @@
+"""Tests for trigger-statement execution semantics."""
+
+from repro.agca.builders import agg, mapref, prod, rel, val, vmul
+from repro.compiler.program import (
+    ASSIGN,
+    INCREMENT,
+    MapDeclaration,
+    Statement,
+    Trigger,
+    TriggerProgram,
+)
+from repro.delta.events import INSERT, TriggerEvent, insert
+from repro.runtime.database import Database
+from repro.runtime.engine import IncrementalEngine
+from repro.runtime.interpreter import RuntimeSource, TriggerExecutor
+from repro.runtime.maps import MapStore
+
+
+def _program_with_statements(statements, maps, schemas, streams):
+    triggers = {}
+    for statement in statements:
+        trigger = triggers.setdefault(
+            f"{statement.event.kind}_{statement.event.relation.lower()}",
+            Trigger(statement.event.relation, statement.event.sign),
+        )
+        trigger.statements.append(statement)
+    return TriggerProgram(
+        roots={"Q": "Q"},
+        maps=maps,
+        triggers=triggers,
+        schemas=schemas,
+        stream_relations=streams,
+    )
+
+
+def test_increment_statement_adds_projected_rows():
+    event = TriggerEvent("R", INSERT, ("a", "b"), ("r_a", "r_b"))
+    maps = {
+        "Q": MapDeclaration("Q", ("r_a",), agg(("a",), rel("R", "a", "b"))),
+    }
+    statement = Statement(
+        target="Q", target_keys=("r_a",), operation=INCREMENT, expr=val("r_b"), event=event,
+    )
+    program = _program_with_statements([statement], maps, {"R": ("a", "b")}, ("R",))
+    engine = IncrementalEngine(program)
+    engine.apply(insert("R", 1, 10))
+    engine.apply(insert("R", 1, 5))
+    engine.apply(insert("R", 2, 7))
+    assert engine.result_dict("Q") == {(1,): 15, (2,): 7}
+
+
+def test_assign_statement_replaces_contents():
+    event = TriggerEvent("R", INSERT, ("a",), ("r_a",))
+    maps = {
+        "Q": MapDeclaration("Q", (), agg((), rel("R", "a"))),
+        "M": MapDeclaration("M", ("k",), agg(("k",), rel("R", "k")), level=1),
+    }
+    maintain_m = Statement(
+        target="M", target_keys=("r_a",), operation=INCREMENT, expr=val(1), event=event,
+        target_degree=1,
+    )
+    recompute_q = Statement(
+        target="Q", target_keys=(), operation=ASSIGN,
+        expr=agg((), prod(mapref("M", "k"), val(vmul("k", 2)))), event=event,
+    )
+    program = _program_with_statements(
+        [maintain_m, recompute_q], maps, {"R": ("a",)}, ("R",)
+    )
+    engine = IncrementalEngine(program)
+    engine.apply(insert("R", 3))
+    engine.apply(insert("R", 4))
+    # := statements run after += ones, so they see the refreshed M.
+    assert engine.scalar_result("Q") == 2 * (3 + 4)
+
+
+def test_runtime_source_combines_relations_and_maps():
+    database = Database({"R": ("a",)})
+    database.load("R", [(1,)])
+    maps = MapStore()
+    maps.declare("M", ("k",)).add((5,), 2)
+    source = RuntimeSource(database, maps)
+    assert source.relation_columns("R") == ("a",)
+    assert source.map_columns("M") == ("k",)
+    assert len(list(source.scan_relation("R", {}))) == 1
+    assert len(list(source.scan_map("M", {"k": 5}))) == 1
+
+
+def test_events_without_trigger_are_ignored():
+    maps = {"Q": MapDeclaration("Q", (), agg((), rel("R", "a")))}
+    program = _program_with_statements([], maps, {"R": ("a",), "S": ("b",)}, ("R", "S"))
+    engine = IncrementalEngine(program)
+    engine.apply(insert("S", 1))  # no trigger for S: a no-op, not an error
+    assert engine.scalar_result("Q") == 0

@@ -1,0 +1,158 @@
+"""Tests for the indexed map storage, the map store and view caches."""
+
+import pytest
+
+from repro.core.rows import Row
+from repro.errors import RuntimeEngineError
+from repro.runtime.maps import IndexedTable, MapStore, ViewCache
+
+
+def test_add_and_get_by_sequence_and_row():
+    table = IndexedTable(("k", "v"))
+    table.add((1, "x"), 2)
+    assert table.get((1, "x")) == 2
+    assert table.get(Row({"k": 1, "v": "x"})) == 2
+    assert table.get({"k": 1, "v": "x"}) == 2
+    assert table.get((9, "zz")) == 0
+
+
+def test_zero_entries_are_removed():
+    table = IndexedTable(("k",))
+    table.add((1,), 5)
+    table.add((1,), -5)
+    assert len(table) == 0
+    assert not table
+
+
+def test_add_arity_mismatch_raises():
+    table = IndexedTable(("k", "v"))
+    with pytest.raises(RuntimeEngineError):
+        table.add((1,), 1)
+
+
+def test_set_overwrites_and_removes_zero():
+    table = IndexedTable(("k",))
+    table.set((1,), 10)
+    assert table.get((1,)) == 10
+    table.set((1,), 0)
+    assert len(table) == 0
+
+
+def test_replace_swaps_contents():
+    table = IndexedTable(("k",))
+    table.add((1,), 1)
+    table.replace([((2,), 5), ((3,), 0), (Row({"k": 4}), 2)])
+    assert table.get((1,)) == 0
+    assert table.get((2,)) == 5
+    assert table.get((3,)) == 0
+    assert table.get((4,)) == 2
+
+
+def test_full_scan_and_fully_bound_scan():
+    table = IndexedTable(("a", "b"))
+    table.add((1, 1), 1)
+    table.add((1, 2), 2)
+    assert len(list(table.scan({}))) == 2
+    assert list(table.scan({"a": 1, "b": 2}))[0][1] == 2
+    assert list(table.scan({"a": 9, "b": 9})) == []
+
+
+def test_partially_bound_scan_uses_secondary_index():
+    table = IndexedTable(("a", "b"))
+    for a in range(5):
+        for b in range(4):
+            table.add((a, b), a * 10 + b)
+    results = dict(table.scan({"a": 3}))
+    assert len(results) == 4
+    assert all(row["a"] == 3 for row in results)
+    # The index must stay consistent under later updates.
+    table.add((3, 0), -(30))
+    assert len(dict(table.scan({"a": 3}))) == 3
+    table.add((3, 9), 1)
+    assert len(dict(table.scan({"a": 3}))) == 4
+
+
+def test_scan_on_unknown_column_raises():
+    table = IndexedTable(("a",))
+    table.add((1,), 1)
+    with pytest.raises(RuntimeEngineError):
+        list(table.scan({"zzz": 1}))
+
+
+def test_to_gmr_snapshot():
+    table = IndexedTable(("a",))
+    table.add((1,), 2)
+    snapshot = table.to_gmr()
+    table.add((1,), 1)
+    assert snapshot[{"a": 1}] == 2  # snapshots are independent of later updates
+
+
+def test_clear_and_memory_accounting():
+    table = IndexedTable(("a",))
+    table.add((1,), 1)
+    assert table.memory_bytes() > 0
+    table.clear()
+    assert len(table) == 0
+
+
+def test_mapstore_declare_is_idempotent():
+    store = MapStore()
+    first = store.declare("M", ("k",))
+    second = store.declare("M", ("k",))
+    assert first is second
+    assert "M" in store and "X" not in store
+    assert store.names() == ("M",)
+
+
+def test_mapstore_lookup_unknown_map_raises():
+    with pytest.raises(RuntimeEngineError):
+        MapStore().table("missing")
+
+
+def test_mapstore_datasource_protocol():
+    store = MapStore()
+    store.declare("M", ("k", "x"))
+    store.table("M").add((1, "a"), 3)
+    assert store.map_columns("M") == ("k", "x")
+    assert dict(store.scan_map("M", {"k": 1}))[Row({"k": 1, "x": "a"})] == 3
+    assert store.sizes() == {"M": 1}
+    assert store.memory_bytes() > 0
+
+
+def test_view_cache_lookup_computes_and_caches():
+    calls = []
+
+    def compute(bindings):
+        calls.append(dict(bindings))
+        return [(Row({"v": bindings["p"] * 10}), 1)]
+
+    cache = ViewCache(("p",), ("v",), compute)
+    first = cache.lookup({"p": 2})
+    again = cache.lookup({"p": 2})
+    other = cache.lookup({"p": 3})
+    assert first is again
+    assert first.get({"v": 20}) == 1
+    assert other.get({"v": 30}) == 1
+    assert cache.hits == 1 and cache.misses == 2
+    assert len(calls) == 2
+    assert len(cache) == 2
+    assert cache.memory_bytes() > 0
+
+
+def test_view_cache_update_all_refreshes_copies_without_invalidating():
+    cache = ViewCache(("p",), ("v",), lambda bindings: [(Row({"v": 0}), 1)])
+    cache.lookup({"p": 1})
+    cache.lookup({"p": 2})
+
+    def updater(bindings, table):
+        table.add((bindings["p"],), 1)
+
+    cache.update_all(updater)
+    assert cache.lookup({"p": 1}).get((1,)) == 1
+    assert cache.hits == 1  # the lookup after update_all is still a cache hit
+
+
+def test_view_cache_missing_input_variable_raises():
+    cache = ViewCache(("p",), ("v",), lambda bindings: [])
+    with pytest.raises(RuntimeEngineError):
+        cache.lookup({"other": 1})

@@ -1,0 +1,33 @@
+"""Tests for the schema catalog."""
+
+import pytest
+
+from repro.errors import SQLTranslationError
+from repro.sql.catalog import Catalog, TableSchema
+
+
+def test_from_dict_and_lookup_case_insensitive():
+    catalog = Catalog.from_dict({"Orders": ("OrderKey", "CustKey")}, static=())
+    assert "orders" in catalog and "ORDERS" in catalog
+    table = catalog.table("ORDERS")
+    assert table.columns == ("orderkey", "custkey")
+    assert table.has_column("ORDERKEY")
+
+
+def test_unknown_table_raises():
+    with pytest.raises(SQLTranslationError):
+        Catalog().table("missing")
+
+
+def test_static_and_stream_partition():
+    catalog = Catalog.from_dict(
+        {"Nation": ("k",), "Orders": ("o",)}, static=("Nation",)
+    )
+    assert catalog.static_relations() == ("Nation",)
+    assert catalog.stream_relations() == ("Orders",)
+
+
+def test_schemas_round_trip():
+    catalog = Catalog([TableSchema("R", ("a", "b")), TableSchema("S", ("c",), static=True)])
+    assert catalog.schemas() == {"R": ("a", "b"), "S": ("c",)}
+    assert len(list(catalog)) == 2

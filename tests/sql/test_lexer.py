@@ -1,0 +1,59 @@
+"""Tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql.lexer import Token, iter_statements, tokenize
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)]
+
+
+def test_basic_tokens():
+    tokens = tokenize("SELECT a, b FROM t WHERE a >= 1.5")
+    assert [t.kind for t in tokens[:3]] == ["KEYWORD", "IDENT", "COMMA"]
+    assert tokens[-1].kind == "EOF"
+    assert any(t.kind == "NUMBER" and t.text == "1.5" for t in tokens)
+    assert any(t.kind == "OP" and t.text == ">=" for t in tokens)
+
+
+def test_keywords_are_case_insensitive():
+    assert tokenize("select")[0].kind == "KEYWORD"
+    assert tokenize("SeLeCt")[0].kind == "KEYWORD"
+    assert tokenize("selector")[0].kind == "IDENT"
+
+
+def test_string_literals_with_escaped_quotes():
+    tokens = tokenize("SELECT 'it''s'")
+    strings = [t for t in tokens if t.kind == "STRING"]
+    assert strings and strings[0].text == "'it''s'"
+
+
+def test_comments_and_whitespace_are_skipped():
+    tokens = tokenize("SELECT a -- trailing comment\nFROM t")
+    assert all(t.kind != "COMMENT" for t in tokens)
+    assert len([t for t in tokens if t.kind == "KEYWORD"]) == 2
+
+
+def test_qualified_names_and_operators():
+    tokens = tokenize("o.custkey <> c.custkey")
+    assert [t.kind for t in tokens[:-1]] == ["IDENT", "DOT", "IDENT", "OP", "IDENT", "DOT", "IDENT"]
+
+
+def test_illegal_character_reports_position():
+    with pytest.raises(SQLSyntaxError) as excinfo:
+        tokenize("SELECT @a")
+    assert excinfo.value.position == 7
+
+
+def test_token_helpers():
+    token = Token("KEYWORD", "Select", 0)
+    assert token.upper == "SELECT"
+    assert token.is_keyword("select", "from")
+    assert not token.is_keyword("where")
+
+
+def test_iter_statements_splits_on_semicolons():
+    script = "SELECT 1 FROM t; \n SELECT 2 FROM u ;"
+    assert len(list(iter_statements(script))) == 2

@@ -1,0 +1,174 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql.ast import (
+    BetweenExpr,
+    BinaryOp,
+    CaseExpr,
+    ColumnRef,
+    ExistsExpr,
+    FuncCall,
+    InExpr,
+    LikeExpr,
+    Literal,
+    SubqueryExpr,
+    UnaryOp,
+)
+from repro.sql.parser import parse_sql
+
+
+def test_simple_select_with_aggregate_and_group_by():
+    query = parse_sql(
+        "SELECT l.returnflag, SUM(l.quantity) AS qty FROM Lineitem l GROUP BY l.returnflag"
+    )
+    assert len(query.select) == 2
+    assert query.select[1].alias == "qty"
+    assert isinstance(query.select[1].expr, FuncCall)
+    assert query.tables[0].table == "Lineitem" and query.tables[0].alias == "l"
+    assert query.group_by == [ColumnRef("returnflag", "l")]
+
+
+def test_table_alias_with_and_without_as():
+    query = parse_sql("SELECT COUNT(*) FROM Orders AS o, Lineitem li")
+    assert [t.alias for t in query.tables] == ["o", "li"]
+
+
+def test_count_star_and_distinct_flag():
+    query = parse_sql("SELECT COUNT(*) FROM R")
+    call = query.select[0].expr
+    assert call.star and not call.args
+    distinct = parse_sql("SELECT COUNT(DISTINCT a) FROM R").select[0].expr
+    assert distinct.distinct
+
+
+def test_where_with_boolean_precedence():
+    query = parse_sql("SELECT COUNT(*) FROM R WHERE a = 1 AND b = 2 OR c = 3")
+    assert isinstance(query.where, BinaryOp) and query.where.op == "or"
+    assert isinstance(query.where.left, BinaryOp) and query.where.left.op == "and"
+
+
+def test_arithmetic_precedence():
+    query = parse_sql("SELECT SUM(a + b * 2) FROM R")
+    expr = query.select[0].expr.args[0]
+    assert expr.op == "+" and expr.right.op == "*"
+
+
+def test_parenthesised_expressions():
+    query = parse_sql("SELECT SUM((a + b) * 2) FROM R")
+    expr = query.select[0].expr.args[0]
+    assert expr.op == "*" and expr.left.op == "+"
+
+
+def test_unary_minus():
+    expr = parse_sql("SELECT COUNT(*) FROM R WHERE a > -5").where
+    assert isinstance(expr.right, UnaryOp) and expr.right.op == "-"
+
+
+def test_between_and_not_between():
+    query = parse_sql("SELECT COUNT(*) FROM R WHERE a BETWEEN 1 AND 5 AND b NOT BETWEEN 2 AND 3")
+    left, right = query.where.left, query.where.right
+    assert isinstance(left, BetweenExpr)
+    assert isinstance(right, UnaryOp) and isinstance(right.operand, BetweenExpr)
+
+
+def test_in_literal_list_and_not_in():
+    query = parse_sql("SELECT COUNT(*) FROM R WHERE mode IN ('MAIL', 'SHIP') AND brand NOT IN ('X')")
+    assert isinstance(query.where.left, InExpr) and not query.where.left.negated
+    assert query.where.left.options == (Literal("MAIL"), Literal("SHIP"))
+    assert query.where.right.negated
+
+
+def test_in_subquery():
+    query = parse_sql("SELECT COUNT(*) FROM R WHERE k IN (SELECT k2 FROM S)")
+    assert isinstance(query.where, InExpr)
+    assert query.where.subquery is not None
+
+
+def test_like_and_not_like():
+    query = parse_sql("SELECT COUNT(*) FROM R WHERE name LIKE '%green%' AND t NOT LIKE 'PROMO%'")
+    assert isinstance(query.where.left, LikeExpr) and query.where.left.pattern == "%green%"
+    assert query.where.right.negated
+
+
+def test_exists_and_not_exists():
+    query = parse_sql(
+        "SELECT COUNT(*) FROM R WHERE EXISTS (SELECT a FROM S) AND NOT EXISTS (SELECT b FROM T)"
+    )
+    assert isinstance(query.where.left, ExistsExpr) and not query.where.left.negated
+    assert isinstance(query.where.right, ExistsExpr) and query.where.right.negated
+
+
+def test_scalar_subquery_in_comparison():
+    query = parse_sql("SELECT COUNT(*) FROM R WHERE a < (SELECT SUM(b) FROM S WHERE S.k = R.k)")
+    assert isinstance(query.where.right, SubqueryExpr)
+
+
+def test_searched_case_expression():
+    query = parse_sql(
+        "SELECT SUM(CASE WHEN a > 1 THEN b ELSE 0 END) FROM R"
+    )
+    case = query.select[0].expr.args[0]
+    assert isinstance(case, CaseExpr)
+    assert case.default == Literal(0)
+
+
+def test_simple_case_expression_is_desugared_to_equalities():
+    query = parse_sql("SELECT SUM(CASE kind WHEN 'A' THEN 1 ELSE 0 END) FROM R")
+    case = query.select[0].expr.args[0]
+    condition, _ = case.branches[0]
+    assert isinstance(condition, BinaryOp) and condition.op == "="
+
+
+def test_date_literal_is_a_string_literal():
+    query = parse_sql("SELECT COUNT(*) FROM R WHERE d >= DATE('1994-01-01')")
+    assert query.where.right == Literal("1994-01-01")
+
+
+def test_function_call_with_multiple_arguments():
+    query = parse_sql("SELECT SUM(vec_length(x, y, z)) FROM R")
+    call = query.select[0].expr.args[0]
+    assert isinstance(call, FuncCall) and call.name == "vec_length" and len(call.args) == 3
+
+
+def test_select_star_flag():
+    query = parse_sql("SELECT * FROM R WHERE a = 1")
+    assert query.select_star and query.select == []
+
+
+def test_missing_from_is_an_error():
+    with pytest.raises(SQLSyntaxError):
+        parse_sql("SELECT 1")
+
+
+def test_order_by_and_having_are_rejected():
+    with pytest.raises(SQLSyntaxError):
+        parse_sql("SELECT a FROM R ORDER BY a")
+    with pytest.raises(SQLSyntaxError):
+        parse_sql("SELECT a FROM R GROUP BY a HAVING COUNT(*) > 1")
+
+
+def test_from_subquery_is_rejected():
+    with pytest.raises(SQLSyntaxError):
+        parse_sql("SELECT x FROM (SELECT a AS x FROM R) sub")
+
+
+def test_is_null_is_rejected():
+    with pytest.raises(SQLSyntaxError):
+        parse_sql("SELECT COUNT(*) FROM R WHERE a IS NULL")
+
+
+def test_trailing_garbage_is_rejected():
+    with pytest.raises(SQLSyntaxError):
+        parse_sql("SELECT COUNT(*) FROM R extra nonsense ,")
+
+
+def test_case_without_branches_is_rejected():
+    with pytest.raises(SQLSyntaxError):
+        parse_sql("SELECT SUM(CASE ELSE 1 END) FROM R")
+
+
+def test_semicolon_terminated_statement():
+    query = parse_sql("SELECT COUNT(*) FROM R;")
+    assert query.tables[0].table == "R"

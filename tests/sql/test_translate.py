@@ -1,0 +1,225 @@
+"""Tests for the SQL -> AGCA translation."""
+
+import pytest
+
+from repro.agca.ast import Cmp, Lift, Relation
+from repro.agca.evaluator import Evaluator
+from repro.agca.printer import to_string
+from repro.agca.schema import input_variables, output_variables
+from repro.core.gmr import GMR
+from repro.errors import SQLTranslationError
+from repro.runtime.database import Database
+from repro.sql import Catalog, parse_sql_query
+
+CATALOG = Catalog.from_dict(
+    {
+        "R": ("k", "grp", "x"),
+        "S": ("k", "y"),
+        "Nation": ("k", "label"),
+    },
+    static=("Nation",),
+)
+
+
+def evaluate_roots(translated, tables):
+    db = Database(translated.schemas())
+    for name, rows in tables.items():
+        db.load(name, rows)
+    evaluator = Evaluator(db)
+    return {name: evaluator.evaluate(expr) for name, expr in translated.roots().items()}
+
+
+def test_single_sum_aggregate_with_group_by():
+    translated = parse_sql_query(
+        "SELECT r.grp, SUM(r.x) AS total FROM R r GROUP BY r.grp", CATALOG, name="T"
+    )
+    assert list(translated.roots()) == ["T_total"]
+    assert translated.group_vars == ("r_grp",)
+    assert output_variables(translated.roots()["T_total"]) == {"r_grp"}
+    results = evaluate_roots(translated, {"R": [(1, "a", 10), (2, "a", 5), (3, "b", 1)]})
+    assert results["T_total"][{"r_grp": "a"}] == 15
+
+
+def test_count_star_and_avg_expand_to_two_maps():
+    translated = parse_sql_query(
+        "SELECT COUNT(*) AS n, AVG(r.x) AS mean FROM R r", CATALOG, name="T"
+    )
+    names = set(translated.roots())
+    assert "T_n" in names
+    assert {"T_mean_sum", "T_mean_cnt"} <= names
+    derived = [c for c in translated.outputs if c.kind == "derived"]
+    assert [c.name for c in derived] == ["mean"]
+
+
+def test_join_condition_becomes_shared_variable_or_condition():
+    translated = parse_sql_query(
+        "SELECT SUM(r.x) AS total FROM R r, S s WHERE r.k = s.k", CATALOG, name="T"
+    )
+    root = translated.roots()["T_total"]
+    results = evaluate_roots(
+        translated, {"R": [(1, "a", 10), (2, "a", 7)], "S": [(1, 0), (1, 1), (3, 0)]}
+    )
+    assert results["T_total"].scalar_value() == 20
+
+
+def test_where_constant_filter_and_like():
+    translated = parse_sql_query(
+        "SELECT SUM(r.x) AS total FROM R r WHERE r.grp = 'a' AND r.grp LIKE 'a%'",
+        CATALOG,
+        name="T",
+    )
+    results = evaluate_roots(translated, {"R": [(1, "a", 10), (2, "b", 5)]})
+    assert results["T_total"].scalar_value() == 10
+
+
+def test_or_condition_does_not_double_count():
+    translated = parse_sql_query(
+        "SELECT COUNT(*) AS n FROM R r WHERE r.x > 0 OR r.grp = 'a'", CATALOG, name="T"
+    )
+    results = evaluate_roots(
+        translated, {"R": [(1, "a", 10), (2, "b", 5), (3, "a", -1), (4, "b", -2)]}
+    )
+    # Rows 1 (both true), 2 (x>0), 3 (grp=a): row 1 must count once only.
+    assert results["T_n"].scalar_value() == 3
+
+
+def test_in_list_and_between():
+    translated = parse_sql_query(
+        "SELECT COUNT(*) AS n FROM R r WHERE r.grp IN ('a', 'c') AND r.x BETWEEN 1 AND 10",
+        CATALOG,
+        name="T",
+    )
+    results = evaluate_roots(
+        translated, {"R": [(1, "a", 5), (2, "c", 50), (3, "b", 5), (4, "a", 10)]}
+    )
+    assert results["T_n"].scalar_value() == 2
+
+
+def test_case_expression_in_aggregate():
+    translated = parse_sql_query(
+        "SELECT SUM(CASE WHEN r.grp = 'a' THEN r.x ELSE 0 END) AS only_a FROM R r",
+        CATALOG,
+        name="T",
+    )
+    results = evaluate_roots(translated, {"R": [(1, "a", 5), (2, "b", 100)]})
+    assert results["T_only_a"].scalar_value() == 5
+
+
+def test_correlated_scalar_subquery_has_no_free_inputs_overall():
+    translated = parse_sql_query(
+        """
+        SELECT SUM(r.x) AS total FROM R r
+        WHERE r.x < (SELECT SUM(s.y) FROM S s WHERE s.k = r.k)
+        """,
+        CATALOG,
+        name="T",
+    )
+    root = translated.roots()["T_total"]
+    assert not input_variables(root)
+    from repro.agca.ast import walk
+
+    assert any(isinstance(node, Lift) for node in walk(root))
+    results = evaluate_roots(
+        translated,
+        {"R": [(1, "a", 3), (2, "a", 99)], "S": [(1, 10), (2, 5)]},
+    )
+    assert results["T_total"].scalar_value() == 3
+
+
+def test_exists_and_not_exists_translation():
+    translated = parse_sql_query(
+        """
+        SELECT COUNT(*) AS n FROM R r
+        WHERE EXISTS (SELECT s.k FROM S s WHERE s.k = r.k)
+          AND NOT EXISTS (SELECT s2.k FROM S s2 WHERE s2.k = r.x)
+        """,
+        CATALOG,
+        name="T",
+    )
+    results = evaluate_roots(
+        translated, {"R": [(1, "a", 77), (2, "a", 1)], "S": [(1, 0), (2, 0)]}
+    )
+    # Row (1): exists k=1 yes, not-exists on x=77 yes -> counted.
+    # Row (2): exists yes, but x=1 appears in S -> excluded.
+    assert results["T_n"].scalar_value() == 1
+
+
+def test_in_subquery_translation():
+    translated = parse_sql_query(
+        "SELECT COUNT(*) AS n FROM R r WHERE r.k IN (SELECT s.k FROM S s WHERE s.y > 0)",
+        CATALOG,
+        name="T",
+    )
+    results = evaluate_roots(
+        translated, {"R": [(1, "a", 0), (2, "a", 0), (3, "a", 0)], "S": [(1, 5), (2, 0)]}
+    )
+    assert results["T_n"].scalar_value() == 1
+
+
+def test_static_tables_flow_through_catalog():
+    translated = parse_sql_query(
+        "SELECT SUM(r.x) AS total FROM R r, Nation n WHERE r.k = n.k AND n.label = 'DE'",
+        CATALOG,
+        name="T",
+    )
+    assert translated.static_relations() == ("Nation",)
+
+
+def test_non_aggregate_query_becomes_multiplicity_map():
+    translated = parse_sql_query(
+        "SELECT r.k, r.grp FROM R r WHERE r.x > 0", CATALOG, name="T"
+    )
+    (root_name,) = translated.roots()
+    root = translated.roots()[root_name]
+    assert output_variables(root) == {"r_k", "r_grp"}
+    results = evaluate_roots(translated, {"R": [(1, "a", 5), (1, "a", 3), (2, "b", -1)]})
+    assert results[root_name][{"r_k": 1, "r_grp": "a"}] == 2
+
+
+def test_derived_output_combining_two_aggregates():
+    translated = parse_sql_query(
+        "SELECT 100 * SUM(r.x) / LISTMAX(1, COUNT(*)) AS avg_pct FROM R r", CATALOG, name="T"
+    )
+    assert len(translated.roots()) == 2
+    derived = [c for c in translated.outputs if c.kind == "derived"]
+    assert len(derived) == 1
+
+
+def test_alias_resolution_errors():
+    with pytest.raises(SQLTranslationError):
+        parse_sql_query("SELECT SUM(z.x) AS t FROM R r", CATALOG)
+    with pytest.raises(SQLTranslationError):
+        parse_sql_query("SELECT SUM(r.nosuch) AS t FROM R r", CATALOG)
+    with pytest.raises(SQLTranslationError):
+        parse_sql_query("SELECT SUM(k) AS t FROM R r, S s", CATALOG)  # ambiguous
+
+
+def test_unsupported_features_raise_translation_errors():
+    with pytest.raises(SQLTranslationError):
+        parse_sql_query("SELECT MIN(r.x) AS m FROM R r", CATALOG)
+    with pytest.raises(SQLTranslationError):
+        parse_sql_query("SELECT COUNT(DISTINCT r.x) AS m FROM R r", CATALOG)
+    with pytest.raises(SQLTranslationError):
+        parse_sql_query("SELECT * FROM R r", CATALOG)
+    with pytest.raises(SQLTranslationError):
+        parse_sql_query("SELECT r.k, SUM(r.x) AS t FROM R r", CATALOG)  # k not grouped
+    with pytest.raises(SQLTranslationError):
+        parse_sql_query(
+            "SELECT COUNT(*) AS n FROM R r WHERE r.x > 0 OR EXISTS (SELECT s.k FROM S s)",
+            CATALOG,
+        )
+
+
+def test_duplicate_alias_rejected():
+    with pytest.raises(SQLTranslationError):
+        parse_sql_query("SELECT COUNT(*) AS n FROM R r, S r", CATALOG)
+
+
+def test_self_join_aliases_get_distinct_variables():
+    translated = parse_sql_query(
+        "SELECT SUM(a.x) AS t FROM R a, R b WHERE a.k = b.k", CATALOG, name="T"
+    )
+    root = translated.roots()["T_t"]
+    atoms = [n.columns for n in __import__("repro.agca.ast", fromlist=["walk"]).walk(root) if isinstance(n, Relation)]
+    assert len(atoms) == 2
+    assert atoms[0] != atoms[1]

@@ -1,0 +1,65 @@
+"""Tests for reconstructing SQL result rows from engine views."""
+
+import pytest
+
+from repro.compiler.hoivm import compile_query
+from repro.delta.events import insert
+from repro.runtime.engine import IncrementalEngine
+from repro.sql import Catalog, QueryView, parse_sql_query
+
+CATALOG = Catalog.from_dict({"R": ("k", "grp", "x")})
+
+
+def build(sql, name="T"):
+    translated = parse_sql_query(sql, CATALOG, name=name)
+    program = compile_query(translated.roots(), translated.schemas())
+    engine = IncrementalEngine(program)
+    return translated, engine
+
+
+def test_rows_with_group_and_aggregate_columns():
+    translated, engine = build("SELECT r.grp, SUM(r.x) AS total FROM R r GROUP BY r.grp")
+    for event in [insert("R", 1, "a", 10), insert("R", 2, "a", 5), insert("R", 3, "b", 1)]:
+        engine.apply(event)
+    view = QueryView(translated, engine)
+    rows = {row["grp"]: row["total"] for row in view.rows()}
+    assert rows == {"a": 15, "b": 1}
+    assert view.as_dict() == {("a",): 15, ("b",): 1}
+
+
+def test_derived_avg_output():
+    translated, engine = build("SELECT r.grp, AVG(r.x) AS mean FROM R r GROUP BY r.grp")
+    for event in [insert("R", 1, "a", 10), insert("R", 2, "a", 20)]:
+        engine.apply(event)
+    view = QueryView(translated, engine)
+    assert view.as_dict(value_column="mean") == {("a",): 15}
+
+
+def test_scalar_query_view():
+    translated, engine = build("SELECT SUM(r.x) AS total FROM R r")
+    view = QueryView(translated, engine)
+    assert view.scalar() == 0  # empty database
+    engine.apply(insert("R", 1, "a", 42))
+    assert view.scalar() == 42
+    assert view.scalar("total") == 42
+
+
+def test_scalar_with_multiple_value_columns_requires_name():
+    translated, engine = build("SELECT SUM(r.x) AS s, COUNT(*) AS c FROM R r")
+    engine.apply(insert("R", 1, "a", 5))
+    view = QueryView(translated, engine)
+    from repro.errors import RuntimeEngineError
+
+    with pytest.raises(RuntimeEngineError):
+        view.scalar()
+    assert view.scalar("c") == 1
+
+
+def test_multi_value_as_dict_returns_nested_mapping():
+    translated, engine = build(
+        "SELECT r.grp, SUM(r.x) AS s, COUNT(*) AS c FROM R r GROUP BY r.grp"
+    )
+    engine.apply(insert("R", 1, "a", 5))
+    engine.apply(insert("R", 2, "a", 6))
+    view = QueryView(translated, engine)
+    assert view.as_dict() == {("a",): {"s": 11, "c": 2}}

@@ -1,0 +1,54 @@
+"""Tests for CSV/row stream adapters."""
+
+import pytest
+
+from repro.delta.events import DELETE, insert
+from repro.errors import WorkloadError
+from repro.streams.adapters import events_from_csv, events_from_rows, write_events_csv
+
+
+def test_events_from_sequences():
+    events = list(events_from_rows("R", [(1, "x"), (2, "y")]))
+    assert [e.values for e in events] == [(1, "x"), (2, "y")]
+    assert all(e.relation == "R" and e.sign == 1 for e in events)
+
+
+def test_events_from_mappings_requires_columns():
+    rows = [{"a": 1, "b": 2}]
+    events = list(events_from_rows("R", rows, columns=("b", "a")))
+    assert events[0].values == (2, 1)
+    with pytest.raises(WorkloadError):
+        list(events_from_rows("R", rows))
+
+
+def test_events_from_rows_delete_sign():
+    events = list(events_from_rows("R", [(1,)], sign=DELETE))
+    assert events[0].sign == DELETE
+
+
+def test_csv_round_trip(tmp_path):
+    path = tmp_path / "stream.csv"
+    events = [insert("R", 1, "x", 2.5), insert("S", 2, "comma, inside", 3)]
+    events.append(events[0].inverted())
+    count = write_events_csv(path, events)
+    assert count == 3
+    loaded = list(events_from_csv(path))
+    assert loaded == events
+
+
+def test_csv_value_types_are_restored(tmp_path):
+    path = tmp_path / "stream.csv"
+    write_events_csv(path, [insert("R", 7, 2.5, "text")])
+    (event,) = list(events_from_csv(path))
+    assert event.values == (7, 2.5, "text")
+    assert isinstance(event.values[0], int) and isinstance(event.values[1], float)
+
+
+def test_malformed_csv_rows_raise(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("insert\n")
+    with pytest.raises(WorkloadError):
+        list(events_from_csv(path))
+    path.write_text("upsert,R,1\n")
+    with pytest.raises(WorkloadError):
+        list(events_from_csv(path))

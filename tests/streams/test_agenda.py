@@ -1,0 +1,52 @@
+"""Tests for the agenda (replayable update stream)."""
+
+from repro.delta.events import delete, insert
+from repro.streams.agenda import Agenda
+
+
+def test_append_assigns_sequence_numbers():
+    agenda = Agenda()
+    first = agenda.insert_row("R", 1)
+    second = agenda.delete_row("R", 1)
+    assert first.sequence == 0 and second.sequence == 1
+    assert first.kind == "insert" and second.kind == "delete"
+    assert len(agenda) == 2
+
+
+def test_iteration_yields_events_in_order():
+    events = [insert("R", 1), insert("S", 2), delete("R", 1)]
+    agenda = Agenda(events)
+    assert list(agenda) == events
+    assert agenda.events() == events
+
+
+def test_indexing_and_slicing():
+    agenda = Agenda([insert("R", i) for i in range(5)])
+    assert agenda[0] == insert("R", 0)
+    assert agenda[1:3] == [insert("R", 1), insert("R", 2)]
+
+
+def test_prefix_copies_the_first_events():
+    agenda = Agenda([insert("R", i) for i in range(10)])
+    prefix = agenda.prefix(3)
+    assert len(prefix) == 3
+    assert prefix.events() == agenda.events()[:3]
+
+
+def test_relations_and_counts():
+    agenda = Agenda([insert("R", 1), insert("R", 2), delete("R", 1), insert("S", 1)])
+    assert agenda.relations() == {"R", "S"}
+    counts = agenda.counts()
+    assert counts["R"] == {"insert": 2, "delete": 1}
+    assert counts["S"] == {"insert": 1, "delete": 0}
+
+
+def test_extend_and_entries():
+    agenda = Agenda()
+    agenda.extend([insert("R", 1), insert("R", 2)])
+    assert [entry.relation for entry in agenda.entries()] == ["R", "R"]
+
+
+def test_replayability_multiple_iterations_see_same_events():
+    agenda = Agenda([insert("R", i) for i in range(4)])
+    assert list(agenda) == list(agenda)

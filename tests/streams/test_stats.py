@@ -1,0 +1,24 @@
+"""Tests for stream statistics."""
+
+from repro.delta.events import delete, insert
+from repro.streams.stats import StreamStats, summarize_stream
+
+
+def test_summarize_counts_inserts_and_deletes():
+    stats = summarize_stream([insert("R", 1), insert("R", 2), delete("R", 1), insert("S", 1)])
+    assert stats.total == 4
+    assert stats.inserts == 3 and stats.deletes == 1
+    assert stats.per_relation == {"R": 3, "S": 1}
+    assert stats.delete_fraction == 0.25
+
+
+def test_peak_live_tuples_tracks_maximum():
+    events = [insert("R", 1), insert("R", 2), insert("R", 3), delete("R", 1), insert("R", 4)]
+    stats = summarize_stream(events)
+    assert stats.peak_live_tuples["R"] == 3
+
+
+def test_empty_stream():
+    stats = summarize_stream([])
+    assert stats == StreamStats()
+    assert stats.delete_fraction == 0.0

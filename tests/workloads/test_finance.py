@@ -1,0 +1,67 @@
+"""Tests for the financial workload (order-book generator and queries)."""
+
+import pytest
+
+from repro.streams.stats import summarize_stream
+from repro.workloads.finance import (
+    FINANCE_QUERIES,
+    OrderBookGenerator,
+    finance_catalog,
+    finance_query,
+)
+from repro.workloads.finance.orderbook import order_book_stream
+from repro.errors import WorkloadError
+
+
+def test_catalog_has_bids_and_asks_streams():
+    catalog = finance_catalog()
+    assert set(catalog.schemas()) == {"Bids", "Asks"}
+    assert catalog.static_relations() == ()
+    assert catalog.table("Bids").columns == ("t", "id", "broker_id", "volume", "price")
+
+
+def test_generator_is_deterministic_per_seed():
+    first = list(OrderBookGenerator(seed=3).events(100))
+    second = list(OrderBookGenerator(seed=3).events(100))
+    other = list(OrderBookGenerator(seed=4).events(100))
+    assert first == second
+    assert first != other
+
+
+def test_generator_produces_requested_count_and_mix():
+    agenda = order_book_stream(events=400, seed=1)
+    assert len(agenda) == 400
+    stats = summarize_stream(agenda)
+    assert stats.deletes > 0
+    assert set(stats.per_relation) <= {"Bids", "Asks"}
+
+
+def test_deletions_only_remove_live_orders():
+    events = list(OrderBookGenerator(seed=5, delete_fraction=0.4).events(300))
+    live = set()
+    for event in events:
+        key = (event.relation, event.values)
+        if event.sign > 0:
+            live.add(key)
+        else:
+            assert key in live
+            live.remove(key)
+
+
+def test_invalid_delete_fraction_rejected():
+    with pytest.raises(WorkloadError):
+        OrderBookGenerator(delete_fraction=1.5)
+
+
+def test_every_finance_query_parses_and_translates():
+    for name in FINANCE_QUERIES:
+        translated = finance_query(name)
+        assert translated.roots(), name
+        assert translated.name == name
+
+
+def test_registry_exposes_all_six_queries():
+    from repro.workloads import all_workloads
+
+    names = {name for name, spec in all_workloads().items() if spec.family == "finance"}
+    assert names == {"AXF", "BSP", "BSV", "MST", "PSP", "VWAP"}

@@ -1,0 +1,53 @@
+"""Tests for the molecular-dynamics workload."""
+
+from repro.workloads.mddb import (
+    MDDB_QUERIES,
+    MDDBGenerator,
+    mddb_catalog,
+    mddb_query,
+    mddb_static_tables,
+    mddb_stream,
+)
+
+
+def test_catalog_declares_positions_stream_and_static_metadata():
+    catalog = mddb_catalog()
+    assert set(catalog.stream_relations()) == {"AtomPositions"}
+    assert set(catalog.static_relations()) == {"AtomMeta", "Dihedrals"}
+
+
+def test_static_tables_contain_query_relevant_residues():
+    tables = mddb_static_tables(atoms=40, seed=1)
+    residues = {(row[1], row[2]) for row in tables["AtomMeta"]}
+    assert ("LYS", "NZ") in residues or ("TIP3", "OH2") in residues
+    assert all(len(row) == 4 for row in tables["Dihedrals"])
+
+
+def test_stream_is_deterministic_and_only_insertions():
+    first = list(MDDBGenerator(seed=2).events(200))
+    second = list(MDDBGenerator(seed=2).events(200))
+    assert first == second
+    assert all(event.sign > 0 and event.relation == "AtomPositions" for event in first)
+
+
+def test_positions_stay_inside_the_box():
+    generator = MDDBGenerator(atoms=10, seed=3, box_size=20.0)
+    for event in generator.events(300):
+        _, _, _, x, y, z = event.values
+        assert 0.0 <= x <= 20.0 and 0.0 <= y <= 20.0 and 0.0 <= z <= 20.0
+
+
+def test_stream_factory_honours_event_count():
+    assert len(mddb_stream(events=123)) == 123
+
+
+def test_both_queries_parse_and_translate():
+    for name in MDDB_QUERIES:
+        translated = mddb_query(name)
+        assert translated.roots(), name
+
+
+def test_registry_contains_mddb_queries():
+    from repro.workloads import all_workloads
+
+    assert {n for n, s in all_workloads().items() if s.family == "mddb"} == set(MDDB_QUERIES)
