@@ -1,0 +1,58 @@
+"""Scale-out: throughput of batched and partitioned execution.
+
+The benchmark behind the `python -m repro.bench batch` sweep: replay the same
+TPC-H agenda through the per-event engine and through delta-batched execution
+at growing batch sizes.  The expected shape is monotone improvement with the
+batch size on linear views (Q1/Q6), flattening once per-batch overhead is
+amortized; batched execution at size >= 100 should sustain at least ~2x the
+per-event refresh rate.  The partitioned case exercises routing plus
+merge-on-read on the co-partitioned Orders/Lineitem scheme.
+"""
+
+import pytest
+
+from conftest import prepared_run, replay
+
+EVENTS = 1500
+
+BATCH_CASES = [
+    ("Q1", 1),
+    ("Q1", 10),
+    ("Q1", 100),
+    ("Q6", 100),
+    ("Q3", 100),
+]
+
+
+@pytest.mark.parametrize("query,batch_size", BATCH_CASES)
+def test_batched_throughput(benchmark, query, batch_size):
+    build, stream = prepared_run(query, "dbtoaster-batch", EVENTS, batch_size=batch_size)
+
+    def target():
+        return replay(build(), stream)
+
+    processed = benchmark.pedantic(target, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        query=query, strategy="dbtoaster-batch", batch_size=batch_size, events=processed
+    )
+    assert processed == EVENTS
+
+
+@pytest.mark.parametrize("query,partitions", [("Q1", 2), ("Q1", 4), ("Q3", 4)])
+def test_partitioned_throughput(benchmark, query, partitions):
+    build, stream = prepared_run(
+        query, "dbtoaster-par", EVENTS, partitions=partitions, batch_size=100
+    )
+
+    def target():
+        engine = build()
+        try:
+            return replay(engine, stream)
+        finally:
+            engine.close()
+
+    processed = benchmark.pedantic(target, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        query=query, strategy="dbtoaster-par", partitions=partitions, events=processed
+    )
+    assert processed == EVENTS

@@ -20,7 +20,7 @@ from repro.bench.strategies import build_engine  # noqa: E402
 from repro.workloads import workload  # noqa: E402
 
 
-def prepared_run(query_name: str, strategy: str, events: int, seed: int = 7):
+def prepared_run(query_name: str, strategy: str, events: int, seed: int = 7, **config):
     """Build (engine factory, agenda, static tables) for one benchmark case."""
     spec = workload(query_name)
     translated = spec.query_factory()
@@ -28,7 +28,7 @@ def prepared_run(query_name: str, strategy: str, events: int, seed: int = 7):
     static = spec.static_tables(seed=seed) if spec.static_factory else {}
 
     def build():
-        engine = build_engine(strategy, translated)
+        engine = build_engine(strategy, translated, **config)
         for relation, rows in static.items():
             engine.load_static(relation, rows)
         return engine
@@ -40,6 +40,8 @@ def replay(engine, events) -> int:
     """Apply every event; returns the number processed (the benchmark payload)."""
     for event in events:
         engine.apply(event)
+    if hasattr(engine, "flush"):
+        engine.flush()
     return len(events)
 
 

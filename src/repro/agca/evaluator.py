@@ -156,14 +156,37 @@ class Evaluator:
 
     def __init__(self, source: DataSource) -> None:
         self._source = source
-        # Per-expression free-variable cache used for context-projection memoization.
-        self._free_vars: dict[int, frozenset[str]] = {}
+        # Per-expression free-variable cache used for context-projection
+        # memoization.  The cache is keyed by id(expr), so each entry must also
+        # hold a strong reference to the expression: without it a temporary
+        # tree can be garbage-collected and a *different* expression allocated
+        # at the same address would inherit a stale (wrong) variable set,
+        # silently corrupting the memo keys below.  Pinning entries makes the
+        # cache grow with every distinct tree evaluated, so it is cleared once
+        # it exceeds a bound (stale ids cannot survive the clear).
+        self._free_vars: dict[int, tuple[Expr, frozenset[str]]] = {}
+
+    #: Entry bound on the free-variable cache before it is reset wholesale.
+    _FREE_VARS_LIMIT = 8192
 
     # -- public API -----------------------------------------------------------
-    def evaluate(self, expr: Expr, context: Mapping[str, Any] | None = None) -> GMR:
-        """Evaluate ``expr`` under ``context`` and return the result GMR."""
+    def evaluate(
+        self,
+        expr: Expr,
+        context: Mapping[str, Any] | None = None,
+        memo: dict | None = None,
+    ) -> GMR:
+        """Evaluate ``expr`` under ``context`` and return the result GMR.
+
+        ``memo`` optionally supplies an externally owned memo table so several
+        evaluations of the same expression under different contexts (as in
+        batched trigger execution) can share the results of context-independent
+        subexpressions.  Memo keys include the relevant context projection, so
+        sharing is always safe while the expression objects stay alive.
+        """
         ctx = dict(context or {})
-        memo: dict[tuple[int, Row], GMR] = {}
+        if memo is None:
+            memo = {}
         return self._eval(expr, ctx, memo)
 
     def evaluate_scalar(self, expr: Expr, context: Mapping[str, Any] | None = None) -> Any:
@@ -174,10 +197,12 @@ class Evaluator:
     def _relevant(self, expr: Expr) -> frozenset[str]:
         key = id(expr)
         cached = self._free_vars.get(key)
-        if cached is None:
-            cached = free_variables(expr)
+        if cached is None or cached[0] is not expr:
+            if len(self._free_vars) >= self._FREE_VARS_LIMIT:
+                self._free_vars.clear()
+            cached = (expr, free_variables(expr))
             self._free_vars[key] = cached
-        return cached
+        return cached[1]
 
     def _eval(self, expr: Expr, ctx: dict[str, Any], memo: dict) -> GMR:
         relevant = self._relevant(expr)

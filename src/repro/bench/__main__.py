@@ -17,6 +17,19 @@ Scaling experiment (Figure 11)::
 Workload feature table (Figure 2)::
 
     python -m repro.bench features
+
+Throughput versus batch size (scale-out subsystem)::
+
+    python -m repro.bench batch --query Q1 --batch-sizes 1 10 100 1000
+
+Compare the scale-out strategies against per-event HO-IVM::
+
+    python -m repro.bench rates --queries Q1 --strategies dbtoaster \
+        dbtoaster-batch dbtoaster-par --batch-size 100 --partitions 4
+
+Per-map / per-partition memory statistics::
+
+    python -m repro.bench stats Q3 --strategy dbtoaster-par --partitions 4
 """
 
 from __future__ import annotations
@@ -24,6 +37,8 @@ from __future__ import annotations
 import argparse
 
 from repro.bench.report import (
+    format_batch_sweep,
+    format_engine_statistics,
     format_feature_table,
     format_refresh_rate_table,
     format_scaling_table,
@@ -31,8 +46,11 @@ from repro.bench.report import (
     format_trace,
 )
 from repro.bench.scenarios import (
+    DEFAULT_BATCH_SIZES,
     DEFAULT_STRATEGIES,
     run_ablation,
+    run_batch_size_sweep,
+    run_engine_statistics,
     run_refresh_rate_table,
     run_scaling,
     run_trace_figure,
@@ -53,6 +71,12 @@ def _build_parser() -> argparse.ArgumentParser:
     rates.add_argument("--strategies", nargs="*", default=list(DEFAULT_STRATEGIES))
     rates.add_argument("--events", type=int, default=1500)
     rates.add_argument("--budget", type=float, default=5.0, help="seconds per (query, strategy) run")
+    rates.add_argument("--batch-size", type=int, default=None,
+                       help="delta batch size for the dbtoaster-batch/-par strategies")
+    rates.add_argument("--partitions", type=int, default=None,
+                       help="partition count for the dbtoaster-par strategy")
+    rates.add_argument("--backend", choices=["sequential", "process"], default=None,
+                       help="executor backend for the dbtoaster-par strategy")
 
     trace = sub.add_parser("trace", help="Figures 8-10: time/rate/memory trace for one query")
     trace.add_argument("query")
@@ -69,6 +93,20 @@ def _build_parser() -> argparse.ArgumentParser:
     ablation = sub.add_parser("ablation", help="Effect of individual compiler heuristics")
     ablation.add_argument("query")
     ablation.add_argument("--events", type=int, default=1200)
+
+    batch = sub.add_parser("batch", help="Scale-out: throughput versus delta batch size")
+    batch.add_argument("--query", default="Q1")
+    batch.add_argument("--batch-sizes", nargs="*", type=int, default=list(DEFAULT_BATCH_SIZES))
+    batch.add_argument("--events", type=int, default=3000)
+    batch.add_argument("--budget", type=float, default=10.0)
+
+    stats = sub.add_parser("stats", help="Per-map / per-partition memory statistics")
+    stats.add_argument("query")
+    stats.add_argument("--strategy", default="dbtoaster")
+    stats.add_argument("--events", type=int, default=1000)
+    stats.add_argument("--batch-size", type=int, default=None)
+    stats.add_argument("--partitions", type=int, default=None)
+    stats.add_argument("--backend", choices=["sequential", "process"], default=None)
 
     sub.add_parser("features", help="Figure 2: workload features and compiled-program stats")
     sub.add_parser("list", help="List the available workload queries")
@@ -89,6 +127,11 @@ def main(argv: list[str] | None = None) -> int:
             strategies=tuple(args.strategies),
             events=args.events,
             max_seconds_per_run=args.budget,
+            engine_config={
+                "batch_size": args.batch_size,
+                "partitions": args.partitions,
+                "backend": args.backend,
+            },
         )
         print(format_refresh_rate_table(results, tuple(args.strategies)))
         if "rep" in args.strategies and "dbtoaster" in args.strategies:
@@ -122,6 +165,31 @@ def main(argv: list[str] | None = None) -> int:
         results = run_ablation(args.query, events=args.events)
         for label, result in results.items():
             print(f"{label:22s} {result.refresh_rate:12,.1f} refreshes/s")
+        return 0
+
+    if args.command == "batch":
+        results = run_batch_size_sweep(
+            query=args.query,
+            batch_sizes=tuple(args.batch_sizes),
+            events=args.events,
+            max_seconds_per_run=args.budget,
+        )
+        print(f"throughput vs batch size for {args.query}:")
+        print(format_batch_sweep(results))
+        return 0
+
+    if args.command == "stats":
+        statistics = run_engine_statistics(
+            args.query,
+            strategy=args.strategy,
+            events=args.events,
+            engine_config={
+                "batch_size": args.batch_size,
+                "partitions": args.partitions,
+                "backend": args.backend,
+            },
+        )
+        print(format_engine_statistics(statistics, f"{args.query} / {args.strategy}"))
         return 0
 
     if args.command == "features":

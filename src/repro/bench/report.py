@@ -94,6 +94,90 @@ def format_scaling_table(
     return "\n".join(lines)
 
 
+def format_batch_sweep(results: Mapping[str, RunResult]) -> str:
+    """Throughput-vs-batch-size table with speedups over the per-event baseline."""
+    baseline = results.get("dbtoaster")
+    base_rate = baseline.refresh_rate if baseline else 0.0
+    lines = [
+        f"{'mode':>14} {'events':>8} {'time (s)':>10} {'refreshes/s':>14} {'speedup':>9}"
+    ]
+    for label, result in results.items():
+        speedup = (
+            f"{result.refresh_rate / base_rate:.2f}x" if base_rate > 0 else "-"
+        )
+        lines.append(
+            f"{label:>14} {result.events_processed:>8} {result.elapsed_seconds:>10.2f} "
+            f"{_format_rate(result.refresh_rate):>14} {speedup:>9}"
+        )
+    return "\n".join(lines)
+
+
+def _format_map_stats_rows(maps: Mapping[str, Mapping[str, object]]) -> list[str]:
+    lines = [f"  {'map':30s} {'entries':>10} {'memory (KB)':>12}  indexes"]
+    for name in sorted(maps):
+        stats = maps[name]
+        indexes = stats.get("indexes") or {}
+        index_text = (
+            "; ".join(
+                f"[{cols}] {idx['entries']} entries/{idx['buckets']} buckets"
+                for cols, idx in sorted(indexes.items())
+            )
+            or "-"
+        )
+        lines.append(
+            f"  {name:30s} {stats.get('entries', 0):>10} "
+            f"{stats.get('memory_bytes', 0) / 1024:>12.1f}  {index_text}"
+        )
+    return lines
+
+
+def format_engine_statistics(statistics: Mapping[str, object], label: str = "") -> str:
+    """Per-map and per-secondary-index entry/memory counts for one engine.
+
+    Understands the plain engine shape (``maps`` / ``relations``), the
+    batched shape (plus ``batching`` counters) and the partitioned shape
+    (``partitions`` holding one nested statistics block per partition).
+    """
+    lines: list[str] = []
+    header = f"statistics for {label}" if label else "engine statistics"
+    lines.append(header)
+    if "spec" in statistics:  # partitioned engine
+        spec = statistics["spec"]
+        keys = ", ".join(f"{r} by ({', '.join(c)})" for r, c in spec["keys"].items())
+        lines.append(
+            f"  {spec['partitions']} partitions; keys: {keys or '-'}; "
+            f"replicated: {', '.join(spec['replicated']) or '-'}"
+        )
+        lines.append(
+            f"  routed per partition: {statistics['events_routed']}; "
+            f"broadcast: {statistics['events_broadcast']}"
+        )
+        for index, partition in enumerate(statistics.get("partitions", [])):
+            lines.append(
+                f"partition {index}: {partition.get('events_processed', 0)} events, "
+                f"{partition.get('memory_bytes', 0) / 1024:.1f} KB"
+            )
+            lines.extend(_format_map_stats_rows(partition.get("maps", {})))
+        return "\n".join(lines)
+    lines.append(
+        f"  {statistics.get('events_processed', 0)} events, "
+        f"{statistics.get('memory_bytes', 0) / 1024:.1f} KB resident"
+    )
+    batching = statistics.get("batching")
+    if batching:
+        lines.append(
+            f"  batching: size {batching['batch_size']}, "
+            f"{batching['batches_flushed']} batches, "
+            f"{batching['bulk_events']} bulk / {batching['fallback_events']} fallback events"
+        )
+    lines.extend(_format_map_stats_rows(statistics.get("maps", {})))
+    relations = statistics.get("relations") or {}
+    if relations:
+        lines.append("stored base relations:")
+        lines.extend(_format_map_stats_rows(relations))
+    return "\n".join(lines)
+
+
 def format_feature_table(features: Mapping[str, Mapping[str, object]]) -> str:
     """Figure 2 style workload feature matrix."""
     columns = ["tables", "join", "where", "group_by", "nesting", "maps", "statements"]

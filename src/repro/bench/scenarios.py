@@ -70,9 +70,16 @@ def run_refresh_rate_table(
     events: int = 1500,
     max_seconds_per_run: float = 5.0,
     seed: int = 7,
+    engine_config: Mapping[str, object] | None = None,
 ) -> dict[str, dict[str, RunResult]]:
-    """Average refresh rate per query and strategy (Figures 6 and 7)."""
+    """Average refresh rate per query and strategy (Figures 6 and 7).
+
+    ``engine_config`` forwards execution parameters (``batch_size``,
+    ``partitions``, ``backend``) to the strategies that understand them
+    (the ``dbtoaster-batch`` / ``dbtoaster-par`` scale-out modes).
+    """
     names = list(queries) if queries is not None else sorted(all_workloads())
+    config = dict(engine_config or {})
     results: dict[str, dict[str, RunResult]] = {}
     for name in names:
         spec = workload(name)
@@ -80,15 +87,19 @@ def run_refresh_rate_table(
         translated = spec.query_factory()
         per_query: dict[str, RunResult] = {}
         for strategy in strategies:
-            engine = build_engine(strategy, translated)
-            per_query[strategy] = measure_refresh_rate(
-                engine,
-                agenda,
-                static,
-                max_seconds=max_seconds_per_run,
-                strategy=strategy,
-                query=name,
-            )
+            engine = build_engine(strategy, translated, **config)
+            try:
+                per_query[strategy] = measure_refresh_rate(
+                    engine,
+                    agenda,
+                    static,
+                    max_seconds=max_seconds_per_run,
+                    strategy=strategy,
+                    query=name,
+                )
+            finally:
+                if hasattr(engine, "close"):
+                    engine.close()
         results[name] = per_query
     return results
 
@@ -157,6 +168,81 @@ def run_scaling(
             )
         results[name] = per_scale
     return results
+
+
+# ---------------------------------------------------------------------------
+# Scale-out: throughput versus batch size / partition statistics
+# ---------------------------------------------------------------------------
+
+#: Batch sizes swept by the throughput-vs-batch-size scenario.
+DEFAULT_BATCH_SIZES: tuple[int, ...] = (1, 10, 100, 1000)
+
+
+def run_batch_size_sweep(
+    query: str = "Q1",
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+    events: int = 3000,
+    max_seconds_per_run: float = 10.0,
+    seed: int = 7,
+) -> dict[str, RunResult]:
+    """Throughput of delta-batched execution as the batch size grows.
+
+    Returns one entry per batch size (labelled ``batch-<n>``) plus the
+    per-event ``dbtoaster`` baseline, all replaying the same agenda.  The
+    interesting shape: large batches amortize per-event trigger overhead and
+    should beat the baseline by >= 2x on linear TPC-H views.
+    """
+    spec = workload(query)
+    agenda, static = _prepare(spec, events, None, seed)
+    translated = spec.query_factory()
+    results: dict[str, RunResult] = {}
+    baseline = build_engine("dbtoaster", translated)
+    results["dbtoaster"] = measure_refresh_rate(
+        baseline,
+        agenda,
+        static,
+        max_seconds=max_seconds_per_run,
+        strategy="dbtoaster",
+        query=query,
+    )
+    for batch_size in batch_sizes:
+        engine = build_engine("dbtoaster-batch", translated, batch_size=batch_size)
+        results[f"batch-{batch_size}"] = measure_refresh_rate(
+            engine,
+            agenda,
+            static,
+            max_seconds=max_seconds_per_run,
+            strategy=f"batch-{batch_size}",
+            query=query,
+        )
+    return results
+
+
+def run_engine_statistics(
+    query: str,
+    strategy: str = "dbtoaster",
+    events: int = 1000,
+    seed: int = 7,
+    engine_config: Mapping[str, object] | None = None,
+) -> dict[str, object]:
+    """Replay a stream and collect per-map / per-partition statistics."""
+    spec = workload(query)
+    agenda, static = _prepare(spec, events, None, seed)
+    translated = spec.query_factory()
+    engine = build_engine(strategy, translated, **dict(engine_config or {}))
+    try:
+        for relation, rows in static.items():
+            engine.load_static(relation, rows)
+        for event in agenda:
+            engine.apply(event)
+        if hasattr(engine, "flush"):
+            engine.flush()
+        if hasattr(engine, "statistics"):
+            return engine.statistics()
+        return {"memory_bytes": getattr(engine, "memory_bytes", lambda: 0)()}
+    finally:
+        if hasattr(engine, "close"):
+            engine.close()
 
 
 # ---------------------------------------------------------------------------

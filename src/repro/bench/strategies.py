@@ -2,34 +2,44 @@
 
 The strategies map one-to-one onto the labels of Figures 6 and 7:
 
-============  ==============================================================
-label         engine
-============  ==============================================================
-dbtoaster     full Higher-Order IVM (this paper's system)
-naive         the naive viewlet transform (no decomposition / simplification)
-ivm           classical first-order IVM on DBToaster's runtime (depth-1)
-rep           full re-evaluation on DBToaster's runtime (depth-0)
-dbx-rep       commercial-DBMS stand-in: naive nested-loop engine, recompute
-dbx-ivm       commercial-DBMS IVM stand-in: depth-1 IVM plus a fixed
-              per-update bookkeeping overhead (models the catalog/statement
-              parsing cost the paper observed dominating DBX's IVM mode)
-spy           stream-processor stand-in: same naive engine driven through
-              the agenda dispatcher, full recompute per event
-============  ==============================================================
+===============  ===========================================================
+label            engine
+===============  ===========================================================
+dbtoaster        full Higher-Order IVM (this paper's system)
+dbtoaster-batch  HO-IVM with delta-batched trigger execution
+                 (:class:`repro.exec.BatchedEngine`)
+dbtoaster-par    HO-IVM hash-partitioned across engines with merge-on-read
+                 (:class:`repro.exec.PartitionedEngine`)
+naive            the naive viewlet transform (no decomposition /
+                 simplification)
+ivm              classical first-order IVM on DBToaster's runtime (depth-1)
+rep              full re-evaluation on DBToaster's runtime (depth-0)
+dbx-rep          commercial-DBMS stand-in: naive nested-loop engine,
+                 recompute
+dbx-ivm          commercial-DBMS IVM stand-in: depth-1 IVM plus a fixed
+                 per-update bookkeeping overhead (models the
+                 catalog/statement parsing cost the paper observed
+                 dominating DBX's IVM mode)
+spy              stream-processor stand-in: same naive engine driven
+                 through the agenda dispatcher, full recompute per event
+===============  ===========================================================
 
 ``dbx-rep``/``spy`` use :class:`repro.runtime.reference.ReferenceEngine`
 (an independent row-at-a-time evaluator); see DESIGN.md for the substitution
-rationale.
+rationale and for the batching/partitioning semantics of the two
+``dbtoaster-*`` scale-out strategies.
 """
 
 from __future__ import annotations
 
+import inspect
 import time
 from typing import Callable, Mapping
 
 from repro.compiler.hoivm import compile_query
 from repro.compiler.materialization import CompilerOptions, options_for
 from repro.errors import BenchmarkError
+from repro.exec import DEFAULT_BATCH_SIZE, DEFAULT_PARTITIONS, BatchedEngine, PartitionedEngine
 from repro.runtime.engine import IncrementalEngine
 from repro.runtime.reference import ReferenceEngine
 from repro.sql.translate import TranslatedQuery
@@ -105,8 +115,41 @@ def _dbx_ivm(query: TranslatedQuery):
     return OverheadEngine(_compiled_engine(query, options_for("ivm")), DBX_IVM_OVERHEAD_SECONDS)
 
 
-STRATEGIES: dict[str, Callable[[TranslatedQuery], object]] = {
+def _dbtoaster_program(query: TranslatedQuery):
+    return compile_query(
+        query.roots(),
+        query.schemas(),
+        static_relations=query.static_relations(),
+        options=options_for("dbtoaster"),
+    )
+
+
+def _dbtoaster_batch(query: TranslatedQuery, batch_size: int | None = None):
+    if batch_size is None:
+        batch_size = DEFAULT_BATCH_SIZE
+    return BatchedEngine(_dbtoaster_program(query), batch_size)
+
+
+def _dbtoaster_par(
+    query: TranslatedQuery,
+    partitions: int | None = None,
+    batch_size: int | None = None,
+    backend: str = "sequential",
+):
+    if partitions is None:
+        partitions = DEFAULT_PARTITIONS
+    return PartitionedEngine(
+        _dbtoaster_program(query),
+        partitions=partitions,
+        backend=backend,
+        batch_size=batch_size,
+    )
+
+
+STRATEGIES: dict[str, Callable[..., object]] = {
     "dbtoaster": _dbtoaster,
+    "dbtoaster-batch": _dbtoaster_batch,
+    "dbtoaster-par": _dbtoaster_par,
     "naive": _naive,
     "ivm": _ivm,
     "rep": _rep,
@@ -116,15 +159,27 @@ STRATEGIES: dict[str, Callable[[TranslatedQuery], object]] = {
 }
 
 
-def build_engine(strategy: str, query: TranslatedQuery):
-    """Build an engine for ``strategy`` running ``query``."""
+def build_engine(strategy: str, query: TranslatedQuery, **config):
+    """Build an engine for ``strategy`` running ``query``.
+
+    ``config`` carries optional execution parameters (``batch_size``,
+    ``partitions``, ``backend``); each strategy consumes the ones it
+    understands and ignores the rest, so one configuration dictionary can
+    drive a whole strategy comparison.
+    """
     try:
         factory = STRATEGIES[strategy]
     except KeyError:
         raise BenchmarkError(
             f"unknown strategy {strategy!r}; expected one of {sorted(STRATEGIES)}"
         ) from None
-    return factory(query)
+    parameters = inspect.signature(factory).parameters
+    accepted = {
+        name: value
+        for name, value in config.items()
+        if name in parameters and value is not None
+    }
+    return factory(query, **accepted)
 
 
 def custom_options_engine(

@@ -63,3 +63,7 @@ class WorkloadError(ReproError):
 
 class BenchmarkError(ReproError):
     """The benchmark harness was asked to run an unknown or invalid scenario."""
+
+
+class ExecutionError(ReproError):
+    """The batched/partitioned execution subsystem hit an invalid state."""

@@ -1,0 +1,55 @@
+"""Batched & partitioned delta execution (the scale-out subsystem).
+
+A second execution mode alongside the per-event
+:class:`~repro.runtime.engine.IncrementalEngine`:
+
+* :class:`~repro.exec.batching.BatchedEngine` coalesces agenda slices into
+  per-relation delta GMRs and applies each trigger once per batch;
+* :class:`~repro.exec.partitioning.PartitionedEngine` hash-partitions map
+  state and base relations across per-partition engines and merges views on
+  read (with a broadcast path for non-partitionable relations);
+* :mod:`repro.exec.executor` provides the sequential and multiprocessing
+  backends the partitioned engine runs on.
+
+Both engines expose the same ``apply`` / ``view`` / ``result_dict`` surface
+as the per-event engine and produce identical view contents; see DESIGN.md
+for the exactness argument.
+"""
+
+from repro.exec.batching import (
+    DEFAULT_BATCH_SIZE,
+    BatchedEngine,
+    BatchPlan,
+    DeltaGroup,
+    TriggerAnalysis,
+)
+from repro.exec.executor import (
+    BACKENDS,
+    MultiprocessBackend,
+    SequentialBackend,
+    make_backend,
+)
+from repro.exec.partitioning import (
+    DEFAULT_PARTITIONS,
+    PartitionedEngine,
+    PartitionSpec,
+    infer_partition_spec,
+    stable_hash,
+)
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_PARTITIONS",
+    "BatchPlan",
+    "BatchedEngine",
+    "DeltaGroup",
+    "MultiprocessBackend",
+    "PartitionSpec",
+    "PartitionedEngine",
+    "SequentialBackend",
+    "TriggerAnalysis",
+    "infer_partition_spec",
+    "make_backend",
+    "stable_hash",
+]

@@ -1,0 +1,510 @@
+"""Hash-partitioned execution: shard map state across per-partition engines.
+
+Each of ``N`` partitions hosts a full engine for the same trigger program
+over a *slice* of the stream: every **partitioned** relation routes each
+tuple to exactly one partition by hashing its partition-key columns, while
+**replicated** relations (and all static tables) are broadcast to every
+partition.  Because every partition is an ordinary, internally consistent
+engine over its slice of the database, correctness reduces to a *merge*
+question answered statically per map:
+
+* a map whose definition references at least one partitioned relation
+  *linearly* (not under a ``Lift``/``Exists``) with all partitioned atoms
+  joined on the partition key is **sum-merged**: every contribution is
+  computed in exactly one partition, so the global view is the multiplicity
+  sum of the per-partition views;
+* a map whose definition references only replicated relations is computed
+  identically everywhere and read from partition 0 (the broadcast path);
+* anything else is unmergeable — :func:`infer_partition_spec` demotes
+  relations to replicated until every root map falls into one of the two
+  classes above, so reads through :class:`PartitionedEngine` are always
+  exact.  Queries that are nonlinear in every stream relation (nested
+  aggregates such as VWAP) degenerate to full replication: correct, with
+  parallelism available only across independent queries.
+
+Key inference prefers join variables shared by the most atoms, breaking ties
+toward primary-key-like (leading) columns, which recovers the natural
+co-partitioning schemes: Orders/Lineitem on ``orderkey``, the order-book
+self-joins on ``broker_id``, MDDB's atom-position self-joins on the
+trajectory/time keys.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.agca.ast import Exists, Expr, Lift, Relation, children
+from repro.compiler.program import MapDeclaration, TriggerProgram
+from repro.core.gmr import GMR
+from repro.core.rows import Row
+from repro.core.values import is_zero, normalize_number
+from repro.delta.events import StreamEvent
+from repro.errors import ExecutionError
+
+#: Default number of partitions.
+DEFAULT_PARTITIONS = 4
+
+#: Merge strategies for reading a map across partitions.
+MERGE_SUM = "sum"
+MERGE_REPLICATED = "replicated"
+MERGE_UNMERGEABLE = "unmergeable"
+
+
+def stable_hash(values: tuple) -> int:
+    """A deterministic, process-independent hash of a partition-key tuple.
+
+    Numerically equal keys must hash equally regardless of representation
+    (``7`` joins ``7.0`` under Python equality, so both must route to the
+    same partition); :func:`normalize_number` collapses integral floats and
+    Fractions to ints before hashing.
+    """
+    total = 0
+    for value in values:
+        value = normalize_number(value)
+        if isinstance(value, int):  # bools normalize to ints above
+            total = (total * 1000003 + (value & 0x7FFFFFFF)) & 0x7FFFFFFF
+        else:
+            total = (total * 1000003 + zlib.crc32(repr(value).encode())) & 0x7FFFFFFF
+    return total
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """Which relations are hash-partitioned on which key columns."""
+
+    partitions: int
+    keys: Mapping[str, tuple[str, ...]]
+    replicated: frozenset[str]
+    merge: Mapping[str, str] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        parts = [f"{self.partitions} partitions"]
+        for relation in sorted(self.keys):
+            parts.append(f"{relation} by ({', '.join(self.keys[relation])})")
+        if self.replicated:
+            parts.append(f"replicated: {', '.join(sorted(self.replicated))}")
+        return "; ".join(parts)
+
+
+def _linear_atoms(expr: Expr) -> tuple[list[Relation], set[str]]:
+    """Relation atoms occurring linearly, plus relations under nonlinear nodes.
+
+    An atom under a ``Lift`` or ``Exists`` contributes through a nonlinear
+    function of the data (a nested aggregate value or a domain test), so the
+    relations it mentions cannot be partitioned without breaking sum-merging.
+    """
+    linear: list[Relation] = []
+    nonlinear: set[str] = set()
+
+    def visit(node: Expr, inside_nonlinear: bool) -> None:
+        if isinstance(node, Relation):
+            if inside_nonlinear:
+                nonlinear.add(node.name)
+            else:
+                linear.append(node)
+            return
+        nested = inside_nonlinear or isinstance(node, (Lift, Exists))
+        for child in children(node):
+            visit(child, nested)
+
+    visit(expr, False)
+    return linear, nonlinear
+
+
+def _atom_key_vars(atom: Relation, key_columns: Sequence[str], schema: Sequence[str]):
+    """Variables standing at ``key_columns`` positions inside ``atom``."""
+    positions = []
+    schema = tuple(schema)
+    for column in key_columns:
+        try:
+            positions.append(schema.index(column))
+        except ValueError:
+            return None
+    if any(p >= len(atom.columns) for p in positions):
+        return None
+    return tuple(atom.columns[p] for p in positions)
+
+
+def _choose_join_variable(
+    atoms: Sequence[Relation],
+    schemas: Mapping[str, Sequence[str]],
+    assignment: Mapping[str, tuple[str, ...]],
+) -> tuple[str, list[Relation]] | None:
+    """Pick the variable partitioning the largest consistent subset of atoms.
+
+    Returns ``(variable, covered_atoms)`` where every covered atom carries the
+    variable at one consistent column position per relation (compatible with
+    any existing single-column ``assignment``), or ``None`` when no variable
+    covers two or more atoms.
+    """
+    candidates: dict[str, dict[str, set[int]]] = {}
+    for atom in atoms:
+        for position, variable in enumerate(atom.columns):
+            candidates.setdefault(variable, {}).setdefault(atom.name, set()).add(position)
+
+    best: tuple[int, int, str] | None = None
+    best_cover: list[Relation] = []
+    for variable in sorted(candidates):
+        per_relation = candidates[variable]
+        cover: list[Relation] = []
+        leading = 0
+        for atom in atoms:
+            positions = {p for p, v in enumerate(atom.columns) if v == variable}
+            if not positions:
+                continue
+            # The variable must sit at a single consistent column per relation
+            # across all of that relation's atoms in this map.
+            shared = set.intersection(
+                *(
+                    {p for p, v in enumerate(other.columns) if v == variable}
+                    for other in atoms
+                    if other.name == atom.name
+                )
+            )
+            if not shared:
+                continue
+            assigned = assignment.get(atom.name)
+            if assigned is not None:
+                schema = tuple(schemas[atom.name])
+                if len(assigned) != 1 or schema.index(assigned[0]) not in shared:
+                    continue
+            cover.append(atom)
+            if 0 in shared:
+                leading += 1
+        # Every atom of a covered relation must be covered, otherwise one of
+        # its occurrences would range over foreign partitions.
+        covered_names = {a.name for a in cover}
+        if any(a.name in covered_names and a not in cover for a in atoms):
+            continue
+        if len(cover) >= 2:
+            score = (len(cover), leading, variable)
+            if best is None or score > best:
+                best = score
+                best_cover = cover
+    if best is None:
+        return None
+    return best[2], best_cover
+
+
+def infer_partition_spec(
+    program: TriggerProgram,
+    partitions: int = DEFAULT_PARTITIONS,
+    keys: Mapping[str, Sequence[str]] | None = None,
+) -> PartitionSpec:
+    """Choose partition keys making every root map exactly mergeable.
+
+    Starts from ``keys`` (explicit, validated) plus to-be-inferred stream
+    relations, then iteratively (a) demotes relations used nonlinearly,
+    (b) unifies join keys inside each root map, demoting atoms left outside
+    the chosen co-partitioning, until a fixpoint.  Remaining free relations
+    default to their leading column.
+    """
+    if partitions < 1:
+        raise ExecutionError(f"partitions must be >= 1, got {partitions}")
+    stream = list(program.stream_relations)
+    assignment: dict[str, tuple[str, ...]] = {}
+    for relation, columns in (keys or {}).items():
+        if relation not in program.schemas:
+            raise ExecutionError(f"unknown relation {relation!r} in partition keys")
+        schema = set(program.schemas[relation])
+        missing = [c for c in columns if c not in schema]
+        if missing:
+            raise ExecutionError(
+                f"partition key columns {missing} not in schema of {relation!r}"
+            )
+        assignment[relation] = tuple(columns)
+
+    demoted: set[str] = set()
+    root_declarations = [program.maps[name] for name in program.roots.values()]
+
+    def candidate(name: str) -> bool:
+        return name in program.stream_relations and name not in demoted
+
+    changed = True
+    while changed:
+        changed = False
+        for decl in root_declarations:
+            linear, nonlinear = _linear_atoms(decl.definition)
+            for relation in sorted(nonlinear):
+                if candidate(relation):
+                    demoted.add(relation)
+                    changed = True
+            # A relation used both linearly and nonlinearly is already demoted.
+            atoms = [a for a in linear if candidate(a.name)]
+            if len(atoms) <= 1:
+                continue
+
+            def adopt(variable: str, cover: list[Relation]) -> None:
+                nonlocal changed
+                names = {a.name for a in cover}
+                for name in sorted(names):
+                    if name in demoted:
+                        continue
+                    schema = tuple(program.schemas[name])
+                    shared = set.intersection(
+                        *(
+                            {p for p, v in enumerate(a.columns) if v == variable}
+                            for a in cover
+                            if a.name == name
+                        )
+                    )
+                    existing = assignment.get(name)
+                    if existing is not None:
+                        if schema.index(existing[0]) not in shared:
+                            demoted.add(name)
+                            changed = True
+                        continue
+                    assignment[name] = (schema[min(shared)],)
+                    changed = True
+
+            choice = _choose_join_variable(atoms, program.schemas, assignment)
+            if choice is None:
+                # No co-partitioning possible: keep the relation with the most
+                # atoms (ties: first in schema order) if its own occurrences
+                # can agree on a key, demote everything else.
+                by_name: dict[str, list[Relation]] = {}
+                for atom in atoms:
+                    by_name.setdefault(atom.name, []).append(atom)
+                keep = max(by_name, key=lambda n: (len(by_name[n]), -stream.index(n)))
+                if len(by_name[keep]) > 1:
+                    solo = _choose_join_variable(by_name[keep], program.schemas, assignment)
+                    if solo is None:
+                        demoted.add(keep)
+                        changed = True
+                    else:
+                        adopt(*solo)
+                for name in by_name:
+                    if name != keep and candidate(name):
+                        demoted.add(name)
+                        changed = True
+                continue
+            variable, cover = choice
+            for atom in atoms:
+                if atom not in cover and candidate(atom.name):
+                    demoted.add(atom.name)
+                    changed = True
+            adopt(variable, [a for a in cover if candidate(a.name)])
+
+    for relation in stream:
+        if relation not in assignment and relation not in demoted:
+            schema = program.schemas[relation]
+            assignment[relation] = (schema[0],) if schema else ()
+    final_keys = {
+        relation: columns
+        for relation, columns in assignment.items()
+        if relation not in demoted and columns
+    }
+    replicated = frozenset(r for r in stream if r not in final_keys)
+
+    merge = {
+        name: _classify_map(decl, final_keys, program.schemas)
+        for name, decl in program.maps.items()
+    }
+    for root, map_name in program.roots.items():
+        if merge[map_name] == MERGE_UNMERGEABLE:  # pragma: no cover - guarded above
+            raise ExecutionError(
+                f"internal error: root {root!r} is not mergeable under {final_keys}"
+            )
+    return PartitionSpec(
+        partitions=partitions,
+        keys=final_keys,
+        replicated=replicated,
+        merge=merge,
+    )
+
+
+def _classify_map(
+    decl: MapDeclaration,
+    keys: Mapping[str, tuple[str, ...]],
+    schemas: Mapping[str, Sequence[str]],
+) -> str:
+    linear, nonlinear = _linear_atoms(decl.definition)
+    if any(name in keys for name in nonlinear):
+        return MERGE_UNMERGEABLE
+    partitioned = [a for a in linear if a.name in keys]
+    if not partitioned:
+        return MERGE_REPLICATED
+    key_vars = set()
+    for atom in partitioned:
+        vars_ = _atom_key_vars(atom, keys[atom.name], schemas[atom.name])
+        if vars_ is None:
+            return MERGE_UNMERGEABLE
+        key_vars.add(vars_)
+    return MERGE_SUM if len(key_vars) == 1 else MERGE_UNMERGEABLE
+
+
+class PartitionedEngine:
+    """Routes a stream across hash partitions and merges views on read.
+
+    ``backend`` selects the executor: ``"sequential"`` (in-process, the
+    default) or ``"process"`` (one worker process per partition, real
+    parallelism).  ``batch_size`` optionally runs a
+    :class:`~repro.exec.batching.BatchedEngine` inside every partition.
+    """
+
+    def __init__(
+        self,
+        program: TriggerProgram,
+        partitions: int = DEFAULT_PARTITIONS,
+        partition_keys: Mapping[str, Sequence[str]] | None = None,
+        backend: str = "sequential",
+        batch_size: int | None = None,
+        route_buffer: int = 256,
+    ) -> None:
+        from repro.exec.executor import make_backend
+
+        self.program = program
+        self.spec = infer_partition_spec(program, partitions, partition_keys)
+        self._backend = make_backend(backend, program, partitions, batch_size=batch_size)
+        self._buffers: list[list[StreamEvent]] = [[] for _ in range(partitions)]
+        self._buffered = 0
+        self._route_buffer = max(1, route_buffer)
+        self._positions = {
+            relation: tuple(
+                tuple(program.schemas[relation]).index(column) for column in columns
+            )
+            for relation, columns in self.spec.keys.items()
+        }
+        self._stream = frozenset(program.stream_relations)
+        self.events_processed = 0
+        self.events_routed = [0] * partitions
+        self.events_broadcast = 0
+
+    # -- data loading -----------------------------------------------------------
+    def load_static(self, relation: str, rows: Iterable) -> int:
+        return self._backend.load_static(relation, list(rows))
+
+    # -- stream processing ------------------------------------------------------
+    def route(self, event: StreamEvent) -> int | None:
+        """Partition index for a routed event, ``None`` for broadcasts."""
+        positions = self._positions.get(event.relation)
+        if positions is None:
+            return None
+        key = tuple(event.values[p] for p in positions)
+        return stable_hash(key) % self.spec.partitions
+
+    def apply(self, event: StreamEvent) -> None:
+        if event.relation not in self._stream:
+            raise ExecutionError(
+                f"relation {event.relation!r} is not a stream relation of this program"
+            )
+        index = self.route(event)
+        if index is None:
+            for buffer in self._buffers:
+                buffer.append(event)
+            self.events_broadcast += 1
+            self._buffered += len(self._buffers)
+        else:
+            self._buffers[index].append(event)
+            self.events_routed[index] += 1
+            self._buffered += 1
+        self.events_processed += 1
+        if self._buffered >= self._route_buffer:
+            self._dispatch()
+
+    def apply_many(self, events: Iterable[StreamEvent]) -> int:
+        count = 0
+        for event in events:
+            self.apply(event)
+            count += 1
+        return count
+
+    def _dispatch(self) -> None:
+        for index, buffer in enumerate(self._buffers):
+            if buffer:
+                self._backend.apply(index, buffer)
+                self._buffers[index] = []
+        self._buffered = 0
+
+    def flush(self) -> None:
+        """Dispatch buffered events and wait for every partition to drain."""
+        self._dispatch()
+        self._backend.sync()
+
+    # -- reading views ----------------------------------------------------------
+    def _map_name(self, name: str | None) -> str:
+        if name is None or name in self.program.roots:
+            return self.program.root_map(name).name
+        if name in self.program.maps:
+            return name
+        raise ExecutionError(f"unknown view {name!r}")
+
+    def merged_items(self, name: str | None = None) -> tuple[tuple[str, ...], dict[tuple, Any]]:
+        """Merged ``key tuple -> value`` contents of one map, plus its columns."""
+        map_name = self._map_name(name)
+        self.flush()
+        columns = self.program.maps[map_name].keys
+        merge = self.spec.merge.get(map_name, MERGE_UNMERGEABLE)
+        if merge == MERGE_REPLICATED:
+            return columns, dict(self._backend.result_items(0, map_name))
+        if merge == MERGE_SUM:
+            merged: dict[tuple, Any] = {}
+            for index in range(self.spec.partitions):
+                for key, value in self._backend.result_items(index, map_name):
+                    total = merged.get(key, 0) + value
+                    merged[key] = total
+            return columns, {k: v for k, v in merged.items() if not is_zero(v)}
+        raise ExecutionError(
+            f"map {map_name!r} cannot be merged across partitions "
+            f"(nonlinear in a partitioned relation); read a root view instead"
+        )
+
+    def view(self, name: str | None = None) -> GMR:
+        columns, merged = self.merged_items(name)
+        return GMR((Row(zip(columns, key)), value) for key, value in merged.items())
+
+    def scalar_result(self, name: str | None = None) -> Any:
+        return self.view(name).total_multiplicity()
+
+    def result_dict(self, name: str | None = None) -> dict[tuple, Any]:
+        _, merged = self.merged_items(name)
+        return merged
+
+    # -- accounting --------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        self.flush()
+        return sum(
+            self._backend.memory_bytes(index) for index in range(self.spec.partitions)
+        )
+
+    def map_sizes(self) -> dict[str, int]:
+        """Summed per-partition entry counts (resident entries, not merged)."""
+        self.flush()
+        totals: dict[str, int] = {}
+        for index in range(self.spec.partitions):
+            for name, size in self._backend.map_sizes(index).items():
+                totals[name] = totals.get(name, 0) + size
+        return totals
+
+    def statistics(self) -> dict[str, object]:
+        """Partitioning spec, routing counters and per-partition statistics."""
+        self.flush()
+        return {
+            "events_processed": self.events_processed,
+            "spec": {
+                "partitions": self.spec.partitions,
+                "keys": {r: list(c) for r, c in sorted(self.spec.keys.items())},
+                "replicated": sorted(self.spec.replicated),
+            },
+            "events_routed": list(self.events_routed),
+            "events_broadcast": self.events_broadcast,
+            "partitions": [
+                self._backend.statistics(index)
+                for index in range(self.spec.partitions)
+            ],
+        }
+
+    def describe(self) -> str:
+        return f"{self.spec.describe()}\n{self.program.pretty()}"
+
+    def close(self) -> None:
+        """Release backend resources (worker processes)."""
+        self._backend.close()
+
+    def __enter__(self) -> "PartitionedEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -107,3 +107,7 @@ class Database:
     def memory_bytes(self) -> int:
         """Approximate resident size of all stored relations."""
         return sum(table.memory_bytes() for table in self._tables.values())
+
+    def stats(self) -> dict[str, dict[str, object]]:
+        """Per-relation entry/memory/secondary-index statistics."""
+        return {name: table.stats() for name, table in self._tables.items()}

@@ -43,6 +43,11 @@ class IncrementalEngine:
         )
         self.events_processed = 0
 
+    @property
+    def executor(self) -> TriggerExecutor:
+        """The trigger executor (used by the batched execution subsystem)."""
+        return self._executor
+
     # -- data loading -----------------------------------------------------------
     def load_static(self, relation: str, rows: Iterable[Sequence[Any] | Mapping[str, Any]]) -> int:
         """Load a static relation before stream processing begins."""
@@ -104,6 +109,15 @@ class IncrementalEngine:
     def map_sizes(self) -> dict[str, int]:
         """Entry counts per materialized view."""
         return self.maps.sizes()
+
+    def statistics(self) -> dict[str, object]:
+        """Per-map and per-relation entry/memory/index statistics."""
+        return {
+            "events_processed": self.events_processed,
+            "memory_bytes": self.memory_bytes(),
+            "maps": self.maps.stats(),
+            "relations": self.database.stats(),
+        }
 
     def describe(self) -> str:
         """Human-readable listing of the compiled program this engine runs."""

@@ -68,6 +68,16 @@ class TriggerExecutor:
         self._maintained = maintained_relations
         self._evaluator = Evaluator(RuntimeSource(database, maps))
 
+    @property
+    def evaluator(self) -> Evaluator:
+        """The evaluator bound to this executor's maps and base relations."""
+        return self._evaluator
+
+    @property
+    def maintained_relations(self) -> frozenset[str]:
+        """Stream relations maintained as base tables by this executor."""
+        return self._maintained
+
     # -- event application -----------------------------------------------------
     def apply(self, event: StreamEvent) -> None:
         """Apply one insert/delete event: run its trigger and update base tables."""
@@ -93,17 +103,37 @@ class TriggerExecutor:
         )
 
     def _execute_increment(self, statement: Statement, event: StreamEvent) -> None:
-        bindings = self._bindings(statement, event)
-        result = self._evaluator.evaluate(statement.expr, bindings)
+        self.execute_increment(statement, self._bindings(statement, event))
+
+    def _execute_assign(self, statement: Statement, event: StreamEvent) -> None:
+        self.execute_assign(statement, self._bindings(statement, event))
+
+    def execute_increment(
+        self,
+        statement: Statement,
+        bindings: Mapping[str, Any],
+        scale: Any = 1,
+        memo: dict | None = None,
+    ) -> None:
+        """Run one ``+=`` statement under explicit trigger-variable bindings.
+
+        ``scale`` multiplies every produced delta (used by batched execution to
+        fold repeated identical events); ``memo`` optionally shares evaluation
+        results of context-independent subexpressions across calls.
+        """
+        result = self._evaluator.evaluate(statement.expr, bindings, memo=memo)
         if not result:
             return
         table = self._maps.table(statement.target)
         keys = statement.target_keys
         for row, multiplicity in result.items():
-            table.add(self._key_values(keys, row, bindings, statement), multiplicity)
+            table.add(
+                self._key_values(keys, row, bindings, statement),
+                multiplicity if scale == 1 else multiplicity * scale,
+            )
 
-    def _execute_assign(self, statement: Statement, event: StreamEvent) -> None:
-        bindings = self._bindings(statement, event)
+    def execute_assign(self, statement: Statement, bindings: Mapping[str, Any]) -> None:
+        """Run one ``:=`` statement under explicit trigger-variable bindings."""
         result = self._evaluator.evaluate(statement.expr, bindings)
         table = self._maps.table(statement.target)
         keys = statement.target_keys

@@ -170,6 +170,29 @@ class IndexedTable:
             total += sys.getsizeof(value) + 64 * max(len(row), 1)
         return total
 
+    def index_stats(self) -> dict[str, dict[str, int]]:
+        """Entry/bucket/memory counts per secondary index, keyed by its columns."""
+        out: dict[str, dict[str, int]] = {}
+        for columns, index in self._indexes.items():
+            entries = sum(len(bucket) for bucket in index.values())
+            memory = sys.getsizeof(index) + sum(
+                sys.getsizeof(bucket) for bucket in index.values()
+            )
+            out[",".join(sorted(columns))] = {
+                "buckets": len(index),
+                "entries": entries,
+                "memory_bytes": memory,
+            }
+        return out
+
+    def stats(self) -> dict[str, object]:
+        """Entry count, memory and secondary-index statistics for this table."""
+        return {
+            "entries": len(self._data),
+            "memory_bytes": self.memory_bytes(),
+            "indexes": self.index_stats(),
+        }
+
 
 class MapStore:
     """All materialized views of one engine, addressable by name."""
@@ -214,6 +237,10 @@ class MapStore:
     def memory_bytes(self) -> int:
         """Approximate total resident size of all maps."""
         return sum(table.memory_bytes() for table in self._tables.values())
+
+    def stats(self) -> dict[str, dict[str, object]]:
+        """Per-map entry/memory/secondary-index statistics."""
+        return {name: table.stats() for name, table in self._tables.items()}
 
 
 class ViewCache:

@@ -193,3 +193,47 @@ def test_evaluate_scalar_convenience(example3_source):
 def test_dictsource_schema_inference_single_column():
     source = DictSource(relations={"R": GMR.from_rows([{"a": 1}, {"a": 2}])})
     assert evaluate(rel("R", "z"), source).support_size == 2
+
+
+def test_free_variable_cache_survives_expression_garbage_collection(example3_source):
+    """Regression: the free-variable cache is keyed by id(expr) and must keep
+    each cached expression alive.  Before the fix, evaluating a stream of
+    short-lived (structurally identical) trees could reuse a dead tree's
+    memory address and inherit its stale variable set, corrupting the memo
+    keys and producing wrong, allocation-order-dependent results."""
+    import weakref
+
+    evaluator = Evaluator(example3_source)
+
+    def build():
+        # Sum[A](R(A, B) * B): depends on both columns of R.
+        return agg(("A",), prod(rel("R", "A", "B"), var("B")))
+
+    expected = evaluator.evaluate(build())
+    first = build()
+    evaluator.evaluate(first)
+    ref = weakref.ref(first)
+    del first
+    # The evaluator must be pinning the tree: even though the caller dropped
+    # it, its id may still be a cache key, so it must not be collectable.
+    assert ref() is not None
+
+    # Hammer the evaluator with fresh identical temporaries; every result
+    # must match no matter how allocation addresses are recycled.
+    for _ in range(100):
+        assert evaluator.evaluate(build()) == expected
+
+
+def test_shared_memo_across_contexts_is_safe(example3_source):
+    """An externally supplied memo may be reused across different bindings;
+    keys include the relevant context projection, so results must not leak
+    between contexts."""
+    evaluator = Evaluator(example3_source)
+    expr = agg((), prod(rel("R", "A", "B"), var("B")))
+    memo = {}
+    total = evaluator.evaluate(expr, {}, memo=memo).scalar_value()
+    bound = evaluator.evaluate(expr, {"A": 1}, memo=memo).scalar_value()
+    again = evaluator.evaluate(expr, {}, memo=memo).scalar_value()
+    assert total == 2 + 5 + 2
+    assert bound == 2
+    assert again == total

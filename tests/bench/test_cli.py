@@ -42,3 +42,37 @@ def test_ablation_command_small(capsys):
 def test_missing_command_is_an_error():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_batch_sweep_command_small(capsys):
+    code = main(["batch", "--query", "Q6", "--batch-sizes", "1", "20",
+                 "--events", "100", "--budget", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "batch-20" in out and "speedup" in out
+
+
+def test_rates_command_with_scale_out_strategies(capsys):
+    code = main(
+        ["rates", "--queries", "Q6", "--strategies", "dbtoaster", "dbtoaster-batch",
+         "dbtoaster-par", "--events", "60", "--budget", "2",
+         "--batch-size", "10", "--partitions", "2"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "dbtoaster-batch" in out and "dbtoaster-par" in out
+
+
+def test_stats_command_small(capsys):
+    code = main(["stats", "Q6", "--events", "60"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "entries" in out and "memory" in out
+
+
+def test_stats_command_partitioned(capsys):
+    code = main(["stats", "Q6", "--strategy", "dbtoaster-par",
+                 "--partitions", "2", "--events", "60"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "partition 0" in out and "partition 1" in out

@@ -1,0 +1,74 @@
+"""Tests for the executor backends (sequential and multiprocessing)."""
+
+import pytest
+
+from repro.compiler.hoivm import compile_query
+from repro.errors import ExecutionError
+from repro.exec import PartitionedEngine, make_backend
+from repro.runtime.engine import IncrementalEngine
+from repro.workloads import workload
+
+
+def _program(query_name):
+    spec = workload(query_name)
+    translated = spec.query_factory()
+    return translated, compile_query(
+        translated.roots(),
+        translated.schemas(),
+        static_relations=translated.static_relations(),
+    )
+
+
+def _replay(engine, spec, events):
+    for relation, rows in spec.static_tables().items():
+        engine.load_static(relation, rows)
+    for event in events:
+        engine.apply(event)
+    return engine
+
+
+def test_unknown_backend_raises():
+    _, program = _program("Q6")
+    with pytest.raises(ExecutionError):
+        make_backend("threads", program, 2)
+
+
+def test_sequential_backend_serves_all_commands():
+    spec = workload("Q6")
+    _, program = _program("Q6")
+    backend = make_backend("sequential", program, 2, batch_size=10)
+    events = list(spec.stream_factory(events=60))
+    backend.apply(0, events[:30])
+    backend.apply(1, events[30:])
+    backend.sync()
+    sizes = backend.map_sizes(0)
+    assert isinstance(sizes, dict)
+    assert backend.memory_bytes(1) > 0
+    stats = backend.statistics(0)
+    assert stats["events_processed"] == 30
+    backend.close()
+
+
+def test_multiprocess_backend_matches_sequential_results():
+    spec = workload("Q1")
+    translated, program = _program("Q1")
+    events = list(spec.stream_factory(events=300, max_live_orders=60))
+    baseline = _replay(IncrementalEngine(program), spec, events)
+    engine = PartitionedEngine(
+        program, partitions=2, backend="process", batch_size=20
+    )
+    try:
+        _replay(engine, spec, events)
+        for root in translated.roots():
+            assert engine.result_dict(root) == pytest.approx(baseline.result_dict(root))
+        stats = engine.statistics()
+        assert len(stats["partitions"]) == 2
+    finally:
+        engine.close()
+
+
+def test_multiprocess_backend_close_is_idempotent():
+    _, program = _program("Q6")
+    engine = PartitionedEngine(program, partitions=2, backend="process")
+    engine.close()
+    engine.close()
