@@ -1,0 +1,107 @@
+"""A live TPC-H dashboard served over the wire.
+
+The serving-layer counterpart of ``tpch_dashboard.py``: instead of driving
+engines from the same process, this example compiles Q1 and Q3 into one
+trigger program, hosts it in a :class:`repro.service.ViewService` behind the
+JSONL TCP server, and then acts as two independent clients:
+
+* an **ingest client** streams TPC-H order/lineitem updates in batches;
+* a **dashboard client** subscribes to Q3's revenue deltas and periodically
+  reads version-tagged snapshots of both views.
+
+At the end the service checkpoints itself, a second service restores from
+the checkpoint, and the example verifies the restored views match — the full
+serve / subscribe / checkpoint / restore loop in one script.
+
+Run with:  python examples/live_dashboard.py [events]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+from repro.compiler.hoivm import compile_query
+from repro.service import ServiceClient, ViewService, engine_for_mode, start_in_thread
+from repro.workloads.tpch import tpch_query, tpch_stream
+from repro.workloads.tpch.stream import static_tables
+
+QUERIES = ("Q1", "Q3")
+BATCH_SIZE = 64
+
+
+def build_program():
+    """Q1 and Q3 compiled into one multi-root trigger program."""
+    roots: dict = {}
+    schemas: dict = {}
+    statics: set = set()
+    for name in QUERIES:
+        translated = tpch_query(name)
+        roots.update(translated.roots())
+        schemas.update(translated.schemas())
+        statics.update(translated.static_relations())
+    return compile_query(roots, schemas, static_relations=sorted(statics))
+
+
+def main() -> None:
+    events = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+    stream = list(tpch_stream(events=events, scale=1.0, seed=7))
+    program = build_program()
+    checkpoint_dir = tempfile.mkdtemp(prefix="live-dashboard-")
+
+    service = ViewService(
+        engine_for_mode(program, "batched", batch_size=BATCH_SIZE),
+        checkpoint_dir=checkpoint_dir,
+    )
+    for relation, rows in static_tables(scale=1.0, seed=7).items():
+        if relation in program.static_relations:
+            service.load_static(relation, rows)
+
+    handle = start_in_thread(service)
+    print(f"serving {sorted(program.roots)[:3]}... on {handle.host}:{handle.port}")
+
+    subscriber = ServiceClient(*handle.address)
+    deltas = subscriber.subscribe("Q3_revenue")
+
+    published = 0
+    with ServiceClient(*handle.address) as ingestor:
+        for start in range(0, len(stream), 250):
+            result = ingestor.ingest(stream[start:start + 250])
+            published += result.notifications
+            snapshot = ingestor.query("Q3_revenue")
+            print(f"version {result.version:5d}: Q3 serves {len(snapshot.entries):3d} "
+                  f"open orders ({result.notifications} deltas published)")
+        q1 = ingestor.query("Q1_sum_qty")
+        q3 = ingestor.query("Q3_revenue")
+        version, path = ingestor.checkpoint()
+
+    received = deltas.take(published)
+    assert len(received) == published, "subscriber lost deltas"
+    print(f"subscriber received all {len(received)} Q3 deltas in order")
+    subscriber.close()
+    handle.stop()
+    service.close()
+
+    print(f"\nQ1 pricing summary at version {q1.version}:")
+    for key, value in sorted(q1.entries.items()):
+        print(f"  {'/'.join(map(str, key))}: sum_qty={value:,.0f}")
+    top = sorted(q3.entries.items(), key=lambda kv: -kv[1])[:5]
+    print(f"\nQ3 top open orders by revenue at version {q3.version}:")
+    for key, value in top:
+        print(f"  order {key[1]}: revenue {value:,.2f}")
+
+    # Restart from the checkpoint and verify the views converge bit-identically.
+    restored = ViewService(
+        engine_for_mode(program, "batched", batch_size=BATCH_SIZE),
+        checkpoint_dir=checkpoint_dir,
+    )
+    assert restored.restore() == version
+    restored.replay(stream)
+    assert restored.query("Q1_sum_qty").entries == q1.entries
+    assert restored.query("Q3_revenue").entries == q3.entries
+    restored.close()
+    print(f"\ncheckpoint at version {version} restored and replayed: views identical")
+
+
+if __name__ == "__main__":
+    main()

@@ -42,6 +42,7 @@ from repro.bench.report import (
     format_feature_table,
     format_refresh_rate_table,
     format_scaling_table,
+    format_service_run,
     format_speedup_summary,
     format_trace,
 )
@@ -53,6 +54,7 @@ from repro.bench.scenarios import (
     run_engine_statistics,
     run_refresh_rate_table,
     run_scaling,
+    run_service_freshness,
     run_trace_figure,
     workload_feature_table,
 )
@@ -107,6 +109,18 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--batch-size", type=int, default=None)
     stats.add_argument("--partitions", type=int, default=None)
     stats.add_argument("--backend", choices=["sequential", "process"], default=None)
+
+    service = sub.add_parser(
+        "service", help="Serving layer: query latency/freshness under concurrent ingest"
+    )
+    service.add_argument("--query", default="Q1")
+    service.add_argument("--engine", choices=["incremental", "batched", "partitioned"],
+                         default="incremental")
+    service.add_argument("--events", type=int, default=2000)
+    service.add_argument("--ingest-chunk", type=int, default=64)
+    service.add_argument("--batch-size", type=int, default=None)
+    service.add_argument("--partitions", type=int, default=None)
+    service.add_argument("--backend", choices=["sequential", "process"], default=None)
 
     sub.add_parser("features", help="Figure 2: workload features and compiled-program stats")
     sub.add_parser("list", help="List the available workload queries")
@@ -190,6 +204,21 @@ def main(argv: list[str] | None = None) -> int:
             },
         )
         print(format_engine_statistics(statistics, f"{args.query} / {args.strategy}"))
+        return 0
+
+    if args.command == "service":
+        result = run_service_freshness(
+            query=args.query,
+            engine_mode=args.engine,
+            events=args.events,
+            ingest_chunk=args.ingest_chunk,
+            engine_config={
+                "batch_size": args.batch_size,
+                "partitions": args.partitions,
+                "backend": args.backend,
+            },
+        )
+        print(format_service_run(result))
         return 0
 
     if args.command == "features":

@@ -189,3 +189,17 @@ def format_feature_table(features: Mapping[str, Mapping[str, object]]) -> str:
         row = [query] + [str(features[query].get(column, "-")) for column in columns]
         lines.append("".join(cell.ljust(w) for cell, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def format_service_run(result) -> str:
+    """One served-view freshness/throughput run (the ``service`` scenario)."""
+    lines = [
+        f"service run: {result.query} ({result.engine_mode} engine)",
+        f"  ingested {result.events} events over the wire in "
+        f"{result.elapsed_seconds:.2f}s -> {_format_rate(result.ingest_rate)} events/s",
+        f"  {result.queries} concurrent snapshot queries: "
+        f"mean {result.mean_latency_ms:.2f} ms, p95 {result.p95_latency_ms:.2f} ms",
+        f"  staleness (submitted - served version): max {result.max_staleness} events",
+        f"  final served version: {result.final_version}",
+    ]
+    return "\n".join(lines)

@@ -8,6 +8,7 @@ whose output is recorded in EXPERIMENTS.md.
 from __future__ import annotations
 
 import inspect
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 from repro.bench.harness import RunResult, TraceResult, measure_refresh_rate, run_trace
@@ -216,6 +217,138 @@ def run_batch_size_sweep(
             query=query,
         )
     return results
+
+
+@dataclass(frozen=True)
+class ServiceRunResult:
+    """Freshness-versus-throughput measurements of a served view.
+
+    ``staleness`` counts, per query, how many already-submitted events the
+    returned snapshot version was missing — 0 means every read was perfectly
+    fresh despite the concurrent ingest load.
+    """
+
+    query: str
+    engine_mode: str
+    events: int
+    elapsed_seconds: float
+    queries: int
+    latencies_ms: tuple[float, ...]
+    staleness: tuple[int, ...]
+    final_version: int
+
+    @property
+    def ingest_rate(self) -> float:
+        """Events ingested per second, over the wire."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.events / self.elapsed_seconds
+
+    @property
+    def mean_latency_ms(self) -> float:
+        return sum(self.latencies_ms) / len(self.latencies_ms) if self.latencies_ms else 0.0
+
+    @property
+    def p95_latency_ms(self) -> float:
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        return ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+
+    @property
+    def max_staleness(self) -> int:
+        return max(self.staleness) if self.staleness else 0
+
+
+def run_service_freshness(
+    query: str = "Q1",
+    engine_mode: str = "incremental",
+    events: int = 2000,
+    ingest_chunk: int = 64,
+    seed: int = 7,
+    engine_config: Mapping[str, object] | None = None,
+) -> ServiceRunResult:
+    """Query latency and view freshness under concurrent ingestion.
+
+    Starts a real TCP view server for ``query``, drives the workload stream
+    through one client connection in ``ingest_chunk``-sized batches, and
+    concurrently hammers snapshot queries from a second connection, recording
+    per-query latency and staleness (events submitted minus snapshot
+    version).  This is the serving-layer counterpart of the refresh-rate
+    table: it measures what a *reader* experiences while the views are kept
+    fresh, rather than raw event throughput.
+    """
+    import threading
+    import time
+
+    from repro.compiler.hoivm import compile_query as _compile
+    from repro.service.client import ServiceClient
+    from repro.service.core import ViewService, engine_for_mode
+    from repro.service.server import start_in_thread
+
+    spec = workload(query)
+    agenda, static = _prepare(spec, events, None, seed)
+    translated = spec.query_factory()
+    program = _compile(
+        translated.roots(),
+        translated.schemas(),
+        static_relations=translated.static_relations(),
+    )
+    config = dict(engine_config or {})
+    engine = engine_for_mode(
+        program,
+        mode=engine_mode,
+        batch_size=config.get("batch_size"),
+        partitions=config.get("partitions"),
+        backend=config.get("backend") or "sequential",
+    )
+    service = ViewService(engine)
+    for relation, rows in static.items():
+        if relation in program.static_relations:
+            service.load_static(relation, rows)
+    root = next(iter(translated.roots()))
+    stream = list(agenda)
+
+    handle = start_in_thread(service)
+    latencies: list[float] = []
+    staleness: list[int] = []
+    submitted = 0
+    done = threading.Event()
+
+    def query_loop() -> None:
+        with ServiceClient(*handle.address) as client:
+            while not done.is_set():
+                start = time.perf_counter()
+                snapshot = client.query(root)
+                latencies.append((time.perf_counter() - start) * 1000.0)
+                staleness.append(max(0, submitted - snapshot.version))
+
+    reader = threading.Thread(target=query_loop)
+    try:
+        with ServiceClient(*handle.address) as client:
+            reader.start()
+            start = time.perf_counter()
+            for begin in range(0, len(stream), ingest_chunk):
+                chunk = stream[begin:begin + ingest_chunk]
+                submitted += len(chunk)
+                client.ingest(chunk)
+            elapsed = time.perf_counter() - start
+            final_version = client.query(root).version
+    finally:
+        done.set()
+        reader.join()
+        handle.stop()
+        service.close()
+    return ServiceRunResult(
+        query=query,
+        engine_mode=engine_mode,
+        events=len(stream),
+        elapsed_seconds=elapsed,
+        queries=len(latencies),
+        latencies_ms=tuple(latencies),
+        staleness=tuple(staleness),
+        final_version=final_version,
+    )
 
 
 def run_engine_statistics(

@@ -67,3 +67,7 @@ class BenchmarkError(ReproError):
 
 class ExecutionError(ReproError):
     """The batched/partitioned execution subsystem hit an invalid state."""
+
+
+class ServiceError(ReproError):
+    """The view-serving subsystem (service/server/client) hit an invalid state."""

@@ -366,3 +366,22 @@ class BatchedEngine:
 
     def describe(self) -> str:
         return self.engine.describe()
+
+    # -- durable state / lifecycle ------------------------------------------------
+    def checkpoint_state(self) -> dict[str, Any]:
+        """Flush, then capture the inner engine's state (``kind: "single"``).
+
+        Batched and per-event engines produce interchangeable states: the
+        buffer is drained first, so the state reflects every accepted event.
+        """
+        self.flush()
+        return self.engine.checkpoint_state()
+
+    def restore_state(self, state) -> None:
+        """Load a single-engine state, discarding any buffered events."""
+        self._buffer = []
+        self.engine.restore_state(state)
+
+    def close(self) -> None:
+        """Flush pending work; the batched engine owns no external resources."""
+        self.flush()

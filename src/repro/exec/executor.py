@@ -55,6 +55,10 @@ class Backend(Protocol):
 
     def statistics(self, index: int) -> dict[str, object]: ...
 
+    def state(self, index: int) -> dict[str, Any]: ...
+
+    def restore(self, index: int, state: dict[str, Any]) -> None: ...
+
     def close(self) -> None: ...
 
 
@@ -93,6 +97,12 @@ class SequentialBackend:
     def statistics(self, index: int) -> dict[str, object]:
         return self._engines[index].statistics()
 
+    def state(self, index: int) -> dict[str, Any]:
+        return self._engines[index].checkpoint_state()
+
+    def restore(self, index: int, state: dict[str, Any]) -> None:
+        self._engines[index].restore_state(state)
+
     def close(self) -> None:
         pass
 
@@ -123,6 +133,11 @@ def _worker_main(connection, program_bytes: bytes, batch_size: int | None) -> No
             connection.send(engine.memory_bytes())
         elif command == "statistics":
             connection.send(engine.statistics())
+        elif command == "state":
+            connection.send(engine.checkpoint_state())
+        elif command == "restore":
+            engine.restore_state(payload)
+            connection.send(True)
         elif command == "stop":
             connection.send(True)
             break
@@ -191,6 +206,12 @@ class MultiprocessBackend:
 
     def statistics(self, index: int) -> dict[str, object]:
         return self._request(index, "statistics", None)
+
+    def state(self, index: int) -> dict[str, Any]:
+        return self._request(index, "state", None)
+
+    def restore(self, index: int, state: dict[str, Any]) -> None:
+        self._request(index, "restore", state)
 
     def close(self) -> None:
         if self._closed:

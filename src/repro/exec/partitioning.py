@@ -483,6 +483,9 @@ class PartitionedEngine:
         self.flush()
         return {
             "events_processed": self.events_processed,
+            "memory_bytes": sum(
+                self._backend.memory_bytes(index) for index in range(self.spec.partitions)
+            ),
             "spec": {
                 "partitions": self.spec.partitions,
                 "keys": {r: list(c) for r, c in sorted(self.spec.keys.items())},
@@ -498,6 +501,51 @@ class PartitionedEngine:
 
     def describe(self) -> str:
         return f"{self.spec.describe()}\n{self.program.pretty()}"
+
+    # -- durable state -----------------------------------------------------------
+    def checkpoint_state(self) -> dict[str, Any]:
+        """One single-engine state per partition plus the routing counters.
+
+        Restoring requires an identical partition layout (count and keys):
+        per-partition map contents cannot be re-sharded after the fact.
+        """
+        self.flush()
+        return {
+            "format": 1,
+            "kind": "partitioned",
+            "partitions": self.spec.partitions,
+            "keys": {r: list(c) for r, c in sorted(self.spec.keys.items())},
+            "events_processed": self.events_processed,
+            "events_routed": list(self.events_routed),
+            "events_broadcast": self.events_broadcast,
+            "states": [
+                self._backend.state(index) for index in range(self.spec.partitions)
+            ],
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Load a :meth:`checkpoint_state` dictionary into this engine."""
+        if state.get("kind") != "partitioned":
+            raise ExecutionError(
+                f"cannot restore a {state.get('kind')!r} state into a partitioned engine"
+            )
+        if state["partitions"] != self.spec.partitions:
+            raise ExecutionError(
+                f"state has {state['partitions']} partitions, engine has "
+                f"{self.spec.partitions}"
+            )
+        keys = {r: list(c) for r, c in sorted(self.spec.keys.items())}
+        if state["keys"] != keys:
+            raise ExecutionError(
+                f"state partition keys {state['keys']} do not match engine keys {keys}"
+            )
+        self._buffers = [[] for _ in range(self.spec.partitions)]
+        self._buffered = 0
+        for index, partition_state in enumerate(state["states"]):
+            self._backend.restore(index, partition_state)
+        self.events_processed = int(state["events_processed"])
+        self.events_routed = list(state["events_routed"])
+        self.events_broadcast = int(state["events_broadcast"])
 
     def close(self) -> None:
         """Release backend resources (worker processes)."""

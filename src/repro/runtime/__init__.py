@@ -3,6 +3,7 @@
 from repro.runtime.maps import IndexedTable, MapStore, ViewCache
 from repro.runtime.database import Database
 from repro.runtime.engine import IncrementalEngine
+from repro.runtime.protocol import EngineProtocol
 from repro.runtime.reference import ReferenceEngine
 from repro.runtime.factory import (
     dbtoaster_engine,
@@ -17,6 +18,7 @@ __all__ = [
     "MapStore",
     "ViewCache",
     "Database",
+    "EngineProtocol",
     "IncrementalEngine",
     "ReferenceEngine",
     "dbtoaster_engine",

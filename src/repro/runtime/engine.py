@@ -75,6 +75,9 @@ class IncrementalEngine:
             count += 1
         return count
 
+    def flush(self) -> None:
+        """No-op: per-event execution never buffers (uniform engine contract)."""
+
     # -- reading views ----------------------------------------------------------------
     def view(self, name: str | None = None) -> GMR:
         """Contents of a view as a GMR (key row -> aggregate value)."""
@@ -122,3 +125,70 @@ class IncrementalEngine:
     def describe(self) -> str:
         """Human-readable listing of the compiled program this engine runs."""
         return self.program.pretty()
+
+    # -- durable state / lifecycle ---------------------------------------------
+    def checkpoint_state(self) -> dict[str, Any]:
+        """Everything needed to rebuild this engine's observable state.
+
+        The returned dictionary (``kind: "single"``) holds every map's entries,
+        every stored base relation's tuples and the event count; values keep
+        their exact runtime types so a restored engine is bit-identical.
+        """
+        maps: dict[str, list[tuple[tuple, Any]]] = {}
+        for name in self.maps.names():
+            table = self.maps.table(name)
+            maps[name] = [
+                (tuple(row[c] for c in table.columns), value)
+                for row, value in table.items()
+            ]
+        relations: dict[str, list[tuple[tuple, Any]]] = {}
+        for name in self.database.relations():
+            table = self.database.table(name)
+            relations[name] = [
+                (tuple(row[c] for c in table.columns), value)
+                for row, value in table.items()
+            ]
+        return {
+            "format": 1,
+            "kind": "single",
+            "events_processed": self.events_processed,
+            "maps": maps,
+            "relations": relations,
+        }
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Load a :meth:`checkpoint_state` dictionary into this engine.
+
+        Intended for freshly built engines running the *same* trigger program;
+        unknown map or relation names mean the state belongs to a different
+        program and raise.
+        """
+        if state.get("kind") != "single":
+            raise RuntimeEngineError(
+                f"cannot restore a {state.get('kind')!r} state into a single engine"
+            )
+        declared = set(self.maps.names())
+        unknown = set(state["maps"]) - declared
+        if unknown:
+            raise RuntimeEngineError(
+                f"state holds maps {sorted(unknown)} not declared by this program"
+            )
+        unknown = set(state["relations"]) - set(self.database.relations())
+        if unknown:
+            raise RuntimeEngineError(
+                f"state holds relations {sorted(unknown)} not declared by this program"
+            )
+        for name in self.maps.names():
+            table = self.maps.table(name)
+            table.clear()
+            for values, value in state["maps"].get(name, ()):
+                table.set(values, value)
+        for name in self.database.relations():
+            table = self.database.table(name)
+            table.clear()
+            for values, value in state["relations"].get(name, ()):
+                table.set(values, value)
+        self.events_processed = int(state["events_processed"])
+
+    def close(self) -> None:
+        """No-op: the per-event engine owns no external resources."""

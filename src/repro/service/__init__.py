@@ -1,0 +1,60 @@
+"""The serving layer: continuous view serving over any execution engine.
+
+Built on the engine contract (:class:`~repro.runtime.protocol.EngineProtocol`),
+this package turns a compiled trigger program into a long-running service:
+
+* :class:`~repro.service.core.ViewService` — live ingestion with
+  version-tagged, snapshot-consistent reads;
+* :mod:`repro.service.subscriptions` — ordered, exactly-once per-view delta
+  notifications with bounded queues;
+* :mod:`repro.service.checkpoint` — durable checkpoint/restore of engine
+  state and event offset;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — an asyncio TCP
+  server speaking a JSONL protocol, plus the matching Python client;
+* ``python -m repro.service`` — ``serve`` and ``replay`` commands.
+
+See the "Serving layer" section of DESIGN.md for the consistency model, the
+wire protocol and the checkpoint format.
+"""
+
+from repro.service.checkpoint import CheckpointInfo, CheckpointStore
+from repro.service.client import DeltaStream, ServiceClient
+from repro.service.core import (
+    DEFAULT_INGEST_BATCH,
+    ENGINE_MODES,
+    IngestResult,
+    Snapshot,
+    ViewService,
+    diff_results,
+    engine_for_mode,
+    open_source,
+)
+from repro.service.server import ServerHandle, ViewServer, start_in_thread
+from repro.service.subscriptions import (
+    DEFAULT_QUEUE_SIZE,
+    DeltaNotification,
+    Subscription,
+    SubscriptionRegistry,
+)
+
+__all__ = [
+    "CheckpointInfo",
+    "CheckpointStore",
+    "DEFAULT_INGEST_BATCH",
+    "DEFAULT_QUEUE_SIZE",
+    "DeltaNotification",
+    "DeltaStream",
+    "ENGINE_MODES",
+    "IngestResult",
+    "ServerHandle",
+    "ServiceClient",
+    "Snapshot",
+    "Subscription",
+    "SubscriptionRegistry",
+    "ViewServer",
+    "ViewService",
+    "diff_results",
+    "engine_for_mode",
+    "open_source",
+    "start_in_thread",
+]

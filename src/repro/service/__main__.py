@@ -1,0 +1,173 @@
+"""Command-line entry point for the view service.
+
+Serve a workload query over TCP (restoring the newest checkpoint when the
+checkpoint directory holds one)::
+
+    python -m repro.service serve --query Q1 --engine batched --batch-size 100 \\
+        --checkpoint-dir /tmp/q1-ckpt --port 7641
+
+Replay a persisted event stream through a service offline, print the final
+views and leave a checkpoint behind::
+
+    python -m repro.service replay stream.jsonl --query Q1 \\
+        --checkpoint-dir /tmp/q1-ckpt --checkpoint-every 1000
+
+The ``--engine`` flag selects the execution mode (``incremental``,
+``batched`` or ``partitioned``); ``--batch-size``, ``--partitions`` and
+``--backend`` configure it exactly like the benchmark CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from repro.compiler.hoivm import compile_query
+from repro.service.core import (
+    DEFAULT_INGEST_BATCH,
+    ENGINE_MODES,
+    ViewService,
+    engine_for_mode,
+)
+from repro.service.server import ViewServer
+from repro.workloads import all_workloads, workload
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--query", default="Q1",
+                        help="workload query to serve (see: python -m repro.bench list)")
+    parser.add_argument("--engine", choices=list(ENGINE_MODES), default="incremental",
+                        help="execution mode hosting the views")
+    parser.add_argument("--batch-size", type=int, default=None,
+                        help="delta batch size (batched/partitioned engines)")
+    parser.add_argument("--partitions", type=int, default=None,
+                        help="partition count (partitioned engine)")
+    parser.add_argument("--backend", choices=["sequential", "process"],
+                        default="sequential", help="partitioned-engine backend")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="directory for durable checkpoints")
+    parser.add_argument("--fresh", action="store_true",
+                        help="ignore existing checkpoints instead of restoring")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve continuously fresh materialized views.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="serve one workload query over TCP")
+    _add_engine_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7641, help="0 picks a free port")
+
+    replay = sub.add_parser("replay", help="replay a .csv/.jsonl event stream offline")
+    replay.add_argument("source", help="event stream file (.csv or .jsonl)")
+    _add_engine_arguments(replay)
+    replay.add_argument("--ingest-batch", type=int, default=DEFAULT_INGEST_BATCH,
+                        help="events per atomic ingest batch")
+    replay.add_argument("--checkpoint-every", type=int, default=None,
+                        help="checkpoint after this many applied events")
+    replay.add_argument("--limit", type=int, default=10,
+                        help="rows to print per view")
+
+    sub.add_parser("list", help="list the servable workload queries")
+    return parser
+
+
+def build_service(args: argparse.Namespace) -> tuple[ViewService, int | None]:
+    """Compile the query, build the engine and (maybe) restore a checkpoint.
+
+    Static tables are loaded only when starting fresh: a restored engine state
+    already contains them, and loading twice would double their multiplicity.
+    """
+    spec = workload(args.query)
+    translated = spec.query_factory()
+    program = compile_query(
+        translated.roots(),
+        translated.schemas(),
+        static_relations=translated.static_relations(),
+    )
+    engine = engine_for_mode(
+        program,
+        mode=args.engine,
+        batch_size=args.batch_size,
+        partitions=args.partitions,
+        backend=args.backend,
+    )
+    service = ViewService(engine, checkpoint_dir=args.checkpoint_dir)
+    restored = None
+    if service.checkpoints is not None and not args.fresh:
+        restored = service.restore()
+    if restored is None:
+        for relation, rows in spec.static_tables().items():
+            if relation in program.static_relations:
+                service.load_static(relation, rows)
+    return service, restored
+
+
+async def _serve(service: ViewService, host: str, port: int) -> None:
+    server = ViewServer(service, host, port)
+    await server.start()
+    print(f"serving {sorted(service.program.roots)} on {server.host}:{server.port} "
+          f"(version {service.version})", flush=True)
+    await server.serve_until_stopped()
+    print("server stopped", flush=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name, spec in sorted(all_workloads().items()):
+            print(f"{name:8s} {spec.family:8s} {spec.description}")
+        return 0
+
+    if args.command == "serve":
+        service, restored = build_service(args)
+        if restored is not None:
+            print(f"restored checkpoint at version {restored}", flush=True)
+        try:
+            asyncio.run(_serve(service, args.host, args.port))
+        except KeyboardInterrupt:
+            pass
+        finally:
+            service.close()
+        return 0
+
+    if args.command == "replay":
+        service, restored = build_service(args)
+        try:
+            if restored is not None:
+                print(f"restored checkpoint at version {restored}")
+            applied = service.replay(
+                args.source,
+                batch_size=args.ingest_batch,
+                checkpoint_every=(
+                    args.checkpoint_every if service.checkpoints is not None else None
+                ),
+            )
+            print(f"replayed {applied} events; service version {service.version} "
+                  f"({args.engine} engine)")
+            for view in service.views():
+                snapshot = service.query(view)
+                print(f"view {view} [{', '.join(snapshot.columns)}]: "
+                      f"{len(snapshot.entries)} rows")
+                shown = sorted(snapshot.entries.items(), key=lambda kv: repr(kv[0]))
+                for key, value in shown[: args.limit]:
+                    print(f"  {key!r} -> {value!r}")
+                if len(shown) > args.limit:
+                    print(f"  ... {len(shown) - args.limit} more")
+            if service.checkpoints is not None:
+                info = service.checkpoint()
+                print(f"checkpoint saved: {info.path} (version {info.version})")
+        finally:
+            service.close()
+        return 0
+
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

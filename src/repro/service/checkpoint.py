@@ -1,0 +1,113 @@
+"""Checkpoint/restore: durable service state on disk.
+
+A checkpoint captures, at one event offset, everything a restarted service
+needs to serve bit-identical views without replaying the whole stream:
+
+* the engine state from
+  :meth:`~repro.runtime.protocol.EngineProtocol.checkpoint_state` — every
+  map's entries, every stored base relation (including loaded static tables)
+  and the engine's event count — with exact runtime value types;
+* the service **version** (event offset), so a replay source knows how many
+  leading events to skip;
+* the running stream statistics, so reporting continues seamlessly.
+
+Files are pickled payloads named ``checkpoint-<offset>.ckpt`` inside the
+checkpoint directory, written atomically (temp file + rename) so a crash
+mid-write never corrupts the latest durable state.  Pickle is the right
+trade-off here: checkpoints are private files written and read by the same
+library, and restore must reproduce values *bit-identically* (ints vs floats
+vs Fractions survive, which JSON cannot guarantee).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ServiceError
+
+#: Version tag of the checkpoint payload layout.
+CHECKPOINT_FORMAT = 1
+
+_FILE_PATTERN = re.compile(r"^checkpoint-(\d+)\.ckpt$")
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """Metadata of one on-disk checkpoint."""
+
+    path: Path
+    version: int
+
+
+class CheckpointStore:
+    """Writes and reads the checkpoints of one service directory."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # -- writing ----------------------------------------------------------------
+    def save(
+        self,
+        version: int,
+        engine_state: Mapping[str, Any],
+        stream_stats: Mapping[str, Any] | None = None,
+    ) -> CheckpointInfo:
+        """Persist one checkpoint atomically; returns its metadata."""
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "version": version,
+            "engine_state": dict(engine_state),
+            "stream_stats": dict(stream_stats or {}),
+        }
+        path = self.directory / f"checkpoint-{version:012d}.ckpt"
+        handle, temp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".checkpoint-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "wb") as temp:
+                pickle.dump(payload, temp, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return CheckpointInfo(path=path, version=version)
+
+    # -- reading ----------------------------------------------------------------
+    def list(self) -> list[CheckpointInfo]:
+        """All checkpoints in the directory, oldest first."""
+        found: list[CheckpointInfo] = []
+        for entry in self.directory.iterdir():
+            match = _FILE_PATTERN.match(entry.name)
+            if match:
+                found.append(CheckpointInfo(path=entry, version=int(match.group(1))))
+        return sorted(found, key=lambda info: info.version)
+
+    def latest(self) -> CheckpointInfo | None:
+        """The most recent checkpoint, or ``None`` when the directory is empty."""
+        checkpoints = self.list()
+        return checkpoints[-1] if checkpoints else None
+
+    def load(self, info: CheckpointInfo | None = None) -> dict[str, Any]:
+        """Read one checkpoint payload (the latest by default)."""
+        if info is None:
+            info = self.latest()
+            if info is None:
+                raise ServiceError(f"no checkpoints in {self.directory}")
+        with open(info.path, "rb") as handle:
+            payload = pickle.load(handle)
+        if payload.get("format") != CHECKPOINT_FORMAT:
+            raise ServiceError(
+                f"checkpoint {info.path} has format {payload.get('format')!r}; "
+                f"this build reads format {CHECKPOINT_FORMAT}"
+            )
+        return payload

@@ -1,0 +1,160 @@
+"""Synchronous Python client for the view service's JSONL TCP protocol.
+
+:class:`ServiceClient` is a thin, dependency-free socket client: one
+connection, one request line per call, blocking responses.  Query results
+come back as the same :class:`~repro.service.core.Snapshot` objects an
+in-process :class:`~repro.service.core.ViewService` returns, so application
+code can switch between embedded and served modes without changes.
+
+Subscriptions switch a connection into push mode, so use a dedicated client
+(:meth:`ServiceClient.subscribe` on a fresh connection) for each subscriber;
+:class:`DeltaStream` then iterates the pushed notifications.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Iterable, Iterator
+
+from repro.delta.events import StreamEvent
+from repro.errors import ServiceError
+from repro.service.core import IngestResult, Snapshot
+from repro.service.subscriptions import DeltaNotification
+from repro.service.wire import decode_entries, decode_value, dump_line, parse_line
+from repro.streams.adapters import event_to_dict
+
+#: Default socket timeout (seconds) for requests and subscription reads.
+DEFAULT_TIMEOUT = 30.0
+
+
+class DeltaStream:
+    """An iterator over the delta notifications pushed to one subscription."""
+
+    def __init__(self, client: "ServiceClient", view: str, subscription_id: int):
+        self._client = client
+        self.view = view
+        self.subscription_id = subscription_id
+        self.closed = False
+        self.overflowed = False
+
+    def __iter__(self) -> Iterator[DeltaNotification]:
+        while not self.closed:
+            message = self._client._read_message()
+            if message is None:
+                self.closed = True
+                break
+            kind = message.get("type")
+            if kind == "delta":
+                yield DeltaNotification(
+                    sequence=message["sequence"],
+                    version=message["version"],
+                    view=message["view"],
+                    key=tuple(decode_value(part) for part in message["key"]),
+                    old=decode_value(message.get("old")),
+                    new=decode_value(message.get("new")),
+                )
+            elif kind == "subscription_closed":
+                self.closed = True
+                self.overflowed = bool(message.get("overflowed"))
+            else:
+                raise ServiceError(f"unexpected push message {message!r}")
+
+    def take(self, count: int) -> list[DeltaNotification]:
+        """Block until ``count`` notifications arrived (or the stream closed)."""
+        out: list[DeltaNotification] = []
+        if count <= 0:
+            return out
+        for notification in self:
+            out.append(notification)
+            if len(out) >= count:
+                break
+        return out
+
+
+class ServiceClient:
+    """One JSONL TCP connection to a running view server."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout: float = DEFAULT_TIMEOUT
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    # -- plumbing ---------------------------------------------------------------
+    def _read_message(self) -> dict[str, Any] | None:
+        line = self._file.readline()
+        if not line:
+            return None
+        return parse_line(line, context="response")
+
+    def _request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        self._file.write(dump_line(payload))
+        self._file.flush()
+        response = self._read_message()
+        if response is None:
+            raise ServiceError("server closed the connection")
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", f"request {payload!r} failed"))
+        return response
+
+    # -- operations -------------------------------------------------------------
+    def ping(self) -> int:
+        """Liveness check; returns the service version."""
+        return self._request({"op": "ping"})["version"]
+
+    def ingest(self, events: Iterable[StreamEvent]) -> IngestResult:
+        """Apply one atomic batch of events; returns count and new version."""
+        response = self._request(
+            {"op": "ingest", "events": [event_to_dict(e) for e in events]}
+        )
+        return IngestResult(
+            count=response["count"],
+            version=response["version"],
+            notifications=response.get("notifications", 0),
+        )
+
+    def query(self, view: str | None = None) -> Snapshot:
+        """A version-tagged snapshot of one view."""
+        response = self._request({"op": "query", "view": view})
+        return Snapshot(
+            version=response["version"],
+            view=response["view"],
+            map_name=response["map"],
+            columns=tuple(response["columns"]),
+            entries=decode_entries(response["rows"]),
+        )
+
+    def subscribe(self, view: str | None = None, queue_size: int | None = None) -> DeltaStream:
+        """Turn this connection into a delta stream for one view."""
+        response = self._request(
+            {"op": "subscribe", "view": view, "queue_size": queue_size}
+        )
+        return DeltaStream(self, response["view"], response["subscription"])
+
+    def statistics(self) -> dict[str, Any]:
+        """Service + engine statistics."""
+        return self._request({"op": "stats"})["statistics"]
+
+    def checkpoint(self) -> tuple[int, str]:
+        """Persist a checkpoint server-side; returns (version, path)."""
+        response = self._request({"op": "checkpoint"})
+        return response["version"], response["path"]
+
+    def shutdown(self) -> None:
+        """Ask the server to stop (acknowledged before it winds down)."""
+        self._request({"op": "shutdown"})
+
+    # -- lifecycle --------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,382 @@
+"""The view service: continuous ingestion with snapshot-consistent reads.
+
+:class:`ViewService` owns one engine — any implementation of
+:class:`~repro.runtime.protocol.EngineProtocol`: per-event, delta-batched or
+hash-partitioned — and turns it into a long-running serving component:
+
+* **versioned ingestion** — events are applied in atomic batches under the
+  service lock; the service version is the total event offset, so version
+  ``v`` means "exactly the first ``v`` stream events are reflected";
+* **snapshot reads** — :meth:`ViewService.query` returns a
+  :class:`Snapshot` tagged with the version it reflects; because reads and
+  ingest batches serialize on the same lock (and buffered engines are flushed
+  before reading), a reader never observes a half-applied batch;
+* **delta subscriptions** — registered consumers receive ordered,
+  exactly-once ``(key, old, new)`` notifications per view, computed by
+  diffing the view around each ingest batch (exact for every engine mode,
+  including bulk-unsafe triggers);
+* **checkpoint/restore** — the engine state and the event offset persist to a
+  :class:`~repro.service.checkpoint.CheckpointStore`; a restarted service
+  restores the newest checkpoint and :meth:`ViewService.replay` skips the
+  already-applied stream prefix, converging to bit-identical views.
+
+The TCP server in :mod:`repro.service.server` is a thin wire adapter over
+this class; everything here also works fully in-process.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.compiler.program import MapDeclaration, TriggerProgram
+from repro.delta.events import StreamEvent
+from repro.errors import ServiceError
+from repro.exec import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_PARTITIONS,
+    BatchedEngine,
+    PartitionedEngine,
+)
+from repro.runtime.engine import IncrementalEngine
+from repro.runtime.protocol import EngineProtocol
+from repro.service.checkpoint import CheckpointInfo, CheckpointStore
+from repro.service.subscriptions import (
+    DEFAULT_QUEUE_SIZE,
+    Subscription,
+    SubscriptionRegistry,
+)
+from repro.streams.adapters import events_from_csv, events_from_jsonl, events_from_rows
+from repro.streams.stats import StreamStats
+
+#: Engine modes the service (and its CLI) can host.
+ENGINE_MODES = ("incremental", "batched", "partitioned")
+
+#: Events per ingest batch when replaying a source through the service.
+DEFAULT_INGEST_BATCH = 256
+
+
+def engine_for_mode(
+    program: TriggerProgram,
+    mode: str = "incremental",
+    batch_size: int | None = None,
+    partitions: int | None = None,
+    backend: str = "sequential",
+) -> EngineProtocol:
+    """Build an engine for one of the service's execution modes."""
+    if mode == "incremental":
+        return IncrementalEngine(program)
+    if mode == "batched":
+        return BatchedEngine(program, batch_size or DEFAULT_BATCH_SIZE)
+    if mode == "partitioned":
+        return PartitionedEngine(
+            program,
+            partitions=partitions or DEFAULT_PARTITIONS,
+            backend=backend,
+            batch_size=batch_size,
+        )
+    raise ServiceError(f"unknown engine mode {mode!r}; expected one of {ENGINE_MODES}")
+
+
+def open_source(source: Any) -> Iterator[StreamEvent]:
+    """Events from any supported stream source.
+
+    Accepts a ``.csv`` / ``.jsonl`` path, any iterable of events (list,
+    :class:`~repro.streams.agenda.Agenda`, generator) or a zero-argument
+    callable returning one.
+    """
+    if isinstance(source, (str, Path)):
+        path = Path(source)
+        suffix = path.suffix.lower()
+        if suffix == ".csv":
+            return events_from_csv(path)
+        if suffix in (".jsonl", ".ndjson"):
+            return events_from_jsonl(path)
+        raise ServiceError(
+            f"cannot infer stream format of {path}; expected a .csv or .jsonl file"
+        )
+    if callable(source):
+        source = source()
+    return iter(source)
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One consistent read of one view, tagged with the version it reflects."""
+
+    version: int
+    view: str
+    map_name: str
+    columns: tuple[str, ...]
+    entries: dict[tuple, Any]
+
+    def rows(self, value_column: str = "value") -> list[dict[str, Any]]:
+        """Entries as dictionaries (key columns plus the aggregate value)."""
+        return [
+            {**dict(zip(self.columns, key)), value_column: value}
+            for key, value in self.entries.items()
+        ]
+
+
+@dataclass(frozen=True)
+class IngestResult:
+    """Outcome of one atomic ingest batch."""
+
+    count: int
+    version: int
+    notifications: int = 0
+
+
+def diff_results(before: Mapping[tuple, Any], after: Mapping[tuple, Any]):
+    """Ordered ``(key, old, new)`` changes between two view snapshots.
+
+    Changed and added keys come first (in the after-snapshot's order), then
+    deleted keys (in the before-snapshot's order); absent sides are ``None``.
+    """
+    changes: list[tuple[tuple, Any, Any]] = []
+    for key, new in after.items():
+        old = before.get(key)
+        if old != new:
+            changes.append((key, old, new))
+    for key, old in before.items():
+        if key not in after:
+            changes.append((key, old, None))
+    return changes
+
+
+class ViewService:
+    """Serves continuously fresh materialized views from one engine."""
+
+    def __init__(
+        self,
+        engine: EngineProtocol,
+        checkpoint_dir: str | Path | None = None,
+    ) -> None:
+        if not isinstance(engine, EngineProtocol):
+            raise ServiceError(
+                f"{type(engine).__name__} does not implement the engine protocol"
+            )
+        self.engine = engine
+        self.program: TriggerProgram = engine.program
+        self.subscriptions = SubscriptionRegistry()
+        self.stream_stats = StreamStats()
+        self.checkpoints = (
+            CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self._lock = threading.RLock()
+        self._version = 0
+        self._closed = False
+
+    # -- identity --------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """The event offset: how many stream events the views reflect."""
+        with self._lock:
+            return self._version
+
+    def views(self) -> tuple[str, ...]:
+        """The root query names this service can serve."""
+        return tuple(sorted(self.program.roots))
+
+    def _declaration(self, name: str | None) -> MapDeclaration:
+        program = self.program
+        if name is None or name in program.roots:
+            return program.root_map(name)
+        decl = program.maps.get(name)
+        if decl is None:
+            raise ServiceError(
+                f"unknown view {name!r}; available: {sorted(program.roots)}"
+            )
+        return decl
+
+    def _canonical_view(self, name: str | None) -> str:
+        if name is None:
+            roots = sorted(self.program.roots)
+            if len(roots) != 1:
+                raise ServiceError(f"service has {len(roots)} views; specify one of {roots}")
+            return roots[0]
+        self._declaration(name)  # validates
+        return name
+
+    # -- data loading ----------------------------------------------------------
+    def load_static(
+        self, relation: str, rows: Iterable[Sequence[Any] | Mapping[str, Any]]
+    ) -> int:
+        """Load a static relation before (or between) ingest batches."""
+        with self._lock:
+            return self.engine.load_static(relation, rows)
+
+    # -- ingestion -------------------------------------------------------------
+    def ingest(self, events: Iterable[StreamEvent]) -> IngestResult:
+        """Apply one batch of events atomically and publish the deltas.
+
+        Readers either see the state before the whole batch or after it —
+        never in between — and the version advances by the batch size.
+        """
+        events = list(events)
+        with self._lock:
+            self._require_open()
+            subscribed = self.subscriptions.subscribed_views()
+            before = {view: self.engine.result_dict(view) for view in subscribed}
+            count = self.engine.apply_many(events)
+            self.engine.flush()
+            self._version += count
+            for event in events:
+                self.stream_stats.record(event)
+            notifications = 0
+            for view in subscribed:
+                changes = diff_results(before[view], self.engine.result_dict(view))
+                if changes:
+                    notifications += self.subscriptions.publish(
+                        view, self._version, changes
+                    )
+            return IngestResult(
+                count=count, version=self._version, notifications=notifications
+            )
+
+    def ingest_rows(
+        self,
+        relation: str,
+        rows: Iterable[Sequence[Any] | Mapping[str, Any]],
+        columns: Sequence[str] | None = None,
+        sign: int = 1,
+    ) -> IngestResult:
+        """Ingest plain rows as insert (or delete) events for one relation."""
+        return self.ingest(events_from_rows(relation, rows, columns=columns, sign=sign))
+
+    def replay(
+        self,
+        source: Any,
+        batch_size: int = DEFAULT_INGEST_BATCH,
+        checkpoint_every: int | None = None,
+    ) -> int:
+        """Run the ingestion loop over a stream source until it is exhausted.
+
+        The first ``version`` events of the source are skipped — they are
+        already reflected (the restart path: restore a checkpoint, then replay
+        the same stream).  ``checkpoint_every`` takes a checkpoint after that
+        many newly applied events.  Returns the number of events applied.
+        """
+        if batch_size < 1:
+            raise ServiceError(f"batch_size must be >= 1, got {batch_size}")
+        skip = self.version
+        applied = 0
+        since_checkpoint = 0
+        batch: list[StreamEvent] = []
+
+        def flush_batch() -> None:
+            nonlocal applied, since_checkpoint
+            if not batch:
+                return
+            applied += self.ingest(batch).count
+            since_checkpoint += len(batch)
+            batch.clear()
+            if checkpoint_every is not None and since_checkpoint >= checkpoint_every:
+                self.checkpoint()
+                since_checkpoint = 0
+
+        for event in open_source(source):
+            if skip > 0:
+                skip -= 1
+                continue
+            batch.append(event)
+            if len(batch) >= batch_size:
+                flush_batch()
+        flush_batch()
+        return applied
+
+    # -- snapshot reads ---------------------------------------------------------
+    def query(self, name: str | None = None) -> Snapshot:
+        """A version-tagged, snapshot-consistent read of one view."""
+        with self._lock:
+            self._require_open()
+            decl = self._declaration(name)
+            self.engine.flush()
+            return Snapshot(
+                version=self._version,
+                view=self._canonical_view(name),
+                map_name=decl.name,
+                columns=decl.keys,
+                entries=self.engine.result_dict(name),
+            )
+
+    # -- subscriptions ----------------------------------------------------------
+    def subscribe(
+        self, name: str | None = None, maxlen: int = DEFAULT_QUEUE_SIZE
+    ) -> Subscription:
+        """Register a consumer for one view's future deltas."""
+        with self._lock:
+            self._require_open()
+            return self.subscriptions.subscribe(self._canonical_view(name), maxlen)
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Drop a subscription (pending notifications are discarded)."""
+        self.subscriptions.unsubscribe(subscription)
+
+    # -- checkpoint / restore ----------------------------------------------------
+    def checkpoint(self) -> CheckpointInfo:
+        """Persist the engine state and event offset; returns the checkpoint."""
+        with self._lock:
+            self._require_open()
+            if self.checkpoints is None:
+                raise ServiceError("service was built without a checkpoint directory")
+            self.engine.flush()
+            return self.checkpoints.save(
+                self._version,
+                self.engine.checkpoint_state(),
+                self.stream_stats.as_dict(),
+            )
+
+    def restore(self) -> int | None:
+        """Load the newest checkpoint, if any; returns the restored version."""
+        with self._lock:
+            self._require_open()
+            if self.checkpoints is None:
+                raise ServiceError("service was built without a checkpoint directory")
+            if self.checkpoints.latest() is None:
+                return None
+            payload = self.checkpoints.load()
+            self.engine.restore_state(payload["engine_state"])
+            self._version = int(payload["version"])
+            stats = payload.get("stream_stats") or {}
+            self.stream_stats = StreamStats(
+                total=stats.get("total", 0),
+                inserts=stats.get("inserts", 0),
+                deletes=stats.get("deletes", 0),
+                per_relation=dict(stats.get("per_relation", {})),
+            )
+            return self._version
+
+    # -- accounting / lifecycle --------------------------------------------------
+    def statistics(self) -> dict[str, object]:
+        """Service-level counters plus the owned engine's statistics."""
+        with self._lock:
+            self._require_open()
+            self.engine.flush()
+            return {
+                "version": self._version,
+                "views": list(self.views()),
+                "stream": self.stream_stats.as_dict(),
+                "subscriptions": self.subscriptions.stats(),
+                "engine": self.engine.statistics(),
+            }
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ServiceError("service is closed")
+
+    def close(self) -> None:
+        """Release engine resources; further operations raise."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self.engine.close()
+
+    def __enter__(self) -> "ViewService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,187 @@
+"""Per-view delta subscriptions: ordered, exactly-once change notifications.
+
+A consumer registers interest in one view and afterwards receives a
+:class:`DeltaNotification` for every output-key change that view undergoes —
+``old`` value before, ``new`` value after, tagged with the service version
+(event offset) whose application produced the change and a per-subscription
+sequence number.  Notifications are published once, in order, into a bounded
+per-subscriber queue; a consumer that drains the queue therefore observes
+every delta exactly once, regardless of the execution mode (per-event,
+batched or partitioned) underneath.
+
+Bounded queues make slow consumers safe: when a queue would overflow, the
+subscription is *closed with an overflow mark* instead of silently dropping
+notifications — the consumer can detect the gap and resubscribe with a fresh
+snapshot, which is the standard change-data-capture recovery contract.
+Queue lag and delivery counters are reported through
+:class:`repro.streams.stats.QueueStats`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ServiceError
+from repro.streams.stats import QueueStats
+
+#: Default bound of a subscription queue.
+DEFAULT_QUEUE_SIZE = 65536
+
+
+@dataclass(frozen=True)
+class DeltaNotification:
+    """One output-key change of one view.
+
+    ``old`` / ``new`` are the aggregate values before and after (``None``
+    when the key was absent on that side); ``sequence`` is per-subscription,
+    contiguous from 0; ``version`` is the service event offset after the
+    ingest batch that produced the change.
+    """
+
+    sequence: int
+    version: int
+    view: str
+    key: tuple
+    old: Any
+    new: Any
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-serializable representation (the wire format).
+
+        Values go through the wire encoding so rational aggregates
+        (:class:`fractions.Fraction`) survive ``json.dumps``.
+        """
+        from repro.service.wire import encode_value
+
+        return {
+            "sequence": self.sequence,
+            "version": self.version,
+            "view": self.view,
+            "key": [encode_value(part) for part in self.key],
+            "old": encode_value(self.old),
+            "new": encode_value(self.new),
+        }
+
+
+class Subscription:
+    """A bounded, ordered queue of delta notifications for one view."""
+
+    def __init__(self, view: str, subscription_id: int, maxlen: int = DEFAULT_QUEUE_SIZE):
+        if maxlen < 1:
+            raise ServiceError(f"subscription queue bound must be >= 1, got {maxlen}")
+        self.view = view
+        self.subscription_id = subscription_id
+        self.maxlen = maxlen
+        self._queue: deque[DeltaNotification] = deque()
+        self._sequence = 0
+        self._delivered = 0
+        self._closed = False
+        self._overflowed = False
+
+    # -- producer side (registry only) ----------------------------------------
+    def _publish(self, version: int, key: tuple, old: Any, new: Any) -> None:
+        if self._closed:
+            return
+        if len(self._queue) >= self.maxlen:
+            # Never drop silently: mark the gap and stop the subscription.
+            self._overflowed = True
+            self._closed = True
+            return
+        self._queue.append(
+            DeltaNotification(self._sequence, version, self.view, key, old, new)
+        )
+        self._sequence += 1
+
+    # -- consumer side ---------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """True once the subscription stopped receiving new notifications."""
+        return self._closed
+
+    @property
+    def overflowed(self) -> bool:
+        """True when the queue hit its bound and notifications were lost."""
+        return self._overflowed
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def poll(self, max_items: int | None = None) -> list[DeltaNotification]:
+        """Drain up to ``max_items`` pending notifications, oldest first."""
+        out: list[DeltaNotification] = []
+        while self._queue and (max_items is None or len(out) < max_items):
+            out.append(self._queue.popleft())
+        self._delivered += len(out)
+        return out
+
+    def stats(self) -> QueueStats:
+        """Delivery counters and current lag of this subscription."""
+        return QueueStats(
+            published=self._sequence,
+            delivered=self._delivered,
+            pending=len(self._queue),
+            overflowed=self._overflowed,
+        )
+
+
+class SubscriptionRegistry:
+    """All live subscriptions of one service, grouped by view."""
+
+    def __init__(self) -> None:
+        self._by_view: dict[str, list[Subscription]] = {}
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def subscribe(self, view: str, maxlen: int = DEFAULT_QUEUE_SIZE) -> Subscription:
+        """Register a consumer for one view's deltas."""
+        subscription = Subscription(view, next(self._ids), maxlen)
+        with self._lock:
+            self._by_view.setdefault(view, []).append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Remove a subscription; pending notifications are discarded."""
+        subscription._closed = True
+        with self._lock:
+            bucket = self._by_view.get(subscription.view)
+            if bucket and subscription in bucket:
+                bucket.remove(subscription)
+                if not bucket:
+                    del self._by_view[subscription.view]
+
+    def subscribed_views(self) -> tuple[str, ...]:
+        """Views with at least one live subscriber (the diff set for ingest)."""
+        with self._lock:
+            return tuple(self._by_view)
+
+    def publish(
+        self, view: str, version: int, changes: Iterable[tuple[tuple, Any, Any]]
+    ) -> int:
+        """Fan one batch of ``(key, old, new)`` changes out to a view's subscribers.
+
+        Every subscriber receives the changes in the given order with its own
+        contiguous sequence numbers; returns the number of changes published.
+        """
+        with self._lock:
+            subscribers = list(self._by_view.get(view, ()))
+        count = 0
+        for key, old, new in changes:
+            for subscription in subscribers:
+                subscription._publish(version, key, old, new)
+            count += 1
+        return count
+
+    def stats(self) -> dict[str, list[dict[str, object]]]:
+        """Per-view queue statistics (JSON-serializable)."""
+        with self._lock:
+            return {
+                view: [
+                    {"id": s.subscription_id, **s.stats().as_dict()}
+                    for s in subscribers
+                ]
+                for view, subscribers in self._by_view.items()
+            }

@@ -1,15 +1,28 @@
 """Update streams: agendas, adapters and stream statistics."""
 
 from repro.streams.agenda import Agenda, AgendaEntry
-from repro.streams.adapters import events_from_csv, events_from_rows, write_events_csv
-from repro.streams.stats import StreamStats, summarize_stream
+from repro.streams.adapters import (
+    event_from_dict,
+    event_to_dict,
+    events_from_csv,
+    events_from_jsonl,
+    events_from_rows,
+    write_events_csv,
+    write_events_jsonl,
+)
+from repro.streams.stats import QueueStats, StreamStats, summarize_stream
 
 __all__ = [
     "Agenda",
     "AgendaEntry",
+    "event_from_dict",
+    "event_to_dict",
     "events_from_csv",
+    "events_from_jsonl",
     "events_from_rows",
     "write_events_csv",
+    "write_events_jsonl",
+    "QueueStats",
     "StreamStats",
     "summarize_stream",
 ]

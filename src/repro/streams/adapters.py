@@ -3,16 +3,31 @@
 The released DBToaster binaries consume updates from CSV files or sockets;
 these adapters provide the file-based equivalent so generated workloads can
 be persisted, replayed and shared between benchmark runs.
+
+Two file formats are supported:
+
+* CSV (``write_events_csv`` / ``events_from_csv``) — compact and spreadsheet
+  friendly, but typed by parsing: every field is re-read as int, float, bool,
+  ``None`` or string, so a *string* that looks like one of those literals
+  (``"7"``, ``"True"``) comes back as the typed value;
+* JSON lines (``write_events_jsonl`` / ``events_from_jsonl``) — one event
+  object per line, lossless for the engine value types (int, float, bool,
+  ``None``, str).  This is also the wire format of the serving layer
+  (:mod:`repro.service`), which reuses :func:`event_to_dict` /
+  :func:`event_from_dict`.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.delta.events import DELETE, INSERT, StreamEvent
 from repro.errors import WorkloadError
+
+_KIND_SIGNS = {"insert": INSERT, "delete": DELETE}
 
 
 def events_from_rows(
@@ -33,17 +48,29 @@ def events_from_rows(
 
 
 def write_events_csv(path: str | Path, events: Iterable[StreamEvent]) -> int:
-    """Persist events to a CSV file (kind, relation, values...); returns the count."""
+    """Persist events to a CSV file (kind, relation, values...); returns the count.
+
+    ``None`` is written as the literal ``None`` (the csv module would emit an
+    empty string, which cannot be told apart from ``""``); the reader turns
+    the ``True``/``False``/``None`` literals back into their typed values.
+    """
     count = 0
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         for event in events:
-            writer.writerow([event.kind, event.relation, *event.values])
+            values = ["None" if value is None else value for value in event.values]
+            writer.writerow([event.kind, event.relation, *values])
             count += 1
     return count
 
 
+_CSV_LITERALS = {"True": True, "False": False, "None": None}
+
+
 def _parse_value(text: str) -> Any:
+    literal = _CSV_LITERALS.get(text, text)
+    if literal is not text:
+        return literal
     for converter in (int, float):
         try:
             return converter(text)
@@ -61,10 +88,57 @@ def events_from_csv(path: str | Path) -> Iterator[StreamEvent]:
             if len(row) < 2:
                 raise WorkloadError(f"malformed event on line {line_number}: {row!r}")
             kind, relation, *values = row
-            if kind == "insert":
-                sign = INSERT
-            elif kind == "delete":
-                sign = DELETE
-            else:
+            sign = _KIND_SIGNS.get(kind)
+            if sign is None:
                 raise WorkloadError(f"unknown event kind {kind!r} on line {line_number}")
             yield StreamEvent(relation, tuple(_parse_value(v) for v in values), sign)
+
+
+def event_to_dict(event: StreamEvent) -> dict[str, Any]:
+    """A JSON-serializable representation of one event (the wire/JSONL format)."""
+    return {"kind": event.kind, "relation": event.relation, "values": list(event.values)}
+
+
+def event_from_dict(payload: Mapping[str, Any], context: str = "event") -> StreamEvent:
+    """Rebuild an event from :func:`event_to_dict` output, validating the shape."""
+    if not isinstance(payload, Mapping):
+        raise WorkloadError(f"{context}: expected an object, got {payload!r}")
+    try:
+        kind = payload["kind"]
+        relation = payload["relation"]
+        values = payload["values"]
+    except KeyError as exc:
+        raise WorkloadError(f"{context}: missing field {exc.args[0]!r}") from None
+    sign = _KIND_SIGNS.get(kind)
+    if sign is None:
+        raise WorkloadError(f"{context}: unknown event kind {kind!r}")
+    if not isinstance(relation, str) or not isinstance(values, (list, tuple)):
+        raise WorkloadError(f"{context}: malformed relation/values in {payload!r}")
+    return StreamEvent(relation, tuple(values), sign)
+
+
+def write_events_jsonl(path: str | Path, events: Iterable[StreamEvent]) -> int:
+    """Persist events as JSON lines (lossless value typing); returns the count."""
+    count = 0
+    with open(path, "w") as handle:
+        for event in events:
+            handle.write(json.dumps(event_to_dict(event)))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def events_from_jsonl(path: str | Path) -> Iterator[StreamEvent]:
+    """Read back events written by :func:`write_events_jsonl`."""
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise WorkloadError(
+                    f"malformed JSON on line {line_number}: {exc}"
+                ) from None
+            yield event_from_dict(payload, context=f"line {line_number}")

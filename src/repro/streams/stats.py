@@ -23,6 +23,54 @@ class StreamStats:
         """Fraction of events that are deletions."""
         return self.deletes / self.total if self.total else 0.0
 
+    def record(self, event: StreamEvent) -> None:
+        """Fold one event into the counts (used by live ingestion loops)."""
+        self.total += 1
+        if event.sign > 0:
+            self.inserts += 1
+        else:
+            self.deletes += 1
+        self.per_relation[event.relation] = self.per_relation.get(event.relation, 0) + 1
+
+    def as_dict(self) -> dict[str, object]:
+        """A JSON-serializable summary (used by service statistics)."""
+        return {
+            "total": self.total,
+            "inserts": self.inserts,
+            "deletes": self.deletes,
+            "per_relation": dict(self.per_relation),
+        }
+
+
+@dataclass(frozen=True)
+class QueueStats:
+    """Delivery counters of one bounded consumer queue (delta subscriptions).
+
+    ``lag`` is the number of published-but-undelivered notifications; a
+    non-zero ``overflowed`` means the queue hit its bound and the subscription
+    was closed rather than silently dropping notifications.
+    """
+
+    published: int
+    delivered: int
+    pending: int
+    overflowed: bool
+
+    @property
+    def lag(self) -> int:
+        """Published notifications the consumer has not drained yet."""
+        return self.pending
+
+    def as_dict(self) -> dict[str, object]:
+        """A JSON-serializable summary (used by service statistics)."""
+        return {
+            "published": self.published,
+            "delivered": self.delivered,
+            "pending": self.pending,
+            "lag": self.lag,
+            "overflowed": self.overflowed,
+        }
+
 
 def summarize_stream(events: Iterable[StreamEvent]) -> StreamStats:
     """Single pass over a stream computing counts and peak live-tuple sizes."""

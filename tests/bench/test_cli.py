@@ -76,3 +76,13 @@ def test_stats_command_partitioned(capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "partition 0" in out and "partition 1" in out
+
+
+def test_service_command_small(capsys):
+    assert main([
+        "service", "--query", "Q1", "--engine", "incremental",
+        "--events", "150", "--ingest-chunk", "50",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "service run: Q1" in out
+    assert "final served version: 150" in out

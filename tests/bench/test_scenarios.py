@@ -62,3 +62,17 @@ def test_build_engine_knows_all_documented_strategies():
         assert build_engine(strategy, translated) is not None
     with pytest.raises(BenchmarkError):
         build_engine("unknown", translated)
+
+
+def test_service_freshness_scenario_small_run():
+    from repro.bench.scenarios import run_service_freshness
+
+    result = run_service_freshness(
+        query="Q1", engine_mode="batched", events=200, ingest_chunk=40,
+        engine_config={"batch_size": 20},
+    )
+    assert result.events == 200
+    assert result.final_version == 200
+    assert result.queries >= 1
+    assert result.ingest_rate > 0
+    assert all(lag >= 0 for lag in result.staleness)

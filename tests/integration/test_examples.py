@@ -30,6 +30,15 @@ def test_compare_strategies_runs_on_a_tiny_stream(capsys, monkeypatch):
     assert "agree on the result" in out
 
 
+def test_live_dashboard_serves_over_the_wire_on_a_tiny_stream(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["live_dashboard.py", "400"])
+    runpy.run_path(str(EXAMPLES / "live_dashboard.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "serving" in out
+    assert "Q1 pricing summary" in out
+    assert "restored and replayed: views identical" in out
+
+
 @pytest.mark.parametrize(
     "script", ["algorithmic_trading.py", "tpch_dashboard.py"]
 )

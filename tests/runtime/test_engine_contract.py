@@ -1,0 +1,160 @@
+"""The uniform engine contract: every execution mode behaves identically.
+
+One parametrized suite pins the surface the serving layer and the benchmark
+harness rely on: ``apply_many``/``flush``/``result_dict``/``statistics``/
+``describe``/``checkpoint_state`` work the same on the per-event, batched and
+partitioned engines (including batching inside partitions).
+"""
+
+import pytest
+
+from repro.compiler.hoivm import compile_query
+from repro.delta.events import insert
+from repro.errors import ReproError
+from repro.exec import BatchedEngine, PartitionedEngine
+from repro.runtime.engine import IncrementalEngine
+from repro.runtime.protocol import EngineProtocol
+from repro.workloads import workload
+
+ENGINES = {
+    "incremental": lambda program: IncrementalEngine(program),
+    "batched": lambda program: BatchedEngine(program, batch_size=7),
+    "partitioned": lambda program: PartitionedEngine(program, partitions=2),
+    "partitioned-batched": lambda program: PartitionedEngine(
+        program, partitions=2, batch_size=5
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def q3():
+    spec = workload("Q3")
+    translated = spec.query_factory()
+    program = compile_query(
+        translated.roots(),
+        translated.schemas(),
+        static_relations=translated.static_relations(),
+    )
+    return {
+        "program": program,
+        "root": next(iter(translated.roots())),
+        "statics": spec.static_tables(),
+        "events": list(spec.stream_factory(events=180, max_live_orders=20)),
+    }
+
+
+def build(name, fixture):
+    engine = ENGINES[name](fixture["program"])
+    for relation, rows in fixture["statics"].items():
+        if relation in fixture["program"].static_relations:
+            engine.load_static(relation, rows)
+    return engine
+
+
+@pytest.fixture(scope="module")
+def baseline(q3):
+    engine = build("incremental", q3)
+    engine.apply_many(q3["events"])
+    return engine
+
+
+@pytest.mark.parametrize("name", list(ENGINES))
+def test_engines_implement_the_protocol(q3, name):
+    engine = build(name, q3)
+    try:
+        assert isinstance(engine, EngineProtocol)
+    finally:
+        engine.close()
+
+
+@pytest.mark.parametrize("name", list(ENGINES))
+def test_apply_many_counts_and_result_dict_agree(q3, baseline, name):
+    engine = build(name, q3)
+    try:
+        assert engine.events_processed == 0
+        count = engine.apply_many(q3["events"])
+        assert count == len(q3["events"])
+        engine.flush()
+        assert engine.events_processed == count
+        assert engine.result_dict(q3["root"]) == baseline.result_dict(q3["root"])
+        assert engine.view(q3["root"]) == baseline.view(q3["root"])
+        assert engine.scalar_result(q3["root"]) == baseline.scalar_result(q3["root"])
+    finally:
+        engine.close()
+
+
+@pytest.mark.parametrize("name", list(ENGINES))
+def test_statistics_carry_the_common_keys(q3, name):
+    engine = build(name, q3)
+    try:
+        engine.apply_many(q3["events"][:60])
+        statistics = engine.statistics()
+        assert statistics["events_processed"] == 60
+        assert statistics["memory_bytes"] > 0
+        assert statistics["memory_bytes"] == engine.memory_bytes()
+    finally:
+        engine.close()
+
+
+@pytest.mark.parametrize("name", list(ENGINES))
+def test_describe_includes_the_compiled_program(q3, name):
+    engine = build(name, q3)
+    try:
+        description = engine.describe()
+        assert q3["program"].pretty() in description
+    finally:
+        engine.close()
+
+
+@pytest.mark.parametrize("name", list(ENGINES))
+def test_flush_is_idempotent_and_close_is_safe(q3, name):
+    engine = build(name, q3)
+    engine.apply_many(q3["events"][:30])
+    engine.flush()
+    before = engine.result_dict(q3["root"])
+    engine.flush()
+    assert engine.result_dict(q3["root"]) == before
+    engine.close()
+
+
+@pytest.mark.parametrize("name", list(ENGINES))
+def test_checkpoint_state_round_trips(q3, name):
+    engine = build(name, q3)
+    try:
+        engine.apply_many(q3["events"][:90])
+        state = engine.checkpoint_state()
+        fresh = ENGINES[name](q3["program"])
+        try:
+            fresh.restore_state(state)
+            assert fresh.events_processed == engine.events_processed
+            assert fresh.result_dict(q3["root"]) == engine.result_dict(q3["root"])
+            # The restored engine keeps processing correctly.
+            tail = q3["events"][90:120]
+            fresh.apply_many(tail)
+            engine.apply_many(tail)
+            assert fresh.result_dict(q3["root"]) == engine.result_dict(q3["root"])
+        finally:
+            fresh.close()
+    finally:
+        engine.close()
+
+
+@pytest.mark.parametrize("name", list(ENGINES))
+def test_non_stream_relations_are_rejected(q3, name):
+    engine = build(name, q3)
+    try:
+        with pytest.raises(ReproError):
+            engine.apply(insert("NoSuchRelation", 1, 2, 3))
+    finally:
+        engine.close()
+
+
+@pytest.mark.parametrize("name", list(ENGINES))
+def test_map_sizes_report_every_declared_map(q3, name):
+    engine = build(name, q3)
+    try:
+        engine.apply_many(q3["events"][:40])
+        sizes = engine.map_sizes()
+        assert set(sizes) == set(q3["program"].maps)
+    finally:
+        engine.close()

@@ -1,0 +1,25 @@
+"""Shared fixtures for the serving-layer tests.
+
+Most tests run over the TPC-H Q1 workload: a single-relation, linear
+aggregate whose view fills quickly (keys are (returnflag, linestatus)), so
+small streams already exercise inserts, updates and — with a bounded live
+working set — deletions of contributing tuples.
+"""
+
+import pytest
+
+from svc_helpers import make_workload_fixture
+
+
+@pytest.fixture(scope="package")
+def q1():
+    """Q1 with a small live working set, so the stream contains deletions."""
+    fixture = make_workload_fixture("Q1", events=300, max_live_orders=20)
+    assert any(event.sign < 0 for event in fixture.events)
+    return fixture
+
+
+@pytest.fixture(scope="package")
+def q3():
+    """Q3 joins Orders/Lineitem with a static Customer table."""
+    return make_workload_fixture("Q3", events=260, max_live_orders=25)

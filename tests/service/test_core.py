@@ -1,0 +1,136 @@
+"""ViewService: versioned ingestion, snapshot reads and source plumbing."""
+
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import ViewService, open_source
+from repro.streams.adapters import write_events_csv, write_events_jsonl
+from repro.streams.agenda import Agenda
+from svc_helpers import build_service, reference_entries
+
+
+def test_version_is_the_event_offset(q1):
+    service = build_service(q1)
+    assert service.version == 0
+    assert service.ingest(q1.events[:10]).version == 10
+    assert service.ingest(q1.events[10:25]).version == 25
+    snapshot = service.query(q1.root)
+    assert snapshot.version == 25
+    assert snapshot.view == q1.root
+    assert snapshot.entries == reference_entries(q1.program, q1.statics, q1.events, 25, q1.root)
+
+
+def test_snapshot_rows_carry_key_columns(q1):
+    service = build_service(q1)
+    service.ingest(q1.events[:60])
+    snapshot = service.query(q1.root)
+    rows = snapshot.rows()
+    assert len(rows) == len(snapshot.entries)
+    for row in rows:
+        assert set(snapshot.columns) <= set(row)
+        assert "value" in row
+
+
+@pytest.mark.parametrize("mode,kwargs", [
+    ("incremental", {}),
+    ("batched", {"batch_size": 7}),
+    ("partitioned", {"partitions": 2}),
+])
+def test_queries_see_whole_batches_only(q1, mode, kwargs):
+    """A reader concurrent with ingestion observes only batch-boundary states."""
+    service = build_service(q1, mode, **kwargs)
+    chunks = [q1.events[i:i + 15] for i in range(0, 150, 15)]
+    boundaries = {0, *range(15, 151, 15)}
+    observed = {}
+    stop = threading.Event()
+
+    def read_loop():
+        while not stop.is_set():
+            snapshot = service.query(q1.root)
+            observed.setdefault(snapshot.version, snapshot.entries)
+
+    reader = threading.Thread(target=read_loop)
+    reader.start()
+    try:
+        for chunk in chunks:
+            service.ingest(chunk)
+    finally:
+        stop.set()
+        reader.join()
+    observed.setdefault(150, service.query(q1.root).entries)
+    assert set(observed) <= boundaries
+    for version, entries in observed.items():
+        assert entries == reference_entries(q1.program, q1.statics, q1.events, version, q1.root), (
+            f"snapshot at version {version} is not the reference prefix state"
+        )
+    service.close()
+
+
+def test_ingest_rows_wraps_plain_rows(q1):
+    service = build_service(q1)
+    rows = [event.values for event in q1.events[:5] if event.sign > 0]
+    relation = q1.events[0].relation
+    result = service.ingest_rows(relation, rows)
+    assert result.count == len(rows)
+    assert service.version == len(rows)
+
+
+def test_open_source_accepts_files_iterables_and_callables(q1, tmp_path):
+    events = q1.events[:20]
+    csv_path = tmp_path / "stream.csv"
+    jsonl_path = tmp_path / "stream.jsonl"
+    write_events_csv(csv_path, events)
+    write_events_jsonl(jsonl_path, events)
+    assert list(open_source(jsonl_path)) == events
+    assert list(open_source(str(jsonl_path))) == events
+    assert [e.relation for e in open_source(csv_path)] == [e.relation for e in events]
+    assert list(open_source(events)) == events
+    assert list(open_source(Agenda(events))) == events
+    assert list(open_source(lambda: iter(events))) == events
+    with pytest.raises(ServiceError):
+        open_source(tmp_path / "stream.parquet")
+
+
+def test_replay_skips_the_already_applied_prefix(q1):
+    service = build_service(q1)
+    service.ingest(q1.events[:40])
+    applied = service.replay(q1.events[:100], batch_size=16)
+    assert applied == 60
+    assert service.version == 100
+    assert service.query(q1.root).entries == reference_entries(
+        q1.program, q1.statics, q1.events, 100, q1.root
+    )
+
+
+def test_unknown_views_and_closed_service_raise(q1):
+    service = build_service(q1)
+    with pytest.raises(ServiceError, match="unknown view"):
+        service.query("NoSuchView")
+    with pytest.raises(ServiceError, match="without a checkpoint directory"):
+        service.checkpoint()
+    service.close()
+    with pytest.raises(ServiceError, match="closed"):
+        service.ingest(q1.events[:1])
+    with pytest.raises(ServiceError, match="closed"):
+        service.statistics()
+    service.close()  # idempotent
+
+
+def test_rejects_objects_without_the_engine_protocol():
+    with pytest.raises(ServiceError, match="engine protocol"):
+        ViewService(object())
+
+
+def test_statistics_are_json_serializable(q1):
+    import json
+
+    service = build_service(q1, "batched", batch_size=5)
+    service.subscribe(q1.root)
+    service.ingest(q1.events[:30])
+    statistics = service.statistics()
+    assert statistics["version"] == 30
+    assert statistics["stream"]["total"] == 30
+    assert statistics["engine"]["events_processed"] == 30
+    json.dumps(statistics)

@@ -1,0 +1,167 @@
+"""End-to-end TCP serving: equivalence under concurrent ingest, subscriptions
+over the wire, checkpoint/restart convergence, protocol errors."""
+
+import threading
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import ServiceClient, ViewService, engine_for_mode, start_in_thread
+from svc_helpers import build_service, reference_entries
+
+ENGINE_MODES = [
+    ("incremental", {}),
+    ("batched", {"batch_size": 13}),
+    ("partitioned", {"partitions": 2}),
+]
+
+
+def serve(fixture, mode="incremental", checkpoint_dir=None, **kwargs):
+    service = build_service(fixture, mode, checkpoint_dir=checkpoint_dir, **kwargs)
+    handle = start_in_thread(service)
+    return service, handle
+
+
+@pytest.mark.parametrize("mode,kwargs", ENGINE_MODES)
+def test_served_views_match_reference_at_every_queried_version(q1, mode, kwargs):
+    """The acceptance property: while one client ingests, snapshots read by a
+    concurrent client equal the full-recomputation reference at their version,
+    for every engine mode."""
+    service, handle = serve(q1, mode, **kwargs)
+    total = 240
+    chunk = 16
+    observed = {}
+    done = threading.Event()
+
+    def ingest_loop():
+        with ServiceClient(*handle.address) as client:
+            for start in range(0, total, chunk):
+                client.ingest(q1.events[start:start + chunk])
+        done.set()
+
+    def query_loop():
+        with ServiceClient(*handle.address) as client:
+            while not done.is_set():
+                snapshot = client.query(q1.root)
+                observed.setdefault(snapshot.version, snapshot.entries)
+            observed.setdefault(total, client.query(q1.root).entries)
+
+    threads = [threading.Thread(target=ingest_loop), threading.Thread(target=query_loop)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    try:
+        assert observed, "the query loop never completed a read"
+        assert total in observed
+        # Snapshot consistency: only ingest-batch boundaries are observable.
+        assert all(version % chunk == 0 for version in observed)
+        for version, entries in sorted(observed.items()):
+            assert entries == reference_entries(
+                q1.program, q1.statics, q1.events, version, q1.root
+            ), f"served snapshot at version {version} diverged from the reference"
+    finally:
+        handle.stop()
+        service.close()
+
+
+def test_wire_subscription_is_ordered_and_exactly_once(q1):
+    service, handle = serve(q1, "batched", batch_size=9)
+    received = []
+    try:
+        with ServiceClient(*handle.address) as ingestor:
+            ingestor.ingest(q1.events[:50])
+            baseline = ingestor.query(q1.root)
+
+            subscriber = ServiceClient(*handle.address)
+            stream = subscriber.subscribe(q1.root)
+
+            published = 0
+            for start in range(50, 200, 30):
+                published += ingestor.ingest(q1.events[start:start + 30]).notifications
+            final = ingestor.query(q1.root)
+
+            assert published > 0
+            notifications = stream.take(published)
+            subscriber.close()
+
+        assert [n.sequence for n in notifications] == list(range(len(notifications)))
+        versions = [n.version for n in notifications]
+        assert versions == sorted(versions)
+        state = dict(baseline.entries)
+        for n in notifications:
+            assert state.get(n.key) == n.old
+            if n.new is None:
+                state.pop(n.key, None)
+            else:
+                state[n.key] = n.new
+        assert state == final.entries
+    finally:
+        handle.stop()
+        service.close()
+
+
+@pytest.mark.parametrize("mode,kwargs", ENGINE_MODES)
+def test_checkpoint_restart_replay_converges_over_the_wire(q1, tmp_path, mode, kwargs):
+    """Kill a served service mid-stream; a restarted one restores the
+    checkpoint, replays the tail and serves bit-identical views."""
+    total = 200
+    cut = 96
+    service, handle = serve(q1, mode, checkpoint_dir=tmp_path, **kwargs)
+    with ServiceClient(*handle.address) as client:
+        client.ingest(q1.events[:cut])
+        version, path = client.checkpoint()
+        assert version == cut and str(tmp_path) in path
+        client.ingest(q1.events[cut:cut + 10])  # lost after the "crash"
+        client.shutdown()
+    handle.stop()
+    service.close()
+
+    restarted = ViewService(
+        engine_for_mode(q1.program, mode, **kwargs), checkpoint_dir=tmp_path
+    )
+    assert restarted.restore() == cut
+    handle = start_in_thread(restarted)
+    try:
+        with ServiceClient(*handle.address) as client:
+            assert client.ping() == cut
+            client.ingest(q1.events[cut:total])  # the client replays the tail
+            snapshot = client.query(q1.root)
+        assert snapshot.version == total
+        assert snapshot.entries == reference_entries(
+            q1.program, q1.statics, q1.events, total, q1.root
+        )
+    finally:
+        handle.stop()
+        restarted.close()
+
+
+def test_protocol_errors_are_reported_not_fatal(q1):
+    service, handle = serve(q1)
+    try:
+        with ServiceClient(*handle.address) as client:
+            with pytest.raises(ServiceError, match="unknown operation"):
+                client._request({"op": "frobnicate"})
+            with pytest.raises(ServiceError, match="unknown view"):
+                client.query("NoSuchView")
+            with pytest.raises(ServiceError, match="checkpoint directory"):
+                client.checkpoint()
+            # The connection survives failed requests.
+            assert client.ping() == 0
+    finally:
+        handle.stop()
+        service.close()
+
+
+def test_stats_round_trip_over_the_wire(q1):
+    service, handle = serve(q1, "partitioned", partitions=2)
+    try:
+        with ServiceClient(*handle.address) as client:
+            client.ingest(q1.events[:40])
+            statistics = client.statistics()
+        assert statistics["version"] == 40
+        assert statistics["engine"]["events_processed"] == 40
+        assert statistics["engine"]["spec"]["partitions"] == 2
+    finally:
+        handle.stop()
+        service.close()

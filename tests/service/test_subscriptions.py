@@ -1,0 +1,159 @@
+"""Delta subscriptions: ordered, exactly-once, bounded, loss-free."""
+
+import pytest
+
+from repro.agca.builders import agg, prod, rel, val
+from repro.compiler.hoivm import compile_query
+from repro.delta.events import delete, insert
+from repro.errors import ServiceError
+from repro.service import ViewService, engine_for_mode
+from repro.service.subscriptions import Subscription, SubscriptionRegistry
+from svc_helpers import build_service, reference_entries
+
+
+def apply_deltas(initial, notifications):
+    """Reconstruct a view by replaying (key, old, new) notifications."""
+    state = dict(initial)
+    for n in notifications:
+        current = state.get(n.key)
+        assert current == n.old, (
+            f"notification {n} does not chain: view holds {current!r}, not {n.old!r}"
+        )
+        if n.new is None:
+            state.pop(n.key, None)
+        else:
+            state[n.key] = n.new
+    return state
+
+
+# -- registry-level behaviour ----------------------------------------------------
+
+
+def test_publish_is_ordered_and_exactly_once_per_subscriber():
+    registry = SubscriptionRegistry()
+    first = registry.subscribe("V")
+    second = registry.subscribe("V")
+    registry.publish("V", 3, [(("a",), None, 1), (("b",), None, 2)])
+    registry.publish("V", 5, [(("a",), 1, 7)])
+    for subscription in (first, second):
+        notifications = subscription.poll()
+        assert [n.sequence for n in notifications] == [0, 1, 2]
+        assert [n.version for n in notifications] == [3, 3, 5]
+        assert [(n.key, n.old, n.new) for n in notifications] == [
+            (("a",), None, 1), (("b",), None, 2), (("a",), 1, 7),
+        ]
+        assert subscription.poll() == []  # drained: nothing is delivered twice
+
+
+def test_unsubscribed_consumers_stop_receiving():
+    registry = SubscriptionRegistry()
+    subscription = registry.subscribe("V")
+    registry.publish("V", 1, [(("k",), None, 1)])
+    registry.unsubscribe(subscription)
+    registry.publish("V", 2, [(("k",), 1, 2)])
+    assert len(subscription.poll()) == 1
+    assert "V" not in registry.stats()
+
+
+def test_overflow_closes_the_subscription_instead_of_dropping():
+    registry = SubscriptionRegistry()
+    subscription = registry.subscribe("V", maxlen=3)
+    registry.publish("V", 1, [((i,), None, i) for i in range(5)])
+    assert subscription.closed and subscription.overflowed
+    stats = subscription.stats()
+    assert stats.published == 3 and stats.pending == 3 and stats.overflowed
+    # Everything that was queued before the overflow is still delivered in order.
+    assert [n.key for n in subscription.poll()] == [(0,), (1,), (2,)]
+
+
+def test_queue_bound_must_be_positive():
+    with pytest.raises(ServiceError):
+        Subscription("V", 1, maxlen=0)
+
+
+def test_queue_stats_report_lag():
+    registry = SubscriptionRegistry()
+    subscription = registry.subscribe("V")
+    registry.publish("V", 1, [((i,), None, i) for i in range(4)])
+    subscription.poll(max_items=1)
+    stats = subscription.stats()
+    assert stats.published == 4 and stats.delivered == 1
+    assert stats.pending == 3 and stats.lag == 3
+    assert stats.as_dict()["lag"] == 3
+
+
+# -- service-level behaviour -----------------------------------------------------
+
+
+@pytest.mark.parametrize("mode,kwargs", [
+    ("incremental", {}),
+    ("batched", {"batch_size": 13}),
+    ("partitioned", {"partitions": 2, "batch_size": 5}),
+])
+def test_subscriber_reconstructs_the_view_from_deltas(q1, mode, kwargs):
+    """Every output-key change arrives exactly once, in order, chaining old->new.
+
+    The acceptance property for batched execution: replaying the received
+    notifications over the initial snapshot must yield exactly the final view.
+    """
+    service = build_service(q1, mode, **kwargs)
+    service.ingest(q1.events[:40])
+    initial = service.query(q1.root).entries
+    subscription = service.subscribe(q1.root)
+    for start in range(40, 240, 25):
+        service.ingest(q1.events[start:start + 25])
+    notifications = subscription.poll()
+    assert notifications, "a 200-event Q1 stream must change the view"
+    assert [n.sequence for n in notifications] == list(range(len(notifications)))
+    versions = [n.version for n in notifications]
+    assert versions == sorted(versions)
+    assert not subscription.overflowed
+    reconstructed = apply_deltas(initial, notifications)
+    final = service.query(q1.root).entries
+    assert reconstructed == final
+    assert final == reference_entries(q1.program, q1.statics, q1.events, 240, q1.root)
+    service.close()
+
+
+@pytest.mark.parametrize("mode,kwargs", [
+    ("incremental", {}),
+    ("batched", {"batch_size": 2}),
+])
+def test_deltas_cover_added_changed_and_deleted_keys(mode, kwargs):
+    """sum(b) group by a: group 2 vanishes when its only tuple is deleted."""
+    program = compile_query(
+        agg(("a",), prod(rel("R", "a", "b"), val("b"))),
+        {"R": ("a", "b")},
+        name="V",
+    )
+    service = ViewService(engine_for_mode(program, mode, **kwargs))
+    subscription = service.subscribe("V")
+    service.ingest([insert("R", 1, 10), insert("R", 2, 5)])
+    service.ingest([insert("R", 1, 3)])
+    service.ingest([delete("R", 2, 5)])
+    notifications = subscription.poll()
+    assert [(n.version, n.key, n.old, n.new) for n in notifications] == [
+        (2, (1,), None, 10),
+        (2, (2,), None, 5),
+        (3, (1,), 10, 13),
+        (4, (2,), 5, None),
+    ]
+    assert apply_deltas({}, notifications) == service.query("V").entries == {(1,): 13}
+
+
+def test_two_subscribers_get_independent_sequences(q1):
+    service = build_service(q1)
+    early = service.subscribe(q1.root)
+    service.ingest(q1.events[:30])
+    late = service.subscribe(q1.root)
+    service.ingest(q1.events[30:60])
+    early_notifications = early.poll()
+    late_notifications = late.poll()
+    assert [n.sequence for n in early_notifications] == list(
+        range(len(early_notifications))
+    )
+    assert [n.sequence for n in late_notifications] == list(
+        range(len(late_notifications))
+    )
+    # The late subscriber sees only changes after it joined.
+    assert min(n.version for n in late_notifications) > 30

@@ -1,0 +1,57 @@
+"""The JSONL wire encoding, including non-JSON-native (Fraction) values."""
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.subscriptions import DeltaNotification
+from repro.service.wire import (
+    decode_entries,
+    decode_value,
+    dump_line,
+    encode_entries,
+    encode_value,
+    parse_line,
+)
+
+
+def test_plain_values_pass_through():
+    for value in (7, 2.5, "x", True, None):
+        assert encode_value(value) == value
+        assert decode_value(value) == value
+
+
+def test_fractions_round_trip_bit_identically():
+    value = Fraction(10, 3)
+    encoded = encode_value(value)
+    json.dumps(encoded)  # wire-safe
+    decoded = decode_value(json.loads(json.dumps(encoded)))
+    assert decoded == value and isinstance(decoded, Fraction)
+
+
+def test_entries_round_trip_with_mixed_key_and_value_types():
+    entries = {(1, "x", 2.5): Fraction(7, 2), (None, True, 0): 9}
+    rows = json.loads(json.dumps(encode_entries(entries)))
+    assert decode_entries(rows) == entries
+
+
+def test_delta_notifications_serialize_fraction_values():
+    """Pushed deltas must survive json.dumps even for rational aggregates."""
+    notification = DeltaNotification(
+        sequence=0, version=3, view="V", key=(Fraction(1, 3),),
+        old=Fraction(10, 3), new=None,
+    )
+    line = dump_line({"type": "delta", **notification.as_dict()})
+    message = parse_line(line)
+    assert decode_value(message["old"]) == Fraction(10, 3)
+    assert decode_value(message["key"][0]) == Fraction(1, 3)
+    assert message["new"] is None
+
+
+def test_parse_line_rejects_garbage():
+    with pytest.raises(ServiceError, match="malformed"):
+        parse_line(b"not json\n")
+    with pytest.raises(ServiceError, match="expected an object"):
+        parse_line(b"[1,2]\n")

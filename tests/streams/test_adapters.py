@@ -1,10 +1,18 @@
-"""Tests for CSV/row stream adapters."""
+"""Tests for CSV/JSONL/row stream adapters."""
 
 import pytest
 
-from repro.delta.events import DELETE, insert
+from repro.delta.events import DELETE, delete, insert
 from repro.errors import WorkloadError
-from repro.streams.adapters import events_from_csv, events_from_rows, write_events_csv
+from repro.streams.adapters import (
+    event_from_dict,
+    event_to_dict,
+    events_from_csv,
+    events_from_jsonl,
+    events_from_rows,
+    write_events_csv,
+    write_events_jsonl,
+)
 
 
 def test_events_from_sequences():
@@ -50,5 +58,72 @@ def test_malformed_csv_rows_raise(tmp_path):
     with pytest.raises(WorkloadError):
         list(events_from_csv(path))
     path.write_text("upsert,R,1\n")
-    with pytest.raises(WorkloadError):
+    with pytest.raises(WorkloadError, match="unknown event kind"):
         list(events_from_csv(path))
+
+
+def test_csv_round_trips_bools_and_none(tmp_path):
+    """The old parser returned "True"/"None" strings for typed values."""
+    path = tmp_path / "typed.csv"
+    write_events_csv(path, [insert("R", True, False, None, 7)])
+    (event,) = list(events_from_csv(path))
+    assert event.values == (True, False, None, 7)
+    assert isinstance(event.values[0], bool) and isinstance(event.values[1], bool)
+    assert event.values[2] is None and isinstance(event.values[3], int)
+
+
+def test_empty_files_yield_no_events(tmp_path):
+    for name in ("empty.csv", "empty.jsonl"):
+        path = tmp_path / name
+        path.write_text("")
+        reader = events_from_csv if name.endswith(".csv") else events_from_jsonl
+        assert list(reader(path)) == []
+
+
+def test_jsonl_round_trip_with_deletes_and_mixed_types(tmp_path):
+    path = tmp_path / "stream.jsonl"
+    events = [
+        insert("R", 1, "x", 2.5, True, None),
+        delete("R", 1, "x", 2.5, True, None),
+        insert("S", "comma, inside", "True", "7"),  # strings stay strings
+    ]
+    assert write_events_jsonl(path, events) == 3
+    loaded = list(events_from_jsonl(path))
+    assert loaded == events
+    assert [type(v) for v in loaded[0].values] == [type(v) for v in events[0].values]
+    assert loaded[1].sign == DELETE
+    assert loaded[2].values == ("comma, inside", "True", "7")
+
+
+def test_jsonl_skips_blank_lines(tmp_path):
+    path = tmp_path / "gaps.jsonl"
+    path.write_text('{"kind":"insert","relation":"R","values":[1]}\n\n'
+                    '{"kind":"delete","relation":"R","values":[1]}\n')
+    assert [e.sign for e in events_from_jsonl(path)] == [1, -1]
+
+
+def test_malformed_jsonl_raises_with_line_numbers(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"kind":"insert","relation":"R","values":[1]}\nnot json\n')
+    with pytest.raises(WorkloadError, match="line 2"):
+        list(events_from_jsonl(path))
+    path.write_text('{"kind":"upsert","relation":"R","values":[1]}\n')
+    with pytest.raises(WorkloadError, match="unknown event kind"):
+        list(events_from_jsonl(path))
+    path.write_text('{"kind":"insert","values":[1]}\n')
+    with pytest.raises(WorkloadError, match="missing field"):
+        list(events_from_jsonl(path))
+    path.write_text('[1, 2, 3]\n')
+    with pytest.raises(WorkloadError, match="expected an object"):
+        list(events_from_jsonl(path))
+
+
+def test_event_dict_round_trip_validates_shape():
+    event = insert("R", 1, "x", None)
+    assert event_from_dict(event_to_dict(event)) == event
+    with pytest.raises(WorkloadError):
+        event_from_dict({"kind": "insert", "relation": 7, "values": []})
+    with pytest.raises(WorkloadError):
+        event_from_dict({"kind": "insert", "relation": "R", "values": "oops"})
+    with pytest.raises(WorkloadError):
+        event_from_dict("not a mapping")
