@@ -42,6 +42,7 @@ from repro.core.rows import Row
 from repro.core.values import is_zero, normalize_number
 from repro.delta.events import StreamEvent
 from repro.errors import ExecutionError
+from repro.runtime.protocol import STATE_FORMAT, STATE_PARTITIONED
 
 #: Default number of partitions.
 DEFAULT_PARTITIONS = 4
@@ -483,9 +484,7 @@ class PartitionedEngine:
         self.flush()
         return {
             "events_processed": self.events_processed,
-            "memory_bytes": sum(
-                self._backend.memory_bytes(index) for index in range(self.spec.partitions)
-            ),
+            "memory_bytes": self.memory_bytes(),
             "spec": {
                 "partitions": self.spec.partitions,
                 "keys": {r: list(c) for r, c in sorted(self.spec.keys.items())},
@@ -511,8 +510,8 @@ class PartitionedEngine:
         """
         self.flush()
         return {
-            "format": 1,
-            "kind": "partitioned",
+            "format": STATE_FORMAT,
+            "kind": STATE_PARTITIONED,
             "partitions": self.spec.partitions,
             "keys": {r: list(c) for r, c in sorted(self.spec.keys.items())},
             "events_processed": self.events_processed,
@@ -525,9 +524,14 @@ class PartitionedEngine:
 
     def restore_state(self, state: Mapping[str, Any]) -> None:
         """Load a :meth:`checkpoint_state` dictionary into this engine."""
-        if state.get("kind") != "partitioned":
+        if state.get("kind") != STATE_PARTITIONED:
             raise ExecutionError(
                 f"cannot restore a {state.get('kind')!r} state into a partitioned engine"
+            )
+        if state.get("format") != STATE_FORMAT:
+            raise ExecutionError(
+                f"engine state has format {state.get('format')!r}; "
+                f"this build reads format {STATE_FORMAT}"
             )
         if state["partitions"] != self.spec.partitions:
             raise ExecutionError(

@@ -20,6 +20,7 @@ from repro.errors import RuntimeEngineError
 from repro.runtime.database import Database
 from repro.runtime.interpreter import TriggerExecutor
 from repro.runtime.maps import MapStore
+from repro.runtime.protocol import STATE_FORMAT, STATE_SINGLE
 
 
 class IncrementalEngine:
@@ -149,8 +150,8 @@ class IncrementalEngine:
                 for row, value in table.items()
             ]
         return {
-            "format": 1,
-            "kind": "single",
+            "format": STATE_FORMAT,
+            "kind": STATE_SINGLE,
             "events_processed": self.events_processed,
             "maps": maps,
             "relations": relations,
@@ -163,9 +164,14 @@ class IncrementalEngine:
         unknown map or relation names mean the state belongs to a different
         program and raise.
         """
-        if state.get("kind") != "single":
+        if state.get("kind") != STATE_SINGLE:
             raise RuntimeEngineError(
                 f"cannot restore a {state.get('kind')!r} state into a single engine"
+            )
+        if state.get("format") != STATE_FORMAT:
+            raise RuntimeEngineError(
+                f"engine state has format {state.get('format')!r}; "
+                f"this build reads format {STATE_FORMAT}"
             )
         declared = set(self.maps.names())
         unknown = set(state["maps"]) - declared

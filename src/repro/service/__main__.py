@@ -144,9 +144,7 @@ def main(argv: list[str] | None = None) -> int:
             applied = service.replay(
                 args.source,
                 batch_size=args.ingest_batch,
-                checkpoint_every=(
-                    args.checkpoint_every if service.checkpoints is not None else None
-                ),
+                checkpoint_every=args.checkpoint_every,
             )
             print(f"replayed {applied} events; service version {service.version} "
                   f"({args.engine} engine)")

@@ -12,8 +12,11 @@ needs to serve bit-identical views without replaying the whole stream:
 * the running stream statistics, so reporting continues seamlessly.
 
 Files are pickled payloads named ``checkpoint-<offset>.ckpt`` inside the
-checkpoint directory, written atomically (temp file + rename) so a crash
-mid-write never corrupts the latest durable state.  Pickle is the right
+checkpoint directory, written atomically (temp file + fsync + rename, then a
+directory fsync) so a crash mid-write never corrupts the latest durable
+state; should a file still turn out unreadable (e.g. power loss on a
+filesystem that reordered the rename), :meth:`CheckpointStore.load` falls
+back to the next older intact checkpoint.  Pickle is the right
 trade-off here: checkpoints are private files written and read by the same
 library, and restore must reproduce values *bit-identically* (ints vs floats
 vs Fractions survive, which JSON cannot guarantee).
@@ -73,6 +76,8 @@ class CheckpointStore:
         try:
             with os.fdopen(handle, "wb") as temp:
                 pickle.dump(payload, temp, protocol=pickle.HIGHEST_PROTOCOL)
+                temp.flush()
+                os.fsync(temp.fileno())
             os.replace(temp_name, path)
         except BaseException:
             try:
@@ -80,7 +85,21 @@ class CheckpointStore:
             except OSError:
                 pass
             raise
+        self._sync_directory()
         return CheckpointInfo(path=path, version=version)
+
+    def _sync_directory(self) -> None:
+        """fsync the directory so the rename itself is durable (best effort)."""
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
 
     # -- reading ----------------------------------------------------------------
     def list(self) -> list[CheckpointInfo]:
@@ -98,11 +117,30 @@ class CheckpointStore:
         return checkpoints[-1] if checkpoints else None
 
     def load(self, info: CheckpointInfo | None = None) -> dict[str, Any]:
-        """Read one checkpoint payload (the latest by default)."""
-        if info is None:
-            info = self.latest()
-            if info is None:
-                raise ServiceError(f"no checkpoints in {self.directory}")
+        """Read one checkpoint payload (the newest *intact* one by default).
+
+        With an explicit ``info`` the file must be readable.  Without one, a
+        corrupt newest file (e.g. truncated by a crash) is skipped in favour
+        of the next older checkpoint rather than failing the restore.
+        """
+        if info is not None:
+            return self._read(info)
+        checkpoints = self.list()
+        if not checkpoints:
+            raise ServiceError(f"no checkpoints in {self.directory}")
+        errors: list[str] = []
+        for candidate in reversed(checkpoints):
+            try:
+                return self._read(candidate)
+            except ServiceError:
+                raise  # explicit format mismatch, not corruption
+            except Exception as exc:
+                errors.append(f"{candidate.path.name}: {exc}")
+        raise ServiceError(
+            f"no intact checkpoint in {self.directory} ({'; '.join(errors)})"
+        )
+
+    def _read(self, info: CheckpointInfo) -> dict[str, Any]:
         with open(info.path, "rb") as handle:
             payload = pickle.load(handle)
         if payload.get("format") != CHECKPOINT_FORMAT:

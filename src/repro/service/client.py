@@ -127,10 +127,16 @@ class ServiceClient:
         )
 
     def subscribe(self, view: str | None = None, queue_size: int | None = None) -> DeltaStream:
-        """Turn this connection into a delta stream for one view."""
+        """Turn this connection into a delta stream for one view.
+
+        After the ack the socket switches to blocking mode (no timeout): an
+        idle subscription waits for the next delta indefinitely instead of
+        dying with ``socket.timeout`` after the request timeout.
+        """
         response = self._request(
             {"op": "subscribe", "view": view, "queue_size": queue_size}
         )
+        self._sock.settimeout(None)
         return DeltaStream(self, response["view"], response["subscription"])
 
     def statistics(self) -> dict[str, Any]:

@@ -69,11 +69,13 @@ def engine_for_mode(
     if mode == "incremental":
         return IncrementalEngine(program)
     if mode == "batched":
-        return BatchedEngine(program, batch_size or DEFAULT_BATCH_SIZE)
+        return BatchedEngine(
+            program, DEFAULT_BATCH_SIZE if batch_size is None else batch_size
+        )
     if mode == "partitioned":
         return PartitionedEngine(
             program,
-            partitions=partitions or DEFAULT_PARTITIONS,
+            partitions=DEFAULT_PARTITIONS if partitions is None else partitions,
             backend=backend,
             batch_size=batch_size,
         )
@@ -122,7 +124,11 @@ class Snapshot:
 
 @dataclass(frozen=True)
 class IngestResult:
-    """Outcome of one atomic ingest batch."""
+    """Outcome of one atomic ingest batch.
+
+    ``notifications`` counts the delta notifications actually enqueued to
+    subscriber queues (closed or overflowed subscriptions receive nothing).
+    """
 
     count: int
     version: int
@@ -165,9 +171,12 @@ class ViewService:
         self.checkpoints = (
             CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
         )
+        self._stream_relations = frozenset(self.program.stream_relations)
+        self._publish_hooks: list[Callable[[], None]] = []
         self._lock = threading.RLock()
         self._version = 0
         self._closed = False
+        self._failed = False
 
     # -- identity --------------------------------------------------------------
     @property
@@ -209,19 +218,50 @@ class ViewService:
             return self.engine.load_static(relation, rows)
 
     # -- ingestion -------------------------------------------------------------
+    def _validate_batch(self, events: Sequence[StreamEvent]) -> None:
+        """Reject the whole batch before any event mutates engine state."""
+        schemas = self.program.schemas
+        for index, event in enumerate(events):
+            if not isinstance(event, StreamEvent):
+                raise ServiceError(
+                    f"events[{index}] is {type(event).__name__}, not a StreamEvent"
+                )
+            if event.relation not in self._stream_relations:
+                raise ServiceError(
+                    f"events[{index}]: relation {event.relation!r} is not a stream "
+                    f"relation of this program "
+                    f"(streams: {sorted(self._stream_relations)})"
+                )
+            arity = len(schemas[event.relation])
+            if len(event.values) != arity:
+                raise ServiceError(
+                    f"events[{index}]: {event.relation} expects {arity} values, "
+                    f"got {len(event.values)}"
+                )
+
     def ingest(self, events: Iterable[StreamEvent]) -> IngestResult:
         """Apply one batch of events atomically and publish the deltas.
 
         Readers either see the state before the whole batch or after it —
-        never in between — and the version advances by the batch size.
+        never in between — and the version advances by the batch size.  The
+        batch is validated up front so a malformed event rejects it as a whole
+        without touching engine state; should the engine itself still fail
+        mid-batch, the service marks itself failed and refuses further
+        operations (:meth:`restore` from a checkpoint recovers it) rather
+        than serving state that no longer matches any version.
         """
         events = list(events)
         with self._lock:
             self._require_open()
+            self._validate_batch(events)
             subscribed = self.subscriptions.subscribed_views()
             before = {view: self.engine.result_dict(view) for view in subscribed}
-            count = self.engine.apply_many(events)
-            self.engine.flush()
+            try:
+                count = self.engine.apply_many(events)
+                self.engine.flush()
+            except BaseException:
+                self._failed = True
+                raise
             self._version += count
             for event in events:
                 self.stream_stats.record(event)
@@ -232,9 +272,13 @@ class ViewService:
                     notifications += self.subscriptions.publish(
                         view, self._version, changes
                     )
-            return IngestResult(
+            result = IngestResult(
                 count=count, version=self._version, notifications=notifications
             )
+        if notifications:
+            for hook in list(self._publish_hooks):
+                hook()
+        return result
 
     def ingest_rows(
         self,
@@ -261,6 +305,13 @@ class ViewService:
         """
         if batch_size < 1:
             raise ServiceError(f"batch_size must be >= 1, got {batch_size}")
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ServiceError(
+                    f"checkpoint_every must be >= 1, got {checkpoint_every}"
+                )
+            if self.checkpoints is None:
+                raise ServiceError("service was built without a checkpoint directory")
         skip = self.version
         applied = 0
         since_checkpoint = 0
@@ -292,14 +343,15 @@ class ViewService:
         """A version-tagged, snapshot-consistent read of one view."""
         with self._lock:
             self._require_open()
-            decl = self._declaration(name)
+            view = self._canonical_view(name)  # friendly multi-root error first
+            decl = self._declaration(view)
             self.engine.flush()
             return Snapshot(
                 version=self._version,
-                view=self._canonical_view(name),
+                view=view,
                 map_name=decl.name,
                 columns=decl.keys,
-                entries=self.engine.result_dict(name),
+                entries=self.engine.result_dict(view),
             )
 
     # -- subscriptions ----------------------------------------------------------
@@ -314,6 +366,24 @@ class ViewService:
     def unsubscribe(self, subscription: Subscription) -> None:
         """Drop a subscription (pending notifications are discarded)."""
         self.subscriptions.unsubscribe(subscription)
+
+    def add_publish_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callback fired after an ingest batch published deltas.
+
+        Hooks run on the ingesting thread, outside the service lock, and must
+        be cheap and thread-safe.  The TCP server uses one to schedule
+        subscriber pumps when an in-process :meth:`ingest`/:meth:`replay`
+        publishes notifications that no wire request would otherwise flush.
+        """
+        with self._lock:
+            if hook not in self._publish_hooks:
+                self._publish_hooks.append(hook)
+
+    def remove_publish_hook(self, hook: Callable[[], None]) -> None:
+        """Unregister a previously added publication hook."""
+        with self._lock:
+            if hook in self._publish_hooks:
+                self._publish_hooks.remove(hook)
 
     # -- checkpoint / restore ----------------------------------------------------
     def checkpoint(self) -> CheckpointInfo:
@@ -330,9 +400,18 @@ class ViewService:
             )
 
     def restore(self) -> int | None:
-        """Load the newest checkpoint, if any; returns the restored version."""
+        """Load the newest intact checkpoint, if any; returns the restored version.
+
+        Also the recovery path after a mid-batch engine failure: restoring
+        replaces the (possibly inconsistent) engine state wholesale and
+        clears the failed mark.  Live subscriptions are closed — the version
+        may have jumped backwards, so delivering further deltas would break
+        the exactly-once contract; consumers resubscribe with a fresh
+        snapshot, exactly as after an overflow.
+        """
         with self._lock:
-            self._require_open()
+            if self._closed:
+                raise ServiceError("service is closed")
             if self.checkpoints is None:
                 raise ServiceError("service was built without a checkpoint directory")
             if self.checkpoints.latest() is None:
@@ -347,7 +426,13 @@ class ViewService:
                 deletes=stats.get("deletes", 0),
                 per_relation=dict(stats.get("per_relation", {})),
             )
-            return self._version
+            self.subscriptions.close_all()
+            self._failed = False
+            version = self._version
+        # Let the server pump the close marks to wire subscribers promptly.
+        for hook in list(self._publish_hooks):
+            hook()
+        return version
 
     # -- accounting / lifecycle --------------------------------------------------
     def statistics(self) -> dict[str, object]:
@@ -366,6 +451,11 @@ class ViewService:
     def _require_open(self) -> None:
         if self._closed:
             raise ServiceError("service is closed")
+        if self._failed:
+            raise ServiceError(
+                "service failed mid-ingest and its state may be inconsistent; "
+                "restore() from a checkpoint to recover"
+            )
 
     def close(self) -> None:
         """Release engine resources; further operations raise."""

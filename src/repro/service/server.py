@@ -17,6 +17,11 @@ lock, so wire clients get the same snapshot-consistency contract as
 in-process readers.  Subscription fan-out happens at the end of each ingest
 request, before its response is written — a subscriber's delta stream is
 therefore never behind an ingest acknowledgement the ingesting client saw.
+Deltas published by *in-process* ingestion (``ViewService.ingest`` /
+``replay`` called directly on an embedded service) are pumped too: the
+server registers a publication hook on the service that schedules a
+subscriber pump on the event loop, so TCP subscribers never wait for the
+next wire request.
 
 :func:`start_in_thread` runs a server on a background thread with its own
 event loop, which is how the examples, benchmarks and tests embed it.
@@ -50,32 +55,66 @@ class ViewServer:
         self.port = port
         self._server: asyncio.base_events.Server | None = None
         self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
         self._subscribers: list[tuple[Subscription, asyncio.StreamWriter]] = []
 
     # -- lifecycle --------------------------------------------------------------
     async def start(self) -> None:
         """Bind and start accepting connections (resolves the real port)."""
         self._stop = asyncio.Event()
+        self._loop = asyncio.get_running_loop()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self.service.add_publish_hook(self._on_service_publish)
 
     async def serve_until_stopped(self) -> None:
         """Serve until :meth:`request_stop`; closes connections on the way out."""
         if self._server is None:
             await self.start()
         assert self._stop is not None
-        await self._stop.wait()
-        self._server.close()
-        await self._server.wait_closed()
-        for _, writer in list(self._subscribers):
-            writer.close()
+        try:
+            await self._stop.wait()
+        finally:
+            self.service.remove_publish_hook(self._on_service_publish)
+            self._server.close()
+            await self._server.wait_closed()
+            for _, writer in list(self._subscribers):
+                writer.close()
 
     def request_stop(self) -> None:
         """Ask the serve loop to wind down (safe from any handler)."""
         if self._stop is not None:
             self._stop.set()
+
+    # -- service-side publication ------------------------------------------------
+    def _on_service_publish(self) -> None:
+        """Publication hook: runs on whichever thread ingested in-process.
+
+        Hops onto the server's event loop to pump subscribers, so deltas from
+        embedded ``ViewService.ingest``/``replay`` calls reach TCP
+        subscribers without waiting for the next wire request.  Wire ingests
+        run on the loop thread and pump inline right after dispatch, so for
+        them the hook is a no-op instead of a redundant second pump.
+        """
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            if asyncio.get_running_loop() is loop:
+                return
+        except RuntimeError:
+            pass  # no running loop on this thread: an in-process ingest
+        try:
+            loop.call_soon_threadsafe(self._schedule_pump)
+        except RuntimeError:  # loop shut down between the check and the call
+            pass
+
+    def _schedule_pump(self) -> None:
+        if self._stop is None or self._stop.is_set():
+            return
+        asyncio.ensure_future(self._pump_subscribers())
 
     # -- connection handling ----------------------------------------------------
     async def _handle_connection(
@@ -104,6 +143,14 @@ class ViewServer:
                     )
                 except ReproError as exc:
                     response = {"ok": False, "error": str(exc)}
+                except Exception as exc:
+                    # A type-malformed but valid-JSON request (wrong field
+                    # types etc.) is a protocol error, not a reason to drop
+                    # the connection without a response.
+                    response = {
+                        "ok": False,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
                 writer.write(dump_line(response))
                 await writer.drain()
                 if response.get("stopping"):
@@ -240,10 +287,12 @@ class ServerHandle:
         thread: threading.Thread,
         loop: asyncio.AbstractEventLoop,
         server: ViewServer,
+        holder: dict[str, Any] | None = None,
     ) -> None:
         self._thread = thread
         self._loop = loop
         self._server = server
+        self._holder = holder if holder is not None else {}
         self.host = server.host
         self.port = server.port
 
@@ -252,12 +301,15 @@ class ServerHandle:
         return (self.host, self.port)
 
     def stop(self, timeout: float = 10.0) -> None:
-        """Stop the server and join its thread."""
+        """Stop the server and join its thread; surfaces a mid-serve crash."""
         try:
             self._loop.call_soon_threadsafe(self._server.request_stop)
         except RuntimeError:  # loop already closed
             pass
         self._thread.join(timeout)
+        error = self._holder.get("error")
+        if error is not None:
+            raise ServiceError(f"server died while serving: {error}") from error
 
 
 def start_in_thread(
@@ -278,13 +330,16 @@ def start_in_thread(
     def run() -> None:
         try:
             asyncio.run(main())
-        except Exception as exc:  # startup failures (e.g. port in use)
+        except Exception as exc:
             holder["error"] = exc
-            started.set()
+            if not started.is_set():  # startup failure (e.g. port in use)
+                started.set()
+            else:  # mid-serve crash: let threading's excepthook log it too
+                raise
 
     thread = threading.Thread(target=run, name="repro-service", daemon=True)
     thread.start()
     started.wait()
     if "error" in holder:
         raise ServiceError(f"server failed to start: {holder['error']}")
-    return ServerHandle(thread, holder["loop"], holder["server"])
+    return ServerHandle(thread, holder["loop"], holder["server"], holder)

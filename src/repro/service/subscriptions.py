@@ -83,18 +83,20 @@ class Subscription:
         self._overflowed = False
 
     # -- producer side (registry only) ----------------------------------------
-    def _publish(self, version: int, key: tuple, old: Any, new: Any) -> None:
+    def _publish(self, version: int, key: tuple, old: Any, new: Any) -> bool:
+        """Enqueue one notification; False when nothing was enqueued."""
         if self._closed:
-            return
+            return False
         if len(self._queue) >= self.maxlen:
             # Never drop silently: mark the gap and stop the subscription.
             self._overflowed = True
             self._closed = True
-            return
+            return False
         self._queue.append(
             DeltaNotification(self._sequence, version, self.view, key, old, new)
         )
         self._sequence += 1
+        return True
 
     # -- consumer side ---------------------------------------------------------
     @property
@@ -153,6 +155,20 @@ class SubscriptionRegistry:
                 if not bucket:
                     del self._by_view[subscription.view]
 
+    def close_all(self) -> None:
+        """Close every subscription (already-queued notifications stay drainable).
+
+        Used when the service state jumps backwards (checkpoint restore):
+        consumers must resubscribe with a fresh snapshot rather than receive
+        deltas that rewind behind what they already observed — the same
+        close-and-resubscribe contract as queue overflow.
+        """
+        with self._lock:
+            for subscribers in self._by_view.values():
+                for subscription in subscribers:
+                    subscription._closed = True
+            self._by_view.clear()
+
     def subscribed_views(self) -> tuple[str, ...]:
         """Views with at least one live subscriber (the diff set for ingest)."""
         with self._lock:
@@ -163,16 +179,19 @@ class SubscriptionRegistry:
     ) -> int:
         """Fan one batch of ``(key, old, new)`` changes out to a view's subscribers.
 
-        Every subscriber receives the changes in the given order with its own
-        contiguous sequence numbers; returns the number of changes published.
+        Every live subscriber receives the changes in the given order with
+        its own contiguous sequence numbers; returns the number of
+        notifications actually enqueued (a closed or overflowed subscription
+        enqueues nothing, so the count is a delivery figure, not
+        ``len(changes)``).
         """
         with self._lock:
             subscribers = list(self._by_view.get(view, ()))
         count = 0
         for key, old, new in changes:
             for subscription in subscribers:
-                subscription._publish(version, key, old, new)
-            count += 1
+                if subscription._publish(version, key, old, new):
+                    count += 1
         return count
 
     def stats(self) -> dict[str, list[dict[str, object]]]:

@@ -40,6 +40,26 @@ def test_store_lists_and_loads_checkpoints_in_version_order(tmp_path):
     assert not list((tmp_path / "ckpt").glob("*.tmp"))
 
 
+def test_store_load_falls_back_past_corrupt_checkpoints(tmp_path):
+    """A truncated newest file (crash mid-durability) must not break restore:
+    the next older intact checkpoint is loaded instead."""
+    store = CheckpointStore(tmp_path)
+    store.save(10, {"kind": "single", "marker": "old"})
+    newest = store.save(20, {"kind": "single"})
+    newest.path.write_bytes(newest.path.read_bytes()[:16])  # the "power loss"
+    payload = store.load()
+    assert payload["version"] == 10
+    assert payload["engine_state"]["marker"] == "old"
+    # An explicitly requested checkpoint still fails loudly.
+    with pytest.raises(Exception):
+        store.load(newest)
+    # With every file corrupt, load reports them all instead of guessing.
+    for info in store.list():
+        info.path.write_bytes(b"\x80garbage")
+    with pytest.raises(ServiceError, match="no intact checkpoint"):
+        store.load()
+
+
 def test_store_rejects_unknown_formats_and_empty_dirs(tmp_path):
     store = CheckpointStore(tmp_path)
     with pytest.raises(ServiceError, match="no checkpoints"):
@@ -86,6 +106,45 @@ def test_interrupted_run_restores_to_bit_identical_views(q1, tmp_path, mode, kwa
         reference_entries(q1.program, q1.statics, q1.events, None, q1.root)
     )
     restored.close()
+
+
+def test_restore_falls_back_when_the_newest_checkpoint_is_corrupt(q1, tmp_path):
+    """End to end: newest checkpoint truncated, service restores the older
+    one and the tail replay still converges to the reference."""
+    first = build_service(q1, checkpoint_dir=tmp_path)
+    first.ingest(q1.events[:100])
+    intact = first.checkpoint()
+    first.ingest(q1.events[100:150])
+    corrupt = first.checkpoint()
+    first.close()
+    corrupt.path.write_bytes(corrupt.path.read_bytes()[:64])
+
+    restored = ViewService(
+        engine_for_mode(q1.program, "incremental"), checkpoint_dir=tmp_path
+    )
+    assert restored.restore() == intact.version == 100
+    restored.replay(q1.events, batch_size=40)
+    assert typed(restored.query(q1.root).entries) == typed(
+        reference_entries(q1.program, q1.statics, q1.events, None, q1.root)
+    )
+    restored.close()
+
+
+def test_restore_closes_live_subscriptions(q1, tmp_path):
+    """The version can jump backwards across a restore, so stale subscribers
+    are closed (resubscribe-with-fresh-snapshot, like overflow) instead of
+    receiving duplicate or rewound deltas."""
+    service = build_service(q1, checkpoint_dir=tmp_path)
+    service.ingest(q1.events[:50])
+    service.checkpoint()
+    subscription = service.subscribe(q1.root)
+    service.ingest(q1.events[50:100])
+    assert service.restore() == 50
+    assert subscription.closed and not subscription.overflowed
+    pending = len(subscription)
+    service.ingest(q1.events[50:100])  # the replayed tail
+    assert len(subscription) == pending, "closed subscriber received replayed deltas"
+    service.close()
 
 
 def test_checkpoint_preserves_static_tables(q3, tmp_path):
@@ -160,6 +219,20 @@ def test_mismatched_state_kinds_are_rejected(q1):
         three.restore_state(partitioned.checkpoint_state())
     partitioned.close()
     three.close()
+
+
+def test_restore_rejects_unknown_state_formats(q1):
+    incremental = engine_for_mode(q1.program, "incremental")
+    state = incremental.checkpoint_state()
+    state["format"] = 99
+    with pytest.raises(RuntimeEngineError, match="format"):
+        incremental.restore_state(state)
+    partitioned = engine_for_mode(q1.program, "partitioned", partitions=2)
+    state = partitioned.checkpoint_state()
+    state["format"] = 99
+    with pytest.raises(ExecutionError, match="format"):
+        partitioned.restore_state(state)
+    partitioned.close()
 
 
 def test_restore_rejects_states_from_other_programs(q1, q3):

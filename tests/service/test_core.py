@@ -4,6 +4,7 @@ import threading
 
 import pytest
 
+from repro.delta.events import StreamEvent
 from repro.errors import ServiceError
 from repro.service import ViewService, open_source
 from repro.streams.adapters import write_events_csv, write_events_jsonl
@@ -70,8 +71,13 @@ def test_queries_see_whole_batches_only(q1, mode, kwargs):
 
 def test_ingest_rows_wraps_plain_rows(q1):
     service = build_service(q1)
-    rows = [event.values for event in q1.events[:5] if event.sign > 0]
     relation = q1.events[0].relation
+    rows = [
+        event.values
+        for event in q1.events[:20]
+        if event.sign > 0 and event.relation == relation
+    ][:5]
+    assert rows
     result = service.ingest_rows(relation, rows)
     assert result.count == len(rows)
     assert service.version == len(rows)
@@ -104,10 +110,66 @@ def test_replay_skips_the_already_applied_prefix(q1):
     )
 
 
+@pytest.mark.parametrize("mode,kwargs", [
+    ("incremental", {}),
+    ("batched", {"batch_size": 7}),
+    ("partitioned", {"partitions": 2}),
+])
+def test_malformed_batches_are_rejected_before_any_state_changes(q1, mode, kwargs):
+    """A bad event anywhere in a batch rejects the whole batch up front: the
+    good prefix is never applied, the version never advances."""
+    service = build_service(q1, mode, **kwargs)
+    service.ingest(q1.events[:20])
+    before = service.query(q1.root).entries
+    good = q1.events[20:22]
+    with pytest.raises(ServiceError, match="not a stream relation"):
+        service.ingest([*good, StreamEvent("NoSuchRelation", (1, 2))])
+    with pytest.raises(ServiceError, match="expects"):
+        service.ingest([*good, StreamEvent(good[0].relation, good[0].values[:-1])])
+    assert service.version == 20
+    assert service.query(q1.root).entries == before
+    # The service stays healthy, and the rejected prefix can be re-ingested.
+    service.ingest(q1.events[20:40])
+    assert service.query(q1.root).entries == reference_entries(
+        q1.program, q1.statics, q1.events, 40, q1.root
+    )
+    service.close()
+
+
+def test_engine_failure_mid_batch_poisons_the_service_until_restore(q1, tmp_path):
+    """An engine error that escapes validation must not leave the service
+    serving state that matches no version: every operation (including
+    checkpointing) fails hard until a checkpoint restore recovers it."""
+    service = build_service(q1, checkpoint_dir=tmp_path)
+    service.ingest(q1.events[:40])
+    service.checkpoint()
+    lineitem = next(e for e in q1.events if e.relation == "Lineitem")
+    poison = StreamEvent("Lineitem", tuple(None for _ in lineitem.values))
+    with pytest.raises(TypeError):  # right relation and arity, bad value types
+        service.ingest([q1.events[40], poison])
+    for operation in (
+        lambda: service.query(q1.root),
+        lambda: service.ingest(q1.events[40:41]),
+        lambda: service.checkpoint(),
+        lambda: service.statistics(),
+    ):
+        with pytest.raises(ServiceError, match="restore"):
+            operation()
+    assert service.restore() == 40
+    service.replay(q1.events[:100], batch_size=16)
+    assert service.query(q1.root).entries == reference_entries(
+        q1.program, q1.statics, q1.events, 100, q1.root
+    )
+    service.close()
+
+
 def test_unknown_views_and_closed_service_raise(q1):
     service = build_service(q1)
     with pytest.raises(ServiceError, match="unknown view"):
         service.query("NoSuchView")
+    # Q1 has many roots: an unnamed query is a ServiceError, not a KeyError.
+    with pytest.raises(ServiceError, match="specify one"):
+        service.query()
     with pytest.raises(ServiceError, match="without a checkpoint directory"):
         service.checkpoint()
     service.close()

@@ -2,6 +2,7 @@
 over the wire, checkpoint/restart convergence, protocol errors."""
 
 import threading
+import time
 
 import pytest
 
@@ -101,6 +102,56 @@ def test_wire_subscription_is_ordered_and_exactly_once(q1):
         service.close()
 
 
+def test_in_process_ingest_reaches_wire_subscribers(q1):
+    """Deltas published by ViewService.ingest() on the embedding process — no
+    wire request involved — must still be pumped to TCP subscribers."""
+    service, handle = serve(q1)
+    try:
+        subscriber = ServiceClient(*handle.address)
+        stream = subscriber.subscribe(q1.root)
+        received = []
+        consumer = threading.Thread(target=lambda: received.extend(stream.take(1)))
+        consumer.start()
+        published = 0
+        start = 0
+        while published == 0 and start < len(q1.events):
+            published = service.ingest(q1.events[start:start + 30]).notifications
+            start += 30
+        assert published > 0
+        consumer.join(timeout=10)
+        assert not consumer.is_alive(), "subscriber never saw the in-process deltas"
+        assert received and received[0].view == q1.root
+        subscriber.close()
+    finally:
+        handle.stop()
+        service.close()
+
+
+def test_idle_subscription_survives_the_request_timeout(q1):
+    """A delta stream that stays quiet longer than the client's request
+    timeout must keep blocking, not die with socket.timeout."""
+    service, handle = serve(q1)
+    try:
+        with ServiceClient(*handle.address) as ingestor:
+            subscriber = ServiceClient(*handle.address, timeout=0.5)
+            stream = subscriber.subscribe(q1.root)
+            time.sleep(1.2)  # idle for longer than the subscriber's timeout
+            published = 0
+            start = 0
+            while published == 0 and start < len(q1.events):
+                published = ingestor.ingest(
+                    q1.events[start:start + 30]
+                ).notifications
+                start += 30
+            assert published > 0
+            notifications = stream.take(published)
+            assert len(notifications) == published
+            subscriber.close()
+    finally:
+        handle.stop()
+        service.close()
+
+
 @pytest.mark.parametrize("mode,kwargs", ENGINE_MODES)
 def test_checkpoint_restart_replay_converges_over_the_wire(q1, tmp_path, mode, kwargs):
     """Kill a served service mid-stream; a restarted one restores the
@@ -146,6 +197,14 @@ def test_protocol_errors_are_reported_not_fatal(q1):
                 client.query("NoSuchView")
             with pytest.raises(ServiceError, match="checkpoint directory"):
                 client.checkpoint()
+            # Type-malformed but valid-JSON requests get error responses too,
+            # instead of silently killing the connection.
+            with pytest.raises(ServiceError, match="ValueError"):
+                client._request(
+                    {"op": "subscribe", "view": q1.root, "queue_size": "big"}
+                )
+            with pytest.raises(ServiceError, match="TypeError"):
+                client._request({"op": "ingest", "events": 5})
             # The connection survives failed requests.
             assert client.ping() == 0
     finally:

@@ -58,12 +58,15 @@ def test_unsubscribed_consumers_stop_receiving():
 def test_overflow_closes_the_subscription_instead_of_dropping():
     registry = SubscriptionRegistry()
     subscription = registry.subscribe("V", maxlen=3)
-    registry.publish("V", 1, [((i,), None, i) for i in range(5)])
+    enqueued = registry.publish("V", 1, [((i,), None, i) for i in range(5)])
+    assert enqueued == 3  # only what actually reached a queue is counted
     assert subscription.closed and subscription.overflowed
     stats = subscription.stats()
     assert stats.published == 3 and stats.pending == 3 and stats.overflowed
     # Everything that was queued before the overflow is still delivered in order.
     assert [n.key for n in subscription.poll()] == [(0,), (1,), (2,)]
+    # The closed subscription no longer inflates the publish count.
+    assert registry.publish("V", 2, [((9,), None, 9)]) == 0
 
 
 def test_queue_bound_must_be_positive():
