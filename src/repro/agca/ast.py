@@ -36,7 +36,7 @@ class ValueExpr:
     __slots__ = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True, weakref_slot=True)
 class VConst(ValueExpr):
     """A literal constant (number or string)."""
 
@@ -46,7 +46,7 @@ class VConst(ValueExpr):
         return repr(self.value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True, weakref_slot=True)
 class VVar(ValueExpr):
     """A reference to a (bound) variable."""
 
@@ -56,7 +56,7 @@ class VVar(ValueExpr):
         return self.name
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True, weakref_slot=True)
 class VArith(ValueExpr):
     """Binary arithmetic over value expressions: ``+ - * /``."""
 
@@ -72,7 +72,7 @@ class VArith(ValueExpr):
         return f"({self.left!r} {self.op} {self.right!r})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True, weakref_slot=True)
 class VFunc(ValueExpr):
     """An external scalar function application (LIKE, SUBSTRING, ...)."""
 
@@ -128,7 +128,7 @@ class Expr:
     __slots__ = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True, weakref_slot=True)
 class Value(Expr):
     """A scalar factor: maps the empty tuple to the value of ``vexpr``."""
 
@@ -138,7 +138,7 @@ class Value(Expr):
         return f"Value({self.vexpr!r})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True, weakref_slot=True)
 class Relation(Expr):
     """A base relation atom ``R(x1, ..., xk)`` with column variables."""
 
@@ -153,7 +153,7 @@ class Relation(Expr):
         return f"{self.name}({', '.join(self.columns)})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True, weakref_slot=True)
 class MapRef(Expr):
     """A reference to a materialized view (map), keyed by ``keys``.
 
@@ -173,7 +173,7 @@ class MapRef(Expr):
         return f"{self.name}[{', '.join(self.keys)}]"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True, weakref_slot=True)
 class Product(Expr):
     """Natural join / multiplication with left-to-right sideways binding."""
 
@@ -186,7 +186,7 @@ class Product(Expr):
         return "(" + " * ".join(repr(t) for t in self.terms) + ")"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True, weakref_slot=True)
 class Sum(Expr):
     """Bag union / addition of query expressions."""
 
@@ -199,7 +199,7 @@ class Sum(Expr):
         return "(" + " + ".join(repr(t) for t in self.terms) + ")"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True, weakref_slot=True)
 class AggSum(Expr):
     """Group-by summation ``Sum_A(Q)``: project onto ``group`` and add multiplicities."""
 
@@ -214,7 +214,7 @@ class AggSum(Expr):
         return f"Sum[{', '.join(self.group)}]({self.term!r})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True, weakref_slot=True)
 class Lift(Expr):
     """The assignment ``var := term`` (used to name nested aggregate values).
 
@@ -229,7 +229,7 @@ class Lift(Expr):
         return f"({self.var} := {self.term!r})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True, weakref_slot=True)
 class Cmp(Expr):
     """A comparison condition between two scalar value expressions."""
 
@@ -241,7 +241,7 @@ class Cmp(Expr):
         return f"{{{self.left!r} {self.op} {self.right!r}}}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True, weakref_slot=True)
 class Exists(Expr):
     """Domain coercion: multiplicity 1 when the inner query is non-empty, else 0."""
 

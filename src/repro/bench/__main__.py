@@ -22,6 +22,10 @@ Throughput versus batch size (scale-out subsystem)::
 
     python -m repro.bench batch --query Q1 --batch-sizes 1 10 100 1000
 
+Compiled versus interpreted trigger execution (writes BENCH_codegen.json)::
+
+    python -m repro.bench codegen --events 3000
+
 Compare the scale-out strategies against per-event HO-IVM::
 
     python -m repro.bench rates --queries Q1 --strategies dbtoaster \
@@ -37,7 +41,9 @@ from __future__ import annotations
 import argparse
 
 from repro.bench.report import (
+    codegen_sweep_json,
     format_batch_sweep,
+    format_codegen_sweep,
     format_engine_statistics,
     format_feature_table,
     format_refresh_rate_table,
@@ -48,9 +54,11 @@ from repro.bench.report import (
 )
 from repro.bench.scenarios import (
     DEFAULT_BATCH_SIZES,
+    DEFAULT_CODEGEN_QUERIES,
     DEFAULT_STRATEGIES,
     run_ablation,
     run_batch_size_sweep,
+    run_codegen_sweep,
     run_engine_statistics,
     run_refresh_rate_table,
     run_scaling,
@@ -102,6 +110,19 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--events", type=int, default=3000)
     batch.add_argument("--budget", type=float, default=10.0)
 
+    codegen = sub.add_parser(
+        "codegen", help="Codegen: compiled versus interpreted per-event throughput"
+    )
+    codegen.add_argument("--queries", nargs="*", default=list(DEFAULT_CODEGEN_QUERIES))
+    codegen.add_argument("--events", type=int, default=3000)
+    codegen.add_argument("--budget", type=float, default=10.0,
+                         help="seconds per (query, strategy) run")
+    codegen.add_argument("--output", default="BENCH_codegen.json",
+                         help="where to write the JSON record ('-' disables)")
+    codegen.add_argument("--min-speedup", type=float, default=1.0,
+                         help="exit nonzero when a fully-compiled query's speedup "
+                              "falls below this bound (the CI regression gate)")
+
     stats = sub.add_parser("stats", help="Per-map / per-partition memory statistics")
     stats.add_argument("query")
     stats.add_argument("--strategy", default="dbtoaster")
@@ -114,7 +135,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "service", help="Serving layer: query latency/freshness under concurrent ingest"
     )
     service.add_argument("--query", default="Q1")
-    service.add_argument("--engine", choices=["incremental", "batched", "partitioned"],
+    service.add_argument("--engine",
+                         choices=["incremental", "compiled", "batched", "partitioned"],
                          default="incremental")
     service.add_argument("--events", type=int, default=2000)
     service.add_argument("--ingest-chunk", type=int, default=64)
@@ -190,6 +212,34 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(f"throughput vs batch size for {args.query}:")
         print(format_batch_sweep(results))
+        return 0
+
+    if args.command == "codegen":
+        import json
+
+        results = run_codegen_sweep(
+            queries=tuple(args.queries),
+            events=args.events,
+            max_seconds_per_run=args.budget,
+        )
+        print("compiled vs interpreted per-event throughput:")
+        print(format_codegen_sweep(results))
+        if args.output != "-":
+            with open(args.output, "w") as handle:
+                json.dump(codegen_sweep_json(results), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.output}")
+        # Regression gate: a fully-compiled query must not run slower than the
+        # interpreter (queries dominated by interpreter fallbacks are exempt —
+        # their speedup is noise around 1.0 by construction).
+        failures = [
+            f"{query}: {row['speedup']:.2f}x < {args.min_speedup:.2f}x"
+            for query, row in results.items()
+            if row["fallback_statements"] == 0 and row["speedup"] < args.min_speedup
+        ]
+        if failures:
+            print("codegen throughput regression: " + "; ".join(failures))
+            return 2
         return 0
 
     if args.command == "stats":

@@ -112,6 +112,42 @@ def format_batch_sweep(results: Mapping[str, RunResult]) -> str:
     return "\n".join(lines)
 
 
+def format_codegen_sweep(results: Mapping[str, Mapping[str, object]]) -> str:
+    """Compiled-versus-interpreted table: rates, speedup, statement coverage."""
+    lines = [
+        f"{'query':>8} {'events':>8} {'interp/s':>12} {'compiled/s':>12} "
+        f"{'speedup':>9} {'stmts':>12}"
+    ]
+    for query, row in results.items():
+        interpreted: RunResult = row["interpreted"]  # type: ignore[assignment]
+        compiled: RunResult = row["compiled"]  # type: ignore[assignment]
+        coverage = f"{row['compiled_statements']}+{row['fallback_statements']}fb"
+        lines.append(
+            f"{query:>8} {row['events']:>8} "
+            f"{_format_rate(interpreted.refresh_rate):>12} "
+            f"{_format_rate(compiled.refresh_rate):>12} "
+            f"{row['speedup']:>8.2f}x {coverage:>12}"
+        )
+    return "\n".join(lines)
+
+
+def codegen_sweep_json(results: Mapping[str, Mapping[str, object]]) -> dict:
+    """The ``BENCH_codegen.json`` payload: one record per query, plain types."""
+    payload = {}
+    for query, row in results.items():
+        interpreted: RunResult = row["interpreted"]  # type: ignore[assignment]
+        compiled: RunResult = row["compiled"]  # type: ignore[assignment]
+        payload[query] = {
+            "events": row["events"],
+            "interpreted_rate": interpreted.refresh_rate,
+            "compiled_rate": compiled.refresh_rate,
+            "speedup": row["speedup"],
+            "compiled_statements": row["compiled_statements"],
+            "fallback_statements": row["fallback_statements"],
+        }
+    return payload
+
+
 def _format_map_stats_rows(maps: Mapping[str, Mapping[str, object]]) -> list[str]:
     lines = [f"  {'map':30s} {'entries':>10} {'memory (KB)':>12}  indexes"]
     for name in sorted(maps):

@@ -219,6 +219,73 @@ def run_batch_size_sweep(
     return results
 
 
+# ---------------------------------------------------------------------------
+# Codegen: compiled versus interpreted trigger execution
+# ---------------------------------------------------------------------------
+
+#: Queries swept by ``python -m repro.bench codegen`` by default: the linear
+#: TPC-H views where compilation shines, one join view, plus a nested-
+#: aggregate query exercising the per-statement interpreter fallback.
+DEFAULT_CODEGEN_QUERIES: tuple[str, ...] = ("Q1", "Q3", "Q6", "VWAP")
+
+
+def run_codegen_sweep(
+    queries: Sequence[str] = DEFAULT_CODEGEN_QUERIES,
+    events: int = 3000,
+    max_seconds_per_run: float = 10.0,
+    seed: int = 7,
+) -> dict[str, dict[str, object]]:
+    """Per-event throughput of compiled versus interpreted trigger programs.
+
+    Replays the same agenda through ``dbtoaster`` (interpreted) and
+    ``dbtoaster-comp`` (:mod:`repro.codegen`) and reports both rates, the
+    speedup, and how many statements compiled versus fell back to the
+    interpreter.  This is the benchmark behind ``BENCH_codegen.json`` and the
+    CI regression gate: compiled throughput below the interpreted baseline on
+    a fully-compiled query is a bug, not noise.
+    """
+    results: dict[str, dict[str, object]] = {}
+    for name in queries:
+        spec = workload(name)
+        agenda, static = _prepare(spec, events, None, seed)
+        translated = spec.query_factory()
+        per_query: dict[str, object] = {}
+        codegen_stats: dict[str, object] = {}
+        for strategy in ("dbtoaster", "dbtoaster-comp"):
+            engine = build_engine(strategy, translated)
+            try:
+                result = measure_refresh_rate(
+                    engine,
+                    agenda,
+                    static,
+                    max_seconds=max_seconds_per_run,
+                    strategy=strategy,
+                    query=name,
+                )
+                per_query[strategy] = result
+                if strategy == "dbtoaster-comp":
+                    codegen_stats = dict(engine.statistics().get("codegen", {}))
+            finally:
+                if hasattr(engine, "close"):
+                    engine.close()
+        interpreted: RunResult = per_query["dbtoaster"]
+        compiled: RunResult = per_query["dbtoaster-comp"]
+        speedup = (
+            compiled.refresh_rate / interpreted.refresh_rate
+            if interpreted.refresh_rate > 0
+            else 0.0
+        )
+        results[name] = {
+            "events": min(interpreted.events_processed, compiled.events_processed),
+            "interpreted": interpreted,
+            "compiled": compiled,
+            "speedup": speedup,
+            "compiled_statements": codegen_stats.get("compiled_statements", 0),
+            "fallback_statements": codegen_stats.get("fallback_statements", 0),
+        }
+    return results
+
+
 @dataclass(frozen=True)
 class ServiceRunResult:
     """Freshness-versus-throughput measurements of a served view.

@@ -6,6 +6,9 @@ The strategies map one-to-one onto the labels of Figures 6 and 7:
 label            engine
 ===============  ===========================================================
 dbtoaster        full Higher-Order IVM (this paper's system)
+dbtoaster-comp   HO-IVM with triggers compiled to specialized Python code
+                 (:class:`repro.codegen.CompiledEngine`, per-statement
+                 interpreter fallback)
 dbtoaster-batch  HO-IVM with delta-batched trigger execution
                  (:class:`repro.exec.BatchedEngine`)
 dbtoaster-par    HO-IVM hash-partitioned across engines with merge-on-read
@@ -124,10 +127,18 @@ def _dbtoaster_program(query: TranslatedQuery):
     )
 
 
-def _dbtoaster_batch(query: TranslatedQuery, batch_size: int | None = None):
+def _dbtoaster_comp(query: TranslatedQuery):
+    from repro.codegen.engine import CompiledEngine
+
+    return CompiledEngine(_dbtoaster_program(query))
+
+
+def _dbtoaster_batch(
+    query: TranslatedQuery, batch_size: int | None = None, compiled: bool = False
+):
     if batch_size is None:
         batch_size = DEFAULT_BATCH_SIZE
-    return BatchedEngine(_dbtoaster_program(query), batch_size)
+    return BatchedEngine(_dbtoaster_program(query), batch_size, compiled=compiled)
 
 
 def _dbtoaster_par(
@@ -135,6 +146,7 @@ def _dbtoaster_par(
     partitions: int | None = None,
     batch_size: int | None = None,
     backend: str = "sequential",
+    compiled: bool = False,
 ):
     if partitions is None:
         partitions = DEFAULT_PARTITIONS
@@ -143,11 +155,13 @@ def _dbtoaster_par(
         partitions=partitions,
         backend=backend,
         batch_size=batch_size,
+        compiled=compiled,
     )
 
 
 STRATEGIES: dict[str, Callable[..., object]] = {
     "dbtoaster": _dbtoaster,
+    "dbtoaster-comp": _dbtoaster_comp,
     "dbtoaster-batch": _dbtoaster_batch,
     "dbtoaster-par": _dbtoaster_par,
     "naive": _naive,

@@ -1,0 +1,38 @@
+"""Trigger-program compilation to specialized Python code.
+
+The interpreter (:mod:`repro.runtime.interpreter`) walks the AGCA AST of every
+statement on every event; that tree walk — context dictionaries, GMR
+allocations, memo bookkeeping — dominates per-event cost.  This package mirrors
+the paper's code-generation stage with a Python source-emitting compiler:
+
+* :mod:`repro.codegen.lowering` lowers scalar value expressions to Python
+  expression source;
+* :mod:`repro.codegen.statement` lowers whole trigger statements into
+  straight-line functions specialized on the statement's map schemas, trigger
+  variables and access patterns (direct dict probes for bound keys, secondary
+  index scans for partial bindings, hoisted loop-invariant subexpressions),
+  compiled once via ``compile()``/``exec``;
+* :mod:`repro.codegen.engine` ships :class:`CompiledEngine`, a drop-in
+  :class:`~repro.runtime.protocol.EngineProtocol` implementation that runs the
+  compiled kernels and falls back to the interpreter — per statement — for
+  anything outside the compilable fragment (external functions, nested
+  aggregates, ``:=`` re-evaluation), so results are always bit-identical.
+
+See the "Codegen" section of DESIGN.md for the lowering rules and the
+fallback policy.
+"""
+
+from repro.codegen.engine import CompiledEngine, CompiledExecutor
+from repro.codegen.statement import (
+    StatementKernel,
+    compile_scalar_kernel,
+    try_compile_statement,
+)
+
+__all__ = [
+    "CompiledEngine",
+    "CompiledExecutor",
+    "StatementKernel",
+    "compile_scalar_kernel",
+    "try_compile_statement",
+]

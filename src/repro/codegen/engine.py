@@ -1,0 +1,267 @@
+"""The compiled execution engine: generated kernels with interpreter fallback.
+
+:class:`CompiledEngine` is a drop-in replacement for
+:class:`~repro.runtime.engine.IncrementalEngine` (it *is* one — same map
+store, database, checkpoint format ``kind: "single"`` and view surface) whose
+executor runs the specialized Python functions produced by
+:mod:`repro.codegen.statement` instead of walking the AGCA AST per event.
+
+Every ``+=`` statement is compiled at engine construction; statements outside
+the compilable fragment — and every ``:=`` re-evaluation statement — execute
+through the ordinary :class:`~repro.runtime.interpreter.TriggerExecutor`, so
+the engine's observable results (values *and* types) are identical to the
+interpreted engine on every program.  One deliberate deviation in the error
+surface: hoisted loop-invariant conditions are evaluated even when the scan
+they guard is empty, so an *ill-typed* comparison (ordering a number against
+a string) can raise here on events where the interpreter would have skipped
+it.  Well-typed programs — everything the SQL frontend emits — behave
+identically, errors included.
+
+Durable state stays interchangeable with the other single engines: the
+checkpoint dictionary holds only map/relation entries and the event count,
+never code objects.  :meth:`CompiledEngine.restore_state` recompiles and
+rebinds every kernel after loading, so state pickled on one process (or one
+library version) runs on another — this is what lets the multiprocessing
+executor backend rebuild compiled workers from the pickled trigger program.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.codegen import statement as statement_compiler
+from repro.compiler.program import ASSIGN, INCREMENT, Statement, TriggerProgram
+from repro.delta.events import StreamEvent
+from repro.runtime.database import Database
+from repro.runtime.engine import IncrementalEngine
+from repro.runtime.interpreter import TriggerExecutor
+from repro.runtime.maps import MapStore
+
+
+class _TriggerPlan:
+    """Per-(sign, relation) execution plan: compiled runners plus fallbacks."""
+
+    __slots__ = ("increments", "assigns", "arity")
+
+    def __init__(self) -> None:
+        # (statement, runner | None); runner signature is (values, scale).
+        self.increments: list[tuple[Statement, Callable[[tuple, Any], None] | None]] = []
+        self.assigns: list[Statement] = []
+        # Relation arity, validated before compiled runners index the event
+        # tuple positionally (None for triggers with no statements, where the
+        # interpreter performs no arity check either).
+        self.arity: int | None = None
+
+
+class CompiledExecutor:
+    """Applies stream events through compiled kernels, interpreting the rest.
+
+    Exposes the same surface as :class:`TriggerExecutor` (``apply``,
+    ``execute_increment``, ``execute_assign``, ``evaluator``,
+    ``maintained_relations``) so the batched execution subsystem can drive a
+    compiled engine exactly like an interpreted one.
+    """
+
+    def __init__(
+        self,
+        program: TriggerProgram,
+        database: Database,
+        maps: MapStore,
+        maintained_relations: frozenset[str] = frozenset(),
+        interpreter: TriggerExecutor | None = None,
+    ) -> None:
+        self._program = program
+        self._database = database
+        self._maps = maps
+        self._maintained = maintained_relations
+        self._interpreter = interpreter if interpreter is not None else TriggerExecutor(
+            program, database, maps, maintained_relations=maintained_relations
+        )
+        self._kernels: dict[int, statement_compiler.StatementKernel] = {}
+        self._plans: dict[tuple[int, str], _TriggerPlan] = {}
+        self._runners: dict[int, Callable[[tuple, Any], None]] = {}
+        self._pinned: list[Statement] = []  # keeps id()-keyed statements alive
+        self.compiled_statements = 0
+        self.fallback_statements = 0
+        self._compile_all()
+
+    # -- compilation --------------------------------------------------------
+    def _compile_all(self) -> None:
+        self._kernels.clear()
+        self.compiled_statements = 0
+        self.fallback_statements = 0
+        for trigger in self._program.triggers.values():
+            plan = _TriggerPlan()
+            if trigger.statements:
+                plan.arity = len(trigger.statements[0].event.trigger_vars)
+            for stmt in trigger.statements:
+                if stmt.operation == ASSIGN:
+                    plan.assigns.append(stmt)
+                    self.fallback_statements += 1
+                    continue
+                kernel = statement_compiler.try_compile_statement(stmt, self._program)
+                if kernel is None:
+                    plan.increments.append((stmt, None))
+                    self.fallback_statements += 1
+                else:
+                    self._kernels[id(stmt)] = kernel
+                    self._pinned.append(stmt)
+                    plan.increments.append((stmt, None))  # bound below
+                    self.compiled_statements += 1
+            self._plans[(trigger.sign, trigger.relation)] = plan
+        self.rebind()
+
+    def rebind(self) -> None:
+        """(Re)link every kernel against the live tables.
+
+        Called after compilation and after :meth:`CompiledEngine.restore_state`;
+        binding is what turns schema-specialized code objects into closures
+        over the concrete :class:`IndexedTable` objects.
+        """
+        self._runners.clear()
+        for key, kernel in self._kernels.items():
+            self._runners[key] = kernel.bind(self._maps, self._database)
+        for plan in self._plans.values():
+            plan.increments = [
+                (stmt, self._runners.get(id(stmt))) for stmt, _ in plan.increments
+            ]
+
+    def kernel_for(self, stmt: Statement) -> statement_compiler.StatementKernel | None:
+        """The compiled kernel of one statement (None when it interprets)."""
+        return self._kernels.get(id(stmt))
+
+    def runner_for(self, stmt: Statement) -> Callable[[tuple, Any], None] | None:
+        """The bound ``(values, scale)`` runner of one statement, if compiled.
+
+        Lets the batched execution subsystem feed folded event tuples to the
+        kernel directly instead of round-tripping them through a bindings
+        dictionary per item.
+        """
+        return self._runners.get(id(stmt))
+
+    # -- TriggerExecutor surface --------------------------------------------
+    @property
+    def evaluator(self):
+        return self._interpreter.evaluator
+
+    @property
+    def maintained_relations(self) -> frozenset[str]:
+        return self._maintained
+
+    def apply(self, event: StreamEvent) -> None:
+        """Apply one event: compiled runners in statement order, then fallbacks."""
+        plan = self._plans.get((event.sign, event.relation))
+        if plan is not None:
+            values = event.values
+            if plan.arity is not None and len(values) != plan.arity:
+                # Same error surface as TriggerEvent.bindings_for on the
+                # interpreted path; compiled runners index positionally and
+                # must not accept malformed events the interpreter rejects.
+                raise ValueError(
+                    f"event arity {len(values)} does not match relation arity "
+                    f"{plan.arity}"
+                )
+            for stmt, runner in plan.increments:
+                if runner is not None:
+                    runner(values, 1)
+                else:
+                    self._interpreter.execute_increment(
+                        stmt, stmt.event.bindings_for(event)
+                    )
+        if event.relation in self._maintained:
+            self._database.apply(event)
+        if plan is not None:
+            for stmt in plan.assigns:
+                self._interpreter.execute_assign(stmt, stmt.event.bindings_for(event))
+
+    def execute_increment(
+        self,
+        statement: Statement,
+        bindings: Mapping[str, Any],
+        scale: Any = 1,
+        memo: dict | None = None,
+    ) -> None:
+        """Run one ``+=`` statement under explicit bindings (batched execution).
+
+        Compiled statements rebuild the positional value tuple from the
+        bindings and ignore ``memo`` (the kernels do not share evaluation
+        state — they do not need to); everything else interprets.
+        """
+        runner = self._runners.get(id(statement))
+        if runner is not None:
+            values = tuple(bindings[v] for v in statement.event.trigger_vars)
+            runner(values, scale)
+            return
+        self._interpreter.execute_increment(statement, bindings, scale=scale, memo=memo)
+
+    def execute_assign(self, statement: Statement, bindings: Mapping[str, Any]) -> None:
+        self._interpreter.execute_assign(statement, bindings)
+
+    # -- reporting ----------------------------------------------------------
+    def codegen_statistics(self) -> dict[str, object]:
+        """Compiled/fallback statement counts plus the per-statement split."""
+        fallbacks = []
+        for trigger in self._program.triggers.values():
+            for stmt in trigger.statements:
+                if id(stmt) not in self._kernels:
+                    fallbacks.append(f"{trigger.name}: {stmt.target}")
+        return {
+            "compiled_statements": self.compiled_statements,
+            "fallback_statements": self.fallback_statements,
+            "fallbacks": fallbacks,
+        }
+
+
+class CompiledEngine(IncrementalEngine):
+    """An incremental engine whose triggers run as generated Python code.
+
+    Behaves exactly like :class:`IncrementalEngine` — same trigger program,
+    same views, same ``kind: "single"`` checkpoint states (interchangeable in
+    both directions) — but executes every compilable ``+=`` statement through
+    a specialized kernel.  Construction compiles; restore recompiles; the
+    pickled trigger program is all a worker process needs to rebuild one.
+    """
+
+    def __init__(self, program: TriggerProgram) -> None:
+        super().__init__(program)
+        self._executor = CompiledExecutor(
+            program,
+            self.database,
+            self.maps,
+            maintained_relations=self._maintained,
+            interpreter=self._executor,
+        )
+
+    @property
+    def codegen(self) -> CompiledExecutor:
+        """The compiled executor (kernel inspection, codegen statistics)."""
+        return self._executor
+
+    def restore_state(self, state: Mapping[str, Any]) -> None:
+        """Load a single-engine state, then rebind every compiled kernel.
+
+        States never contain code objects (they are plain map/relation entry
+        lists), so this works for states produced by any single engine —
+        compiled, interpreted or batched.
+        """
+        super().restore_state(state)
+        self._executor.rebind()
+
+    def statistics(self) -> dict[str, object]:
+        stats = super().statistics()
+        stats["codegen"] = self._executor.codegen_statistics()
+        return stats
+
+    def describe(self) -> str:
+        summary = self._executor.codegen_statistics()
+        lines = [
+            super().describe(),
+            "-- codegen --",
+            (
+                f"  compiled {summary['compiled_statements']} statements, "
+                f"{summary['fallback_statements']} on the interpreter"
+            ),
+        ]
+        for entry in summary["fallbacks"]:
+            lines.append(f"  fallback {entry}")
+        return "\n".join(lines)

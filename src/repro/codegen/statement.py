@@ -1,0 +1,795 @@
+"""Compile trigger statements to specialized straight-line Python functions.
+
+One ``+=`` statement becomes one generated function ``_kernel(_values,
+_scale)`` taking the event's field values (positionally, no bindings
+dictionary) and the batch scale factor.  The function is specialized on
+everything the compiler knows statically:
+
+* **trigger variables** load positionally from the event tuple — only the
+  ones the statement uses;
+* **bound-key map/relation accesses** become direct probes of the backing
+  :class:`~repro.runtime.maps.IndexedTable` primary dictionary, with the key
+  :class:`~repro.core.rows.Row` built via the trusted sorted-items
+  constructor (column sort order is resolved at compile time);
+* **partially-bound accesses** probe the table's secondary hash index for the
+  bound column subset and loop over the bucket; unbound variables read their
+  values out of the key row by precomputed position;
+* **scalar conditions and value factors** are lowered to plain Python and
+  *hoisted* to the outermost point where their variables are bound, so a
+  trigger-variable condition guards the whole statement instead of being
+  re-checked per scanned row (hoisting is the one visible deviation from the
+  interpreter: a hoisted condition is evaluated even when the scan it guards
+  turns out empty, so an ill-typed comparison can raise where the
+  interpreter's per-row evaluation would never have reached it — harmless
+  for well-typed programs, which the SQL frontend guarantees);
+* the **accumulated delta** multiplies factors in the statement's term order
+  and applies the interpreter's exact zero-dropping and number-normalization
+  rules, so compiled results are bit-identical to interpreted ones — values
+  *and* types.
+
+Exact-equivalence notes (each mirrors a specific interpreter behaviour):
+
+* a ``Value`` factor contributes ``normalize_number(v)`` and kills the row
+  when ``is_zero(v)`` (the evaluator stores scalars into a GMR, which
+  normalizes and drops zeros);
+* a ``Lift`` over a value binds ``normalize_number(v)`` — coerced to the
+  integer ``0`` when zero-ish — because the evaluator reads the lifted value
+  back out of a GMR (``scalar_value() if inner else 0``);
+* the final per-row delta is zero-checked *before* the batch scale is
+  applied (the evaluator's result GMR drops zero rows before the executor
+  scales them);
+* a top-level ``AggSum`` groups deltas in enumeration order with the GMR's
+  add/normalize/drop-on-zero rule before anything touches the target map,
+  and a top-level ``Sum`` merges its terms' result rows the same way —
+  reproducing the interpreter's floating-point addition order exactly;
+* rows are enumerated in the same order as the evaluator (scan order of the
+  primary dictionary / index buckets, product terms left to right), so
+  same-key map additions happen in the same order.
+
+The **capability check** is the compile attempt itself: any construct outside
+the fragment — external functions (by policy), ``Exists``, nested
+aggregates/sums, lifts over non-scalar bodies, ``:=`` statements, unbound
+value variables — raises :class:`~repro.codegen.lowering.Unsupported` and the
+statement stays on the interpreter.  Fallback is per statement, never per
+program, so one hard statement does not slow down its siblings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.agca.ast import (
+    AggSum,
+    Cmp,
+    Expr,
+    Lift,
+    MapRef,
+    Product,
+    Relation,
+    Sum,
+    Value,
+    VConst,
+    value_variables,
+)
+from repro.codegen.lowering import SourceEnv, Unsupported, lower_condition, lower_value
+from repro.compiler.program import INCREMENT, Statement, TriggerProgram
+from repro.core.rows import Row
+from repro.core.values import div, is_zero, normalize_number
+
+_BASE_ENV = {
+    "_is_zero": is_zero,
+    "_norm": normalize_number,
+    "_div": div,
+    "_Row": Row.from_sorted_items,
+    "_EMPTY_ROW": Row(),
+    "_ONE_PASS": (0,),
+}
+
+
+class _Writer:
+    """Tiny indented-source writer with an abort-statement stack.
+
+    The abort statement is what "this row/term produces nothing" compiles to:
+    ``return`` at statement top level, ``break`` inside a sum-term wrapper,
+    ``continue`` inside a scan loop.
+    """
+
+    def __init__(self, abort: str) -> None:
+        self.lines: list[str] = []
+        self.depth = 0
+        self._aborts = [abort]
+
+    def line(self, text: str) -> None:
+        self.lines.append("    " * self.depth + text)
+
+    @property
+    def abort(self) -> str:
+        return self._aborts[-1]
+
+    def open_loop(self, header: str) -> None:
+        self.line(header)
+        self.depth += 1
+        self._aborts.append("continue")
+
+    def close_loops(self, count: int) -> None:
+        for _ in range(count):
+            self.depth -= 1
+            self._aborts.pop()
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class StatementKernel:
+    """One trigger statement compiled to a specialized Python function.
+
+    ``source`` holds the generated code (kept for tests, ``describe()`` and
+    debugging); :meth:`bind` links it against a concrete map store / database
+    and returns the runnable ``(values, scale)`` closure.  The code object is
+    compiled once and can be bound any number of times (each engine, and each
+    restore, gets fresh bindings), so pickled engine state never needs to
+    carry code objects — restoring recompiles/rebinds instead.
+    """
+
+    __slots__ = ("statement", "source", "_code", "_env", "_tables")
+
+    def __init__(
+        self,
+        statement: Statement,
+        source: str,
+        env: dict[str, Any],
+        tables: Sequence[tuple[str, str, str]],
+    ) -> None:
+        self.statement = statement
+        self.source = source
+        self._code = compile(source, f"<repro.codegen:{statement.target}>", "exec")
+        self._env = env
+        self._tables = tuple(tables)
+
+    def bind(self, maps, database) -> Callable[[tuple, Any], None]:
+        """Link the kernel against live tables; returns ``run(values, scale)``."""
+        namespace = dict(self._env)
+        for handle, kind, name in self._tables:
+            namespace[handle] = (
+                maps.table(name) if kind == "map" else database.table(name)
+            )
+        exec(self._code, namespace)
+        return namespace["_kernel"]
+
+
+# ---------------------------------------------------------------------------
+# Term planning
+# ---------------------------------------------------------------------------
+
+
+class _AtomStep:
+    """A relation/map access: probe when fully bound, scan loop otherwise."""
+
+    __slots__ = (
+        "kind", "name", "stored", "sorted_stored", "bound", "unbound",
+        "eq_checks", "mult_local", "row_local", "index",
+    )
+
+    def __init__(self) -> None:
+        self.bound: list[tuple[str, str]] = []          # (stored column, local)
+        self.unbound: list[tuple[str, int, str]] = []   # (var, sorted pos, local)
+        self.eq_checks: list[tuple[int, str]] = []      # (sorted pos, local)
+        self.index: int = 0                             # 1-based atom index
+
+
+class _ScalarStep:
+    """A Value / Cmp / Lift step with the atom slot it can be hoisted to."""
+
+    __slots__ = ("kind", "source", "local", "slot", "check_var")
+
+    def __init__(self, kind: str, slot: int) -> None:
+        self.kind = kind
+        self.slot = slot
+        self.source = ""
+        self.local = ""
+        self.check_var = ""
+
+
+class _TermPlan:
+    """Plan of one product term: ordered steps, factors, produced columns."""
+
+    __slots__ = ("steps", "atoms", "factors", "colset", "names", "dead")
+
+    def __init__(self) -> None:
+        self.steps: list[Any] = []
+        self.atoms: list[_AtomStep] = []
+        self.factors: list[str] = []
+        self.colset: set[str] = set()
+        self.names: dict[str, str] = {}
+        self.dead = False
+
+
+class _StatementCompiler:
+    """Plans and emits the kernel for one ``+=`` statement."""
+
+    def __init__(self, statement: Statement, program: TriggerProgram) -> None:
+        self.statement = statement
+        self.program = program
+        self.env = SourceEnv(_BASE_ENV)
+        self.tables: list[tuple[str, str, str]] = []
+        self._table_handles: dict[tuple[str, str], str] = {}
+        self._maintained = program.requires_base_relations()
+        self._trigger_locals: dict[str, str] = {}
+        self._counter = 0
+        self._preamble: list[str] = []
+
+    # -- small allocators ---------------------------------------------------
+    def _fresh(self, prefix: str) -> str:
+        name = f"_{prefix}{self._counter}"
+        self._counter += 1
+        return name
+
+    def _trigger_local(self, var: str) -> str:
+        local = self._trigger_locals.get(var)
+        if local is None:
+            index = self.statement.event.trigger_vars.index(var)
+            local = f"_v{index}"
+            self._trigger_locals[var] = local
+            self._preamble.append(f"{local} = _values[{index}]")
+        return local
+
+    def _table_handle(self, kind: str, name: str) -> str:
+        handle = self._table_handles.get((kind, name))
+        if handle is None:
+            handle = self._fresh("t")
+            self._table_handles[(kind, name)] = handle
+            self.tables.append((handle, kind, name))
+        return handle
+
+    # -- planning -----------------------------------------------------------
+    def compile(self) -> tuple[str, dict[str, Any], list[tuple[str, str, str]]]:
+        statement = self.statement
+        if statement.operation != INCREMENT:
+            raise Unsupported("only += statements compile; := re-evaluates")
+        target_decl = self.program.maps.get(statement.target)
+        if target_decl is None or len(target_decl.keys) != len(statement.target_keys):
+            raise Unsupported("target map is not declared with matching arity")
+
+        expr: Expr = statement.expr
+        group: tuple[str, ...] | None = None
+        if isinstance(expr, AggSum):
+            group = expr.group
+            expr = expr.term
+            if isinstance(expr, (AggSum, Sum)):
+                raise Unsupported("nested aggregation under a top-level AggSum")
+        terms = expr.terms if isinstance(expr, Sum) else (expr,)
+        if not terms:
+            raise Unsupported("empty sum")
+
+        plans = [self._plan_term(term) for term in terms]
+        live = [plan for plan in plans if not plan.dead]
+
+        reads_target = statement.target in statement.reads_maps()
+        if group is not None:
+            mode = "group"
+        elif len(terms) > 1:
+            mode = "merge"
+        elif reads_target:
+            mode = "pending"
+        else:
+            mode = "direct"
+
+        # Resolve target-key sources up front so unsupported statements fall
+        # back before any source is emitted.
+        self._check_key_sources(live, group, mode)
+
+        writer = _Writer("return")
+        writer.line("def _kernel(_values, _scale):")
+        writer.depth += 1
+        body_start = len(writer.lines)
+
+        if mode == "merge":
+            writer.line("_mrg = {}")
+        elif mode == "group":
+            writer.line("_grp = {}")
+        elif mode == "pending":
+            writer.line("_pend = []")
+        target_handle = self._table_handle("map", statement.target)
+        writer.line(f"_add = {target_handle}.add")
+
+        colset_ids: dict[frozenset[str], int] = {}
+        for plan in live:
+            key = frozenset(plan.colset)
+            colset_ids.setdefault(key, len(colset_ids))
+
+        wrap = len(live) > 1
+        for plan in plans:
+            if plan.dead:
+                continue
+            if wrap:
+                writer.open_loop("for _pass in _ONE_PASS:")
+                writer._aborts[-1] = "break"
+            self._emit_term(writer, plan, mode, group, colset_ids)
+            if wrap:
+                writer.close_loops(1)
+
+        if mode == "merge":
+            self._emit_merge_epilogue(writer, live, colset_ids)
+        elif mode == "group":
+            self._emit_group_epilogue(writer, live[0] if live else None, group)
+        elif mode == "pending":
+            writer.line("for _kr, _m in _pend:")
+            writer.line("    _add(_kr, _m if _scale == 1 else _m * _scale)")
+
+        # Trigger-variable loads go first; they were discovered during emission.
+        header = writer.lines[:body_start]
+        body = writer.lines[body_start:]
+        lines = header + ["    " + line for line in self._preamble] + body
+        source = "\n".join(lines) + "\n"
+        return source, self.env.env, self.tables
+
+    def _check_key_sources(self, plans, group, mode) -> None:
+        trigger_vars = set(self.statement.event.trigger_vars)
+        for key in self.statement.target_keys:
+            if key in trigger_vars:
+                continue
+            if mode == "group":
+                if group is not None and key in group:
+                    continue
+                raise Unsupported(f"target key {key!r} outside group and trigger vars")
+            for plan in plans:
+                if key not in plan.colset:
+                    raise Unsupported(f"target key {key!r} not produced by every term")
+        if group is not None and plans:
+            plan = plans[0]
+            for g in group:
+                if g not in plan.colset and g not in trigger_vars:
+                    raise Unsupported(f"group variable {g!r} is neither produced nor bound")
+
+    def _plan_term(self, term: Expr) -> _TermPlan:
+        plan = _TermPlan()
+        bound: dict[str, str] = {}
+
+        def names_for(vars_needed) -> dict[str, str]:
+            out = {}
+            for var in vars_needed:
+                if var in bound:
+                    out[var] = bound[var]
+                elif var in self.statement.event.trigger_vars:
+                    out[var] = self._trigger_local(var)
+                else:
+                    raise Unsupported(f"variable {var!r} is not bound at this point")
+            return out
+
+        factors = term.terms if isinstance(term, Product) else (term,)
+        for node in factors:
+            if isinstance(node, Product):
+                raise Unsupported("nested product")
+            if isinstance(node, Value):
+                if isinstance(node.vexpr, VConst):
+                    const = normalize_number(node.vexpr.value)
+                    if is_zero(const):
+                        plan.dead = True
+                        return plan
+                    if const == 1 and not isinstance(const, float):
+                        continue
+                    from repro.codegen.lowering import const_source
+
+                    plan.factors.append(const_source(const, self.env))
+                    continue
+                deps = value_variables(node.vexpr)
+                step = _ScalarStep("value", self._slot_for(deps, bound, plan))
+                step.source = lower_value(node.vexpr, names_for(deps), self.env)
+                step.local = self._fresh("s")
+                plan.steps.append(step)
+                plan.factors.append(step.local)
+            elif isinstance(node, Cmp):
+                deps = value_variables(node.left) | value_variables(node.right)
+                step = _ScalarStep("cmp", self._slot_for(deps, bound, plan))
+                step.source = lower_condition(
+                    node.left, node.op, node.right, names_for(deps), self.env
+                )
+                plan.steps.append(step)
+            elif isinstance(node, Lift):
+                if not isinstance(node.term, Value):
+                    raise Unsupported("lift over a non-scalar body (nested aggregate)")
+                deps = value_variables(node.term.vexpr)
+                already = node.var in bound or node.var in self.statement.event.trigger_vars
+                # An equality lift also depends on the variable it checks.
+                slot_deps = deps | ({node.var} if already else set())
+                slot = self._slot_for(slot_deps, bound, plan)
+                step = _ScalarStep("lift_eq" if already else "lift_bind", slot)
+                step.source = lower_value(node.term.vexpr, names_for(deps), self.env)
+                if already:
+                    step.check_var = names_for((node.var,))[node.var]
+                else:
+                    step.local = self._fresh("b")
+                    bound[node.var] = step.local
+                    plan.colset.add(node.var)
+                plan.steps.append(step)
+            elif isinstance(node, (MapRef, Relation)):
+                atom = self._plan_atom(node, bound, plan)
+                plan.steps.append(atom)
+                plan.atoms.append(atom)
+                plan.factors.append(atom.mult_local)
+            else:
+                raise Unsupported(f"unsupported construct {type(node).__name__}")
+        plan.names = dict(bound)
+        return plan
+
+    def _slot_for(self, deps, bound, plan) -> int:
+        slot = 0
+        for var in deps:
+            local = bound.get(var)
+            if local is None:
+                continue  # trigger variable: slot 0
+            for index, atom in enumerate(plan.atoms, start=1):
+                if any(v == var for v, _, _ in atom.unbound):
+                    slot = max(slot, index)
+        # Lift-bound variables: find the step that defined them.
+        for step in plan.steps:
+            if isinstance(step, _ScalarStep) and step.kind == "lift_bind":
+                var = next((v for v, l in bound.items() if l == step.local), None)
+                if var in deps:
+                    slot = max(slot, step.slot)
+        return slot
+
+    def _plan_atom(self, node, bound: dict[str, str], plan: _TermPlan) -> _AtomStep:
+        atom = _AtomStep()
+        if isinstance(node, MapRef):
+            atom.kind = "map"
+            atom.name = node.name
+            decl = self.program.maps.get(node.name)
+            if decl is None:
+                raise Unsupported(f"map {node.name!r} is not declared")
+            atom.stored = decl.keys
+            atom_vars = node.keys
+        else:
+            atom.kind = "relation"
+            atom.name = node.name
+            if node.name not in self.program.schemas:
+                raise Unsupported(f"relation {node.name!r} has no schema")
+            if (
+                node.name not in self.program.static_relations
+                and node.name not in self._maintained
+            ):
+                raise Unsupported(f"relation {node.name!r} is not stored at runtime")
+            atom.stored = tuple(self.program.schemas[node.name])
+            atom_vars = node.columns
+        if len(atom.stored) != len(atom_vars):
+            raise Unsupported(f"arity mismatch on {node.name!r}")
+        atom.sorted_stored = tuple(sorted(atom.stored))
+        atom.index = len(plan.atoms) + 1
+        atom.mult_local = self._fresh("m")
+        atom.row_local = self._fresh("r")
+
+        trigger_vars = self.statement.event.trigger_vars
+        first_pos: dict[str, int] = {}
+        for position, var in enumerate(atom_vars):
+            stored_col = atom.stored[position]
+            plan.colset.add(var)
+            if var in first_pos:
+                # Repeated unbound variable within this atom: the value only
+                # exists once the bucket loop binds it, so the repeat is an
+                # in-row equality check, never a probe column.
+                sorted_pos = atom.sorted_stored.index(stored_col)
+                local = next(l for v, _, l in atom.unbound if v == var)
+                atom.eq_checks.append((sorted_pos, local))
+            elif var in bound:
+                atom.bound.append((stored_col, bound[var]))
+            elif var in trigger_vars:
+                atom.bound.append((stored_col, self._trigger_local(var)))
+            else:
+                sorted_pos = atom.sorted_stored.index(stored_col)
+                first_pos[var] = sorted_pos
+                local = self._fresh("b")
+                atom.unbound.append((var, sorted_pos, local))
+                bound[var] = local
+        return atom
+
+    # -- emission -----------------------------------------------------------
+    def _emit_term(self, writer, plan, mode, group, colset_ids) -> None:
+        scalars_by_slot: dict[int, list[_ScalarStep]] = {}
+        for step in plan.steps:
+            if isinstance(step, _ScalarStep):
+                scalars_by_slot.setdefault(step.slot, []).append(step)
+
+        loops_opened = 0
+        for slot in range(len(plan.atoms) + 1):
+            for step in scalars_by_slot.get(slot, ()):
+                self._emit_scalar(writer, step)
+            if slot < len(plan.atoms):
+                if self._emit_atom(writer, plan.atoms[slot]):
+                    loops_opened += 1
+
+        self._emit_sink(writer, plan, mode, group, colset_ids)
+        writer.close_loops(loops_opened)
+
+    def _emit_scalar(self, writer, step: _ScalarStep) -> None:
+        if step.kind == "cmp":
+            writer.line(f"if not {step.source}:")
+            writer.line(f"    {writer.abort}")
+        elif step.kind == "value":
+            writer.line(f"{step.local} = _norm({step.source})")
+            writer.line(f"if _is_zero({step.local}):")
+            writer.line(f"    {writer.abort}")
+        elif step.kind == "lift_bind":
+            writer.line(f"{step.local} = _norm({step.source})")
+            writer.line(f"if _is_zero({step.local}):")
+            writer.line(f"    {step.local} = 0")
+        else:  # lift_eq: an already-bound lift acts as an equality condition
+            tmp = self._fresh("s")
+            writer.line(f"{tmp} = _norm({step.source})")
+            writer.line(f"if _is_zero({tmp}):")
+            writer.line(f"    {tmp} = 0")
+            writer.line(f"if {step.check_var} != {tmp}:")
+            writer.line(f"    {writer.abort}")
+
+    def _row_source(self, entries: Sequence[tuple[str, str]]) -> str:
+        """Row-construction source from (column, local) pairs, sorted by name."""
+        if not entries:
+            return "_EMPTY_ROW"
+        ordered = sorted(entries)
+        inner = ", ".join(f"({col!r}, {local})" for col, local in ordered)
+        return f"_Row(({inner},))"
+
+    def _emit_atom(self, writer, atom: _AtomStep) -> bool:
+        """Emit the probe or scan for one atom; returns True when a loop opened."""
+        handle = self._table_handle(atom.kind, atom.name)
+        if not atom.unbound and not atom.eq_checks:
+            probe = self._row_source(atom.bound)
+            writer.line(f"{atom.mult_local} = {handle}.primary.get({probe})")
+            writer.line(f"if {atom.mult_local} is None:")
+            writer.line(f"    {writer.abort}")
+            return False
+        if not atom.bound:
+            writer.open_loop(
+                f"for {atom.row_local}, {atom.mult_local} in {handle}.primary.items():"
+            )
+        else:
+            columns = frozenset(col for col, _ in atom.bound)
+            colset = self.env.add("fs", columns)
+            bucket = self._fresh("bu")
+            probe = self._row_source(atom.bound)
+            writer.line(f"{bucket} = {handle}.index_for({colset}).get({probe})")
+            writer.line(f"if not {bucket}:")
+            writer.line(f"    {writer.abort}")
+            writer.open_loop(
+                f"for {atom.row_local}, {atom.mult_local} in {bucket}.items():"
+            )
+        items = f"{atom.row_local}._items"
+        for var, sorted_pos, local in atom.unbound:
+            writer.line(f"{local} = {items}[{sorted_pos}][1]")
+        for sorted_pos, local in atom.eq_checks:
+            writer.line(f"if {items}[{sorted_pos}][1] != {local}:")
+            writer.line(f"    {writer.abort}")
+        return True
+
+    def _value_for(self, var: str, plan: _TermPlan) -> str:
+        local = plan.names.get(var)
+        if local is not None:
+            return local
+        return self._trigger_local(var)
+
+    def _target_row_source(self, value_of: Callable[[str], str]) -> str:
+        table_columns = self.program.maps[self.statement.target].keys
+        entries = [
+            (column, value_of(key))
+            for column, key in zip(table_columns, self.statement.target_keys)
+        ]
+        return self._row_source(entries)
+
+    def _emit_sink(self, writer, plan, mode, group, colset_ids) -> None:
+        if plan.factors:
+            writer.line(f"_acc = {' * '.join(plan.factors)}")
+            writer.line("if _is_zero(_acc):")
+            writer.line(f"    {writer.abort}")
+        else:
+            writer.line("_acc = 1")
+
+        if mode == "direct":
+            key = self._target_row_source(lambda k: self._value_for(k, plan))
+            writer.line(f"_add({key}, _acc if _scale == 1 else _acc * _scale)")
+            return
+        if mode == "pending":
+            key = self._target_row_source(lambda k: self._value_for(k, plan))
+            writer.line(f"_pend.append(({key}, _acc))")
+            return
+        if mode == "group":
+            gk = ", ".join(self._value_for(g, plan) for g in group)
+            gk = f"({gk},)" if group else "()"
+            self._emit_dict_merge(writer, "_grp", gk)
+            return
+        # merge mode: key by (colset id, values of the produced row).
+        colset = frozenset(plan.colset)
+        cs = colset_ids[colset]
+        values = ", ".join(self._value_for(v, plan) for v in sorted(colset))
+        key = f"({cs}, {values},)" if colset else f"({cs},)"
+        self._emit_dict_merge(writer, "_mrg", key)
+
+    def _emit_dict_merge(self, writer, target: str, key_source: str) -> None:
+        """GMR ``add_tuple`` semantics on a plain dict: add, normalize, drop zero."""
+        k = self._fresh("k")
+        writer.line(f"{k} = {key_source}")
+        writer.line(f"_o = {target}.get({k}, 0)")
+        writer.line("_n = _o + _acc")
+        writer.line("if _is_zero(_n):")
+        writer.line(f"    {target}.pop({k}, None)")
+        writer.line("else:")
+        writer.line(f"    {target}[{k}] = _norm(_n)")
+
+    def _emit_group_epilogue(self, writer, plan, group) -> None:
+        if plan is None:
+            return
+        positions = {g: i for i, g in enumerate(group)}
+
+        def value_of(key: str) -> str:
+            if key in positions:
+                return f"_gk[{positions[key]}]"
+            return self._trigger_local(key)
+
+        key = self._target_row_source(value_of)
+        writer.line("for _gk, _m in _grp.items():")
+        writer.line(f"    _add({key}, _m if _scale == 1 else _m * _scale)")
+
+    def _emit_merge_epilogue(self, writer, plans, colset_ids) -> None:
+        by_id: dict[int, frozenset[str]] = {}
+        for plan in plans:
+            colset = frozenset(plan.colset)
+            by_id[colset_ids[colset]] = colset
+
+        writer.line("for _bk, _m in _mrg.items():")
+        writer.depth += 1
+        if len(by_id) == 1:
+            (cs, colset), = by_id.items()
+            key = self._merge_key_source(colset)
+            writer.line(f"_add({key}, _m if _scale == 1 else _m * _scale)")
+        else:
+            writer.line("_cs = _bk[0]")
+            for branch, (cs, colset) in enumerate(sorted(by_id.items())):
+                prefix = "if" if branch == 0 else "elif"
+                writer.line(f"{prefix} _cs == {cs}:")
+                key = self._merge_key_source(colset)
+                writer.line(f"    _add({key}, _m if _scale == 1 else _m * _scale)")
+        writer.depth -= 1
+
+    def _merge_key_source(self, colset: frozenset[str]) -> str:
+        positions = {v: i + 1 for i, v in enumerate(sorted(colset))}
+
+        def value_of(key: str) -> str:
+            if key in positions:
+                return f"_bk[{positions[key]}]"
+            return self._trigger_local(key)
+
+        return self._target_row_source(value_of)
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+
+def try_compile_statement(
+    statement: Statement, program: TriggerProgram
+) -> StatementKernel | None:
+    """Compile one ``+=`` statement, or return None when it must interpret.
+
+    This *is* the capability check: anything the emitter cannot lower raises
+    internally and surfaces here as None, and the caller keeps the statement
+    on the interpreter path.
+    """
+    try:
+        source, env, tables = _StatementCompiler(statement, program).compile()
+    except Unsupported:
+        return None
+    return StatementKernel(statement, source, env, tables)
+
+
+def compile_scalar_kernel(statement: Statement, columns: Sequence[str] | None = None):
+    """Compile a map-free statement into the batched per-tuple fast path.
+
+    Applies when the right-hand side is a product of scalar values and
+    comparisons over the trigger variables only (external functions allowed —
+    they are pinned into the kernel's namespace) and every target key is a
+    trigger variable: the shape of all aggregate-only statements, e.g. the
+    whole of TPC-H Q1.  Returns ``run(table, items)`` folding a delta group's
+    ``(values, multiplicity)`` pairs straight into the target table, or None
+    when the statement is outside the fragment.
+
+    ``columns`` are the target table's stored column names (the map
+    declaration's keys); when given, the kernel prebuilds sorted key rows
+    instead of paying the table's per-add key normalization.
+
+    This replaces the batching subsystem's original ad-hoc closure builder:
+    the expression lowering is shared with the per-event statement compiler,
+    and the generated kernel multiplies factors in the interpreter's exact
+    order (factors first, fold multiplicity last).
+    """
+    if statement.operation != INCREMENT:
+        return None
+    expr = statement.expr
+    factors = expr.terms if isinstance(expr, Product) else (expr,)
+    trigger_vars = statement.event.trigger_vars
+    names = {var: f"_v{i}" for i, var in enumerate(trigger_vars)}
+    env = SourceEnv(_BASE_ENV)
+
+    used: set[str] = set()
+    acc_factors: list[str] = []
+    body: list[str] = []
+    counter = 0
+    try:
+        # Steps stay in term order: the interpreter evaluates factors left to
+        # right and a zero value factor empties the result before later terms
+        # are ever looked at, so reordering could change which expression
+        # raises on ill-typed data.
+        for node in factors:
+            if isinstance(node, Value):
+                deps = value_variables(node.vexpr)
+                if not deps <= set(trigger_vars):
+                    raise Unsupported("free variable outside trigger vars")
+                used.update(deps)
+                if isinstance(node.vexpr, VConst):
+                    const = normalize_number(node.vexpr.value)
+                    if is_zero(const):
+                        return None  # statement is a constant no-op
+                    if const == 1 and not isinstance(const, float):
+                        continue
+                source = lower_value(node.vexpr, names, env, allow_functions=True)
+                local = f"_s{counter}"
+                counter += 1
+                body.append(f"{local} = _norm({source})")
+                body.append(f"if _is_zero({local}):")
+                body.append("    continue")
+                acc_factors.append(local)
+            elif isinstance(node, Cmp):
+                deps = value_variables(node.left) | value_variables(node.right)
+                if not deps <= set(trigger_vars):
+                    raise Unsupported("free variable outside trigger vars")
+                used.update(deps)
+                check = lower_condition(
+                    node.left, node.op, node.right, names, env, allow_functions=True
+                )
+                body.append(f"if not {check}:")
+                body.append("    continue")
+            else:
+                raise Unsupported("not a scalar-only statement")
+        key_positions = []
+        for key in statement.target_keys:
+            if key not in trigger_vars:
+                raise Unsupported("target key is not a trigger variable")
+            key_positions.append(trigger_vars.index(key))
+            used.add(key)
+    except Unsupported:
+        return None
+
+    lines = ["def _kernel(_table, _items):", "    _add = _table.add"]
+    lines.append("    for _vals, _mult in _items:")
+    for var in sorted(used, key=trigger_vars.index):
+        i = trigger_vars.index(var)
+        lines.append(f"        _v{i} = _vals[{i}]")
+    for line in body:
+        lines.append("        " + line)
+    if acc_factors:
+        lines.append(f"        _acc = {' * '.join(acc_factors)}")
+        lines.append("        if _is_zero(_acc):")
+        lines.append("            continue")
+    else:
+        lines.append("        _acc = 1")
+    if columns is not None and len(columns) == len(key_positions):
+        key_entries = sorted(
+            (column, f"_v{position}")
+            for column, position in zip(columns, key_positions)
+        )
+        if key_entries:
+            inner = ", ".join(f"({col!r}, {local})" for col, local in key_entries)
+            key = f"_Row(({inner},))"
+        else:
+            key = "_EMPTY_ROW"
+    elif key_positions:
+        # Without the table schema, hand the table a positional tuple and let
+        # it normalize the key itself.
+        key = "(" + ", ".join(f"_v{p}" for p in key_positions) + ",)"
+    else:
+        key = "_EMPTY_ROW"
+    lines.append(f"        _add({key}, _acc if _mult == 1 else _acc * _mult)")
+    source = "\n".join(lines) + "\n"
+    namespace = dict(env.env)
+    exec(compile(source, f"<repro.codegen:batch:{statement.target}>", "exec"), namespace)
+    kernel = namespace["_kernel"]
+    kernel.source = source  # type: ignore[attr-defined]
+    return kernel

@@ -38,6 +38,19 @@ class Row(Mapping[str, Any]):
         self._items = items
         self._hash = hash(items)
 
+    @classmethod
+    def from_sorted_items(cls, items: tuple[tuple[str, Any], ...]) -> "Row":
+        """Trusted constructor: ``items`` must be name-sorted and duplicate-free.
+
+        Used by generated trigger code (:mod:`repro.codegen`), which knows the
+        sorted column order of every key it builds at compile time and can
+        therefore skip the sorting and duplicate checks of ``__init__``.
+        """
+        row = cls.__new__(cls)
+        row._items = items
+        row._hash = hash(items)
+        return row
+
     # -- Mapping protocol -------------------------------------------------
     def __getitem__(self, name: str) -> Any:
         for key, value in self._items:

@@ -26,7 +26,7 @@ DELETE = -1
 _SIGN_NAMES = {INSERT: "insert", DELETE: "delete"}
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StreamEvent:
     """A concrete single-tuple update: ``sign`` is +1 (insert) or -1 (delete)."""
 
@@ -62,7 +62,7 @@ def delete(relation: str, *values: Any) -> StreamEvent:
     return StreamEvent(relation, values, DELETE)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TriggerEvent:
     """A symbolic single-tuple update ``±R(t1, ..., tk)`` used at compile time.
 
@@ -112,7 +112,7 @@ class TriggerEvent:
         return f"{sign}{self.relation}({', '.join(self.trigger_vars)})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BulkUpdate:
     """A symbolic bulk update: the change to ``relation`` is itself a GMR.
 

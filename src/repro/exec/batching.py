@@ -30,12 +30,11 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
-from repro.agca.ast import Cmp, Expr, Product, Value, free_variables
-from repro.agca.evaluator import eval_value
+from repro.agca.ast import free_variables
+from repro.codegen.statement import compile_scalar_kernel
 from repro.compiler.program import ASSIGN, INCREMENT, Statement, TriggerProgram
 from repro.core.gmr import GMR
 from repro.core.rows import Row
-from repro.core.values import comparison_holds, is_zero
 from repro.delta.events import StreamEvent
 from repro.errors import ExecutionError
 from repro.runtime.engine import IncrementalEngine
@@ -49,58 +48,13 @@ _MERGE_LOOKBACK = 8
 TriggerKey = tuple[str, int]
 
 
-def _compile_scalar_statement(
-    statement: Statement,
-) -> Callable[[Any, Iterable[tuple[tuple, Any]]], None] | None:
-    """Compile a map-free ``+=`` statement into a direct per-tuple closure.
-
-    Applies when the right-hand side is a product of scalar values and
-    comparisons over the trigger variables only and every target key is a
-    trigger variable (the shape of all aggregate-only statements, e.g. the
-    whole of TPC-H Q1).  The closure bypasses the GMR evaluator entirely.
-    """
-    expr = statement.expr
-    terms = expr.terms if isinstance(expr, Product) else (expr,)
-    plan: list[tuple[str, Any]] = []
-    for term in terms:
-        if isinstance(term, Value):
-            plan.append(("value", term.vexpr))
-        elif isinstance(term, Cmp):
-            plan.append(("cmp", term))
-        else:
-            return None
-    trigger_vars = statement.event.trigger_vars
-    try:
-        key_positions = tuple(trigger_vars.index(k) for k in statement.target_keys)
-    except ValueError:
-        return None
-    if not free_variables(expr) <= set(trigger_vars):
-        return None
-
-    def run(table, items: Iterable[tuple[tuple, Any]]) -> None:
-        for values, multiplicity in items:
-            context = dict(zip(trigger_vars, values))
-            delta = multiplicity
-            for kind, node in plan:
-                if kind == "value":
-                    delta = delta * eval_value(node, context)
-                    if is_zero(delta):
-                        delta = 0
-                        break
-                else:
-                    if not comparison_holds(
-                        eval_value(node.left, context), node.op, eval_value(node.right, context)
-                    ):
-                        delta = 0
-                        break
-            if not is_zero(delta):
-                table.add(tuple(values[i] for i in key_positions), delta)
-
-    return run
-
-
 class TriggerAnalysis:
-    """Static bulk-safety and statement classification for one trigger."""
+    """Static bulk-safety and statement classification for one trigger.
+
+    Map-free statements compile into per-tuple fast-path kernels through the
+    shared expression lowering in :mod:`repro.codegen.statement` (the
+    batching subsystem used to carry its own closure builder for this).
+    """
 
     def __init__(self, program: TriggerProgram, relation: str, sign: int) -> None:
         self.relation = relation
@@ -123,7 +77,10 @@ class TriggerAnalysis:
         self.slow_increments: list[Statement] = []
         if self.safe:
             for statement in self.increments:
-                compiled = _compile_scalar_statement(statement)
+                decl = program.maps.get(statement.target)
+                compiled = compile_scalar_kernel(
+                    statement, decl.keys if decl is not None else None
+                )
                 if compiled is not None:
                     self.fast_increments.append((statement, compiled))
                 else:
@@ -242,12 +199,19 @@ class BatchedEngine:
         program: TriggerProgram,
         batch_size: int = DEFAULT_BATCH_SIZE,
         plan: BatchPlan | None = None,
+        compiled: bool = False,
     ) -> None:
         if batch_size < 1:
             raise ExecutionError(f"batch_size must be >= 1, got {batch_size}")
         self.program = program
         self.batch_size = batch_size
-        self.engine = IncrementalEngine(program)
+        self.compiled = compiled
+        if compiled:
+            from repro.codegen.engine import CompiledEngine
+
+            self.engine: IncrementalEngine = CompiledEngine(program)
+        else:
+            self.engine = IncrementalEngine(program)
         self.plan = plan if plan is not None and plan.program is program else BatchPlan(program)
         self._buffer: list[StreamEvent] = []
         self._stream_relations = frozenset(program.stream_relations)
@@ -306,7 +270,15 @@ class BatchedEngine:
         items = list(group.folded.items())
 
         memo: dict = {}
+        runner_for = getattr(executor, "runner_for", None)
         for statement in analysis.slow_increments:
+            # A compiled inner engine takes the folded tuples directly; the
+            # interpreter needs per-item bindings dictionaries.
+            runner = runner_for(statement) if runner_for is not None else None
+            if runner is not None:
+                for values, multiplicity in items:
+                    runner(values, multiplicity)
+                continue
             trigger_vars = statement.event.trigger_vars
             for values, multiplicity in items:
                 executor.execute_increment(

@@ -27,12 +27,18 @@ from repro.delta.events import StreamEvent
 from repro.errors import ExecutionError
 
 
-def _build_partition_engine(program: TriggerProgram, batch_size: int | None):
+def _build_partition_engine(
+    program: TriggerProgram, batch_size: int | None, compiled: bool = False
+):
     from repro.exec.batching import BatchedEngine
     from repro.runtime.engine import IncrementalEngine
 
     if batch_size is not None and batch_size > 1:
-        return BatchedEngine(program, batch_size)
+        return BatchedEngine(program, batch_size, compiled=compiled)
+    if compiled:
+        from repro.codegen.engine import CompiledEngine
+
+        return CompiledEngine(program)
     return IncrementalEngine(program)
 
 
@@ -65,9 +71,17 @@ class Backend(Protocol):
 class SequentialBackend:
     """All partition engines hosted in the calling process."""
 
-    def __init__(self, program: TriggerProgram, count: int, batch_size: int | None = None):
+    def __init__(
+        self,
+        program: TriggerProgram,
+        count: int,
+        batch_size: int | None = None,
+        compiled: bool = False,
+    ):
         self.count = count
-        self._engines = [_build_partition_engine(program, batch_size) for _ in range(count)]
+        self._engines = [
+            _build_partition_engine(program, batch_size, compiled) for _ in range(count)
+        ]
 
     def load_static(self, relation: str, rows: list) -> int:
         loaded = 0
@@ -107,9 +121,15 @@ class SequentialBackend:
         pass
 
 
-def _worker_main(connection, program_bytes: bytes, batch_size: int | None) -> None:
-    """Worker loop: rebuild the engine, then serve commands until ``stop``."""
-    engine = _build_partition_engine(pickle.loads(program_bytes), batch_size)
+def _worker_main(
+    connection, program_bytes: bytes, batch_size: int | None, compiled: bool = False
+) -> None:
+    """Worker loop: rebuild the engine, then serve commands until ``stop``.
+
+    Compiled workers recompile their kernels from the unpickled trigger
+    program — pickled state never carries code objects.
+    """
+    engine = _build_partition_engine(pickle.loads(program_bytes), batch_size, compiled)
     while True:
         try:
             command, payload = connection.recv()
@@ -149,7 +169,13 @@ def _worker_main(connection, program_bytes: bytes, batch_size: int | None) -> No
 class MultiprocessBackend:
     """One worker process per partition for real parallel execution."""
 
-    def __init__(self, program: TriggerProgram, count: int, batch_size: int | None = None):
+    def __init__(
+        self,
+        program: TriggerProgram,
+        count: int,
+        batch_size: int | None = None,
+        compiled: bool = False,
+    ):
         import multiprocessing
 
         self.count = count
@@ -163,7 +189,9 @@ class MultiprocessBackend:
         for _ in range(count):
             parent, child = context.Pipe()
             process = context.Process(
-                target=_worker_main, args=(child, program_bytes, batch_size), daemon=True
+                target=_worker_main,
+                args=(child, program_bytes, batch_size, compiled),
+                daemon=True,
             )
             process.start()
             child.close()
@@ -248,7 +276,11 @@ BACKENDS = {
 
 
 def make_backend(
-    kind: str, program: TriggerProgram, count: int, batch_size: int | None = None
+    kind: str,
+    program: TriggerProgram,
+    count: int,
+    batch_size: int | None = None,
+    compiled: bool = False,
 ) -> Backend:
     """Instantiate a backend by name (``"sequential"`` or ``"process"``)."""
     try:
@@ -257,4 +289,4 @@ def make_backend(
         raise ExecutionError(
             f"unknown backend {kind!r}; expected one of {sorted(BACKENDS)}"
         ) from None
-    return factory(program, count, batch_size=batch_size)
+    return factory(program, count, batch_size=batch_size, compiled=compiled)

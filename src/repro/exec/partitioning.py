@@ -353,12 +353,15 @@ class PartitionedEngine:
         backend: str = "sequential",
         batch_size: int | None = None,
         route_buffer: int = 256,
+        compiled: bool = False,
     ) -> None:
         from repro.exec.executor import make_backend
 
         self.program = program
         self.spec = infer_partition_spec(program, partitions, partition_keys)
-        self._backend = make_backend(backend, program, partitions, batch_size=batch_size)
+        self._backend = make_backend(
+            backend, program, partitions, batch_size=batch_size, compiled=compiled
+        )
         self._buffers: list[list[StreamEvent]] = [[] for _ in range(partitions)]
         self._buffered = 0
         self._route_buffer = max(1, route_buffer)

@@ -6,6 +6,7 @@ from repro.runtime.engine import IncrementalEngine
 from repro.runtime.protocol import EngineProtocol
 from repro.runtime.reference import ReferenceEngine
 from repro.runtime.factory import (
+    compiled_engine,
     dbtoaster_engine,
     engine_for_strategy,
     ivm_engine,
@@ -21,6 +22,7 @@ __all__ = [
     "EngineProtocol",
     "IncrementalEngine",
     "ReferenceEngine",
+    "compiled_engine",
     "dbtoaster_engine",
     "engine_for_strategy",
     "ivm_engine",

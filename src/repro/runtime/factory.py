@@ -83,8 +83,28 @@ def naive_engine(
     return _build("naive", queries, schemas, stream_relations, static_relations)
 
 
+def compiled_engine(
+    queries: Expr | Mapping[str, Expr],
+    schemas: Mapping[str, Sequence[str]],
+    stream_relations: Iterable[str] | None = None,
+    static_relations: Iterable[str] = (),
+) -> IncrementalEngine:
+    """Full HO-IVM with triggers compiled to specialized Python (``repro.codegen``)."""
+    from repro.codegen.engine import CompiledEngine
+
+    program = compile_query(
+        queries,
+        schemas,
+        stream_relations=stream_relations,
+        static_relations=static_relations,
+        options=options_for("dbtoaster"),
+    )
+    return CompiledEngine(program)
+
+
 _FACTORIES = {
     "dbtoaster": dbtoaster_engine,
+    "dbtoaster-comp": compiled_engine,
     "ivm": ivm_engine,
     "rep": rep_engine,
     "naive": naive_engine,

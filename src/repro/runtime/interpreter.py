@@ -33,20 +33,38 @@ from repro.runtime.maps import MapStore
 
 
 class RuntimeSource:
-    """DataSource combining base relations and materialized maps."""
+    """DataSource combining base relations and materialized maps.
+
+    Column tuples are immutable once a relation/map is declared, so both
+    lookups are cached here: the evaluator asks for them on every atom of
+    every statement of every event, and the dict probe beats the two
+    attribute hops plus table lookup they would otherwise cost.
+    """
+
+    __slots__ = ("_database", "_maps", "_relation_columns", "_map_columns")
 
     def __init__(self, database: Database, maps: MapStore) -> None:
         self._database = database
         self._maps = maps
+        self._relation_columns: dict[str, tuple[str, ...]] = {}
+        self._map_columns: dict[str, tuple[str, ...]] = {}
 
     def relation_columns(self, name: str) -> tuple[str, ...]:
-        return self._database.relation_columns(name)
+        columns = self._relation_columns.get(name)
+        if columns is None:
+            columns = self._database.relation_columns(name)
+            self._relation_columns[name] = columns
+        return columns
 
     def scan_relation(self, name: str, bound: Mapping[str, Any]) -> Iterator:
         return self._database.scan_relation(name, bound)
 
     def map_columns(self, name: str) -> tuple[str, ...]:
-        return self._maps.map_columns(name)
+        columns = self._map_columns.get(name)
+        if columns is None:
+            columns = self._maps.map_columns(name)
+            self._map_columns[name] = columns
+        return columns
 
     def scan_map(self, name: str, bound: Mapping[str, Any]) -> Iterator:
         return self._maps.scan_map(name, bound)

@@ -27,6 +27,8 @@ from repro.errors import RuntimeEngineError
 class IndexedTable:
     """A mutable map from key rows to numeric values with secondary indexes."""
 
+    __slots__ = ("columns", "_data", "_indexes")
+
     def __init__(self, columns: Sequence[str]) -> None:
         self.columns = tuple(columns)
         self._data: dict[Row, Any] = {}
@@ -50,6 +52,27 @@ class IndexedTable:
     def to_gmr(self) -> GMR:
         """A snapshot of the table contents as a GMR."""
         return GMR(self._data)
+
+    @property
+    def primary(self) -> Mapping[Row, Any]:
+        """The primary ``full key row -> value`` dictionary.
+
+        Exposed (read-only by convention) for generated trigger code, which
+        probes bound keys directly instead of going through :meth:`scan`.
+        The dictionary object is replaced wholesale by :meth:`clear` /
+        :meth:`replace`, so callers must re-read this property per use rather
+        than caching it across mutations.
+        """
+        return self._data
+
+    def index_for(self, columns: frozenset[str]) -> Mapping[Row, Mapping[Row, Any]]:
+        """The secondary index over ``columns`` (built on first use).
+
+        Buckets map the projected key row to the full ``key row -> value``
+        entries sharing that projection; empty buckets are pruned eagerly.
+        This is the partially-bound probe used by generated trigger code.
+        """
+        return self._ensure_index(columns)
 
     # -- normalization --------------------------------------------------------
     def _normalize(self, key: Row | Mapping[str, Any] | Sequence[Any]) -> Row:
@@ -196,6 +219,8 @@ class IndexedTable:
 
 class MapStore:
     """All materialized views of one engine, addressable by name."""
+
+    __slots__ = ("_tables",)
 
     def __init__(self) -> None:
         self._tables: dict[str, IndexedTable] = {}

@@ -13,8 +13,10 @@ views and leave a checkpoint behind::
         --checkpoint-dir /tmp/q1-ckpt --checkpoint-every 1000
 
 The ``--engine`` flag selects the execution mode (``incremental``,
-``batched`` or ``partitioned``); ``--batch-size``, ``--partitions`` and
-``--backend`` configure it exactly like the benchmark CLI.
+``compiled`` — trigger programs lowered to specialized Python by
+``repro.codegen`` — ``batched`` or ``partitioned``); ``--batch-size``,
+``--partitions`` and ``--backend`` configure it exactly like the benchmark
+CLI.
 """
 
 from __future__ import annotations

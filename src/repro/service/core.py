@@ -52,7 +52,7 @@ from repro.streams.adapters import events_from_csv, events_from_jsonl, events_fr
 from repro.streams.stats import StreamStats
 
 #: Engine modes the service (and its CLI) can host.
-ENGINE_MODES = ("incremental", "batched", "partitioned")
+ENGINE_MODES = ("incremental", "compiled", "batched", "partitioned")
 
 #: Events per ingest batch when replaying a source through the service.
 DEFAULT_INGEST_BATCH = 256
@@ -68,6 +68,10 @@ def engine_for_mode(
     """Build an engine for one of the service's execution modes."""
     if mode == "incremental":
         return IncrementalEngine(program)
+    if mode == "compiled":
+        from repro.codegen.engine import CompiledEngine
+
+        return CompiledEngine(program)
     if mode == "batched":
         return BatchedEngine(
             program, DEFAULT_BATCH_SIZE if batch_size is None else batch_size

@@ -78,6 +78,40 @@ def test_stats_command_partitioned(capsys):
     assert "partition 0" in out and "partition 1" in out
 
 
+def test_codegen_command_writes_json_and_gates(capsys, tmp_path):
+    import json
+
+    output = tmp_path / "BENCH_codegen.json"
+    code = main(["codegen", "--queries", "Q6", "--events", "150",
+                 "--budget", "3", "--output", str(output)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "compiled vs interpreted" in out and "Q6" in out
+    payload = json.loads(output.read_text())
+    assert payload["Q6"]["compiled_statements"] > 0
+    assert payload["Q6"]["fallback_statements"] == 0
+    assert payload["Q6"]["compiled_rate"] > 0
+    # An absurd bound trips the regression gate on a fully-compiled query.
+    code = main(["codegen", "--queries", "Q6", "--events", "80", "--budget", "2",
+                 "--output", "-", "--min-speedup", "1e9"])
+    assert code == 2
+
+
+def test_codegen_command_exempts_fallback_dominated_queries(capsys):
+    # VWAP keeps := statements on the interpreter, so it must not trip the
+    # gate even with an unreachable bound.
+    code = main(["codegen", "--queries", "VWAP", "--events", "60", "--budget", "2",
+                 "--output", "-", "--min-speedup", "1e9"])
+    assert code == 0
+
+
+def test_rates_command_with_compiled_strategy(capsys):
+    code = main(["rates", "--queries", "Q6", "--strategies", "dbtoaster",
+                 "dbtoaster-comp", "--events", "60", "--budget", "2"])
+    assert code == 0
+    assert "dbtoaster-comp" in capsys.readouterr().out
+
+
 def test_service_command_small(capsys):
     assert main([
         "service", "--query", "Q1", "--engine", "incremental",

@@ -1,0 +1,377 @@
+"""Unit tests for the statement compiler: lowering, capability check, kernels."""
+
+import pytest
+
+from repro.agca.ast import (
+    AggSum,
+    Cmp,
+    Exists,
+    Lift,
+    MapRef,
+    Product,
+    Relation,
+    Sum,
+    Value,
+    VArith,
+    VConst,
+    VFunc,
+    VVar,
+)
+from repro.codegen.statement import compile_scalar_kernel, try_compile_statement
+from repro.compiler.program import (
+    ASSIGN,
+    INCREMENT,
+    MapDeclaration,
+    Statement,
+    Trigger,
+    TriggerProgram,
+)
+from repro.delta.events import TriggerEvent
+from repro.runtime.database import Database
+from repro.runtime.maps import MapStore
+
+
+def make_program(statements, maps, schemas, streams=("R",), statics=()):
+    triggers = {}
+    for stmt in statements:
+        trigger = triggers.setdefault(
+            stmt.event.name, Trigger(stmt.event.relation, stmt.event.sign)
+        )
+        trigger.statements.append(stmt)
+    return TriggerProgram(
+        roots={name: name for name in maps},
+        maps=maps,
+        triggers=triggers,
+        schemas=dict(schemas),
+        stream_relations=tuple(streams),
+        static_relations=tuple(statics),
+    )
+
+
+@pytest.fixture()
+def simple():
+    """One stream relation R(a, b), a scalar target and a keyed map to probe."""
+    event = TriggerEvent("R", 1, ("a", "b"), ("r_a", "r_b"))
+    maps = {
+        "T": MapDeclaration("T", ("k",), Relation("R", ("k", "b"))),
+        "M": MapDeclaration("M", ("x",), Relation("R", ("x", "b"))),
+    }
+    schemas = {"R": ("a", "b")}
+    return event, maps, schemas
+
+
+def run_statement(statement, program, values, maps=None):
+    store = maps if maps is not None else MapStore()
+    for decl in program.maps.values():
+        store.declare(decl.name, decl.keys)
+    kernel = try_compile_statement(statement, program)
+    assert kernel is not None
+    runner = kernel.bind(store, Database())
+    runner(tuple(values), 1)
+    return store, kernel
+
+
+def test_scalar_statement_compiles_and_filters(simple):
+    event, maps, schemas = simple
+    stmt = Statement(
+        target="T",
+        target_keys=("r_a",),
+        operation=INCREMENT,
+        expr=Product((Cmp(VVar("r_b"), ">", VConst(10)), Value(VVar("r_b")))),
+        event=event,
+    )
+    program = make_program([stmt], maps, schemas)
+    store, kernel = run_statement(stmt, program, (7, 42))
+    assert store.table("T").get((7,)) == 42
+    # The generated source is straight-line Python over the event values.
+    assert "_values[1]" in kernel.source
+    # A filtered event contributes nothing.
+    runner = kernel.bind(store, Database())
+    runner((7, 3), 1)
+    assert store.table("T").get((7,)) == 42
+
+
+def test_scale_multiplies_after_the_factors(simple):
+    event, maps, schemas = simple
+    stmt = Statement(
+        target="T",
+        target_keys=("r_a",),
+        operation=INCREMENT,
+        expr=Value(VVar("r_b")),
+        event=event,
+    )
+    program = make_program([stmt], maps, schemas)
+    store = MapStore()
+    for decl in program.maps.values():
+        store.declare(decl.name, decl.keys)
+    kernel = try_compile_statement(stmt, program)
+    runner = kernel.bind(store, Database())
+    runner((1, 5), 3)
+    assert store.table("T").get((1,)) == 15
+
+
+def test_bound_map_probe_and_partial_scan(simple):
+    event, maps, schemas = simple
+    # T[r_a] += M[r_a]: fully bound probe.
+    probe = Statement(
+        target="T",
+        target_keys=("r_a",),
+        operation=INCREMENT,
+        expr=MapRef("M", ("r_a",)),
+        event=event,
+    )
+    program = make_program([probe], maps, schemas)
+    store = MapStore()
+    for decl in program.maps.values():
+        store.declare(decl.name, decl.keys)
+    store.table("M").add((1,), 11)
+    kernel = try_compile_statement(probe, program)
+    assert ".primary.get(" in kernel.source
+    runner = kernel.bind(store, Database())
+    runner((1, 0), 1)
+    runner((2, 0), 1)  # absent key: no contribution
+    assert dict((tuple(k[c] for c in ("k",)), v) for k, v in store.table("T").items()) == {
+        (1,): 11
+    }
+
+
+def test_foreach_statement_scans_and_loops(simple):
+    event, maps, schemas = simple
+    two = {
+        "T2": MapDeclaration("T2", ("k",), Relation("R", ("k", "b"))),
+        "M2": MapDeclaration("M2", ("x", "y"), Relation("R", ("x", "y"))),
+    }
+    # foreach y: T2[y] += M2[r_a, y] * r_b — partial binding on the first key.
+    stmt = Statement(
+        target="T2",
+        target_keys=("y",),
+        operation=INCREMENT,
+        expr=Product((MapRef("M2", ("r_a", "y")), Value(VVar("r_b")))),
+        event=event,
+    )
+    program = make_program([stmt], two, schemas)
+    store = MapStore()
+    for decl in program.maps.values():
+        store.declare(decl.name, decl.keys)
+    store.table("M2").add((1, 10), 2)
+    store.table("M2").add((1, 20), 3)
+    store.table("M2").add((9, 30), 5)
+    kernel = try_compile_statement(stmt, program)
+    assert ".index_for(" in kernel.source
+    runner = kernel.bind(store, Database())
+    runner((1, 100), 1)
+    got = {k["k"]: v for k, v in store.table("T2").items()}
+    assert got == {10: 200, 20: 300}
+
+
+def test_repeated_unbound_variable_is_a_diagonal_equality(simple):
+    event, maps, schemas = simple
+    two = {
+        "T2": MapDeclaration("T2", ("k",), Relation("R", ("k", "b"))),
+        "M2": MapDeclaration("M2", ("x", "y"), Relation("R", ("x", "y"))),
+    }
+    # T2[y] += M2[y, y]: the repeat is an in-row equality check, not a probe.
+    stmt = Statement(
+        target="T2",
+        target_keys=("y",),
+        operation=INCREMENT,
+        expr=MapRef("M2", ("y", "y")),
+        event=event,
+    )
+    program = make_program([stmt], two, schemas)
+    store = MapStore()
+    for decl in program.maps.values():
+        store.declare(decl.name, decl.keys)
+    store.table("M2").add((1, 1), 2)
+    store.table("M2").add((1, 5), 3)
+    store.table("M2").add((7, 7), 4)
+    kernel = try_compile_statement(stmt, program)
+    assert kernel is not None
+    runner = kernel.bind(store, Database())
+    runner((0, 0), 1)
+    assert {k["k"]: v for k, v in store.table("T2").items()} == {1: 2, 7: 4}
+
+
+def test_repeated_bound_variable_probes_both_columns(simple):
+    event, maps, schemas = simple
+    two = {
+        "T2": MapDeclaration("T2", ("k",), Relation("R", ("k", "b"))),
+        "M2": MapDeclaration("M2", ("x", "y"), Relation("R", ("x", "y"))),
+    }
+    # T2[r_a] += M2[r_a, r_a]: both key columns pin to the trigger variable.
+    stmt = Statement(
+        target="T2",
+        target_keys=("r_a",),
+        operation=INCREMENT,
+        expr=MapRef("M2", ("r_a", "r_a")),
+        event=event,
+    )
+    program = make_program([stmt], two, schemas)
+    store = MapStore()
+    for decl in program.maps.values():
+        store.declare(decl.name, decl.keys)
+    store.table("M2").add((1, 1), 2)
+    store.table("M2").add((1, 5), 3)
+    kernel = try_compile_statement(stmt, program)
+    runner = kernel.bind(store, Database())
+    runner((1, 0), 1)
+    runner((5, 0), 1)
+    assert {k["k"]: v for k, v in store.table("T2").items()} == {1: 2}
+
+
+def test_trigger_var_conditions_hoist_above_scans(simple):
+    event, maps, schemas = simple
+    two = {
+        "T2": MapDeclaration("T2", ("k",), Relation("R", ("k", "b"))),
+        "M2": MapDeclaration("M2", ("x", "y"), Relation("R", ("x", "y"))),
+    }
+    # The condition only reads trigger variables, but appears after the scan
+    # in term order: the compiler must check it before opening the loop.
+    stmt = Statement(
+        target="T2",
+        target_keys=("y",),
+        operation=INCREMENT,
+        expr=Product((MapRef("M2", ("r_a", "y")), Cmp(VVar("r_b"), ">", VConst(0)))),
+        event=event,
+    )
+    program = make_program([stmt], two, schemas)
+    kernel = try_compile_statement(stmt, program)
+    source = kernel.source
+    assert source.index("if not (_v1 > 0):") < source.index("for ")
+
+
+@pytest.mark.parametrize(
+    "expr",
+    [
+        Value(VFunc("listmax", (VConst(1), VVar("r_b")))),      # external function
+        Exists(Value(VVar("r_b"))),                              # domain test
+        Lift("z", AggSum((), Value(VVar("r_b")))),               # nested aggregate
+        Product((Value(VVar("unbound_var")),)),                  # unbound variable
+        Sum((AggSum((), Value(VVar("r_b"))), Value(VConst(1)))), # aggsum inside sum
+    ],
+)
+def test_unsupported_constructs_fall_back(simple, expr):
+    event, maps, schemas = simple
+    stmt = Statement(
+        target="T", target_keys=(), operation=INCREMENT, expr=expr, event=event
+    )
+    maps = {"T": MapDeclaration("T", (), Relation("R", ("a", "b")))}
+    assert try_compile_statement(stmt, make_program([stmt], maps, schemas)) is None
+
+
+def test_assign_statements_always_fall_back(simple):
+    event, maps, schemas = simple
+    stmt = Statement(
+        target="T",
+        target_keys=("r_a",),
+        operation=ASSIGN,
+        expr=Value(VVar("r_b")),
+        event=event,
+    )
+    assert try_compile_statement(stmt, make_program([stmt], maps, schemas)) is None
+
+
+def test_division_uses_zero_denominator_semantics(simple):
+    event, maps, schemas = simple
+    stmt = Statement(
+        target="T",
+        target_keys=("r_a",),
+        operation=INCREMENT,
+        expr=Value(VArith("/", VConst(10), VVar("r_b"))),
+        event=event,
+    )
+    program = make_program([stmt], maps, schemas)
+    store, _ = run_statement(stmt, program, (1, 4))
+    assert store.table("T").get((1,)) == 2.5
+    # Division by zero yields 0 (and a zero delta adds nothing).
+    kernel = try_compile_statement(stmt, program)
+    runner = kernel.bind(store, Database())
+    runner((2, 0), 1)
+    assert store.table("T").get((2,)) == 0
+
+
+# ---------------------------------------------------------------------------
+# The batched scalar fast path reuses the same lowering
+# ---------------------------------------------------------------------------
+
+
+def test_scalar_kernel_folds_items(simple):
+    event, maps, schemas = simple
+    stmt = Statement(
+        target="T",
+        target_keys=("r_a",),
+        operation=INCREMENT,
+        expr=Product((Cmp(VVar("r_b"), ">=", VConst(0)), Value(VVar("r_b")))),
+        event=event,
+    )
+    kernel = compile_scalar_kernel(stmt, columns=("k",))
+    assert kernel is not None
+    assert "def _kernel(_table, _items):" in kernel.source
+    from repro.runtime.maps import IndexedTable
+
+    table = IndexedTable(("k",))
+    kernel(table, [((1, 5), 2), ((1, -3), 7), ((2, 4), 1)])
+    assert {tuple(k[c] for c in ("k",)): v for k, v in table.items()} == {
+        (1,): 10,
+        (2,): 4,
+    }
+
+
+def test_scalar_kernel_allows_external_functions(simple):
+    event, maps, schemas = simple
+    stmt = Statement(
+        target="T",
+        target_keys=("r_a",),
+        operation=INCREMENT,
+        expr=Value(VFunc("listmax", (VConst(1), VVar("r_b")))),
+        event=event,
+    )
+    kernel = compile_scalar_kernel(stmt, columns=("k",))
+    assert kernel is not None
+    from repro.runtime.maps import IndexedTable
+
+    table = IndexedTable(("k",))
+    kernel(table, [((1, 7), 1), ((2, -5), 1)])
+    assert {tuple(k[c] for c in ("k",)): v for k, v in table.items()} == {
+        (1,): 7,
+        (2,): 1,
+    }
+
+
+def test_scalar_kernel_keeps_term_order_short_circuit(simple):
+    """A zero value factor must skip later terms, exactly like the evaluator.
+
+    The comparison after the zero factor is ill-typed for the data (number
+    versus string ordering); the interpreter never evaluates it because the
+    zero factor empties the result first, and neither may the kernel.
+    """
+    event, maps, schemas = simple
+    stmt = Statement(
+        target="T",
+        target_keys=("r_a",),
+        operation=INCREMENT,
+        expr=Product((
+            Value(VArith("-", VVar("r_b"), VVar("r_b"))),   # always 0
+            Cmp(VVar("r_b"), "<", VConst("s")),             # ill-typed for ints
+        )),
+        event=event,
+    )
+    kernel = compile_scalar_kernel(stmt, columns=("k",))
+    assert kernel is not None
+    from repro.runtime.maps import IndexedTable
+
+    table = IndexedTable(("k",))
+    kernel(table, [((1, 3), 1)])  # must not raise TypeError
+    assert len(table) == 0
+
+
+def test_scalar_kernel_rejects_map_reads(simple):
+    event, maps, schemas = simple
+    stmt = Statement(
+        target="T",
+        target_keys=("r_a",),
+        operation=INCREMENT,
+        expr=MapRef("M", ("r_a",)),
+        event=event,
+    )
+    assert compile_scalar_kernel(stmt, columns=("k",)) is None

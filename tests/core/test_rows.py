@@ -118,3 +118,12 @@ def test_project_then_drop_partition(mapping, columns):
     dropped = row.drop(columns)
     assert set(projected.columns) | set(dropped.columns) == row.columns
     assert not set(projected.columns) & set(dropped.columns)
+
+
+def test_from_sorted_items_matches_the_checked_constructor():
+    items = (("a", 1), ("b", "x"))
+    fast = Row.from_sorted_items(items)
+    slow = Row({"b": "x", "a": 1})
+    assert fast == slow
+    assert hash(fast) == hash(slow)
+    assert dict(fast) == {"a": 1, "b": "x"}

@@ -113,6 +113,42 @@ def test_partitioned_batched_execution_matches_per_event(baselines, query_name):
     _assert_views_match(expected, got, f"{query_name}/par+batch")
 
 
+@pytest.mark.parametrize("query_name", QUERIES)
+def test_compiled_batched_execution_matches_per_event(baselines, query_name):
+    """Delta batching over compiled inner engines stays exact."""
+    spec, translated, program, events, expected = baselines[query_name]
+    got = _views(BatchedEngine(program, 13, compiled=True), translated, spec, events)
+    _assert_views_match(expected, got, f"{query_name}/batch+compiled")
+
+
+@pytest.mark.parametrize("query_name", ("Q1", "Q3", "VWAP"))
+def test_compiled_partitioned_execution_matches_per_event(baselines, query_name):
+    """Hash partitioning over compiled inner engines stays exact."""
+    spec, translated, program, events, expected = baselines[query_name]
+    got = _views(
+        PartitionedEngine(program, partitions=2, compiled=True),
+        translated,
+        spec,
+        events,
+    )
+    _assert_views_match(expected, got, f"{query_name}/par+compiled")
+
+
+@pytest.mark.parametrize("query_name", ("Q1", "Q3"))
+def test_compiled_process_backend_matches_per_event(baselines, query_name):
+    """Worker processes recompile kernels from the pickled trigger program."""
+    spec, translated, program, events, expected = baselines[query_name]
+    got = _views(
+        PartitionedEngine(
+            program, partitions=2, backend="process", batch_size=7, compiled=True
+        ),
+        translated,
+        spec,
+        events,
+    )
+    _assert_views_match(expected, got, f"{query_name}/par+process+compiled")
+
+
 def test_tpch_stream_used_here_contains_deletes():
     spec = workload("Q1")
     events = _stream_with_deletes(spec)

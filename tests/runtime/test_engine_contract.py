@@ -8,6 +8,7 @@ partitioned engines (including batching inside partitions).
 
 import pytest
 
+from repro.codegen import CompiledEngine
 from repro.compiler.hoivm import compile_query
 from repro.delta.events import insert
 from repro.errors import ReproError
@@ -18,10 +19,17 @@ from repro.workloads import workload
 
 ENGINES = {
     "incremental": lambda program: IncrementalEngine(program),
+    "compiled": lambda program: CompiledEngine(program),
     "batched": lambda program: BatchedEngine(program, batch_size=7),
+    "batched-compiled": lambda program: BatchedEngine(
+        program, batch_size=7, compiled=True
+    ),
     "partitioned": lambda program: PartitionedEngine(program, partitions=2),
     "partitioned-batched": lambda program: PartitionedEngine(
         program, partitions=2, batch_size=5
+    ),
+    "partitioned-compiled": lambda program: PartitionedEngine(
+        program, partitions=2, compiled=True
     ),
 }
 

@@ -156,3 +156,21 @@ def test_view_cache_missing_input_variable_raises():
     cache = ViewCache(("p",), ("v",), lambda bindings: [])
     with pytest.raises(RuntimeEngineError):
         cache.lookup({"other": 1})
+
+
+def test_primary_and_index_for_expose_the_probe_surfaces():
+    """The codegen probe surface: primary dict and lazily built indexes."""
+    table = IndexedTable(("a", "b"))
+    table.add((1, 10), 2)
+    table.add((1, 20), 3)
+    table.add((2, 10), 5)
+    assert table.primary[Row({"a": 1, "b": 10})] == 2
+    index = table.index_for(frozenset(("a",)))
+    bucket = index.get(Row({"a": 1}))
+    assert {dict(k)["b"]: v for k, v in bucket.items()} == {10: 2, 20: 3}
+    # Indexes stay maintained through later writes.
+    table.add((1, 30), 7)
+    assert len(index[Row({"a": 1})]) == 3
+    # clear() replaces the primary dict wholesale, so re-read the property.
+    table.clear()
+    assert table.primary == {}
