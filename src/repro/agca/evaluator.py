@@ -43,11 +43,18 @@ from repro.agca.ast import (
     VVar,
     ValueExpr,
     free_variables,
+    value_variables,
 )
 from repro.agca.functions import lookup_function
 from repro.core.gmr import GMR
 from repro.core.rows import Row
-from repro.core.values import comparison_holds, div, is_zero
+from repro.core.values import (
+    RANGE_OPS,
+    comparison_holds,
+    div,
+    flip_comparison,
+    is_zero,
+)
 from repro.errors import EvaluationError, UnboundVariableError
 
 
@@ -151,11 +158,75 @@ def eval_value(vexpr: ValueExpr, context: Mapping[str, Any]) -> Any:
     raise TypeError(f"not a value expression: {vexpr!r}")
 
 
+def _contains_function(vexpr: ValueExpr) -> bool:
+    if isinstance(vexpr, VFunc):
+        return True
+    if isinstance(vexpr, VArith):
+        return _contains_function(vexpr.left) or _contains_function(vexpr.right)
+    return False
+
+
+def match_range_pattern(term: Expr):
+    """Match ``MapRef * {key op value}`` — the evaluator's range-probe fragment.
+
+    Returns ``(map name, atom keys, guarded variable, normalized op, cutoff
+    value expression, cutoff variables)`` when ``term`` is a two-factor
+    product of one map atom (distinct variable keys) and one ordering
+    comparison between exactly one of those keys and a function-free value
+    expression over other variables; ``None`` otherwise.  (The statement
+    compiler lowers a superset of this shape — prelude lifts feeding the
+    cutoff — with its own planner; both share the op tables in
+    :mod:`repro.core.values`.)
+    """
+    if not isinstance(term, Product) or len(term.terms) != 2:
+        return None
+    atom, cmp = term.terms
+    if not isinstance(atom, MapRef) or not isinstance(cmp, Cmp):
+        return None
+    keys = atom.keys
+    if not keys or len(set(keys)) != len(keys):
+        return None
+    op = cmp.op
+    if isinstance(cmp.left, VVar) and cmp.left.name in keys:
+        guard, cutoff = cmp.left.name, cmp.right
+    elif isinstance(cmp.right, VVar) and cmp.right.name in keys:
+        guard, cutoff = cmp.right.name, cmp.left
+        op = flip_comparison(op)
+    else:
+        return None
+    if op not in RANGE_OPS:
+        return None
+    cutoff_vars = value_variables(cutoff)
+    if cutoff_vars & set(keys):
+        return None
+    if _contains_function(cutoff):
+        # An external function in the cutoff could raise where the per-row
+        # interpreter would not have reached it; leave it to the scan.
+        return None
+    return (atom.name, keys, guard, op, cutoff, cutoff_vars)
+
+
 class Evaluator:
-    """Evaluates AGCA expressions against a :class:`DataSource`."""
+    """Evaluates AGCA expressions against a :class:`DataSource`.
+
+    When the source exposes ``range_sum`` (the runtime's map store does),
+    comparison-guarded aggregate shapes — ``AggSum([], M[k] * {k > c})`` and
+    the ``Exists`` variant — are routed to an ordered range probe instead of
+    a full scan.  The probe contract guarantees bit-identical values and
+    types (see :mod:`repro.runtime.ordered`), so this is purely a fast path.
+    One deviation in the error surface, shared with the compiled engine's
+    hoisting: the probe evaluates the cutoff expression even when the map is
+    empty, so an *ill-typed* cutoff can raise where per-row evaluation would
+    never have reached it — irrelevant for well-typed programs, which the
+    SQL frontend guarantees.
+    """
 
     def __init__(self, source: DataSource) -> None:
         self._source = source
+        self._range_source = source if hasattr(source, "range_sum") else None
+        # Cached range-pattern analysis per expression, pinned like
+        # _free_vars below (same id-reuse hazard, same bounded reset).
+        self._range_patterns: dict[int, tuple[Expr, tuple | None]] = {}
         # Per-expression free-variable cache used for context-projection
         # memoization.  The cache is keyed by id(expr), so each entry must also
         # hold a strong reference to the expression: without it a temporary
@@ -204,6 +275,38 @@ class Evaluator:
             self._free_vars[key] = cached
         return cached[1]
 
+    def _range_pattern(self, node: Expr, term: Expr):
+        """Cached :func:`match_range_pattern` for ``term``, keyed by ``node``."""
+        key = id(node)
+        cached = self._range_patterns.get(key)
+        if cached is None or cached[0] is not node:
+            if len(self._range_patterns) >= self._FREE_VARS_LIMIT:
+                self._range_patterns.clear()
+            cached = (node, match_range_pattern(term))
+            self._range_patterns[key] = cached
+        return cached[1]
+
+    def _probe_range(self, pattern, ctx: Mapping[str, Any], chain: bool):
+        """Answer a guarded aggregate through the ordered index, or None.
+
+        Declines (returning None, meaning "evaluate generically") whenever
+        the context binds any of the atom's key variables — the scan would
+        then be filtered, not a full range — or fails to bind the cutoff.
+        """
+        name, keys, guard, op, cutoff_expr, cutoff_vars = pattern
+        for key in keys:
+            if key in ctx:
+                return None
+        for var in cutoff_vars:
+            if var not in ctx:
+                return None
+        stored = self._source.map_columns(name)
+        if len(stored) != len(keys):
+            return None  # arity mismatch: let the generic path raise properly
+        column = stored[keys.index(guard)]
+        cutoff = eval_value(cutoff_expr, ctx)
+        return self._range_source.range_sum(name, column, op, cutoff, chain)
+
     def _eval(self, expr: Expr, ctx: dict[str, Any], memo: dict) -> GMR:
         relevant = self._relevant(expr)
         memo_key = (id(expr), Row({v: ctx[v] for v in relevant if v in ctx}))
@@ -244,6 +347,14 @@ class Evaluator:
             return total
 
         if isinstance(expr, AggSum):
+            if not expr.group and self._range_source is not None:
+                pattern = self._range_pattern(expr, expr.term)
+                if pattern is not None:
+                    value = self._probe_range(pattern, ctx, chain=True)
+                    if value is not None:
+                        if is_zero(value):
+                            return GMR.empty()
+                        return GMR.scalar(value)
             inner = self._eval(expr.term, ctx, memo)
             out = GMR()
             for row, mult in inner.items():
@@ -273,6 +384,12 @@ class Evaluator:
             return GMR.singleton(Row({expr.var: value}), 1)
 
         if isinstance(expr, Exists):
+            if self._range_source is not None:
+                pattern = self._range_pattern(expr, expr.term)
+                if pattern is not None:
+                    value = self._probe_range(pattern, ctx, chain=False)
+                    if value is not None:
+                        return GMR.scalar(0 if is_zero(value) else 1)
             inner = self._eval(expr.term, ctx, memo)
             value = inner.total_multiplicity()
             return GMR.scalar(0 if is_zero(value) else 1)

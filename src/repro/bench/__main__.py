@@ -26,6 +26,11 @@ Compiled versus interpreted trigger execution (writes BENCH_codegen.json)::
 
     python -m repro.bench codegen --events 3000
 
+The six financial queries, nested aggregates included (writes
+BENCH_finance.json; the listed queries must compile with zero fallbacks)::
+
+    python -m repro.bench finance --require-compiled VWAP MST PSP
+
 Compare the scale-out strategies against per-event HO-IVM::
 
     python -m repro.bench rates --queries Q1 --strategies dbtoaster \
@@ -55,6 +60,7 @@ from repro.bench.report import (
 from repro.bench.scenarios import (
     DEFAULT_BATCH_SIZES,
     DEFAULT_CODEGEN_QUERIES,
+    DEFAULT_FINANCE_QUERIES,
     DEFAULT_STRATEGIES,
     run_ablation,
     run_batch_size_sweep,
@@ -122,6 +128,27 @@ def _build_parser() -> argparse.ArgumentParser:
     codegen.add_argument("--min-speedup", type=float, default=1.0,
                          help="exit nonzero when a fully-compiled query's speedup "
                               "falls below this bound (the CI regression gate)")
+    codegen.add_argument("--require-compiled", nargs="*", default=[],
+                         help="queries that must report fallback_statements == 0 "
+                              "(exit nonzero otherwise; guards the nested-aggregate "
+                              "lowering against silent regression)")
+
+    finance = sub.add_parser(
+        "finance",
+        help="Codegen over the six financial queries (writes BENCH_finance.json)",
+    )
+    finance.add_argument("--queries", nargs="*", default=list(DEFAULT_FINANCE_QUERIES))
+    finance.add_argument("--events", type=int, default=3000)
+    finance.add_argument("--budget", type=float, default=20.0,
+                         help="seconds per (query, strategy) run")
+    finance.add_argument("--output", default="BENCH_finance.json",
+                         help="where to write the JSON record ('-' disables)")
+    finance.add_argument("--min-speedup", type=float, default=1.0,
+                         help="exit nonzero when a fully-compiled query's speedup "
+                              "falls below this bound (the CI regression gate)")
+    finance.add_argument("--require-compiled", nargs="*",
+                         default=["VWAP", "MST", "PSP"],
+                         help="queries that must report fallback_statements == 0")
 
     stats = sub.add_parser("stats", help="Per-map / per-partition memory statistics")
     stats.add_argument("query")
@@ -214,7 +241,7 @@ def main(argv: list[str] | None = None) -> int:
         print(format_batch_sweep(results))
         return 0
 
-    if args.command == "codegen":
+    if args.command in ("codegen", "finance"):
         import json
 
         results = run_codegen_sweep(
@@ -229,6 +256,25 @@ def main(argv: list[str] | None = None) -> int:
                 json.dump(codegen_sweep_json(results), handle, indent=2, sort_keys=True)
                 handle.write("\n")
             print(f"wrote {args.output}")
+        # Compilation gate: the listed queries must run without a single
+        # interpreter fallback, so the := / nested-aggregate lowering cannot
+        # silently regress back onto the interpreter.  A required query
+        # missing from the sweep is a gate-configuration error, not a pass.
+        missing = [query for query in args.require_compiled if query not in results]
+        if missing:
+            print(
+                "codegen gate error: --require-compiled names queries outside "
+                "the sweep: " + ", ".join(missing)
+            )
+            return 3
+        not_compiled = [
+            f"{query}: {results[query]['fallback_statements']} fallback statements"
+            for query in args.require_compiled
+            if results[query]["fallback_statements"] != 0
+        ]
+        if not_compiled:
+            print("codegen fallback regression: " + "; ".join(not_compiled))
+            return 3
         # Regression gate: a fully-compiled query must not run slower than the
         # interpreter (queries dominated by interpreter fallbacks are exempt —
         # their speedup is noise around 1.0 by construction).

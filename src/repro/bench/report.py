@@ -153,13 +153,17 @@ def _format_map_stats_rows(maps: Mapping[str, Mapping[str, object]]) -> list[str
     for name in sorted(maps):
         stats = maps[name]
         indexes = stats.get("indexes") or {}
-        index_text = (
-            "; ".join(
-                f"[{cols}] {idx['entries']} entries/{idx['buckets']} buckets"
-                for cols, idx in sorted(indexes.items())
+        parts = [
+            f"[{cols}] {idx['entries']} entries/{idx['buckets']} buckets"
+            for cols, idx in sorted(indexes.items())
+        ]
+        for column, idx in sorted((stats.get("ordered_indexes") or {}).items()):
+            regime = "exact" if idx.get("exact") else "scan"
+            parts.append(
+                f"[{column} ordered] {idx['keys']} keys, {idx['probes']} probes"
+                f"/{idx['scan_fallbacks']} scans, {idx['rebuilds']} rebuilds ({regime})"
             )
-            or "-"
-        )
+        index_text = "; ".join(parts) or "-"
         lines.append(
             f"  {name:30s} {stats.get('entries', 0):>10} "
             f"{stats.get('memory_bytes', 0) / 1024:>12.1f}  {index_text}"

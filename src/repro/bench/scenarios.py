@@ -228,6 +228,10 @@ def run_batch_size_sweep(
 #: aggregate query exercising the per-statement interpreter fallback.
 DEFAULT_CODEGEN_QUERIES: tuple[str, ...] = ("Q1", "Q3", "Q6", "VWAP")
 
+#: The six financial queries of Appendix A.2 — the ``finance`` sweep behind
+#: BENCH_finance.json, all expected to compile with zero fallbacks.
+DEFAULT_FINANCE_QUERIES: tuple[str, ...] = ("AXF", "BSP", "BSV", "MST", "PSP", "VWAP")
+
 
 def run_codegen_sweep(
     queries: Sequence[str] = DEFAULT_CODEGEN_QUERIES,

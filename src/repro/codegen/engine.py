@@ -6,8 +6,8 @@ store, database, checkpoint format ``kind: "single"`` and view surface) whose
 executor runs the specialized Python functions produced by
 :mod:`repro.codegen.statement` instead of walking the AGCA AST per event.
 
-Every ``+=`` statement is compiled at engine construction; statements outside
-the compilable fragment — and every ``:=`` re-evaluation statement — execute
+Every statement — ``+=`` and ``:=`` alike — is compiled at engine
+construction; the few statements outside the compilable fragment execute
 through the ordinary :class:`~repro.runtime.interpreter.TriggerExecutor`, so
 the engine's observable results (values *and* types) are identical to the
 interpreted engine on every program.  One deliberate deviation in the error
@@ -46,7 +46,8 @@ class _TriggerPlan:
     def __init__(self) -> None:
         # (statement, runner | None); runner signature is (values, scale).
         self.increments: list[tuple[Statement, Callable[[tuple, Any], None] | None]] = []
-        self.assigns: list[Statement] = []
+        # ``:=`` statements compile too (range-probe era); same pairing.
+        self.assigns: list[tuple[Statement, Callable[[tuple, Any], None] | None]] = []
         # Relation arity, validated before compiled runners index the event
         # tuple positionally (None for triggers with no statements, where the
         # interpreter performs no arity check either).
@@ -95,19 +96,17 @@ class CompiledExecutor:
             if trigger.statements:
                 plan.arity = len(trigger.statements[0].event.trigger_vars)
             for stmt in trigger.statements:
-                if stmt.operation == ASSIGN:
-                    plan.assigns.append(stmt)
-                    self.fallback_statements += 1
-                    continue
                 kernel = statement_compiler.try_compile_statement(stmt, self._program)
-                if kernel is None:
-                    plan.increments.append((stmt, None))
-                    self.fallback_statements += 1
-                else:
+                if kernel is not None:
                     self._kernels[id(stmt)] = kernel
                     self._pinned.append(stmt)
-                    plan.increments.append((stmt, None))  # bound below
                     self.compiled_statements += 1
+                else:
+                    self.fallback_statements += 1
+                if stmt.operation == ASSIGN:
+                    plan.assigns.append((stmt, None))  # bound below
+                else:
+                    plan.increments.append((stmt, None))
             self._plans[(trigger.sign, trigger.relation)] = plan
         self.rebind()
 
@@ -124,6 +123,9 @@ class CompiledExecutor:
         for plan in self._plans.values():
             plan.increments = [
                 (stmt, self._runners.get(id(stmt))) for stmt, _ in plan.increments
+            ]
+            plan.assigns = [
+                (stmt, self._runners.get(id(stmt))) for stmt, _ in plan.assigns
             ]
 
     def kernel_for(self, stmt: Statement) -> statement_compiler.StatementKernel | None:
@@ -171,8 +173,11 @@ class CompiledExecutor:
         if event.relation in self._maintained:
             self._database.apply(event)
         if plan is not None:
-            for stmt in plan.assigns:
-                self._interpreter.execute_assign(stmt, stmt.event.bindings_for(event))
+            for stmt, runner in plan.assigns:
+                if runner is not None:
+                    runner(event.values, 1)
+                else:
+                    self._interpreter.execute_assign(stmt, stmt.event.bindings_for(event))
 
     def execute_increment(
         self,
@@ -195,6 +200,11 @@ class CompiledExecutor:
         self._interpreter.execute_increment(statement, bindings, scale=scale, memo=memo)
 
     def execute_assign(self, statement: Statement, bindings: Mapping[str, Any]) -> None:
+        runner = self._runners.get(id(statement))
+        if runner is not None:
+            values = tuple(bindings[v] for v in statement.event.trigger_vars)
+            runner(values, 1)
+            return
         self._interpreter.execute_assign(statement, bindings)
 
     # -- reporting ----------------------------------------------------------

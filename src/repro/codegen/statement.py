@@ -27,6 +27,26 @@ everything the compiler knows statically:
   rules, so compiled results are bit-identical to interpreted ones — values
   *and* types.
 
+Beyond the straight-line ``+=`` fragment, the compiler also lowers the
+statement classes that used to be interpreter-only:
+
+* **nested scalar aggregates** — ``AggSum([], ...)`` bodies appearing as lift
+  bodies or product factors compile to (a) a primary-dict probe for nullary
+  map totals, (b) an **ordered range probe**
+  (:meth:`~repro.runtime.maps.IndexedTable.range_sum`) when the body is a map
+  atom guarded by a single ordering comparison on one key column — the
+  ``SUM(volume) WHERE price > p`` shape of the financial queries — or (c) an
+  inline scan loop reproducing the evaluator's aggregation chain exactly;
+* **grouped aggregate factors** — ``AggSum([g], ...)`` inside a product
+  compiles to a dict-accumulation loop followed by iteration, replicating
+  GMR construction order;
+* **``Exists``** factors compile to the plain-sum total-multiplicity loop
+  (or a range probe) with the 0/1 gate;
+* **``:=`` statements** compile to a kernel that evaluates the right-hand
+  side into a plain dict (GMR ``+``-merge across sum terms, then the
+  executor's plain grouping by target keys, both in enumeration order) and
+  hands it to ``IndexedTable.replace`` — exactly ``execute_assign``.
+
 Exact-equivalence notes (each mirrors a specific interpreter behaviour):
 
 * a ``Value`` factor contributes ``normalize_number(v)`` and kills the row
@@ -47,11 +67,11 @@ Exact-equivalence notes (each mirrors a specific interpreter behaviour):
   same-key map additions happen in the same order.
 
 The **capability check** is the compile attempt itself: any construct outside
-the fragment — external functions (by policy), ``Exists``, nested
-aggregates/sums, lifts over non-scalar bodies, ``:=`` statements, unbound
-value variables — raises :class:`~repro.codegen.lowering.Unsupported` and the
-statement stays on the interpreter.  Fallback is per statement, never per
-program, so one hard statement does not slow down its siblings.
+the fragment — external functions (by policy), sums nested under products,
+lifts over grouped aggregates, unbound value variables — raises
+:class:`~repro.codegen.lowering.Unsupported` and the statement stays on the
+interpreter.  Fallback is per statement, never per program, so one hard
+statement does not slow down its siblings.
 """
 
 from __future__ import annotations
@@ -61,6 +81,7 @@ from typing import Any, Callable, Mapping, Sequence
 from repro.agca.ast import (
     AggSum,
     Cmp,
+    Exists,
     Expr,
     Lift,
     MapRef,
@@ -69,10 +90,18 @@ from repro.agca.ast import (
     Sum,
     Value,
     VConst,
+    VVar,
+    free_variables,
     value_variables,
 )
-from repro.codegen.lowering import SourceEnv, Unsupported, lower_condition, lower_value
-from repro.compiler.program import INCREMENT, Statement, TriggerProgram
+from repro.codegen.lowering import (
+    SourceEnv,
+    Unsupported,
+    lower_condition,
+    lower_value,
+)
+from repro.core.values import RANGE_OPS, flip_comparison
+from repro.compiler.program import ASSIGN, INCREMENT, Statement, TriggerProgram
 from repro.core.rows import Row
 from repro.core.values import div, is_zero, normalize_number
 
@@ -178,9 +207,9 @@ class _AtomStep:
 
 
 class _ScalarStep:
-    """A Value / Cmp / Lift step with the atom slot it can be hoisted to."""
+    """A Value / Cmp / Lift / nested-aggregate step with its hoisting slot."""
 
-    __slots__ = ("kind", "source", "local", "slot", "check_var")
+    __slots__ = ("kind", "source", "local", "slot", "check_var", "spec")
 
     def __init__(self, kind: str, slot: int) -> None:
         self.kind = kind
@@ -188,6 +217,56 @@ class _ScalarStep:
         self.source = ""
         self.local = ""
         self.check_var = ""
+        self.spec: "_AggSpec | None" = None
+
+
+class _AggSpec:
+    """One nested scalar aggregate: how to compute it and where it lands.
+
+    ``mode`` selects the lowering: ``"total"`` (nullary map: one primary-dict
+    probe), ``"probe"`` (ordered range probe via ``IndexedTable.range_sum``,
+    optionally after prelude lift bindings feeding the cutoff) or ``"loop"``
+    (inline scan replicating the evaluator's aggregation chain over a
+    sub-plan).  ``chain`` distinguishes the ``AggSum`` chain semantics from
+    the plain summation of ``Exists``.
+    """
+
+    __slots__ = (
+        "mode", "chain", "result", "handle", "probe", "column", "op",
+        "cutoff", "prelude", "plan",
+    )
+
+    def __init__(self, result: str, chain: bool) -> None:
+        self.mode = ""
+        self.chain = chain
+        self.result = result
+        self.handle = ""
+        self.probe = ""
+        self.column = ""
+        self.op = ""
+        self.cutoff = ""
+        self.prelude: list[tuple] = []
+        self.plan: "_TermPlan | None" = None
+
+
+class _GroupAggStep:
+    """A grouped ``AggSum`` factor: accumulate a dict, then loop over it.
+
+    Sits in the term plan's atom sequence (it opens a loop and binds the
+    inner-produced group variables, exactly like a scan does).  ``unbound``
+    mirrors the atom tuple shape so the hoisting logic treats the bound
+    group variables uniformly.
+    """
+
+    __slots__ = ("plan", "group", "dict_local", "mult_local", "unbound", "key_sources")
+
+    def __init__(self) -> None:
+        self.plan: "_TermPlan | None" = None
+        self.group: tuple[str, ...] = ()
+        self.dict_local = ""
+        self.mult_local = ""
+        self.unbound: list[tuple[str, int, str]] = []  # (var, key tuple pos, local)
+        self.key_sources: list[str] = []               # per group var, inner source
 
 
 class _TermPlan:
@@ -197,7 +276,7 @@ class _TermPlan:
 
     def __init__(self) -> None:
         self.steps: list[Any] = []
-        self.atoms: list[_AtomStep] = []
+        self.atoms: list[Any] = []
         self.factors: list[str] = []
         self.colset: set[str] = set()
         self.names: dict[str, str] = {}
@@ -213,6 +292,7 @@ class _StatementCompiler:
         self.env = SourceEnv(_BASE_ENV)
         self.tables: list[tuple[str, str, str]] = []
         self._table_handles: dict[tuple[str, str], str] = {}
+        self._probe_locals: dict[str, str] = {}
         self._maintained = program.requires_base_relations()
         self._trigger_locals: dict[str, str] = {}
         self._counter = 0
@@ -241,15 +321,36 @@ class _StatementCompiler:
             self.tables.append((handle, kind, name))
         return handle
 
+    def _probe_local(self, kind: str, name: str) -> str:
+        """A kernel-preamble binding of the table's ``range_sum`` method."""
+        handle = self._table_handle(kind, name)
+        local = self._probe_locals.get(handle)
+        if local is None:
+            local = self._fresh("rs")
+            self._probe_locals[handle] = local
+            self._preamble.append(f"{local} = {handle}.range_sum")
+        return local
+
+    def _root_resolve(self, var: str) -> str | None:
+        """Outermost scope: only the trigger variables are bound."""
+        if var in self.statement.event.trigger_vars:
+            return self._trigger_local(var)
+        return None
+
     # -- planning -----------------------------------------------------------
     def compile(self) -> tuple[str, dict[str, Any], list[tuple[str, str, str]]]:
         statement = self.statement
-        if statement.operation != INCREMENT:
-            raise Unsupported("only += statements compile; := re-evaluates")
         target_decl = self.program.maps.get(statement.target)
         if target_decl is None or len(target_decl.keys) != len(statement.target_keys):
             raise Unsupported("target map is not declared with matching arity")
+        if statement.operation == ASSIGN:
+            return self._compile_assign()
+        if statement.operation != INCREMENT:
+            raise Unsupported(f"unknown statement operation {statement.operation!r}")
+        return self._compile_increment()
 
+    def _compile_increment(self) -> tuple[str, dict[str, Any], list[tuple[str, str, str]]]:
+        statement = self.statement
         expr: Expr = statement.expr
         group: tuple[str, ...] | None = None
         if isinstance(expr, AggSum):
@@ -304,7 +405,11 @@ class _StatementCompiler:
             if wrap:
                 writer.open_loop("for _pass in _ONE_PASS:")
                 writer._aborts[-1] = "break"
-            self._emit_term(writer, plan, mode, group, colset_ids)
+            self._emit_term(
+                writer,
+                plan,
+                lambda w, p: self._emit_sink(w, p, mode, group, colset_ids),
+            )
             if wrap:
                 writer.close_loops(1)
 
@@ -322,6 +427,135 @@ class _StatementCompiler:
         lines = header + ["    " + line for line in self._preamble] + body
         source = "\n".join(lines) + "\n"
         return source, self.env.env, self.tables
+
+    def _compile_assign(self) -> tuple[str, dict[str, Any], list[tuple[str, str, str]]]:
+        """Compile a ``:=`` statement: evaluate, group plainly, ``replace``.
+
+        The kernel mirrors ``TriggerExecutor.execute_assign`` step for step:
+        the right-hand side is evaluated into result rows (a chain-merged
+        dict across sum terms, exactly GMR ``+``), those rows are grouped by
+        the target keys with *plain* addition in enumeration order, and the
+        grouped entries replace the target table's contents.  Aborts inside a
+        term only skip that term — an empty result still replaces (clears)
+        the map, as the interpreter does.
+        """
+        statement = self.statement
+        expr: Expr = statement.expr
+        group: tuple[str, ...] | None = None
+        if isinstance(expr, AggSum):
+            group = expr.group
+            expr = expr.term
+            if isinstance(expr, (AggSum, Sum)):
+                raise Unsupported("nested aggregation under a top-level AggSum")
+        terms = expr.terms if isinstance(expr, Sum) else (expr,)
+        if not terms:
+            raise Unsupported("empty sum")
+
+        plans = [self._plan_term(term) for term in terms]
+        live = [plan for plan in plans if not plan.dead]
+
+        if group is not None:
+            mode = "group"
+        elif len(terms) > 1:
+            mode = "merge"
+        else:
+            mode = "single"
+        self._check_key_sources(live, group, "group" if group is not None else mode)
+
+        writer = _Writer("return")
+        writer.line("def _kernel(_values, _scale):")
+        writer.depth += 1
+        body_start = len(writer.lines)
+
+        target_handle = self._table_handle("map", statement.target)
+        writer.line("_asn = {}")
+        if mode == "merge":
+            writer.line("_mrg = {}")
+        elif mode == "group":
+            writer.line("_grp = {}")
+
+        colset_ids: dict[frozenset[str], int] = {}
+        for plan in live:
+            colset_ids.setdefault(frozenset(plan.colset), len(colset_ids))
+
+        def single_sink(w, p):
+            self._emit_acc(w, p)
+            key = self._target_row_source(lambda k: self._value_for(k, p))
+            w.line(f"_kr = {key}")
+            w.line("_asn[_kr] = _asn.get(_kr, 0) + _acc")
+
+        def merge_sink(w, p):
+            self._emit_acc(w, p)
+            colset = frozenset(p.colset)
+            cs = colset_ids[colset]
+            values = ", ".join(self._value_for(v, p) for v in sorted(colset))
+            key = f"({cs}, {values},)" if colset else f"({cs},)"
+            self._emit_dict_merge(w, "_mrg", key)
+
+        def group_sink(w, p):
+            self._emit_acc(w, p)
+            gk = ", ".join(self._value_for(g, p) for g in group)
+            gk = f"({gk},)" if group else "()"
+            self._emit_dict_merge(w, "_grp", gk)
+
+        sink = {"single": single_sink, "merge": merge_sink, "group": group_sink}[mode]
+        for plan in plans:
+            if plan.dead:
+                continue
+            # Always scope term aborts: a dead term must still reach replace.
+            writer.open_loop("for _pass in _ONE_PASS:")
+            writer._aborts[-1] = "break"
+            self._emit_term(writer, plan, sink)
+            writer.close_loops(1)
+
+        if mode == "merge":
+            self._emit_assign_merge_epilogue(writer, live, colset_ids)
+        elif mode == "group":
+            self._emit_assign_group_epilogue(writer, live[0] if live else None, group)
+        writer.line(f"{target_handle}.replace(_asn.items())")
+
+        header = writer.lines[:body_start]
+        body = writer.lines[body_start:]
+        lines = header + ["    " + line for line in self._preamble] + body
+        source = "\n".join(lines) + "\n"
+        return source, self.env.env, self.tables
+
+    def _emit_assign_merge_epilogue(self, writer, plans, colset_ids) -> None:
+        """Plain-group the chain-merged sum rows by the target keys."""
+        by_id: dict[int, frozenset[str]] = {}
+        for plan in plans:
+            colset = frozenset(plan.colset)
+            by_id[colset_ids[colset]] = colset
+        writer.line("for _bk, _m in _mrg.items():")
+        writer.depth += 1
+        if len(by_id) == 1:
+            (_, colset), = by_id.items()
+            writer.line(f"_kr = {self._merge_key_source(colset)}")
+            writer.line("_asn[_kr] = _asn.get(_kr, 0) + _m")
+        else:
+            writer.line("_cs = _bk[0]")
+            for branch, (cs, colset) in enumerate(sorted(by_id.items())):
+                prefix = "if" if branch == 0 else "elif"
+                writer.line(f"{prefix} _cs == {cs}:")
+                writer.line(f"    _kr = {self._merge_key_source(colset)}")
+                writer.line("    _asn[_kr] = _asn.get(_kr, 0) + _m")
+        writer.depth -= 1
+
+    def _emit_assign_group_epilogue(self, writer, plan, group) -> None:
+        """Plain-group the chain-grouped rows by the target keys."""
+        if plan is None:
+            return
+        positions = {g: i for i, g in enumerate(group)}
+
+        def value_of(key: str) -> str:
+            if key in positions:
+                return f"_gk[{positions[key]}]"
+            return self._trigger_local(key)
+
+        key = self._target_row_source(value_of)
+        writer.line("for _gk, _m in _grp.items():")
+        writer.line(f"    _kr = {key}")
+        writer.line("    _asn[_kr] = _asn.get(_kr, 0) + _m")
 
     def _check_key_sources(self, plans, group, mode) -> None:
         trigger_vars = set(self.statement.event.trigger_vars)
@@ -341,20 +575,46 @@ class _StatementCompiler:
                 if g not in plan.colset and g not in trigger_vars:
                     raise Unsupported(f"group variable {g!r} is neither produced nor bound")
 
-    def _plan_term(self, term: Expr) -> _TermPlan:
+    def _plan_term(self, term: Expr, resolve=None, depth: int = 0) -> _TermPlan:
+        """Plan one product term.
+
+        ``resolve`` maps variables of the *enclosing* scope to their locals
+        (``None`` outside: only trigger variables); a nested aggregate's term
+        is planned with a resolver chaining through the enclosing term's
+        bindings, which is exactly the evaluator's sideways information
+        passing.  ``depth`` bounds recursion: grouped aggregate factors only
+        compile at the statement's top level.
+        """
         plan = _TermPlan()
         bound: dict[str, str] = {}
+        if resolve is None:
+            resolve = self._root_resolve
+
+        def lookup(var: str) -> str | None:
+            local = bound.get(var)
+            if local is not None:
+                return local
+            return resolve(var)
 
         def names_for(vars_needed) -> dict[str, str]:
             out = {}
             for var in vars_needed:
-                if var in bound:
-                    out[var] = bound[var]
-                elif var in self.statement.event.trigger_vars:
-                    out[var] = self._trigger_local(var)
-                else:
+                local = lookup(var)
+                if local is None:
                     raise Unsupported(f"variable {var!r} is not bound at this point")
+                out[var] = local
             return out
+
+        def child_resolve_for(deps: set[str]):
+            """Resolver handed to a nested aggregate, recording what it uses."""
+
+            def child_resolve(var: str) -> str | None:
+                local = lookup(var)
+                if local is not None:
+                    deps.add(var)
+                return local
+
+            return child_resolve
 
         factors = term.terms if isinstance(term, Product) else (term,)
         for node in factors:
@@ -386,24 +646,67 @@ class _StatementCompiler:
                 )
                 plan.steps.append(step)
             elif isinstance(node, Lift):
-                if not isinstance(node.term, Value):
-                    raise Unsupported("lift over a non-scalar body (nested aggregate)")
-                deps = value_variables(node.term.vexpr)
-                already = node.var in bound or node.var in self.statement.event.trigger_vars
-                # An equality lift also depends on the variable it checks.
-                slot_deps = deps | ({node.var} if already else set())
-                slot = self._slot_for(slot_deps, bound, plan)
-                step = _ScalarStep("lift_eq" if already else "lift_bind", slot)
-                step.source = lower_value(node.term.vexpr, names_for(deps), self.env)
-                if already:
-                    step.check_var = names_for((node.var,))[node.var]
+                already = lookup(node.var) is not None
+                if isinstance(node.term, Value):
+                    deps = value_variables(node.term.vexpr)
+                    # An equality lift also depends on the variable it checks.
+                    slot_deps = deps | ({node.var} if already else set())
+                    slot = self._slot_for(slot_deps, bound, plan)
+                    step = _ScalarStep("lift_eq" if already else "lift_bind", slot)
+                    step.source = lower_value(node.term.vexpr, names_for(deps), self.env)
+                    if already:
+                        step.check_var = lookup(node.var)
+                    else:
+                        step.local = self._fresh("b")
+                        bound[node.var] = step.local
+                        plan.colset.add(node.var)
+                    plan.steps.append(step)
+                elif isinstance(node.term, AggSum) and not node.term.group:
+                    deps: set[str] = set()
+                    spec = self._plan_scalar_agg(
+                        node.term.term, child_resolve_for(deps), True, depth
+                    )
+                    slot_deps = deps | ({node.var} if already else set())
+                    slot = self._slot_for(slot_deps, bound, plan)
+                    step = _ScalarStep("lift_agg_eq" if already else "lift_agg", slot)
+                    step.spec = spec
+                    step.local = spec.result
+                    if already:
+                        step.check_var = lookup(node.var)
+                    else:
+                        bound[node.var] = spec.result
+                        plan.colset.add(node.var)
+                    plan.steps.append(step)
                 else:
-                    step.local = self._fresh("b")
-                    bound[node.var] = step.local
-                    plan.colset.add(node.var)
+                    raise Unsupported("lift over a non-scalar body")
+            elif isinstance(node, AggSum):
+                if node.group:
+                    if depth > 0:
+                        raise Unsupported("grouped aggregate below the top level")
+                    step = self._plan_group_agg(node, bound, plan, child_resolve_for)
+                    plan.steps.append(step)
+                    plan.atoms.append(step)
+                    plan.factors.append(step.mult_local)
+                else:
+                    deps = set()
+                    spec = self._plan_scalar_agg(
+                        node.term, child_resolve_for(deps), True, depth
+                    )
+                    step = _ScalarStep("agg_factor", self._slot_for(deps, bound, plan))
+                    step.spec = spec
+                    step.local = spec.result
+                    plan.steps.append(step)
+                    plan.factors.append(spec.result)
+            elif isinstance(node, Exists):
+                deps = set()
+                spec = self._plan_scalar_agg(
+                    node.term, child_resolve_for(deps), False, depth
+                )
+                step = _ScalarStep("exists", self._slot_for(deps, bound, plan))
+                step.spec = spec
                 plan.steps.append(step)
             elif isinstance(node, (MapRef, Relation)):
-                atom = self._plan_atom(node, bound, plan)
+                atom = self._plan_atom(node, bound, plan, resolve)
                 plan.steps.append(atom)
                 plan.atoms.append(atom)
                 plan.factors.append(atom.mult_local)
@@ -417,19 +720,166 @@ class _StatementCompiler:
         for var in deps:
             local = bound.get(var)
             if local is None:
-                continue  # trigger variable: slot 0
+                continue  # trigger or enclosing-scope variable: slot 0
             for index, atom in enumerate(plan.atoms, start=1):
                 if any(v == var for v, _, _ in atom.unbound):
                     slot = max(slot, index)
         # Lift-bound variables: find the step that defined them.
         for step in plan.steps:
-            if isinstance(step, _ScalarStep) and step.kind == "lift_bind":
+            if isinstance(step, _ScalarStep) and step.kind in ("lift_bind", "lift_agg"):
                 var = next((v for v, l in bound.items() if l == step.local), None)
                 if var in deps:
                     slot = max(slot, step.slot)
         return slot
 
-    def _plan_atom(self, node, bound: dict[str, str], plan: _TermPlan) -> _AtomStep:
+    def _plan_scalar_agg(self, term: Expr, resolve, chain: bool, depth: int) -> _AggSpec:
+        """Plan ``AggSum([], term)`` (or an ``Exists`` body, ``chain=False``).
+
+        Picks the cheapest faithful lowering: a nullary-map total probe, an
+        ordered range probe for the guarded single-atom shape, or an inline
+        scan loop over a recursively planned sub-term.
+        """
+        spec = _AggSpec(self._fresh("g"), chain)
+        factors = term.terms if isinstance(term, Product) else (term,)
+        if (
+            len(factors) == 1
+            and isinstance(factors[0], MapRef)
+            and not factors[0].keys
+            and chain
+        ):
+            decl = self.program.maps.get(factors[0].name)
+            if decl is not None and not decl.keys:
+                spec.mode = "total"
+                spec.handle = self._table_handle("map", factors[0].name)
+                return spec
+        if self._try_plan_probe(spec, factors, resolve, depth):
+            return spec
+        spec.mode = "loop"
+        spec.plan = self._plan_term(term, resolve=resolve, depth=depth + 1)
+        return spec
+
+    def _try_plan_probe(self, spec: _AggSpec, factors, resolve, depth: int) -> bool:
+        """Recognize ``M[..k..] * (lifts...) * {k op c}`` and plan a range probe.
+
+        The lifts may only bind scalar values feeding the cutoff (the PSP
+        shape ``M1[v] * (s := Sum[](M3[])) * {v > 0.0001*s}``); every atom key
+        must be free here and untouched by anything but the single guard.
+        """
+        if len(factors) < 2:
+            return False
+        atom = factors[0]
+        guard_cmp = factors[-1]
+        middle = factors[1:-1]
+        if not isinstance(atom, MapRef) or not isinstance(guard_cmp, Cmp):
+            return False
+        keys = atom.keys
+        keyset = set(keys)
+        if not keys or len(keyset) != len(keys):
+            return False
+        decl = self.program.maps.get(atom.name)
+        if decl is None or len(decl.keys) != len(keys):
+            return False
+        for key in keys:
+            if resolve(key) is not None:
+                return False  # bound key: a filtered scan, not a full range
+        if not all(isinstance(f, Lift) for f in middle):
+            return False
+
+        lift_locals: dict[str, str] = {}
+        prelude: list[tuple] = []
+
+        def probe_names(vars_needed) -> dict[str, str] | None:
+            out = {}
+            for var in vars_needed:
+                local = lift_locals.get(var)
+                if local is None:
+                    if var in keyset:
+                        return None
+                    local = resolve(var)
+                if local is None:
+                    return None
+                out[var] = local
+            return out
+
+        for lift in middle:
+            if lift.var in keyset or lift.var in lift_locals:
+                return False
+            if resolve(lift.var) is not None:
+                return False  # equality lift: the loop lowering handles it
+            body = lift.term
+            if isinstance(body, Value):
+                names = probe_names(value_variables(body.vexpr))
+                if names is None:
+                    return False
+                source = lower_value(body.vexpr, names, self.env)
+                local = self._fresh("b")
+                lift_locals[lift.var] = local
+                prelude.append(("value", local, source))
+            elif isinstance(body, AggSum) and not body.group:
+                if free_variables(body) & keyset:
+                    return False
+                sub_resolve = lambda var: (
+                    lift_locals.get(var) or (None if var in keyset else resolve(var))
+                )
+                sub = self._plan_scalar_agg(body.term, sub_resolve, True, depth + 1)
+                lift_locals[lift.var] = sub.result
+                prelude.append(("agg", sub))
+            else:
+                return False
+
+        op = guard_cmp.op
+        if isinstance(guard_cmp.left, VVar) and guard_cmp.left.name in keyset:
+            guard, cutoff = guard_cmp.left.name, guard_cmp.right
+        elif isinstance(guard_cmp.right, VVar) and guard_cmp.right.name in keyset:
+            guard, cutoff = guard_cmp.right.name, guard_cmp.left
+            op = flip_comparison(op)
+        else:
+            return False
+        if op not in RANGE_OPS:
+            return False
+        cutoff_vars = value_variables(cutoff)
+        if cutoff_vars & keyset:
+            return False
+        names = probe_names(cutoff_vars)
+        if names is None:
+            return False
+        spec.mode = "probe"
+        spec.prelude = prelude
+        spec.probe = self._probe_local("map", atom.name)
+        spec.column = decl.keys[keys.index(guard)]
+        spec.op = op
+        spec.cutoff = lower_value(cutoff, names, self.env)
+        return True
+
+    def _plan_group_agg(self, node: AggSum, bound, plan, child_resolve_for) -> _GroupAggStep:
+        """Plan a grouped ``AggSum`` factor: dict accumulation, then a loop."""
+        step = _GroupAggStep()
+        step.group = node.group
+        step.dict_local = self._fresh("gd")
+        step.mult_local = self._fresh("m")
+        deps: set[str] = set()
+        resolve = child_resolve_for(deps)
+        step.plan = self._plan_term(node.term, resolve=resolve, depth=1)
+        for position, var in enumerate(node.group):
+            inner = step.plan.names.get(var)
+            if inner is not None:
+                # Produced inside: the group key carries it out of the loop.
+                step.key_sources.append(inner)
+                local = self._fresh("b")
+                step.unbound.append((var, position, local))
+                if var not in bound:
+                    bound[var] = local
+                    plan.colset.add(var)
+                continue
+            outer = resolve(var)
+            if outer is None:
+                raise Unsupported(
+                    f"group variable {var!r} is neither produced nor bound"
+                )
+            step.key_sources.append(outer)
+        return step
+
+    def _plan_atom(self, node, bound: dict[str, str], plan: _TermPlan, resolve) -> _AtomStep:
         atom = _AtomStep()
         if isinstance(node, MapRef):
             atom.kind = "map"
@@ -458,7 +908,6 @@ class _StatementCompiler:
         atom.mult_local = self._fresh("m")
         atom.row_local = self._fresh("r")
 
-        trigger_vars = self.statement.event.trigger_vars
         first_pos: dict[str, int] = {}
         for position, var in enumerate(atom_vars):
             stored_col = atom.stored[position]
@@ -470,10 +919,12 @@ class _StatementCompiler:
                 sorted_pos = atom.sorted_stored.index(stored_col)
                 local = next(l for v, _, l in atom.unbound if v == var)
                 atom.eq_checks.append((sorted_pos, local))
-            elif var in bound:
-                atom.bound.append((stored_col, bound[var]))
-            elif var in trigger_vars:
-                atom.bound.append((stored_col, self._trigger_local(var)))
+                continue
+            known = bound.get(var)
+            if known is None:
+                known = resolve(var)
+            if known is not None:
+                atom.bound.append((stored_col, known))
             else:
                 sorted_pos = atom.sorted_stored.index(stored_col)
                 first_pos[var] = sorted_pos
@@ -483,7 +934,8 @@ class _StatementCompiler:
         return atom
 
     # -- emission -----------------------------------------------------------
-    def _emit_term(self, writer, plan, mode, group, colset_ids) -> None:
+    def _emit_term(self, writer, plan, sink) -> None:
+        """Emit one term's steps in slot order, calling ``sink(writer, plan)``."""
         scalars_by_slot: dict[int, list[_ScalarStep]] = {}
         for step in plan.steps:
             if isinstance(step, _ScalarStep):
@@ -494,10 +946,15 @@ class _StatementCompiler:
             for step in scalars_by_slot.get(slot, ()):
                 self._emit_scalar(writer, step)
             if slot < len(plan.atoms):
-                if self._emit_atom(writer, plan.atoms[slot]):
+                entry = plan.atoms[slot]
+                if isinstance(entry, _GroupAggStep):
+                    opened = self._emit_group_agg(writer, entry)
+                else:
+                    opened = self._emit_atom(writer, entry)
+                if opened:
                     loops_opened += 1
 
-        self._emit_sink(writer, plan, mode, group, colset_ids)
+        sink(writer, plan)
         writer.close_loops(loops_opened)
 
     def _emit_scalar(self, writer, step: _ScalarStep) -> None:
@@ -512,13 +969,122 @@ class _StatementCompiler:
             writer.line(f"{step.local} = _norm({step.source})")
             writer.line(f"if _is_zero({step.local}):")
             writer.line(f"    {step.local} = 0")
-        else:  # lift_eq: an already-bound lift acts as an equality condition
+        elif step.kind == "lift_eq":
+            # An already-bound lift acts as an equality condition.
             tmp = self._fresh("s")
             writer.line(f"{tmp} = _norm({step.source})")
             writer.line(f"if _is_zero({tmp}):")
             writer.line(f"    {tmp} = 0")
             writer.line(f"if {step.check_var} != {tmp}:")
             writer.line(f"    {writer.abort}")
+        elif step.kind == "lift_agg":
+            # The aggregate chain already normalizes (and yields 0 when
+            # empty), matching the evaluator's lift-over-GMR read-back.
+            self._emit_agg_spec(writer, step.spec)
+        elif step.kind == "lift_agg_eq":
+            self._emit_agg_spec(writer, step.spec)
+            writer.line(f"if {step.check_var} != {step.spec.result}:")
+            writer.line(f"    {writer.abort}")
+        elif step.kind == "agg_factor":
+            # A zero aggregate is an empty scalar GMR: the row dies.
+            self._emit_agg_spec(writer, step.spec)
+            writer.line(f"if _is_zero({step.spec.result}):")
+            writer.line(f"    {writer.abort}")
+        elif step.kind == "exists":
+            # Exists gates on total multiplicity: zero kills the row, any
+            # other value contributes multiplicity 1 (no factor).
+            self._emit_agg_spec(writer, step.spec)
+            writer.line(f"if _is_zero({step.spec.result}):")
+            writer.line(f"    {writer.abort}")
+        else:  # pragma: no cover - planner and emitter enumerate the same kinds
+            raise Unsupported(f"unknown scalar step kind {step.kind!r}")
+
+    def _emit_agg_spec(self, writer, spec: _AggSpec) -> None:
+        """Emit code leaving the aggregate's value in ``spec.result``."""
+        if spec.mode == "total":
+            writer.line(f"{spec.result} = {spec.handle}.primary.get(_EMPTY_ROW)")
+            writer.line(f"if {spec.result} is None:")
+            writer.line(f"    {spec.result} = 0")
+            return
+        if spec.mode == "probe":
+            for entry in spec.prelude:
+                if entry[0] == "value":
+                    _, local, source = entry
+                    writer.line(f"{local} = _norm({source})")
+                    writer.line(f"if _is_zero({local}):")
+                    writer.line(f"    {local} = 0")
+                else:
+                    self._emit_agg_spec(writer, entry[1])
+            writer.line(
+                f"{spec.result} = {spec.probe}"
+                f"({spec.column!r}, {spec.op!r}, {spec.cutoff}, {spec.chain})"
+            )
+            return
+        # Inline scan loop.  The one-pass wrapper scopes the sub-term's
+        # aborts: a failing hoisted condition inside the aggregate must empty
+        # the aggregate, not abort the enclosing row.
+        plan = spec.plan
+        writer.line(f"{spec.result} = 0")
+        if not plan.dead:
+            wrapper = self._fresh("w")
+            writer.open_loop(f"for {wrapper} in _ONE_PASS:")
+            writer._aborts[-1] = "break"
+            self._emit_term(
+                writer, plan, lambda w, p: self._emit_agg_loop_sink(w, p, spec)
+            )
+            writer.close_loops(1)
+        if not spec.chain:
+            writer.line(f"{spec.result} = _norm({spec.result})")
+
+    def _emit_agg_loop_sink(self, writer, plan, spec: _AggSpec) -> None:
+        """Per-row accumulation inside an inline aggregate scan.
+
+        ``chain=True`` replicates the GMR aggregation chain (add, drop on
+        zero, normalize per step); ``chain=False`` the plain summation of
+        ``total_multiplicity`` over per-entry-normalized multiplicities.
+        """
+        if plan.factors:
+            product = self._fresh("p")
+            writer.line(f"{product} = {' * '.join(plan.factors)}")
+            writer.line(f"if _is_zero({product}):")
+            writer.line(f"    {writer.abort}")
+        else:
+            product = "1"
+        if spec.chain:
+            tmp = self._fresh("h")
+            writer.line(f"{tmp} = {spec.result} + {product}")
+            writer.line(f"{spec.result} = 0 if _is_zero({tmp}) else _norm({tmp})")
+        else:
+            writer.line(f"{spec.result} = {spec.result} + _norm({product})")
+
+    def _emit_group_agg(self, writer, step: _GroupAggStep) -> bool:
+        """Emit a grouped aggregate factor; always opens the iteration loop."""
+        writer.line(f"{step.dict_local} = {{}}")
+        plan = step.plan
+        if not plan.dead:
+            wrapper = self._fresh("w")
+            writer.open_loop(f"for {wrapper} in _ONE_PASS:")
+            writer._aborts[-1] = "break"
+            key = ", ".join(step.key_sources)
+            key = f"({key},)" if step.key_sources else "()"
+
+            def sink(w, p):
+                if p.factors:
+                    product = self._fresh("p")
+                    w.line(f"{product} = {' * '.join(p.factors)}")
+                    w.line(f"if _is_zero({product}):")
+                    w.line(f"    {w.abort}")
+                else:
+                    product = "1"
+                self._emit_dict_merge(w, step.dict_local, key, product)
+
+            self._emit_term(writer, plan, sink)
+            writer.close_loops(1)
+        gk = self._fresh("gk")
+        writer.open_loop(f"for {gk}, {step.mult_local} in {step.dict_local}.items():")
+        for var, position, local in step.unbound:
+            writer.line(f"{local} = {gk}[{position}]")
+        return True
 
     def _row_source(self, entries: Sequence[tuple[str, str]]) -> str:
         """Row-construction source from (column, local) pairs, sorted by name."""
@@ -574,13 +1140,17 @@ class _StatementCompiler:
         ]
         return self._row_source(entries)
 
-    def _emit_sink(self, writer, plan, mode, group, colset_ids) -> None:
+    def _emit_acc(self, writer, plan) -> None:
+        """The per-row delta: factor product in term order, dead on zero."""
         if plan.factors:
             writer.line(f"_acc = {' * '.join(plan.factors)}")
             writer.line("if _is_zero(_acc):")
             writer.line(f"    {writer.abort}")
         else:
             writer.line("_acc = 1")
+
+    def _emit_sink(self, writer, plan, mode, group, colset_ids) -> None:
+        self._emit_acc(writer, plan)
 
         if mode == "direct":
             key = self._target_row_source(lambda k: self._value_for(k, plan))
@@ -602,12 +1172,12 @@ class _StatementCompiler:
         key = f"({cs}, {values},)" if colset else f"({cs},)"
         self._emit_dict_merge(writer, "_mrg", key)
 
-    def _emit_dict_merge(self, writer, target: str, key_source: str) -> None:
+    def _emit_dict_merge(self, writer, target: str, key_source: str, value: str = "_acc") -> None:
         """GMR ``add_tuple`` semantics on a plain dict: add, normalize, drop zero."""
         k = self._fresh("k")
         writer.line(f"{k} = {key_source}")
         writer.line(f"_o = {target}.get({k}, 0)")
-        writer.line("_n = _o + _acc")
+        writer.line(f"_n = _o + {value}")
         writer.line("if _is_zero(_n):")
         writer.line(f"    {target}.pop({k}, None)")
         writer.line("else:")
@@ -667,7 +1237,7 @@ class _StatementCompiler:
 def try_compile_statement(
     statement: Statement, program: TriggerProgram
 ) -> StatementKernel | None:
-    """Compile one ``+=`` statement, or return None when it must interpret.
+    """Compile one ``+=`` or ``:=`` statement, or return None when it must interpret.
 
     This *is* the capability check: anything the emitter cannot lower raises
     internally and surfaces here as None, and the caller keeps the statement

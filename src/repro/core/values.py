@@ -62,6 +62,18 @@ def div(numerator: Any, denominator: Any) -> Any:
     return numerator / denominator
 
 
+#: Ordering comparison operators servable by an ordered range index probe.
+RANGE_OPS = frozenset(("<", "<=", ">", ">="))
+
+#: Mirror table for normalizing ``c op x`` into ``x op' c``.
+FLIP_OPS = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def flip_comparison(op: str) -> str:
+    """The mirrored operator (``a op b`` ⇔ ``b flip(op) a``)."""
+    return FLIP_OPS.get(op, op)
+
+
 _COMPARATORS = {
     "=": lambda a, b: a == b,
     "==": lambda a, b: a == b,

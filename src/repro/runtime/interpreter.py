@@ -69,6 +69,16 @@ class RuntimeSource:
     def scan_map(self, name: str, bound: Mapping[str, Any]) -> Iterator:
         return self._maps.scan_map(name, bound)
 
+    def range_sum(self, name: str, column: str, op: str, cutoff: Any, chain: bool = True):
+        """Ordered-index probe for comparison-guarded nested aggregates.
+
+        Exposing this marks the source as range-probe capable: the evaluator
+        routes ``AggSum([], M[k] * {k op c})`` / ``Exists`` shapes here
+        instead of scanning.  Results are bit-identical to the scan (see
+        :meth:`repro.runtime.maps.IndexedTable.range_sum`).
+        """
+        return self._maps.table(name).range_sum(column, op, cutoff, chain)
+
 
 class TriggerExecutor:
     """Applies stream events to the materialized views of one program."""

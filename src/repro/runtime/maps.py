@@ -5,7 +5,10 @@ map containers (Boost Multi-Index): a primary index over the full key plus
 secondary hash indexes for every binding pattern occurring in the trigger
 program.  :class:`IndexedTable` reproduces that design in Python: a primary
 ``dict`` keyed by the full key row plus lazily created, incrementally
-maintained secondary indexes keyed by column subsets.
+maintained secondary indexes keyed by column subsets, and — for the
+comparison-guarded nested aggregates of the financial workload — ordered
+range indexes (:mod:`repro.runtime.ordered`) answering
+``sum(value) where column op cutoff`` probes through :meth:`IndexedTable.range_sum`.
 
 :class:`MapStore` is the collection of all materialized views of one engine,
 and :class:`ViewCache` implements the paper's view-cache data structure for
@@ -20,19 +23,21 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.core.gmr import GMR
 from repro.core.rows import Row
-from repro.core.values import is_zero, normalize_number
+from repro.core.values import comparison_holds, is_zero, normalize_number
 from repro.errors import RuntimeEngineError
+from repro.runtime.ordered import OrderedRangeIndex
 
 
 class IndexedTable:
     """A mutable map from key rows to numeric values with secondary indexes."""
 
-    __slots__ = ("columns", "_data", "_indexes")
+    __slots__ = ("columns", "_data", "_indexes", "_ordered")
 
     def __init__(self, columns: Sequence[str]) -> None:
         self.columns = tuple(columns)
         self._data: dict[Row, Any] = {}
         self._indexes: dict[frozenset[str], dict[Row, dict[Row, Any]]] = {}
+        self._ordered: dict[str, OrderedRangeIndex] = {}
 
     # -- basic access -------------------------------------------------------
     def __len__(self) -> int:
@@ -99,12 +104,16 @@ class IndexedTable:
             if old is not None:
                 del self._data[row]
                 self._index_remove(row)
+                if self._ordered:
+                    self._ordered_change(row, old, None)
         else:
             self._data[row] = new
             if old is None:
                 self._index_add(row)
             else:
                 self._index_update(row, new)
+            if self._ordered:
+                self._ordered_change(row, old, new)
 
     def set(self, key: Row | Mapping[str, Any] | Sequence[Any], value: Any) -> None:
         """Overwrite the value stored under ``key`` (removing it when zero)."""
@@ -112,14 +121,21 @@ class IndexedTable:
         old = self._data.pop(row, None)
         if old is not None:
             self._index_remove(row)
-        if not is_zero(value):
-            self._data[row] = normalize_number(value)
-            self._index_add(row)
+        if is_zero(value):
+            if old is not None and self._ordered:
+                self._ordered_change(row, old, None)
+            return
+        new = normalize_number(value)
+        self._data[row] = new
+        self._index_add(row)
+        if self._ordered:
+            self._ordered_change(row, old, new)
 
     def replace(self, entries: Iterable[tuple[Row | Sequence[Any], Any]]) -> None:
         """Replace the entire contents (used by ``:=`` re-evaluation statements)."""
         self._data = {}
         self._indexes = {}
+        self._ordered = {}
         for key, value in entries:
             if is_zero(value):
                 continue
@@ -127,12 +143,13 @@ class IndexedTable:
             self._data[row] = normalize_number(self._data.get(row, 0) + value)
             if is_zero(self._data[row]):
                 del self._data[row]
-        # Secondary indexes are rebuilt lazily on the next partially-bound scan.
+        # Secondary and ordered indexes are rebuilt lazily on the next probe.
 
     def clear(self) -> None:
         """Remove every entry."""
         self._data = {}
         self._indexes = {}
+        self._ordered = {}
 
     # -- scans ---------------------------------------------------------------------
     def scan(self, bound: Mapping[str, Any]) -> Iterator[tuple[Row, Any]]:
@@ -156,6 +173,68 @@ class IndexedTable:
         bucket = index.get(Row(bound))
         if bucket:
             yield from bucket.items()
+
+    # -- ordered range indexes ---------------------------------------------------
+    def range_index(self, column: str) -> OrderedRangeIndex:
+        """The ordered range index over ``column`` (created empty on first use).
+
+        The index fills itself from the table lazily, on the first
+        :meth:`range_sum` probe; after :meth:`clear` / :meth:`replace` (and
+        therefore after an engine ``restore_state``) the dictionary is simply
+        dropped and the next probe rebuilds — the same lazy contract as the
+        hash secondary indexes.
+        """
+        index = self._ordered.get(column)
+        if index is None:
+            if column not in self.columns:
+                raise RuntimeEngineError(
+                    f"range index on unknown column {column!r}; table has {self.columns}"
+                )
+            index = OrderedRangeIndex(column, sorted(self.columns).index(column))
+            self._ordered[column] = index
+        return index
+
+    def range_sum(self, column: str, op: str, cutoff: Any, chain: bool = True) -> Any:
+        """Exact ``sum(value) where column op cutoff`` over this table.
+
+        This is the probe behind comparison-guarded nested aggregates
+        (``SUM(x) WHERE col > c`` and the ``>= / < / <=`` variants).  The
+        answer is bit-identical — value *and* type — to what the AGCA
+        evaluator computes by scanning: the ordered index serves it in
+        O(log n) while every stored value is an int/Fraction, and an in-order
+        scan takes over whenever floats (or unorderable keys) make reordered
+        summation unsafe.
+
+        ``chain=True`` reproduces the GMR aggregation chain used by
+        ``AggSum`` (running zero-drop and normalization per step);
+        ``chain=False`` reproduces the plain summation of
+        ``total_multiplicity`` used by ``Exists``.  In the exact regime both
+        agree, which is the only regime the index answers in.
+        """
+        index = self.range_index(column)
+        if index.wants_rebuild:
+            index.rebuild(self._data.items())
+        value = index.probe(op, cutoff)
+        if value is not None:
+            return value
+        index.scan_fallbacks += 1
+        position = index.key_pos
+        total: Any = 0
+        if chain:
+            for row, stored in self._data.items():
+                if comparison_holds(row._items[position][1], op, cutoff):
+                    candidate = total + stored
+                    total = 0 if is_zero(candidate) else normalize_number(candidate)
+            return total
+        for row, stored in self._data.items():
+            if comparison_holds(row._items[position][1], op, cutoff):
+                total = total + stored
+        return normalize_number(total)
+
+    def _ordered_change(self, row: Row, old: Any, new: Any) -> None:
+        items = row._items
+        for index in self._ordered.values():
+            index.change(items[index.key_pos][1], old, new)
 
     # -- secondary indexes ------------------------------------------------------------
     def _ensure_index(self, columns: frozenset[str]) -> dict[Row, dict[Row, Any]]:
@@ -208,13 +287,20 @@ class IndexedTable:
             }
         return out
 
+    def ordered_index_stats(self) -> dict[str, dict[str, object]]:
+        """Probe/rebuild/regime statistics per ordered range index, by column."""
+        return {column: index.stats() for column, index in self._ordered.items()}
+
     def stats(self) -> dict[str, object]:
         """Entry count, memory and secondary-index statistics for this table."""
-        return {
+        out: dict[str, object] = {
             "entries": len(self._data),
             "memory_bytes": self.memory_bytes(),
             "indexes": self.index_stats(),
         }
+        if self._ordered:
+            out["ordered_indexes"] = self.ordered_index_stats()
+        return out
 
 
 class MapStore:

@@ -1,0 +1,128 @@
+"""Evaluator range-probe routing: guarded AggSum/Exists shapes, bit-identical.
+
+The evaluator may only route ``AggSum([], M[k] * {k op c})`` (and the
+``Exists`` variant) to an ordered probe when the answer provably matches the
+scan.  Each test evaluates the same expression through a probe-capable
+``RuntimeSource`` and through a plain wrapper with the probe surface hidden,
+and requires equal values *and* types.
+"""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.agca.ast import AggSum, Cmp, Exists, MapRef, Product, VArith, VConst, VVar
+from repro.agca.evaluator import Evaluator, match_range_pattern
+from repro.runtime.database import Database
+from repro.runtime.interpreter import RuntimeSource
+from repro.runtime.maps import MapStore
+
+
+class _NoProbe:
+    """RuntimeSource with the range_sum surface hidden (generic evaluation)."""
+
+    def __init__(self, source):
+        self._inner = source
+
+    def relation_columns(self, name):
+        return self._inner.relation_columns(name)
+
+    def map_columns(self, name):
+        return self._inner.map_columns(name)
+
+    def scan_relation(self, name, bound):
+        return self._inner.scan_relation(name, bound)
+
+    def scan_map(self, name, bound):
+        return self._inner.scan_map(name, bound)
+
+
+def _sources(entries, columns=("price",)):
+    maps = MapStore()
+    table = maps.declare("M", columns)
+    for key, value in entries:
+        table.add(key, value)
+    source = RuntimeSource(Database(), maps)
+    return source, _NoProbe(source), table
+
+
+GUARDED = AggSum((), Product((MapRef("M", ("p",)), Cmp(VVar("p"), ">", VVar("c")))))
+REVERSED = AggSum((), Product((MapRef("M", ("p",)), Cmp(VVar("c"), ">=", VVar("p")))))
+EXISTS = Exists(Product((MapRef("M", ("p",)), Cmp(VVar("p"), "<", VVar("c")))))
+
+
+def _assert_same(expr, probed_source, plain_source, ctx):
+    probed = Evaluator(probed_source).evaluate(expr, ctx)
+    plain = Evaluator(plain_source).evaluate(expr, ctx)
+    assert probed == plain
+    for row, mult in plain.items():
+        other = probed[row]
+        assert other == mult and type(other) is type(mult)
+
+
+@pytest.mark.parametrize("expr", [GUARDED, REVERSED, EXISTS])
+def test_probed_evaluation_matches_generic(expr):
+    rng = random.Random(7)
+    entries = [((rng.randint(0, 25),), rng.choice((-3, 1, 2, 9))) for _ in range(300)]
+    probed, plain, _ = _sources(entries)
+    for cutoff in range(-1, 27):
+        _assert_same(expr, probed, plain, {"c": cutoff})
+
+
+def test_probe_actually_engages():
+    probed, _, table = _sources([((i,), i + 1) for i in range(50)])
+    evaluator = Evaluator(probed)
+    for cutoff in range(50):
+        evaluator.evaluate(GUARDED, {"c": cutoff})
+    assert table.range_index("price").stats()["probes"] > 0
+
+
+def test_bound_key_variable_declines_the_probe():
+    # With the atom key bound in the context the scan is filtered, not a
+    # range; the evaluator must fall back to generic evaluation.
+    probed, plain, table = _sources([((i,), 2) for i in range(10)])
+    ctx = {"c": 3, "p": 7}
+    _assert_same(GUARDED, probed, plain, ctx)
+    assert table.range_index("price").stats()["probes"] == 0
+
+
+def test_fraction_values_probe_exactly():
+    entries = [((i,), Fraction(1, i + 1)) for i in range(12)]
+    probed, plain, _ = _sources(entries)
+    for cutoff in range(-1, 13):
+        _assert_same(GUARDED, probed, plain, {"c": cutoff})
+
+
+def test_float_values_still_match_through_the_scan_fallback():
+    rng = random.Random(11)
+    entries = [((rng.randint(0, 9),), rng.choice((0.25, 1.5, 3, -0.75))) for _ in range(60)]
+    probed, plain, _ = _sources(entries)
+    for cutoff in range(-1, 11):
+        _assert_same(GUARDED, probed, plain, {"c": cutoff})
+        _assert_same(EXISTS, probed, plain, {"c": cutoff})
+
+
+def test_grouped_aggsum_is_not_probed():
+    expr = AggSum(("p",), Product((MapRef("M", ("p",)), Cmp(VVar("p"), ">", VVar("c")))))
+    probed, plain, table = _sources([((i,), 1) for i in range(6)])
+    _assert_same(expr, probed, plain, {"c": 2})
+    assert table.range_index("price").stats()["probes"] == 0
+
+
+def test_match_range_pattern_shapes():
+    assert match_range_pattern(GUARDED.term) is not None
+    name, keys, guard, op, cutoff, cutoff_vars = match_range_pattern(REVERSED.term)
+    assert op == "<="  # c >= p  ⇒  p <= c
+    assert guard == "p" and cutoff_vars == frozenset({"c"})
+    # Arithmetic cutoffs match; equality, key-vs-key, and repeated keys don't.
+    arith = Product(
+        (MapRef("M", ("p",)), Cmp(VVar("p"), ">", VArith("*", VConst(0.25), VVar("c"))))
+    )
+    assert match_range_pattern(arith) is not None
+    eq = Product((MapRef("M", ("p",)), Cmp(VVar("p"), "=", VVar("c"))))
+    assert match_range_pattern(eq) is None
+    self_cmp = Product((MapRef("M", ("p", "q")), Cmp(VVar("p"), ">", VVar("q"))))
+    assert match_range_pattern(self_cmp) is None
+    repeated = Product((MapRef("M", ("p", "p")), Cmp(VVar("p"), ">", VVar("c"))))
+    assert match_range_pattern(repeated) is None

@@ -97,12 +97,51 @@ def test_codegen_command_writes_json_and_gates(capsys, tmp_path):
     assert code == 2
 
 
-def test_codegen_command_exempts_fallback_dominated_queries(capsys):
-    # VWAP keeps := statements on the interpreter, so it must not trip the
-    # gate even with an unreachable bound.
+def test_codegen_command_exempts_fallback_dominated_queries(capsys, monkeypatch):
+    # A query dominated by interpreter fallbacks must not trip the gate even
+    # with an unreachable bound.  Every in-tree query compiles fully now, so
+    # force the fallback by refusing compilation outright.
+    import repro.codegen.statement as statement_module
+
+    monkeypatch.setattr(
+        statement_module, "try_compile_statement", lambda statement, program: None
+    )
     code = main(["codegen", "--queries", "VWAP", "--events", "60", "--budget", "2",
                  "--output", "-", "--min-speedup", "1e9"])
     assert code == 0
+
+
+def test_finance_command_requires_compiled(capsys, tmp_path):
+    # The finance sweep must report zero fallbacks on the nested-aggregate
+    # queries and honor the compilation gate.
+    output = tmp_path / "BENCH_finance.json"
+    code = main(["finance", "--queries", "VWAP", "--events", "120", "--budget", "3",
+                 "--output", str(output), "--require-compiled", "VWAP"])
+    assert code == 0
+    import json
+
+    record = json.loads(output.read_text())
+    assert record["VWAP"]["fallback_statements"] == 0
+
+
+def test_finance_command_rejects_unknown_required_queries(capsys):
+    # A required query absent from the sweep must fail the gate, not pass it.
+    code = main(["finance", "--queries", "VWAP", "--events", "60", "--budget", "2",
+                 "--output", "-", "--require-compiled", "VWAp"])
+    assert code == 3
+    assert "gate error" in capsys.readouterr().out
+
+
+def test_finance_command_fallback_gate_trips(capsys, monkeypatch):
+    import repro.codegen.statement as statement_module
+
+    monkeypatch.setattr(
+        statement_module, "try_compile_statement", lambda statement, program: None
+    )
+    code = main(["finance", "--queries", "VWAP", "--events", "60", "--budget", "2",
+                 "--output", "-", "--require-compiled", "VWAP"])
+    assert code == 3
+    assert "fallback regression" in capsys.readouterr().out
 
 
 def test_rates_command_with_compiled_strategy(capsys):
