@@ -128,6 +128,12 @@ def _build_parser() -> argparse.ArgumentParser:
     codegen.add_argument("--min-speedup", type=float, default=1.0,
                          help="exit nonzero when a fully-compiled query's speedup "
                               "falls below this bound (the CI regression gate)")
+    codegen.add_argument("--min-fused-speedup", type=float, default=0.9,
+                         help="exit nonzero when a fully-compiled query's fused "
+                              "throughput falls below this fraction of its "
+                              "per-statement throughput (no-regression gate; the "
+                              "0.9 default absorbs timer noise on queries whose "
+                              "statements dwarf dispatch cost)")
     codegen.add_argument("--require-compiled", nargs="*", default=[],
                          help="queries that must report fallback_statements == 0 "
                               "(exit nonzero otherwise; guards the nested-aggregate "
@@ -146,6 +152,10 @@ def _build_parser() -> argparse.ArgumentParser:
     finance.add_argument("--min-speedup", type=float, default=1.0,
                          help="exit nonzero when a fully-compiled query's speedup "
                               "falls below this bound (the CI regression gate)")
+    finance.add_argument("--min-fused-speedup", type=float, default=0.9,
+                         help="exit nonzero when a fully-compiled query's fused "
+                              "throughput falls below this fraction of its "
+                              "per-statement throughput")
     finance.add_argument("--require-compiled", nargs="*",
                          default=["VWAP", "MST", "PSP"],
                          help="queries that must report fallback_statements == 0")
@@ -285,6 +295,19 @@ def main(argv: list[str] | None = None) -> int:
         ]
         if failures:
             print("codegen throughput regression: " + "; ".join(failures))
+            return 2
+        # Fusion gate: on a fully-compiled query, whole-trigger fusion must
+        # not run slower than per-statement dispatch (within timer noise).
+        fusion_failures = [
+            f"{query}: fused {row['fused_speedup']:.2f}x < "
+            f"{args.min_fused_speedup:.2f}x of per-statement"
+            for query, row in results.items()
+            if row["fallback_statements"] == 0
+            and row["fused_kernels"] > 0
+            and row["fused_speedup"] < args.min_fused_speedup
+        ]
+        if fusion_failures:
+            print("fusion throughput regression: " + "; ".join(fusion_failures))
             return 2
         return 0
 

@@ -239,53 +239,74 @@ def run_codegen_sweep(
     max_seconds_per_run: float = 10.0,
     seed: int = 7,
 ) -> dict[str, dict[str, object]]:
-    """Per-event throughput of compiled versus interpreted trigger programs.
+    """Per-event throughput of fused/per-statement/interpreted execution.
 
-    Replays the same agenda through ``dbtoaster`` (interpreted) and
-    ``dbtoaster-comp`` (:mod:`repro.codegen`) and reports both rates, the
-    speedup, and how many statements compiled versus fell back to the
-    interpreter.  This is the benchmark behind ``BENCH_codegen.json`` and the
-    CI regression gate: compiled throughput below the interpreted baseline on
-    a fully-compiled query is a bug, not noise.
+    Replays the same agenda through ``dbtoaster`` (interpreted),
+    ``dbtoaster-comp`` with ``fused=False`` (per-statement kernels) and
+    ``dbtoaster-comp`` (whole-trigger fusion, the shipping configuration)
+    and reports all three rates, the speedups, the statement coverage and
+    the fusion statistics.  This is the benchmark behind
+    ``BENCH_codegen.json`` and the CI regression gates: on a fully-compiled
+    query, compiled throughput below the interpreted baseline — or fused
+    throughput meaningfully below per-statement — is a bug, not noise.
     """
+    runs = (
+        ("interpreted", "dbtoaster", {}),
+        ("compiled", "dbtoaster-comp", {"fused": False}),
+        ("fused", "dbtoaster-comp", {}),
+    )
     results: dict[str, dict[str, object]] = {}
     for name in queries:
         spec = workload(name)
         agenda, static = _prepare(spec, events, None, seed)
         translated = spec.query_factory()
-        per_query: dict[str, object] = {}
+        per_query: dict[str, RunResult] = {}
         codegen_stats: dict[str, object] = {}
-        for strategy in ("dbtoaster", "dbtoaster-comp"):
-            engine = build_engine(strategy, translated)
+        for label, strategy, config in runs:
+            engine = build_engine(strategy, translated, **config)
             try:
-                result = measure_refresh_rate(
+                per_query[label] = measure_refresh_rate(
                     engine,
                     agenda,
                     static,
                     max_seconds=max_seconds_per_run,
-                    strategy=strategy,
+                    strategy=label if label != "interpreted" else strategy,
                     query=name,
                 )
-                per_query[strategy] = result
-                if strategy == "dbtoaster-comp":
+                if label == "fused":
                     codegen_stats = dict(engine.statistics().get("codegen", {}))
             finally:
                 if hasattr(engine, "close"):
                     engine.close()
-        interpreted: RunResult = per_query["dbtoaster"]
-        compiled: RunResult = per_query["dbtoaster-comp"]
+        interpreted = per_query["interpreted"]
+        compiled = per_query["compiled"]
+        fused = per_query["fused"]
         speedup = (
             compiled.refresh_rate / interpreted.refresh_rate
             if interpreted.refresh_rate > 0
             else 0.0
         )
+        fused_speedup = (
+            fused.refresh_rate / compiled.refresh_rate
+            if compiled.refresh_rate > 0
+            else 0.0
+        )
         results[name] = {
-            "events": min(interpreted.events_processed, compiled.events_processed),
+            "events": min(
+                interpreted.events_processed,
+                compiled.events_processed,
+                fused.events_processed,
+            ),
             "interpreted": interpreted,
             "compiled": compiled,
+            "fused": fused,
             "speedup": speedup,
+            "fused_speedup": fused_speedup,
             "compiled_statements": codegen_stats.get("compiled_statements", 0),
             "fallback_statements": codegen_stats.get("fallback_statements", 0),
+            "fused_kernels": codegen_stats.get("fused_kernels", 0),
+            "deduped_probes": codegen_stats.get("deduped_probes", 0),
+            "deduped_scalars": codegen_stats.get("deduped_scalars", 0),
         }
     return results
 

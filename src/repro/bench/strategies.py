@@ -7,8 +7,10 @@ label            engine
 ===============  ===========================================================
 dbtoaster        full Higher-Order IVM (this paper's system)
 dbtoaster-comp   HO-IVM with triggers compiled to specialized Python code
-                 (:class:`repro.codegen.CompiledEngine`, per-statement
-                 interpreter fallback)
+                 (:class:`repro.codegen.CompiledEngine`: one fused kernel
+                 per trigger, per-statement interpreter fallback; pass
+                 ``fused=False`` for per-statement dispatch — the baseline
+                 the fusion regression gate compares against)
 dbtoaster-batch  HO-IVM with delta-batched trigger execution
                  (:class:`repro.exec.BatchedEngine`)
 dbtoaster-par    HO-IVM hash-partitioned across engines with merge-on-read
@@ -127,10 +129,10 @@ def _dbtoaster_program(query: TranslatedQuery):
     )
 
 
-def _dbtoaster_comp(query: TranslatedQuery):
+def _dbtoaster_comp(query: TranslatedQuery, fused: bool = True):
     from repro.codegen.engine import CompiledEngine
 
-    return CompiledEngine(_dbtoaster_program(query))
+    return CompiledEngine(_dbtoaster_program(query), fuse=fused)
 
 
 def _dbtoaster_batch(

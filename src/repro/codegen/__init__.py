@@ -1,25 +1,33 @@
-"""Trigger-program compilation to specialized Python code.
+"""Trigger-program compilation to specialized Python code, in three stages.
 
 The interpreter (:mod:`repro.runtime.interpreter`) walks the AGCA AST of every
 statement on every event; that tree walk — context dictionaries, GMR
-allocations, memo bookkeeping — dominates per-event cost.  This package mirrors
-the paper's code-generation stage with a Python source-emitting compiler:
+allocations, memo bookkeeping — dominates per-event cost.  This package
+mirrors the paper's staged toolchain (calculus → trigger programs →
+functional IR → target code) with an explicit **plan → IR → emit** pipeline:
 
 * :mod:`repro.codegen.lowering` lowers scalar value expressions to Python
-  expression source;
-* :mod:`repro.codegen.statement` lowers whole trigger statements into
-  straight-line functions specialized on the statement's map schemas, trigger
-  variables and access patterns (direct dict probes for bound keys, secondary
-  index scans for partial bindings, hoisted loop-invariant subexpressions),
-  compiled once via ``compile()``/``exec``;
+  expression source fragments;
+* :mod:`repro.codegen.statement` **plans** whole trigger statements into the
+  kernel IR of :mod:`repro.codegen.ir` — event loads, table-handle binds,
+  primary/secondary/range probes, bucket loops, scalar ops, aggregate
+  accumulators, sink merges — specialized on the statement's map schemas,
+  trigger variables and access patterns;
+* :mod:`repro.codegen.trigger` **fuses** the statement IRs of one
+  (relation, op) trigger into a single function, hoisting shared event
+  unpacks/table handles and deduplicating identical probe/condition subtrees
+  across statements;
+* :mod:`repro.codegen.emit` is the only place Python source is generated: it
+  walks the IR once and renders the kernel, compiled via ``compile()``/``exec``;
 * :mod:`repro.codegen.engine` ships :class:`CompiledEngine`, a drop-in
-  :class:`~repro.runtime.protocol.EngineProtocol` implementation that runs the
-  compiled kernels and falls back to the interpreter — per statement — for
-  anything outside the compilable fragment (external functions, nested
-  aggregates, ``:=`` re-evaluation), so results are always bit-identical.
+  :class:`~repro.runtime.protocol.EngineProtocol` implementation dispatching
+  one fused kernel per event, with per-statement kernels and interpreter
+  fallback for anything outside the compilable fragment, so results are
+  always bit-identical.
 
-See the "Codegen" section of DESIGN.md for the lowering rules and the
-fallback policy.
+``python -m repro.codegen dump <query>`` prints the generated kernel source
+and IR operation counts.  See the "Codegen" section of DESIGN.md for the
+lowering rules, the fusion/dedup rules and the fallback policy.
 """
 
 from repro.codegen.engine import CompiledEngine, CompiledExecutor
@@ -28,11 +36,14 @@ from repro.codegen.statement import (
     compile_scalar_kernel,
     try_compile_statement,
 )
+from repro.codegen.trigger import TriggerKernel, try_fuse_trigger
 
 __all__ = [
     "CompiledEngine",
     "CompiledExecutor",
     "StatementKernel",
+    "TriggerKernel",
     "compile_scalar_kernel",
     "try_compile_statement",
+    "try_fuse_trigger",
 ]

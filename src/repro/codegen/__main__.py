@@ -1,0 +1,127 @@
+"""Command-line inspection of generated trigger kernels.
+
+``dump`` compiles a workload query and prints, per trigger, the fused kernel
+source (or the per-statement kernels where fusion does not apply) together
+with IR operation counts and the fusion/dedup statistics — the tool to reach
+for when a generated kernel misbehaves or a fusion win needs verifying::
+
+    python -m repro.codegen dump Q3
+    python -m repro.codegen dump Q1 --trigger Lineitem:+
+    python -m repro.codegen dump VWAP --per-statement
+
+``--trigger REL:+`` / ``REL:-`` restricts the output to one (relation, op)
+trigger; ``--per-statement`` additionally prints every statement's
+individual kernel (the batched execution path) below the fused one.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.codegen.engine import CompiledEngine
+from repro.compiler.hoivm import compile_query
+from repro.workloads import all_workloads, workload
+
+
+def _parse_trigger(text: str) -> tuple[str, int]:
+    relation, _, op = text.partition(":")
+    if op not in ("+", "-") or not relation:
+        raise argparse.ArgumentTypeError(
+            f"expected REL:+ or REL:- (e.g. Lineitem:+), got {text!r}"
+        )
+    return relation, 1 if op == "+" else -1
+
+
+def _format_ops(ops: dict[str, int]) -> str:
+    return ", ".join(f"{kind}={count}" for kind, count in sorted(ops.items())) or "-"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.codegen",
+        description="Inspect the kernels the codegen pipeline generates.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    dump = sub.add_parser(
+        "dump", help="Print generated kernel source and IR op counts for a query"
+    )
+    dump.add_argument("query", help="workload query name (see `python -m repro.bench list`)")
+    dump.add_argument(
+        "--trigger", type=_parse_trigger, default=None, metavar="REL:+/-",
+        help="restrict to one trigger, e.g. Lineitem:+ or Bids:-",
+    )
+    dump.add_argument(
+        "--per-statement", action="store_true",
+        help="also print each statement's individual kernel",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        spec = workload(args.query)
+    except KeyError:
+        print(f"unknown query {args.query!r}; available: {', '.join(sorted(all_workloads()))}")
+        return 2
+
+    translated = spec.query_factory()
+    program = compile_query(
+        translated.roots(),
+        translated.schemas(),
+        static_relations=translated.static_relations(),
+    )
+    engine = CompiledEngine(program)
+    executor = engine.codegen
+
+    triggers = sorted(
+        program.triggers.values(), key=lambda t: (t.relation, -t.sign)
+    )
+    if args.trigger is not None:
+        relation, sign = args.trigger
+        triggers = [t for t in triggers if t.relation == relation and t.sign == sign]
+        if not triggers:
+            print(f"no trigger for {relation}:{'+' if sign > 0 else '-'} in {args.query}")
+            return 2
+
+    summary = executor.codegen_statistics()
+    print(
+        f"{args.query}: {summary['compiled_statements']} statements compiled, "
+        f"{summary['fallback_statements']} on the interpreter; "
+        f"{summary['fused_kernels']} fused kernels "
+        f"({summary['deduped_probes']} probes, "
+        f"{summary['deduped_scalars']} scalars deduped)"
+    )
+    for trigger in triggers:
+        fused = executor.trigger_kernel_for(trigger.sign, trigger.relation)
+        print()
+        if fused is not None:
+            print(
+                f"== {trigger.name}: fused kernel "
+                f"({fused.fused_statements} statements, "
+                f"{fused.deduped_probes} probes + "
+                f"{fused.deduped_scalars} scalars deduped) =="
+            )
+            print(fused.source, end="")
+            print(f"-- IR ops: {_format_ops(fused.ir_ops)}")
+            if not args.per_statement:
+                continue
+        else:
+            print(f"== {trigger.name}: per-statement dispatch (no fused kernel) ==")
+        for position, statement in enumerate(trigger.statements):
+            kernel = executor.kernel_for(statement)
+            print()
+            if kernel is None:
+                print(
+                    f"-- statement {position} -> {statement.target}: "
+                    f"interpreter fallback"
+                )
+                continue
+            print(f"-- statement {position} -> {statement.target}:")
+            print(kernel.source, end="")
+            print(f"-- IR ops: {_format_ops(kernel.ir_ops)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

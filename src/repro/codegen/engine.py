@@ -3,19 +3,26 @@
 :class:`CompiledEngine` is a drop-in replacement for
 :class:`~repro.runtime.engine.IncrementalEngine` (it *is* one — same map
 store, database, checkpoint format ``kind: "single"`` and view surface) whose
-executor runs the specialized Python functions produced by
-:mod:`repro.codegen.statement` instead of walking the AGCA AST per event.
+executor runs the specialized Python functions produced by the staged
+codegen pipeline (:mod:`repro.codegen.statement` plans IR,
+:mod:`repro.codegen.emit` renders it, :mod:`repro.codegen.trigger` fuses it)
+instead of walking the AGCA AST per event.
 
-Every statement — ``+=`` and ``:=`` alike — is compiled at engine
-construction; the few statements outside the compilable fragment execute
-through the ordinary :class:`~repro.runtime.interpreter.TriggerExecutor`, so
-the engine's observable results (values *and* types) are identical to the
-interpreted engine on every program.  One deliberate deviation in the error
-surface: hoisted loop-invariant conditions are evaluated even when the scan
-they guard is empty, so an *ill-typed* comparison (ordering a number against
-a string) can raise here on events where the interpreter would have skipped
-it.  Well-typed programs — everything the SQL frontend emits — behave
-identically, errors included.
+Dispatch is two-tier.  A trigger whose statements *all* compile runs as one
+**fused kernel**: ``apply`` is a single ``(sign, relation)`` dictionary hit
+followed by one function call covering every statement, the base-relation
+apply and all ``:=`` statements, with event unpacks and identical
+probe/condition subtrees shared across statements.  Triggers with any
+uncompilable statement fall back to per-statement dispatch: compiled
+statements run their individual kernels and the rest execute through the
+ordinary :class:`~repro.runtime.interpreter.TriggerExecutor`, in statement
+order, so the engine's observable results (values *and* types) are identical
+to the interpreted engine on every program.  One deliberate deviation in the
+error surface: hoisted loop-invariant conditions are evaluated even when the
+scan they guard is empty, so an *ill-typed* comparison (ordering a number
+against a string) can raise here on events where the interpreter would have
+skipped it.  Well-typed programs — everything the SQL frontend emits —
+behave identically, errors included.
 
 Durable state stays interchangeable with the other single engines: the
 checkpoint dictionary holds only map/relation entries and the event count,
@@ -23,6 +30,9 @@ never code objects.  :meth:`CompiledEngine.restore_state` recompiles and
 rebinds every kernel after loading, so state pickled on one process (or one
 library version) runs on another — this is what lets the multiprocessing
 executor backend rebuild compiled workers from the pickled trigger program.
+Fused kernels cache their per-database table resolution, so a restore into
+the same engine reuses the already-linked runners instead of re-``exec``-ing
+every code object.
 """
 
 from __future__ import annotations
@@ -30,7 +40,8 @@ from __future__ import annotations
 from typing import Any, Callable, Mapping
 
 from repro.codegen import statement as statement_compiler
-from repro.compiler.program import ASSIGN, INCREMENT, Statement, TriggerProgram
+from repro.codegen import trigger as trigger_compiler
+from repro.compiler.program import ASSIGN, Statement, TriggerProgram
 from repro.delta.events import StreamEvent
 from repro.runtime.database import Database
 from repro.runtime.engine import IncrementalEngine
@@ -60,7 +71,9 @@ class CompiledExecutor:
     Exposes the same surface as :class:`TriggerExecutor` (``apply``,
     ``execute_increment``, ``execute_assign``, ``evaluator``,
     ``maintained_relations``) so the batched execution subsystem can drive a
-    compiled engine exactly like an interpreted one.
+    compiled engine exactly like an interpreted one.  ``fuse=False`` disables
+    whole-trigger fusion and dispatches per statement — the benchmark
+    baseline fused execution is gated against.
     """
 
     def __init__(
@@ -70,17 +83,22 @@ class CompiledExecutor:
         maps: MapStore,
         maintained_relations: frozenset[str] = frozenset(),
         interpreter: TriggerExecutor | None = None,
+        fuse: bool = True,
     ) -> None:
         self._program = program
         self._database = database
         self._maps = maps
         self._maintained = maintained_relations
+        self._fuse = fuse
         self._interpreter = interpreter if interpreter is not None else TriggerExecutor(
             program, database, maps, maintained_relations=maintained_relations
         )
         self._kernels: dict[int, statement_compiler.StatementKernel] = {}
         self._plans: dict[tuple[int, str], _TriggerPlan] = {}
         self._runners: dict[int, Callable[[tuple, Any], None]] = {}
+        self._trigger_kernels: dict[tuple[int, str], trigger_compiler.TriggerKernel] = {}
+        # (sign, relation) -> (fused runner, arity): the per-event fast path.
+        self._fused: dict[tuple[int, str], tuple[Callable[[tuple], None], int]] = {}
         self._pinned: list[Statement] = []  # keeps id()-keyed statements alive
         self.compiled_statements = 0
         self.fallback_statements = 0
@@ -89,12 +107,14 @@ class CompiledExecutor:
     # -- compilation --------------------------------------------------------
     def _compile_all(self) -> None:
         self._kernels.clear()
+        self._trigger_kernels.clear()
         self.compiled_statements = 0
         self.fallback_statements = 0
         for trigger in self._program.triggers.values():
             plan = _TriggerPlan()
             if trigger.statements:
                 plan.arity = len(trigger.statements[0].event.trigger_vars)
+            fully_compiled = bool(trigger.statements)
             for stmt in trigger.statements:
                 kernel = statement_compiler.try_compile_statement(stmt, self._program)
                 if kernel is not None:
@@ -103,11 +123,17 @@ class CompiledExecutor:
                     self.compiled_statements += 1
                 else:
                     self.fallback_statements += 1
+                    fully_compiled = False
                 if stmt.operation == ASSIGN:
                     plan.assigns.append((stmt, None))  # bound below
                 else:
                     plan.increments.append((stmt, None))
-            self._plans[(trigger.sign, trigger.relation)] = plan
+            key = (trigger.sign, trigger.relation)
+            self._plans[key] = plan
+            if self._fuse and fully_compiled:
+                fused = trigger_compiler.try_fuse_trigger(trigger, self._program)
+                if fused is not None:
+                    self._trigger_kernels[key] = fused
         self.rebind()
 
     def rebind(self) -> None:
@@ -115,7 +141,9 @@ class CompiledExecutor:
 
         Called after compilation and after :meth:`CompiledEngine.restore_state`;
         binding is what turns schema-specialized code objects into closures
-        over the concrete :class:`IndexedTable` objects.
+        over the concrete :class:`IndexedTable` objects.  Fused kernels cache
+        their resolution per table set, so rebinding after a restore into the
+        same store is a cheap identity check, not a re-``exec``.
         """
         self._runners.clear()
         for key, kernel in self._kernels.items():
@@ -127,6 +155,10 @@ class CompiledExecutor:
             plan.assigns = [
                 (stmt, self._runners.get(id(stmt))) for stmt, _ in plan.assigns
             ]
+        self._fused = {
+            key: (kernel.bind(self._maps, self._database), kernel.arity)
+            for key, kernel in self._trigger_kernels.items()
+        }
 
     def kernel_for(self, stmt: Statement) -> statement_compiler.StatementKernel | None:
         """The compiled kernel of one statement (None when it interprets)."""
@@ -141,6 +173,10 @@ class CompiledExecutor:
         """
         return self._runners.get(id(stmt))
 
+    def trigger_kernel_for(self, sign: int, relation: str) -> trigger_compiler.TriggerKernel | None:
+        """The fused kernel of one trigger (None when it dispatches per statement)."""
+        return self._trigger_kernels.get((sign, relation))
+
     # -- TriggerExecutor surface --------------------------------------------
     @property
     def evaluator(self):
@@ -151,8 +187,23 @@ class CompiledExecutor:
         return self._maintained
 
     def apply(self, event: StreamEvent) -> None:
-        """Apply one event: compiled runners in statement order, then fallbacks."""
-        plan = self._plans.get((event.sign, event.relation))
+        """Apply one event: the fused kernel when the trigger has one, else
+        compiled runners in statement order with interpreter fallbacks."""
+        key = (event.sign, event.relation)
+        fused = self._fused.get(key)
+        if fused is not None:
+            runner, arity = fused
+            values = event.values
+            if len(values) != arity:
+                raise ValueError(
+                    f"event arity {len(values)} does not match relation arity "
+                    f"{arity}"
+                )
+            # One call covers every statement, the base-relation apply and
+            # the := statements, in the executor's exact order.
+            runner(values)
+            return
+        plan = self._plans.get(key)
         if plan is not None:
             values = event.values
             if plan.arity is not None and len(values) != plan.arity:
@@ -209,16 +260,21 @@ class CompiledExecutor:
 
     # -- reporting ----------------------------------------------------------
     def codegen_statistics(self) -> dict[str, object]:
-        """Compiled/fallback statement counts plus the per-statement split."""
+        """Compiled/fallback statement counts, fusion totals, and the splits."""
         fallbacks = []
         for trigger in self._program.triggers.values():
             for stmt in trigger.statements:
                 if id(stmt) not in self._kernels:
                     fallbacks.append(f"{trigger.name}: {stmt.target}")
+        kernels = self._trigger_kernels.values()
         return {
             "compiled_statements": self.compiled_statements,
             "fallback_statements": self.fallback_statements,
             "fallbacks": fallbacks,
+            "fused_kernels": len(self._trigger_kernels),
+            "fused_statements": sum(k.fused_statements for k in kernels),
+            "deduped_probes": sum(k.deduped_probes for k in kernels),
+            "deduped_scalars": sum(k.deduped_scalars for k in kernels),
         }
 
 
@@ -227,12 +283,14 @@ class CompiledEngine(IncrementalEngine):
 
     Behaves exactly like :class:`IncrementalEngine` — same trigger program,
     same views, same ``kind: "single"`` checkpoint states (interchangeable in
-    both directions) — but executes every compilable ``+=`` statement through
-    a specialized kernel.  Construction compiles; restore recompiles; the
-    pickled trigger program is all a worker process needs to rebuild one.
+    both directions) — but executes every fully-compilable trigger through a
+    single fused kernel per event (``fuse=False`` keeps per-statement
+    dispatch, the benchmark baseline).  Construction compiles; restore
+    recompiles; the pickled trigger program is all a worker process needs to
+    rebuild one.
     """
 
-    def __init__(self, program: TriggerProgram) -> None:
+    def __init__(self, program: TriggerProgram, fuse: bool = True) -> None:
         super().__init__(program)
         self._executor = CompiledExecutor(
             program,
@@ -240,6 +298,7 @@ class CompiledEngine(IncrementalEngine):
             self.maps,
             maintained_relations=self._maintained,
             interpreter=self._executor,
+            fuse=fuse,
         )
 
     @property
@@ -270,6 +329,12 @@ class CompiledEngine(IncrementalEngine):
             (
                 f"  compiled {summary['compiled_statements']} statements, "
                 f"{summary['fallback_statements']} on the interpreter"
+            ),
+            (
+                f"  fused {summary['fused_kernels']} trigger kernels "
+                f"({summary['fused_statements']} statements; "
+                f"{summary['deduped_probes']} probes, "
+                f"{summary['deduped_scalars']} scalars deduped)"
             ),
         ]
         for entry in summary["fallbacks"]:

@@ -1,9 +1,14 @@
-"""Compile trigger statements to specialized straight-line Python functions.
+"""Plan trigger statements into kernel IR (stage 1 of the codegen pipeline).
 
-One ``+=`` statement becomes one generated function ``_kernel(_values,
-_scale)`` taking the event's field values (positionally, no bindings
-dictionary) and the batch scale factor.  The function is specialized on
-everything the compiler knows statically:
+One ``+=`` statement becomes one IR tree (:mod:`repro.codegen.ir`) describing
+a specialized function ``_kernel(_values, _scale)`` over the event's field
+values (positionally, no bindings dictionary) and the batch scale factor.
+This module *plans* — it decides access paths, hoisting slots and
+accumulation discipline — and produces IR nodes; it never generates Python
+source.  :mod:`repro.codegen.emit` renders the IR, and
+:mod:`repro.codegen.trigger` fuses the statement IRs of one trigger into a
+single function.  The plan is specialized on everything the compiler knows
+statically:
 
 * **trigger variables** load positionally from the event tuple — only the
   ones the statement uses;
@@ -27,22 +32,22 @@ everything the compiler knows statically:
   rules, so compiled results are bit-identical to interpreted ones — values
   *and* types.
 
-Beyond the straight-line ``+=`` fragment, the compiler also lowers the
+Beyond the straight-line ``+=`` fragment, the planner also lowers the
 statement classes that used to be interpreter-only:
 
 * **nested scalar aggregates** — ``AggSum([], ...)`` bodies appearing as lift
-  bodies or product factors compile to (a) a primary-dict probe for nullary
+  bodies or product factors plan as (a) a primary-dict probe for nullary
   map totals, (b) an **ordered range probe**
   (:meth:`~repro.runtime.maps.IndexedTable.range_sum`) when the body is a map
   atom guarded by a single ordering comparison on one key column — the
   ``SUM(volume) WHERE price > p`` shape of the financial queries — or (c) an
   inline scan loop reproducing the evaluator's aggregation chain exactly;
 * **grouped aggregate factors** — ``AggSum([g], ...)`` inside a product
-  compiles to a dict-accumulation loop followed by iteration, replicating
+  plans as a dict-accumulation loop followed by iteration, replicating
   GMR construction order;
-* **``Exists``** factors compile to the plain-sum total-multiplicity loop
+* **``Exists``** factors plan as the plain-sum total-multiplicity loop
   (or a range probe) with the 0/1 gate;
-* **``:=`` statements** compile to a kernel that evaluates the right-hand
+* **``:=`` statements** plan as a kernel that evaluates the right-hand
   side into a plain dict (GMR ``+``-merge across sum terms, then the
   executor's plain grouping by target keys, both in enumeration order) and
   hands it to ``IndexedTable.replace`` — exactly ``execute_assign``.
@@ -94,9 +99,12 @@ from repro.agca.ast import (
     free_variables,
     value_variables,
 )
+from repro.codegen import ir
+from repro.codegen.emit import emit_function
 from repro.codegen.lowering import (
     SourceEnv,
     Unsupported,
+    const_source,
     lower_condition,
     lower_value,
 )
@@ -115,52 +123,96 @@ _BASE_ENV = {
 }
 
 
-class _Writer:
-    """Tiny indented-source writer with an abort-statement stack.
+class KernelContext:
+    """Shared allocator and namespace for one generated kernel.
 
-    The abort statement is what "this row/term produces nothing" compiles to:
-    ``return`` at statement top level, ``break`` inside a sum-term wrapper,
-    ``continue`` inside a scan loop.
+    A standalone statement kernel owns a fresh context; a fused trigger
+    kernel (:mod:`repro.codegen.trigger`) threads *one* context through every
+    statement it concatenates, which is what makes event unpacks, table
+    handles and bound-method hoists shared across statements, and local
+    names collision-free.  ``dedup`` (optional, set by the fuser) is the
+    :class:`~repro.codegen.trigger.FusionCache` the planner consults for
+    cross-statement sharing of top-level probes, conditions, value factors
+    and row builds whose inputs are trigger variables only.
     """
 
-    def __init__(self, abort: str) -> None:
-        self.lines: list[str] = []
-        self.depth = 0
-        self._aborts = [abort]
+    __slots__ = (
+        "env", "tables", "event_loads", "method_binds", "trigger_vars",
+        "trigger_local_names", "dedup",
+        "_table_handles", "_method_locals", "_trigger_locals", "_counter",
+    )
 
-    def line(self, text: str) -> None:
-        self.lines.append("    " * self.depth + text)
+    def __init__(self, trigger_vars: Sequence[str], dedup: Any = None) -> None:
+        self.env = SourceEnv(_BASE_ENV)
+        self.tables: list[tuple[str, str, str]] = []
+        self.event_loads: list[ir.Node] = []
+        self.method_binds: list[ir.Node] = []
+        self.trigger_vars = tuple(trigger_vars)
+        self.trigger_local_names: set[str] = set()
+        self.dedup = dedup
+        self._table_handles: dict[tuple[str, str], str] = {}
+        self._method_locals: dict[tuple[str, str], str] = {}
+        self._trigger_locals: dict[int, str] = {}
+        self._counter = 0
 
-    @property
-    def abort(self) -> str:
-        return self._aborts[-1]
+    def fresh(self, prefix: str) -> str:
+        name = f"_{prefix}{self._counter}"
+        self._counter += 1
+        return name
 
-    def open_loop(self, header: str) -> None:
-        self.line(header)
-        self.depth += 1
-        self._aborts.append("continue")
+    def trigger_local(self, index: int) -> str:
+        """The local holding one event position, adding its load on first use.
 
-    def close_loops(self, count: int) -> None:
-        for _ in range(count):
-            self.depth -= 1
-            self._aborts.pop()
+        Keyed by *position*, not name: sibling statements of one trigger may
+        carry different trigger-variable names for the same event field
+        (``fresh_trigger_vars`` suffixes names that collide with a map
+        definition), and position is what identifies the value — which also
+        keeps cross-statement dedup working across such renames.
+        """
+        local = self._trigger_locals.get(index)
+        if local is None:
+            local = f"_v{index}"
+            self._trigger_locals[index] = local
+            self.trigger_local_names.add(local)
+            self.event_loads.append(ir.EventLoad(local, index))
+        return local
 
-    def source(self) -> str:
-        return "\n".join(self.lines) + "\n"
+    def table_handle(self, kind: str, name: str) -> str:
+        """The namespace global bound to one map/relation table at link time."""
+        handle = self._table_handles.get((kind, name))
+        if handle is None:
+            handle = self.fresh("t")
+            self._table_handles[(kind, name)] = handle
+            self.tables.append((handle, kind, name))
+        return handle
+
+    def method_local(self, handle: str, attr: str, prefix: str) -> str:
+        """A preamble binding of one table method (``add``, ``range_sum``)."""
+        local = self._method_locals.get((handle, attr))
+        if local is None:
+            local = self.fresh(prefix)
+            self._method_locals[(handle, attr)] = local
+            self.method_binds.append(ir.BindMethod(local, handle, attr))
+        return local
+
+    def preamble(self) -> list[ir.Node]:
+        """Event loads then method binds — the head of every kernel body."""
+        return [*self.event_loads, *self.method_binds]
 
 
 class StatementKernel:
     """One trigger statement compiled to a specialized Python function.
 
     ``source`` holds the generated code (kept for tests, ``describe()`` and
-    debugging); :meth:`bind` links it against a concrete map store / database
+    debugging) and ``ir_ops`` the IR operation counts the source was emitted
+    from; :meth:`bind` links it against a concrete map store / database
     and returns the runnable ``(values, scale)`` closure.  The code object is
     compiled once and can be bound any number of times (each engine, and each
     restore, gets fresh bindings), so pickled engine state never needs to
     carry code objects — restoring recompiles/rebinds instead.
     """
 
-    __slots__ = ("statement", "source", "_code", "_env", "_tables")
+    __slots__ = ("statement", "source", "ir_ops", "_code", "_env", "_tables")
 
     def __init__(
         self,
@@ -168,9 +220,11 @@ class StatementKernel:
         source: str,
         env: dict[str, Any],
         tables: Sequence[tuple[str, str, str]],
+        ir_ops: Mapping[str, int] | None = None,
     ) -> None:
         self.statement = statement
         self.source = source
+        self.ir_ops = dict(ir_ops or {})
         self._code = compile(source, f"<repro.codegen:{statement.target}>", "exec")
         self._env = env
         self._tables = tuple(tables)
@@ -196,7 +250,7 @@ class _AtomStep:
 
     __slots__ = (
         "kind", "name", "stored", "sorted_stored", "bound", "unbound",
-        "eq_checks", "mult_local", "row_local", "index",
+        "eq_checks", "mult_local", "row_local", "index", "reused", "dedup_key",
     )
 
     def __init__(self) -> None:
@@ -204,12 +258,17 @@ class _AtomStep:
         self.unbound: list[tuple[str, int, str]] = []   # (var, sorted pos, local)
         self.eq_checks: list[tuple[int, str]] = []      # (sorted pos, local)
         self.index: int = 0                             # 1-based atom index
+        self.reused = False               # fused: probe shared with an earlier def
+        self.dedup_key: tuple | None = None  # fused: reserved cache key
 
 
 class _ScalarStep:
     """A Value / Cmp / Lift / nested-aggregate step with its hoisting slot."""
 
-    __slots__ = ("kind", "source", "local", "slot", "check_var", "spec")
+    __slots__ = (
+        "kind", "source", "local", "slot", "check_var", "spec",
+        "reused", "dedup_key",
+    )
 
     def __init__(self, kind: str, slot: int) -> None:
         self.kind = kind
@@ -218,6 +277,8 @@ class _ScalarStep:
         self.local = ""
         self.check_var = ""
         self.spec: "_AggSpec | None" = None
+        self.reused = False               # fused: the local is a shared def
+        self.dedup_key: tuple | None = None  # fused: reserved cache key
 
 
 class _AggSpec:
@@ -284,52 +345,45 @@ class _TermPlan:
 
 
 class _StatementCompiler:
-    """Plans and emits the kernel for one ``+=`` statement."""
+    """Plans one statement into IR nodes (stage 1: plan; stage 3 emits).
 
-    def __init__(self, statement: Statement, program: TriggerProgram) -> None:
+    ``context`` is owned when compiling standalone and shared when the fuser
+    compiles a whole trigger; ``scale_var`` names the batch-scale parameter
+    (``None`` pins scale to 1 — the fused per-event path, which drops the
+    per-sink scale branch entirely).
+    """
+
+    def __init__(
+        self,
+        statement: Statement,
+        program: TriggerProgram,
+        context: KernelContext | None = None,
+        scale_var: str | None = "_scale",
+    ) -> None:
         self.statement = statement
         self.program = program
-        self.env = SourceEnv(_BASE_ENV)
-        self.tables: list[tuple[str, str, str]] = []
-        self._table_handles: dict[tuple[str, str], str] = {}
-        self._probe_locals: dict[str, str] = {}
+        self.ctx = context if context is not None else KernelContext(
+            statement.event.trigger_vars
+        )
+        self.scale_var = scale_var
         self._maintained = program.requires_base_relations()
-        self._trigger_locals: dict[str, str] = {}
-        self._counter = 0
-        self._preamble: list[str] = []
 
     # -- small allocators ---------------------------------------------------
     def _fresh(self, prefix: str) -> str:
-        name = f"_{prefix}{self._counter}"
-        self._counter += 1
-        return name
+        return self.ctx.fresh(prefix)
 
     def _trigger_local(self, var: str) -> str:
-        local = self._trigger_locals.get(var)
-        if local is None:
-            index = self.statement.event.trigger_vars.index(var)
-            local = f"_v{index}"
-            self._trigger_locals[var] = local
-            self._preamble.append(f"{local} = _values[{index}]")
-        return local
+        # Resolve the name against this statement's own event; the context
+        # local is positional, shared across differently-named siblings.
+        return self.ctx.trigger_local(self.statement.event.trigger_vars.index(var))
 
     def _table_handle(self, kind: str, name: str) -> str:
-        handle = self._table_handles.get((kind, name))
-        if handle is None:
-            handle = self._fresh("t")
-            self._table_handles[(kind, name)] = handle
-            self.tables.append((handle, kind, name))
-        return handle
+        return self.ctx.table_handle(kind, name)
 
     def _probe_local(self, kind: str, name: str) -> str:
         """A kernel-preamble binding of the table's ``range_sum`` method."""
         handle = self._table_handle(kind, name)
-        local = self._probe_locals.get(handle)
-        if local is None:
-            local = self._fresh("rs")
-            self._probe_locals[handle] = local
-            self._preamble.append(f"{local} = {handle}.range_sum")
-        return local
+        return self.ctx.method_local(handle, "range_sum", "rs")
 
     def _root_resolve(self, var: str) -> str | None:
         """Outermost scope: only the trigger variables are bound."""
@@ -337,8 +391,28 @@ class _StatementCompiler:
             return self._trigger_local(var)
         return None
 
+    def _dedup_eligible(self, depth: int, slot: int, dep_locals) -> bool:
+        """True when a planned step may share across fused statements.
+
+        Sharing moves the computation into the fused kernel's prefix, which
+        runs before every statement — so only statement-top-level steps
+        (depth 0, hoisting slot 0) whose inputs are trigger locals qualify.
+        """
+        return (
+            self.ctx.dedup is not None
+            and depth == 0
+            and slot == 0
+            and frozenset(dep_locals) <= self.ctx.trigger_local_names
+        )
+
+    def _attach(self, key: tuple | None, node: ir.Node, nodes: list[ir.Node]) -> None:
+        """Bind a reserved dedup definition to the node just appended."""
+        if key is not None:
+            self.ctx.dedup.attach(key, node, nodes, len(nodes) - 1)
+
     # -- planning -----------------------------------------------------------
-    def compile(self) -> tuple[str, dict[str, Any], list[tuple[str, str, str]]]:
+    def compile(self) -> list[ir.Node]:
+        """Plan the statement; returns its kernel body as IR nodes."""
         statement = self.statement
         target_decl = self.program.maps.get(statement.target)
         if target_decl is None or len(target_decl.keys) != len(statement.target_keys):
@@ -349,9 +423,8 @@ class _StatementCompiler:
             raise Unsupported(f"unknown statement operation {statement.operation!r}")
         return self._compile_increment()
 
-    def _compile_increment(self) -> tuple[str, dict[str, Any], list[tuple[str, str, str]]]:
-        statement = self.statement
-        expr: Expr = statement.expr
+    def _split_terms(self) -> tuple[tuple[str, ...] | None, tuple[Expr, ...]]:
+        expr: Expr = self.statement.expr
         group: tuple[str, ...] | None = None
         if isinstance(expr, AggSum):
             group = expr.group
@@ -361,6 +434,11 @@ class _StatementCompiler:
         terms = expr.terms if isinstance(expr, Sum) else (expr,)
         if not terms:
             raise Unsupported("empty sum")
+        return group, terms
+
+    def _compile_increment(self) -> list[ir.Node]:
+        statement = self.statement
+        group, terms = self._split_terms()
 
         plans = [self._plan_term(term) for term in terms]
         live = [plan for plan in plans if not plan.dead]
@@ -376,60 +454,61 @@ class _StatementCompiler:
             mode = "direct"
 
         # Resolve target-key sources up front so unsupported statements fall
-        # back before any source is emitted.
+        # back before any IR is built.
         self._check_key_sources(live, group, mode)
 
-        writer = _Writer("return")
-        writer.line("def _kernel(_values, _scale):")
-        writer.depth += 1
-        body_start = len(writer.lines)
-
+        body: list[ir.Node] = []
+        merge_local = group_local = pending_local = ""
         if mode == "merge":
-            writer.line("_mrg = {}")
+            merge_local = self._fresh("mrg")
+            body.append(ir.Let(merge_local, "{}"))
         elif mode == "group":
-            writer.line("_grp = {}")
+            group_local = self._fresh("grp")
+            body.append(ir.Let(group_local, "{}"))
         elif mode == "pending":
-            writer.line("_pend = []")
+            pending_local = self._fresh("pend")
+            body.append(ir.Let(pending_local, "[]"))
         target_handle = self._table_handle("map", statement.target)
-        writer.line(f"_add = {target_handle}.add")
+        add_local = self.ctx.method_local(target_handle, "add", "add")
 
         colset_ids: dict[frozenset[str], int] = {}
         for plan in live:
-            key = frozenset(plan.colset)
-            colset_ids.setdefault(key, len(colset_ids))
+            colset_ids.setdefault(frozenset(plan.colset), len(colset_ids))
+
+        def sink(nodes: list[ir.Node], plan: _TermPlan) -> None:
+            self._emit_sink(
+                nodes, plan, mode, group, colset_ids,
+                add_local, merge_local, group_local, pending_local,
+            )
 
         wrap = len(live) > 1
         for plan in plans:
             if plan.dead:
                 continue
             if wrap:
-                writer.open_loop("for _pass in _ONE_PASS:")
-                writer._aborts[-1] = "break"
-            self._emit_term(
-                writer,
-                plan,
-                lambda w, p: self._emit_sink(w, p, mode, group, colset_ids),
-            )
-            if wrap:
-                writer.close_loops(1)
+                scope_body: list[ir.Node] = []
+                body.append(ir.OnePass(self._fresh("w"), scope_body))
+                self._emit_term(scope_body, plan, sink)
+            else:
+                self._emit_term(body, plan, sink)
+
+        def add_sink(key: str, mult: str) -> ir.Node:
+            return ir.AddDelta(add_local, key, mult, self.scale_var)
 
         if mode == "merge":
-            self._emit_merge_epilogue(writer, live, colset_ids)
+            self._emit_merge_epilogue(body, live, colset_ids, merge_local, add_sink)
         elif mode == "group":
-            self._emit_group_epilogue(writer, live[0] if live else None, group)
+            self._emit_group_epilogue(body, live[0] if live else None, group,
+                                      group_local, add_sink)
         elif mode == "pending":
-            writer.line("for _kr, _m in _pend:")
-            writer.line("    _add(_kr, _m if _scale == 1 else _m * _scale)")
+            kr, m = self._fresh("kr"), self._fresh("m")
+            body.append(ir.PairLoop(kr, m, pending_local, [
+                ir.AddDelta(add_local, kr, m, self.scale_var)
+            ]))
+        return body
 
-        # Trigger-variable loads go first; they were discovered during emission.
-        header = writer.lines[:body_start]
-        body = writer.lines[body_start:]
-        lines = header + ["    " + line for line in self._preamble] + body
-        source = "\n".join(lines) + "\n"
-        return source, self.env.env, self.tables
-
-    def _compile_assign(self) -> tuple[str, dict[str, Any], list[tuple[str, str, str]]]:
-        """Compile a ``:=`` statement: evaluate, group plainly, ``replace``.
+    def _compile_assign(self) -> list[ir.Node]:
+        """Plan a ``:=`` statement: evaluate, group plainly, ``replace``.
 
         The kernel mirrors ``TriggerExecutor.execute_assign`` step for step:
         the right-hand side is evaluated into result rows (a chain-merged
@@ -440,16 +519,7 @@ class _StatementCompiler:
         the map, as the interpreter does.
         """
         statement = self.statement
-        expr: Expr = statement.expr
-        group: tuple[str, ...] | None = None
-        if isinstance(expr, AggSum):
-            group = expr.group
-            expr = expr.term
-            if isinstance(expr, (AggSum, Sum)):
-                raise Unsupported("nested aggregation under a top-level AggSum")
-        terms = expr.terms if isinstance(expr, Sum) else (expr,)
-        if not terms:
-            raise Unsupported("empty sum")
+        group, terms = self._split_terms()
 
         plans = [self._plan_term(term) for term in terms]
         live = [plan for plan in plans if not plan.dead]
@@ -462,100 +532,59 @@ class _StatementCompiler:
             mode = "single"
         self._check_key_sources(live, group, "group" if group is not None else mode)
 
-        writer = _Writer("return")
-        writer.line("def _kernel(_values, _scale):")
-        writer.depth += 1
-        body_start = len(writer.lines)
-
+        body: list[ir.Node] = []
         target_handle = self._table_handle("map", statement.target)
-        writer.line("_asn = {}")
+        assign_local = self._fresh("asn")
+        body.append(ir.Let(assign_local, "{}"))
+        merge_local = group_local = ""
         if mode == "merge":
-            writer.line("_mrg = {}")
+            merge_local = self._fresh("mrg")
+            body.append(ir.Let(merge_local, "{}"))
         elif mode == "group":
-            writer.line("_grp = {}")
+            group_local = self._fresh("grp")
+            body.append(ir.Let(group_local, "{}"))
 
         colset_ids: dict[frozenset[str], int] = {}
         for plan in live:
             colset_ids.setdefault(frozenset(plan.colset), len(colset_ids))
 
-        def single_sink(w, p):
-            self._emit_acc(w, p)
-            key = self._target_row_source(lambda k: self._value_for(k, p))
-            w.line(f"_kr = {key}")
-            w.line("_asn[_kr] = _asn.get(_kr, 0) + _acc")
+        def single_sink(nodes: list[ir.Node], plan: _TermPlan) -> None:
+            acc = self._emit_acc(nodes, plan)
+            key = self._target_row_source(lambda k: self._value_for(k, plan))
+            nodes.append(ir.PlainMerge(assign_local, self._fresh("kr"), key, acc))
 
-        def merge_sink(w, p):
-            self._emit_acc(w, p)
-            colset = frozenset(p.colset)
-            cs = colset_ids[colset]
-            values = ", ".join(self._value_for(v, p) for v in sorted(colset))
-            key = f"({cs}, {values},)" if colset else f"({cs},)"
-            self._emit_dict_merge(w, "_mrg", key)
+        def merge_sink(nodes: list[ir.Node], plan: _TermPlan) -> None:
+            acc = self._emit_acc(nodes, plan)
+            nodes.append(ir.DictMerge(
+                merge_local, self._fresh("k"),
+                self._merge_key_tuple(plan, colset_ids), acc,
+            ))
 
-        def group_sink(w, p):
-            self._emit_acc(w, p)
-            gk = ", ".join(self._value_for(g, p) for g in group)
-            gk = f"({gk},)" if group else "()"
-            self._emit_dict_merge(w, "_grp", gk)
+        def group_sink(nodes: list[ir.Node], plan: _TermPlan) -> None:
+            acc = self._emit_acc(nodes, plan)
+            nodes.append(ir.DictMerge(
+                group_local, self._fresh("k"), self._group_key_tuple(plan, group), acc,
+            ))
 
         sink = {"single": single_sink, "merge": merge_sink, "group": group_sink}[mode]
         for plan in plans:
             if plan.dead:
                 continue
             # Always scope term aborts: a dead term must still reach replace.
-            writer.open_loop("for _pass in _ONE_PASS:")
-            writer._aborts[-1] = "break"
-            self._emit_term(writer, plan, sink)
-            writer.close_loops(1)
+            scope_body: list[ir.Node] = []
+            body.append(ir.OnePass(self._fresh("w"), scope_body))
+            self._emit_term(scope_body, plan, sink)
+
+        def plain_sink(key: str, mult: str) -> ir.Node:
+            return ir.PlainMerge(assign_local, self._fresh("kr"), key, mult)
 
         if mode == "merge":
-            self._emit_assign_merge_epilogue(writer, live, colset_ids)
+            self._emit_merge_epilogue(body, live, colset_ids, merge_local, plain_sink)
         elif mode == "group":
-            self._emit_assign_group_epilogue(writer, live[0] if live else None, group)
-        writer.line(f"{target_handle}.replace(_asn.items())")
-
-        header = writer.lines[:body_start]
-        body = writer.lines[body_start:]
-        lines = header + ["    " + line for line in self._preamble] + body
-        source = "\n".join(lines) + "\n"
-        return source, self.env.env, self.tables
-
-    def _emit_assign_merge_epilogue(self, writer, plans, colset_ids) -> None:
-        """Plain-group the chain-merged sum rows by the target keys."""
-        by_id: dict[int, frozenset[str]] = {}
-        for plan in plans:
-            colset = frozenset(plan.colset)
-            by_id[colset_ids[colset]] = colset
-        writer.line("for _bk, _m in _mrg.items():")
-        writer.depth += 1
-        if len(by_id) == 1:
-            (_, colset), = by_id.items()
-            writer.line(f"_kr = {self._merge_key_source(colset)}")
-            writer.line("_asn[_kr] = _asn.get(_kr, 0) + _m")
-        else:
-            writer.line("_cs = _bk[0]")
-            for branch, (cs, colset) in enumerate(sorted(by_id.items())):
-                prefix = "if" if branch == 0 else "elif"
-                writer.line(f"{prefix} _cs == {cs}:")
-                writer.line(f"    _kr = {self._merge_key_source(colset)}")
-                writer.line("    _asn[_kr] = _asn.get(_kr, 0) + _m")
-        writer.depth -= 1
-
-    def _emit_assign_group_epilogue(self, writer, plan, group) -> None:
-        """Plain-group the chain-grouped rows by the target keys."""
-        if plan is None:
-            return
-        positions = {g: i for i, g in enumerate(group)}
-
-        def value_of(key: str) -> str:
-            if key in positions:
-                return f"_gk[{positions[key]}]"
-            return self._trigger_local(key)
-
-        key = self._target_row_source(value_of)
-        writer.line("for _gk, _m in _grp.items():")
-        writer.line(f"    _kr = {key}")
-        writer.line("    _asn[_kr] = _asn.get(_kr, 0) + _m")
+            self._emit_group_epilogue(body, live[0] if live else None, group,
+                                      group_local, plain_sink)
+        body.append(ir.Replace(target_handle, f"{assign_local}.items()"))
+        return body
 
     def _check_key_sources(self, plans, group, mode) -> None:
         trigger_vars = set(self.statement.event.trigger_vars)
@@ -587,6 +616,9 @@ class _StatementCompiler:
         """
         plan = _TermPlan()
         bound: dict[str, str] = {}
+        # Dedup keys this term reserved: evicted if the term goes dead (a
+        # dead term emits no IR, so its reservations must not be reusable).
+        reserved: list[tuple] = []
         if resolve is None:
             resolve = self._root_resolve
 
@@ -624,26 +656,48 @@ class _StatementCompiler:
                 if isinstance(node.vexpr, VConst):
                     const = normalize_number(node.vexpr.value)
                     if is_zero(const):
+                        if reserved and self.ctx.dedup is not None:
+                            self.ctx.dedup.discard(reserved)
                         plan.dead = True
                         return plan
                     if const == 1 and not isinstance(const, float):
                         continue
-                    from repro.codegen.lowering import const_source
-
-                    plan.factors.append(const_source(const, self.env))
+                    plan.factors.append(const_source(const, self.ctx.env))
                     continue
                 deps = value_variables(node.vexpr)
                 step = _ScalarStep("value", self._slot_for(deps, bound, plan))
-                step.source = lower_value(node.vexpr, names_for(deps), self.env)
-                step.local = self._fresh("s")
+                names = names_for(deps)
+                step.source = lower_value(node.vexpr, names, self.ctx.env)
+                if self._dedup_eligible(depth, step.slot, names.values()):
+                    key = ("norm", step.source)
+                    shared = self.ctx.dedup.reuse(key)
+                    if shared is not None:
+                        step.local = shared
+                        step.reused = True
+                    else:
+                        step.local = self._fresh("s")
+                        step.dedup_key = self.ctx.dedup.reserve(key, step.local)
+                        if step.dedup_key is not None:
+                            reserved.append(step.dedup_key)
+                else:
+                    step.local = self._fresh("s")
                 plan.steps.append(step)
                 plan.factors.append(step.local)
             elif isinstance(node, Cmp):
                 deps = value_variables(node.left) | value_variables(node.right)
                 step = _ScalarStep("cmp", self._slot_for(deps, bound, plan))
+                names = names_for(deps)
                 step.source = lower_condition(
-                    node.left, node.op, node.right, names_for(deps), self.env
+                    node.left, node.op, node.right, names, self.ctx.env
                 )
+                if self._dedup_eligible(depth, step.slot, names.values()):
+                    key = ("cond", step.source)
+                    shared = self.ctx.dedup.reuse_condition(key, self.ctx.fresh)
+                    if shared is not None:
+                        step.source = shared  # guard the shared prefix local
+                    else:
+                        step.dedup_key = self.ctx.dedup.reserve_condition(key)
+                        reserved.append(step.dedup_key)
                 plan.steps.append(step)
             elif isinstance(node, Lift):
                 already = lookup(node.var) is not None
@@ -653,11 +707,24 @@ class _StatementCompiler:
                     slot_deps = deps | ({node.var} if already else set())
                     slot = self._slot_for(slot_deps, bound, plan)
                     step = _ScalarStep("lift_eq" if already else "lift_bind", slot)
-                    step.source = lower_value(node.term.vexpr, names_for(deps), self.env)
+                    names = names_for(deps)
+                    step.source = lower_value(node.term.vexpr, names, self.ctx.env)
                     if already:
                         step.check_var = lookup(node.var)
                     else:
-                        step.local = self._fresh("b")
+                        if self._dedup_eligible(depth, slot, names.values()):
+                            key = ("lift", step.source)
+                            shared = self.ctx.dedup.reuse(key)
+                            if shared is not None:
+                                step.local = shared
+                                step.reused = True
+                            else:
+                                step.local = self._fresh("b")
+                                step.dedup_key = self.ctx.dedup.reserve(key, step.local)
+                                if step.dedup_key is not None:
+                                    reserved.append(step.dedup_key)
+                        else:
+                            step.local = self._fresh("b")
                         bound[node.var] = step.local
                         plan.colset.add(node.var)
                     plan.steps.append(step)
@@ -706,7 +773,14 @@ class _StatementCompiler:
                 step.spec = spec
                 plan.steps.append(step)
             elif isinstance(node, (MapRef, Relation)):
-                atom = self._plan_atom(node, bound, plan, resolve)
+                # A probe may share across fused statements only when it is
+                # emitted before any loop opens: every preceding atom must be
+                # a loop-free probe itself.
+                dedup_ok = depth == 0 and all(
+                    isinstance(a, _AtomStep) and not a.unbound and not a.eq_checks
+                    for a in plan.atoms
+                )
+                atom = self._plan_atom(node, bound, plan, resolve, dedup_ok, reserved)
                 plan.steps.append(atom)
                 plan.atoms.append(atom)
                 plan.factors.append(atom.mult_local)
@@ -811,7 +885,7 @@ class _StatementCompiler:
                 names = probe_names(value_variables(body.vexpr))
                 if names is None:
                     return False
-                source = lower_value(body.vexpr, names, self.env)
+                source = lower_value(body.vexpr, names, self.ctx.env)
                 local = self._fresh("b")
                 lift_locals[lift.var] = local
                 prelude.append(("value", local, source))
@@ -848,7 +922,7 @@ class _StatementCompiler:
         spec.probe = self._probe_local("map", atom.name)
         spec.column = decl.keys[keys.index(guard)]
         spec.op = op
-        spec.cutoff = lower_value(cutoff, names, self.env)
+        spec.cutoff = lower_value(cutoff, names, self.ctx.env)
         return True
 
     def _plan_group_agg(self, node: AggSum, bound, plan, child_resolve_for) -> _GroupAggStep:
@@ -879,7 +953,10 @@ class _StatementCompiler:
             step.key_sources.append(outer)
         return step
 
-    def _plan_atom(self, node, bound: dict[str, str], plan: _TermPlan, resolve) -> _AtomStep:
+    def _plan_atom(
+        self, node, bound: dict[str, str], plan: _TermPlan, resolve,
+        dedup_ok: bool = False, reserved: list[tuple] | None = None,
+    ) -> _AtomStep:
         atom = _AtomStep()
         if isinstance(node, MapRef):
             atom.kind = "map"
@@ -931,160 +1008,167 @@ class _StatementCompiler:
                 local = self._fresh("b")
                 atom.unbound.append((var, sorted_pos, local))
                 bound[var] = local
+        if (
+            self.ctx.dedup is not None
+            and dedup_ok
+            and not atom.unbound
+            and not atom.eq_checks
+            and frozenset(l for _, l in atom.bound) <= self.ctx.trigger_local_names
+        ):
+            handle = self._table_handle(atom.kind, atom.name)
+            key = ("probe", handle, self._row_source(atom.bound))
+            shared = self.ctx.dedup.reuse(key, table=handle)
+            if shared is not None:
+                atom.mult_local = shared
+                atom.reused = True
+            else:
+                atom.dedup_key = self.ctx.dedup.reserve(key, atom.mult_local, table=handle)
+                if atom.dedup_key is not None and reserved is not None:
+                    reserved.append(atom.dedup_key)
         return atom
 
-    # -- emission -----------------------------------------------------------
-    def _emit_term(self, writer, plan, sink) -> None:
-        """Emit one term's steps in slot order, calling ``sink(writer, plan)``."""
+    # -- IR building --------------------------------------------------------
+    def _emit_term(self, nodes: list[ir.Node], plan: _TermPlan, sink) -> None:
+        """Build one term's steps in slot order, calling ``sink(nodes, plan)``."""
         scalars_by_slot: dict[int, list[_ScalarStep]] = {}
         for step in plan.steps:
             if isinstance(step, _ScalarStep):
                 scalars_by_slot.setdefault(step.slot, []).append(step)
 
-        loops_opened = 0
+        current = nodes
         for slot in range(len(plan.atoms) + 1):
             for step in scalars_by_slot.get(slot, ()):
-                self._emit_scalar(writer, step)
+                self._emit_scalar(current, step)
             if slot < len(plan.atoms):
                 entry = plan.atoms[slot]
                 if isinstance(entry, _GroupAggStep):
-                    opened = self._emit_group_agg(writer, entry)
+                    inner = self._emit_group_agg(current, entry)
                 else:
-                    opened = self._emit_atom(writer, entry)
-                if opened:
-                    loops_opened += 1
+                    inner = self._emit_atom(current, entry)
+                if inner is not current:
+                    current = inner
+        sink(current, plan)
 
-        sink(writer, plan)
-        writer.close_loops(loops_opened)
-
-    def _emit_scalar(self, writer, step: _ScalarStep) -> None:
+    def _emit_scalar(self, nodes: list[ir.Node], step: _ScalarStep) -> None:
         if step.kind == "cmp":
-            writer.line(f"if not {step.source}:")
-            writer.line(f"    {writer.abort}")
+            node = ir.GuardCond(step.source)
+            nodes.append(node)
+            self._attach(step.dedup_key, node, nodes)
         elif step.kind == "value":
-            writer.line(f"{step.local} = _norm({step.source})")
-            writer.line(f"if _is_zero({step.local}):")
-            writer.line(f"    {writer.abort}")
+            if not step.reused:
+                node = ir.Norm(step.local, step.source)
+                nodes.append(node)
+                self._attach(step.dedup_key, node, nodes)
+            nodes.append(ir.GuardZero(step.local))
         elif step.kind == "lift_bind":
-            writer.line(f"{step.local} = _norm({step.source})")
-            writer.line(f"if _is_zero({step.local}):")
-            writer.line(f"    {step.local} = 0")
+            # A reused lift binding emits nothing: the shared prefix already
+            # bound the (normalized, zero-coerced) value to the shared local.
+            if not step.reused:
+                node = ir.NormOrZero(step.local, step.source)
+                nodes.append(node)
+                self._attach(step.dedup_key, node, nodes)
         elif step.kind == "lift_eq":
             # An already-bound lift acts as an equality condition.
             tmp = self._fresh("s")
-            writer.line(f"{tmp} = _norm({step.source})")
-            writer.line(f"if _is_zero({tmp}):")
-            writer.line(f"    {tmp} = 0")
-            writer.line(f"if {step.check_var} != {tmp}:")
-            writer.line(f"    {writer.abort}")
+            nodes.append(ir.NormOrZero(tmp, step.source))
+            nodes.append(ir.GuardNotEq(step.check_var, tmp))
         elif step.kind == "lift_agg":
             # The aggregate chain already normalizes (and yields 0 when
             # empty), matching the evaluator's lift-over-GMR read-back.
-            self._emit_agg_spec(writer, step.spec)
+            self._emit_agg_spec(nodes, step.spec)
         elif step.kind == "lift_agg_eq":
-            self._emit_agg_spec(writer, step.spec)
-            writer.line(f"if {step.check_var} != {step.spec.result}:")
-            writer.line(f"    {writer.abort}")
+            self._emit_agg_spec(nodes, step.spec)
+            nodes.append(ir.GuardNotEq(step.check_var, step.spec.result))
         elif step.kind == "agg_factor":
             # A zero aggregate is an empty scalar GMR: the row dies.
-            self._emit_agg_spec(writer, step.spec)
-            writer.line(f"if _is_zero({step.spec.result}):")
-            writer.line(f"    {writer.abort}")
+            self._emit_agg_spec(nodes, step.spec)
+            nodes.append(ir.GuardZero(step.spec.result))
         elif step.kind == "exists":
             # Exists gates on total multiplicity: zero kills the row, any
             # other value contributes multiplicity 1 (no factor).
-            self._emit_agg_spec(writer, step.spec)
-            writer.line(f"if _is_zero({step.spec.result}):")
-            writer.line(f"    {writer.abort}")
+            self._emit_agg_spec(nodes, step.spec)
+            nodes.append(ir.GuardZero(step.spec.result))
         else:  # pragma: no cover - planner and emitter enumerate the same kinds
             raise Unsupported(f"unknown scalar step kind {step.kind!r}")
 
-    def _emit_agg_spec(self, writer, spec: _AggSpec) -> None:
-        """Emit code leaving the aggregate's value in ``spec.result``."""
+    def _emit_agg_spec(self, nodes: list[ir.Node], spec: _AggSpec) -> None:
+        """Build IR leaving the aggregate's value in ``spec.result``."""
         if spec.mode == "total":
-            writer.line(f"{spec.result} = {spec.handle}.primary.get(_EMPTY_ROW)")
-            writer.line(f"if {spec.result} is None:")
-            writer.line(f"    {spec.result} = 0")
+            nodes.append(ir.Probe(spec.result, spec.handle, "_EMPTY_ROW"))
+            nodes.append(ir.DefaultZero(spec.result))
             return
         if spec.mode == "probe":
             for entry in spec.prelude:
                 if entry[0] == "value":
                     _, local, source = entry
-                    writer.line(f"{local} = _norm({source})")
-                    writer.line(f"if _is_zero({local}):")
-                    writer.line(f"    {local} = 0")
+                    nodes.append(ir.NormOrZero(local, source))
                 else:
-                    self._emit_agg_spec(writer, entry[1])
-            writer.line(
-                f"{spec.result} = {spec.probe}"
-                f"({spec.column!r}, {spec.op!r}, {spec.cutoff}, {spec.chain})"
-            )
+                    self._emit_agg_spec(nodes, entry[1])
+            nodes.append(ir.RangeProbe(
+                spec.result, spec.probe, spec.column, spec.op, spec.cutoff, spec.chain
+            ))
             return
         # Inline scan loop.  The one-pass wrapper scopes the sub-term's
         # aborts: a failing hoisted condition inside the aggregate must empty
         # the aggregate, not abort the enclosing row.
         plan = spec.plan
-        writer.line(f"{spec.result} = 0")
+        nodes.append(ir.Let(spec.result, "0"))
         if not plan.dead:
-            wrapper = self._fresh("w")
-            writer.open_loop(f"for {wrapper} in _ONE_PASS:")
-            writer._aborts[-1] = "break"
+            scope_body: list[ir.Node] = []
+            nodes.append(ir.OnePass(self._fresh("w"), scope_body))
             self._emit_term(
-                writer, plan, lambda w, p: self._emit_agg_loop_sink(w, p, spec)
+                scope_body, plan, lambda n, p: self._emit_agg_loop_sink(n, p, spec)
             )
-            writer.close_loops(1)
         if not spec.chain:
-            writer.line(f"{spec.result} = _norm({spec.result})")
+            nodes.append(ir.Norm(spec.result, spec.result))
 
-    def _emit_agg_loop_sink(self, writer, plan, spec: _AggSpec) -> None:
+    def _emit_agg_loop_sink(self, nodes: list[ir.Node], plan, spec: _AggSpec) -> None:
         """Per-row accumulation inside an inline aggregate scan.
 
         ``chain=True`` replicates the GMR aggregation chain (add, drop on
         zero, normalize per step); ``chain=False`` the plain summation of
         ``total_multiplicity`` over per-entry-normalized multiplicities.
         """
-        if plan.factors:
-            product = self._fresh("p")
-            writer.line(f"{product} = {' * '.join(plan.factors)}")
-            writer.line(f"if _is_zero({product}):")
-            writer.line(f"    {writer.abort}")
-        else:
-            product = "1"
+        product = self._product_expr(nodes, plan)
         if spec.chain:
-            tmp = self._fresh("h")
-            writer.line(f"{tmp} = {spec.result} + {product}")
-            writer.line(f"{spec.result} = 0 if _is_zero({tmp}) else _norm({tmp})")
+            nodes.append(ir.ChainAccum(spec.result, product, self._fresh("h")))
         else:
-            writer.line(f"{spec.result} = {spec.result} + _norm({product})")
+            nodes.append(ir.PlainAccum(spec.result, product))
 
-    def _emit_group_agg(self, writer, step: _GroupAggStep) -> bool:
-        """Emit a grouped aggregate factor; always opens the iteration loop."""
-        writer.line(f"{step.dict_local} = {{}}")
+    def _product_expr(self, nodes: list[ir.Node], plan) -> str:
+        """The factor product, zero-guarded; single factors skip the alias."""
+        if not plan.factors:
+            return "1"
+        if len(plan.factors) == 1:
+            factor = plan.factors[0]
+            self._guard_nonzero(nodes, factor)
+            return factor
+        product = self._fresh("p")
+        nodes.append(ir.Let(product, " * ".join(plan.factors)))
+        nodes.append(ir.GuardZero(product))
+        return product
+
+    def _emit_group_agg(self, nodes: list[ir.Node], step: _GroupAggStep) -> list[ir.Node]:
+        """Build a grouped aggregate factor; returns the iteration-loop body."""
+        nodes.append(ir.Let(step.dict_local, "{}"))
         plan = step.plan
         if not plan.dead:
-            wrapper = self._fresh("w")
-            writer.open_loop(f"for {wrapper} in _ONE_PASS:")
-            writer._aborts[-1] = "break"
+            scope_body: list[ir.Node] = []
+            nodes.append(ir.OnePass(self._fresh("w"), scope_body))
             key = ", ".join(step.key_sources)
             key = f"({key},)" if step.key_sources else "()"
 
-            def sink(w, p):
-                if p.factors:
-                    product = self._fresh("p")
-                    w.line(f"{product} = {' * '.join(p.factors)}")
-                    w.line(f"if _is_zero({product}):")
-                    w.line(f"    {w.abort}")
-                else:
-                    product = "1"
-                self._emit_dict_merge(w, step.dict_local, key, product)
+            def sink(inner: list[ir.Node], p) -> None:
+                product = self._product_expr(inner, p)
+                inner.append(ir.DictMerge(step.dict_local, self._fresh("k"), key, product))
 
-            self._emit_term(writer, plan, sink)
-            writer.close_loops(1)
+            self._emit_term(scope_body, plan, sink)
         gk = self._fresh("gk")
-        writer.open_loop(f"for {gk}, {step.mult_local} in {step.dict_local}.items():")
+        loop_body: list[ir.Node] = []
+        nodes.append(ir.ItemsLoop(gk, step.mult_local, step.dict_local, loop_body))
         for var, position, local in step.unbound:
-            writer.line(f"{local} = {gk}[{position}]")
-        return True
+            loop_body.append(ir.Let(local, f"{gk}[{position}]"))
+        return loop_body
 
     def _row_source(self, entries: Sequence[tuple[str, str]]) -> str:
         """Row-construction source from (column, local) pairs, sorted by name."""
@@ -1094,37 +1178,40 @@ class _StatementCompiler:
         inner = ", ".join(f"({col!r}, {local})" for col, local in ordered)
         return f"_Row(({inner},))"
 
-    def _emit_atom(self, writer, atom: _AtomStep) -> bool:
-        """Emit the probe or scan for one atom; returns True when a loop opened."""
+    def _emit_atom(self, nodes: list[ir.Node], atom: _AtomStep) -> list[ir.Node]:
+        """Build the probe or scan for one atom; returns the active body list."""
         handle = self._table_handle(atom.kind, atom.name)
         if not atom.unbound and not atom.eq_checks:
-            probe = self._row_source(atom.bound)
-            writer.line(f"{atom.mult_local} = {handle}.primary.get({probe})")
-            writer.line(f"if {atom.mult_local} is None:")
-            writer.line(f"    {writer.abort}")
-            return False
+            if not atom.reused:
+                probe_key = self._shared_row(
+                    nodes, self._row_source(atom.bound),
+                    frozenset(local for _, local in atom.bound),
+                )
+                node = ir.Probe(atom.mult_local, handle, probe_key)
+                nodes.append(node)
+                self._attach(atom.dedup_key, node, nodes)
+            nodes.append(ir.GuardNone(atom.mult_local))
+            return nodes
         if not atom.bound:
-            writer.open_loop(
-                f"for {atom.row_local}, {atom.mult_local} in {handle}.primary.items():"
-            )
+            loop_body: list[ir.Node] = []
+            nodes.append(ir.FullScan(atom.row_local, atom.mult_local, handle, loop_body))
         else:
             columns = frozenset(col for col, _ in atom.bound)
-            colset = self.env.add("fs", columns)
+            colset = self.ctx.env.add("fs", columns)
             bucket = self._fresh("bu")
-            probe = self._row_source(atom.bound)
-            writer.line(f"{bucket} = {handle}.index_for({colset}).get({probe})")
-            writer.line(f"if not {bucket}:")
-            writer.line(f"    {writer.abort}")
-            writer.open_loop(
-                f"for {atom.row_local}, {atom.mult_local} in {bucket}.items():"
+            probe = self._shared_row(
+                nodes, self._row_source(atom.bound),
+                frozenset(local for _, local in atom.bound),
             )
-        items = f"{atom.row_local}._items"
+            nodes.append(ir.IndexProbe(bucket, handle, colset, probe))
+            nodes.append(ir.GuardFalsy(bucket))
+            loop_body = []
+            nodes.append(ir.ItemsLoop(atom.row_local, atom.mult_local, bucket, loop_body))
         for var, sorted_pos, local in atom.unbound:
-            writer.line(f"{local} = {items}[{sorted_pos}][1]")
+            loop_body.append(ir.Extract(local, atom.row_local, sorted_pos))
         for sorted_pos, local in atom.eq_checks:
-            writer.line(f"if {items}[{sorted_pos}][1] != {local}:")
-            writer.line(f"    {writer.abort}")
-        return True
+            loop_body.append(ir.FieldGuard(atom.row_local, sorted_pos, local))
+        return loop_body
 
     def _value_for(self, var: str, plan: _TermPlan) -> str:
         local = plan.names.get(var)
@@ -1140,90 +1227,153 @@ class _StatementCompiler:
         ]
         return self._row_source(entries)
 
-    def _emit_acc(self, writer, plan) -> None:
-        """The per-row delta: factor product in term order, dead on zero."""
-        if plan.factors:
-            writer.line(f"_acc = {' * '.join(plan.factors)}")
-            writer.line("if _is_zero(_acc):")
-            writer.line(f"    {writer.abort}")
-        else:
-            writer.line("_acc = 1")
+    def _shared_row(self, nodes: list[ir.Node], source: str, deps: frozenset[str]) -> str:
+        """A key-row build — shared across fused statements when possible.
 
-    def _emit_sink(self, writer, plan, mode, group, colset_ids) -> None:
-        self._emit_acc(writer, plan)
+        When every component is a trigger local, the row build is named into
+        a ``Let`` and cached, so identical key rows across fused statements
+        (the Q1 shape: every aggregate map keyed by the same group-by
+        columns; the Q3 shape: sibling maps bucket-probed by the same
+        trigger key) construct once per event.
+        """
+        dedup = self.ctx.dedup
+        if (
+            dedup is None
+            or source == "_EMPTY_ROW"
+            or not deps <= self.ctx.trigger_local_names
+        ):
+            return source
+        key = ("row", source)
+        shared = dedup.reuse(key)
+        if shared is not None:
+            return shared
+        local = self._fresh("kr")
+        node = ir.Let(local, source)
+        nodes.append(node)
+        self._attach(dedup.reserve(key, local), node, nodes)
+        return local
 
-        if mode == "direct":
-            key = self._target_row_source(lambda k: self._value_for(k, plan))
-            writer.line(f"_add({key}, _acc if _scale == 1 else _acc * _scale)")
+    def _target_key_expr(self, nodes: list[ir.Node], plan: _TermPlan) -> str:
+        """The sink key row for ``plan`` — a dedup candidate when fused."""
+        source = self._target_row_source(lambda k: self._value_for(k, plan))
+        deps = frozenset(
+            self._value_for(key, plan) for key in self.statement.target_keys
+        )
+        return self._shared_row(nodes, source, deps)
+
+    def _emit_acc(self, nodes: list[ir.Node], plan) -> str:
+        """The per-row delta: factor product in term order, dead on zero.
+
+        A single factor is used directly (it is already a local; re-loading
+        a name is cheaper than aliasing it), a product is computed once into
+        a fresh local; either way the delta is zero-checked before the sink
+        sees it, exactly like the evaluator's result-GMR zero drop.
+        """
+        if not plan.factors:
+            return "1"
+        if len(plan.factors) == 1:
+            factor = plan.factors[0]
+            self._guard_nonzero(nodes, factor)
+            return factor
+        acc = self._fresh("acc")
+        nodes.append(ir.Let(acc, " * ".join(plan.factors)))
+        nodes.append(ir.GuardZero(acc))
+        return acc
+
+    def _guard_nonzero(self, nodes: list[ir.Node], expr: str) -> None:
+        """Zero-guard ``expr`` unless the previous node just guarded it.
+
+        A single-factor delta whose factor is a value-step local arrives
+        here immediately after that step's own zero guard; between two
+        consecutive nodes the local cannot change, so the repeat guard is
+        provably dead and skipping it is exact.
+        """
+        last = nodes[-1] if nodes else None
+        if isinstance(last, ir.GuardZero) and last.expr == expr:
             return
-        if mode == "pending":
-            key = self._target_row_source(lambda k: self._value_for(k, plan))
-            writer.line(f"_pend.append(({key}, _acc))")
-            return
-        if mode == "group":
-            gk = ", ".join(self._value_for(g, plan) for g in group)
-            gk = f"({gk},)" if group else "()"
-            self._emit_dict_merge(writer, "_grp", gk)
-            return
-        # merge mode: key by (colset id, values of the produced row).
+        nodes.append(ir.GuardZero(expr))
+
+    def _merge_key_tuple(self, plan: _TermPlan, colset_ids) -> str:
         colset = frozenset(plan.colset)
         cs = colset_ids[colset]
         values = ", ".join(self._value_for(v, plan) for v in sorted(colset))
-        key = f"({cs}, {values},)" if colset else f"({cs},)"
-        self._emit_dict_merge(writer, "_mrg", key)
+        return f"({cs}, {values},)" if colset else f"({cs},)"
 
-    def _emit_dict_merge(self, writer, target: str, key_source: str, value: str = "_acc") -> None:
-        """GMR ``add_tuple`` semantics on a plain dict: add, normalize, drop zero."""
-        k = self._fresh("k")
-        writer.line(f"{k} = {key_source}")
-        writer.line(f"_o = {target}.get({k}, 0)")
-        writer.line(f"_n = _o + {value}")
-        writer.line("if _is_zero(_n):")
-        writer.line(f"    {target}.pop({k}, None)")
-        writer.line("else:")
-        writer.line(f"    {target}[{k}] = _norm(_n)")
+    def _group_key_tuple(self, plan: _TermPlan, group) -> str:
+        gk = ", ".join(self._value_for(g, plan) for g in group)
+        return f"({gk},)" if group else "()"
 
-    def _emit_group_epilogue(self, writer, plan, group) -> None:
+    def _emit_sink(
+        self, nodes, plan, mode, group, colset_ids,
+        add_local, merge_local, group_local, pending_local,
+    ) -> None:
+        acc = self._emit_acc(nodes, plan)
+
+        if mode == "direct":
+            key = self._target_key_expr(nodes, plan)
+            nodes.append(ir.AddDelta(add_local, key, acc, self.scale_var))
+            return
+        if mode == "pending":
+            key = self._target_key_expr(nodes, plan)
+            nodes.append(ir.ListAppend(pending_local, f"({key}, {acc})"))
+            return
+        if mode == "group":
+            nodes.append(ir.DictMerge(
+                group_local, self._fresh("k"), self._group_key_tuple(plan, group), acc,
+            ))
+            return
+        # merge mode: key by (colset id, values of the produced row).
+        nodes.append(ir.DictMerge(
+            merge_local, self._fresh("k"), self._merge_key_tuple(plan, colset_ids), acc,
+        ))
+
+    def _emit_group_epilogue(self, body, plan, group, group_local, sink) -> None:
+        """Iterate the group accumulator; ``sink(key_expr, mult_local)`` makes
+        the per-entry node — ``+=`` adds to the target, ``:=`` plain-merges
+        into the assignment dict (both paths share this shape)."""
         if plan is None:
             return
+        gk, m = self._fresh("gk"), self._fresh("m")
         positions = {g: i for i, g in enumerate(group)}
 
         def value_of(key: str) -> str:
             if key in positions:
-                return f"_gk[{positions[key]}]"
+                return f"{gk}[{positions[key]}]"
             return self._trigger_local(key)
 
         key = self._target_row_source(value_of)
-        writer.line("for _gk, _m in _grp.items():")
-        writer.line(f"    _add({key}, _m if _scale == 1 else _m * _scale)")
+        body.append(ir.ItemsLoop(gk, m, group_local, [sink(key, m)]))
 
-    def _emit_merge_epilogue(self, writer, plans, colset_ids) -> None:
+    def _emit_merge_epilogue(self, body, plans, colset_ids, merge_local, sink) -> None:
+        """Iterate the sum-merge accumulator, dispatching on each entry's
+        colset id to rebuild its target key; ``sink(key_expr, mult_local)``
+        makes the per-entry node (shared by the ``+=`` and ``:=`` paths)."""
         by_id: dict[int, frozenset[str]] = {}
         for plan in plans:
             colset = frozenset(plan.colset)
             by_id[colset_ids[colset]] = colset
 
-        writer.line("for _bk, _m in _mrg.items():")
-        writer.depth += 1
+        bk, m = self._fresh("bk"), self._fresh("m")
+        loop_body: list[ir.Node] = []
+        body.append(ir.ItemsLoop(bk, m, merge_local, loop_body))
         if len(by_id) == 1:
-            (cs, colset), = by_id.items()
-            key = self._merge_key_source(colset)
-            writer.line(f"_add({key}, _m if _scale == 1 else _m * _scale)")
+            (_, colset), = by_id.items()
+            loop_body.append(sink(self._merge_key_source(colset, bk), m))
         else:
-            writer.line("_cs = _bk[0]")
-            for branch, (cs, colset) in enumerate(sorted(by_id.items())):
-                prefix = "if" if branch == 0 else "elif"
-                writer.line(f"{prefix} _cs == {cs}:")
-                key = self._merge_key_source(colset)
-                writer.line(f"    _add({key}, _m if _scale == 1 else _m * _scale)")
-        writer.depth -= 1
+            cs = self._fresh("cs")
+            loop_body.append(ir.Let(cs, f"{bk}[0]"))
+            cases = []
+            for branch_id, colset in sorted(by_id.items()):
+                key = self._merge_key_source(colset, bk)
+                cases.append((f"{cs} == {branch_id}", [sink(key, m)]))
+            loop_body.append(ir.Branch(cases))
 
-    def _merge_key_source(self, colset: frozenset[str]) -> str:
+    def _merge_key_source(self, colset: frozenset[str], bk_local: str) -> str:
         positions = {v: i + 1 for i, v in enumerate(sorted(colset))}
 
         def value_of(key: str) -> str:
             if key in positions:
-                return f"_bk[{positions[key]}]"
+                return f"{bk_local}[{positions[key]}]"
             return self._trigger_local(key)
 
         return self._target_row_source(value_of)
@@ -1239,15 +1389,23 @@ def try_compile_statement(
 ) -> StatementKernel | None:
     """Compile one ``+=`` or ``:=`` statement, or return None when it must interpret.
 
-    This *is* the capability check: anything the emitter cannot lower raises
+    This *is* the capability check: anything the planner cannot lower raises
     internally and surfaces here as None, and the caller keeps the statement
-    on the interpreter path.
+    on the interpreter path.  The pipeline runs all three stages: plan the
+    statement into IR, then emit the IR (``emit.py`` is the sole source
+    generator) and wrap the source into a bindable :class:`StatementKernel`.
     """
     try:
-        source, env, tables = _StatementCompiler(statement, program).compile()
+        compiler = _StatementCompiler(statement, program)
+        body = compiler.compile()
+        context = compiler.ctx
+        nodes = context.preamble() + body
+        source = emit_function("_kernel", ("_values", "_scale"), nodes, abort="return")
     except Unsupported:
         return None
-    return StatementKernel(statement, source, env, tables)
+    return StatementKernel(
+        statement, source, context.env.env, context.tables, ir.count_ops(nodes)
+    )
 
 
 def compile_scalar_kernel(statement: Statement, columns: Sequence[str] | None = None):
@@ -1265,10 +1423,10 @@ def compile_scalar_kernel(statement: Statement, columns: Sequence[str] | None = 
     declaration's keys); when given, the kernel prebuilds sorted key rows
     instead of paying the table's per-add key normalization.
 
-    This replaces the batching subsystem's original ad-hoc closure builder:
-    the expression lowering is shared with the per-event statement compiler,
-    and the generated kernel multiplies factors in the interpreter's exact
-    order (factors first, fold multiplicity last).
+    The expression lowering and the IR/emission stages are shared with the
+    per-event statement compiler, and the generated kernel multiplies
+    factors in the interpreter's exact order (factors first, fold
+    multiplicity last).
     """
     if statement.operation != INCREMENT:
         return None
@@ -1280,7 +1438,7 @@ def compile_scalar_kernel(statement: Statement, columns: Sequence[str] | None = 
 
     used: set[str] = set()
     acc_factors: list[str] = []
-    body: list[str] = []
+    steps: list[ir.Node] = []
     counter = 0
     try:
         # Steps stay in term order: the interpreter evaluates factors left to
@@ -1302,9 +1460,8 @@ def compile_scalar_kernel(statement: Statement, columns: Sequence[str] | None = 
                 source = lower_value(node.vexpr, names, env, allow_functions=True)
                 local = f"_s{counter}"
                 counter += 1
-                body.append(f"{local} = _norm({source})")
-                body.append(f"if _is_zero({local}):")
-                body.append("    continue")
+                steps.append(ir.Norm(local, source))
+                steps.append(ir.GuardZero(local))
                 acc_factors.append(local)
             elif isinstance(node, Cmp):
                 deps = value_variables(node.left) | value_variables(node.right)
@@ -1314,8 +1471,7 @@ def compile_scalar_kernel(statement: Statement, columns: Sequence[str] | None = 
                 check = lower_condition(
                     node.left, node.op, node.right, names, env, allow_functions=True
                 )
-                body.append(f"if not {check}:")
-                body.append("    continue")
+                steps.append(ir.GuardCond(check))
             else:
                 raise Unsupported("not a scalar-only statement")
         key_positions = []
@@ -1327,19 +1483,16 @@ def compile_scalar_kernel(statement: Statement, columns: Sequence[str] | None = 
     except Unsupported:
         return None
 
-    lines = ["def _kernel(_table, _items):", "    _add = _table.add"]
-    lines.append("    for _vals, _mult in _items:")
+    loop_body: list[ir.Node] = []
     for var in sorted(used, key=trigger_vars.index):
         i = trigger_vars.index(var)
-        lines.append(f"        _v{i} = _vals[{i}]")
-    for line in body:
-        lines.append("        " + line)
+        loop_body.append(ir.Let(f"_v{i}", f"_vals[{i}]"))
+    loop_body.extend(steps)
     if acc_factors:
-        lines.append(f"        _acc = {' * '.join(acc_factors)}")
-        lines.append("        if _is_zero(_acc):")
-        lines.append("            continue")
+        loop_body.append(ir.Let("_acc", " * ".join(acc_factors)))
+        loop_body.append(ir.GuardZero("_acc"))
     else:
-        lines.append("        _acc = 1")
+        loop_body.append(ir.Let("_acc", "1"))
     if columns is not None and len(columns) == len(key_positions):
         key_entries = sorted(
             (column, f"_v{position}")
@@ -1356,8 +1509,13 @@ def compile_scalar_kernel(statement: Statement, columns: Sequence[str] | None = 
         key = "(" + ", ".join(f"_v{p}" for p in key_positions) + ",)"
     else:
         key = "_EMPTY_ROW"
-    lines.append(f"        _add({key}, _acc if _mult == 1 else _acc * _mult)")
-    source = "\n".join(lines) + "\n"
+    loop_body.append(ir.AddDelta("_add", key, "_acc", "_mult"))
+
+    body: list[ir.Node] = [
+        ir.BindMethod("_add", "_table", "add"),
+        ir.PairLoop("_vals", "_mult", "_items", loop_body),
+    ]
+    source = emit_function("_kernel", ("_table", "_items"), body, abort="return")
     namespace = dict(env.env)
     exec(compile(source, f"<repro.codegen:batch:{statement.target}>", "exec"), namespace)
     kernel = namespace["_kernel"]

@@ -82,8 +82,11 @@ def test_codegen_command_writes_json_and_gates(capsys, tmp_path):
     import json
 
     output = tmp_path / "BENCH_codegen.json"
+    # Tiny event counts make the fused/per-statement ratio pure timer noise,
+    # so the fusion gate is disabled everywhere it is not itself under test.
     code = main(["codegen", "--queries", "Q6", "--events", "150",
-                 "--budget", "3", "--output", str(output)])
+                 "--budget", "3", "--output", str(output),
+                 "--min-fused-speedup", "0"])
     assert code == 0
     out = capsys.readouterr().out
     assert "compiled vs interpreted" in out and "Q6" in out
@@ -91,10 +94,20 @@ def test_codegen_command_writes_json_and_gates(capsys, tmp_path):
     assert payload["Q6"]["compiled_statements"] > 0
     assert payload["Q6"]["fallback_statements"] == 0
     assert payload["Q6"]["compiled_rate"] > 0
+    # The fused record rides along: rate, speedup and fusion statistics.
+    assert payload["Q6"]["fused_rate"] > 0
+    assert payload["Q6"]["fused_speedup"] > 0
+    assert payload["Q6"]["fused_kernels"] > 0
     # An absurd bound trips the regression gate on a fully-compiled query.
     code = main(["codegen", "--queries", "Q6", "--events", "80", "--budget", "2",
-                 "--output", "-", "--min-speedup", "1e9"])
+                 "--output", "-", "--min-speedup", "1e9",
+                 "--min-fused-speedup", "0"])
     assert code == 2
+    # ... and an absurd fused bound trips the fusion regression gate.
+    code = main(["codegen", "--queries", "Q6", "--events", "80", "--budget", "2",
+                 "--output", "-", "--min-fused-speedup", "1e9"])
+    assert code == 2
+    assert "fusion throughput regression" in capsys.readouterr().out
 
 
 def test_codegen_command_exempts_fallback_dominated_queries(capsys, monkeypatch):
@@ -116,7 +129,8 @@ def test_finance_command_requires_compiled(capsys, tmp_path):
     # queries and honor the compilation gate.
     output = tmp_path / "BENCH_finance.json"
     code = main(["finance", "--queries", "VWAP", "--events", "120", "--budget", "3",
-                 "--output", str(output), "--require-compiled", "VWAP"])
+                 "--output", str(output), "--require-compiled", "VWAP",
+                 "--min-fused-speedup", "0"])
     assert code == 0
     import json
 
