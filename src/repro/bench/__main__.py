@@ -138,6 +138,11 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="queries that must report fallback_statements == 0 "
                               "(exit nonzero otherwise; guards the nested-aggregate "
                               "lowering against silent regression)")
+    codegen.add_argument("--max-telemetry-overhead", type=float, default=0.05,
+                         help="exit nonzero when the metrics-enabled fused run is "
+                              "slower than the metrics-disabled one by more than "
+                              "this fraction (best-of-retries; 'inf' disables "
+                              "the overhead gate)")
 
     finance = sub.add_parser(
         "finance",
@@ -159,6 +164,11 @@ def _build_parser() -> argparse.ArgumentParser:
     finance.add_argument("--require-compiled", nargs="*",
                          default=["VWAP", "MST", "PSP"],
                          help="queries that must report fallback_statements == 0")
+    finance.add_argument("--max-telemetry-overhead", type=float, default=0.05,
+                         help="exit nonzero when the metrics-enabled fused run is "
+                              "slower than the metrics-disabled one by more than "
+                              "this fraction (best-of-retries; 'inf' disables "
+                              "the overhead gate)")
 
     stats = sub.add_parser("stats", help="Per-map / per-partition memory statistics")
     stats.add_argument("query")
@@ -167,6 +177,9 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--batch-size", type=int, default=None)
     stats.add_argument("--partitions", type=int, default=None)
     stats.add_argument("--backend", choices=["sequential", "process"], default=None)
+    stats.add_argument("--json", action="store_true",
+                       help="emit the unified statistics schema (repro.stats/1) "
+                            "as JSON instead of the formatted table")
 
     service = sub.add_parser(
         "service", help="Serving layer: query latency/freshness under concurrent ingest"
@@ -258,6 +271,7 @@ def main(argv: list[str] | None = None) -> int:
             queries=tuple(args.queries),
             events=args.events,
             max_seconds_per_run=args.budget,
+            telemetry_overhead_target=args.max_telemetry_overhead,
         )
         print("compiled vs interpreted per-event throughput:")
         print(format_codegen_sweep(results))
@@ -309,6 +323,20 @@ def main(argv: list[str] | None = None) -> int:
         if fusion_failures:
             print("fusion throughput regression: " + "; ".join(fusion_failures))
             return 2
+        # Overhead gate: the metrics-enabled fused run must stay within the
+        # budget of the metrics-disabled one (burst-profiling telemetry; the
+        # sweep already re-measured both sides on a miss, so a failure here
+        # survived best-of-retries).
+        overhead_failures = [
+            f"{query}: {row['telemetry_overhead']:+.1%} > "
+            f"{args.max_telemetry_overhead:.1%}"
+            for query, row in results.items()
+            if row.get("telemetry_overhead") is not None
+            and row["telemetry_overhead"] > args.max_telemetry_overhead
+        ]
+        if overhead_failures:
+            print("telemetry overhead regression: " + "; ".join(overhead_failures))
+            return 2
         return 0
 
     if args.command == "stats":
@@ -322,7 +350,19 @@ def main(argv: list[str] | None = None) -> int:
                 "backend": args.backend,
             },
         )
-        print(format_engine_statistics(statistics, f"{args.query} / {args.strategy}"))
+        if args.json:
+            import json
+
+            from repro.telemetry import unify_statistics
+
+            unified = unify_statistics(statistics)
+            unified.pop("raw", None)
+            partitioning = unified.get("partitioning") or {}
+            for partition in partitioning.get("partitions", ()):
+                partition.pop("raw", None)
+            print(json.dumps(unified, indent=2, sort_keys=True, default=str))
+        else:
+            print(format_engine_statistics(statistics, f"{args.query} / {args.strategy}"))
         return 0
 
     if args.command == "service":

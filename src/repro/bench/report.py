@@ -116,19 +116,28 @@ def format_codegen_sweep(results: Mapping[str, Mapping[str, object]]) -> str:
     """Fused/per-statement/interpreted table: rates, speedups, coverage."""
     lines = [
         f"{'query':>8} {'events':>8} {'interp/s':>12} {'compiled/s':>12} "
-        f"{'fused/s':>12} {'speedup':>9} {'fusion':>8} {'stmts':>12}"
+        f"{'fused/s':>12} {'speedup':>9} {'fusion':>8} {'stmts':>12} "
+        f"{'tele ovh':>9} {'ev p50/p99':>16}"
     ]
     for query, row in results.items():
         interpreted: RunResult = row["interpreted"]  # type: ignore[assignment]
         compiled: RunResult = row["compiled"]  # type: ignore[assignment]
         fused: RunResult = row["fused"]  # type: ignore[assignment]
         coverage = f"{row['compiled_statements']}+{row['fallback_statements']}fb"
+        overhead = row.get("telemetry_overhead")
+        overhead_text = f"{overhead:+.1%}" if overhead is not None else "-"
+        p50 = row.get("event_p50_us")
+        p99 = row.get("event_p99_us")
+        quantiles = (
+            f"{p50:.1f}/{p99:.1f}us" if p50 is not None and p99 is not None else "-"
+        )
         lines.append(
             f"{query:>8} {row['events']:>8} "
             f"{_format_rate(interpreted.refresh_rate):>12} "
             f"{_format_rate(compiled.refresh_rate):>12} "
             f"{_format_rate(fused.refresh_rate):>12} "
-            f"{row['speedup']:>8.2f}x {row['fused_speedup']:>7.2f}x {coverage:>12}"
+            f"{row['speedup']:>8.2f}x {row['fused_speedup']:>7.2f}x {coverage:>12} "
+            f"{overhead_text:>9} {quantiles:>16}"
         )
     return "\n".join(lines)
 
@@ -146,7 +155,7 @@ def codegen_sweep_json(results: Mapping[str, Mapping[str, object]]) -> dict:
         interpreted: RunResult = row["interpreted"]  # type: ignore[assignment]
         compiled: RunResult = row["compiled"]  # type: ignore[assignment]
         fused: RunResult = row["fused"]  # type: ignore[assignment]
-        payload[query] = {
+        record = {
             "events": row["events"],
             "interpreted_rate": interpreted.refresh_rate,
             "compiled_rate": compiled.refresh_rate,
@@ -159,6 +168,13 @@ def codegen_sweep_json(results: Mapping[str, Mapping[str, object]]) -> dict:
             "deduped_probes": row["deduped_probes"],
             "deduped_scalars": row["deduped_scalars"],
         }
+        telemetry: RunResult | None = row.get("telemetry")  # type: ignore[assignment]
+        if telemetry is not None:
+            record["telemetry_rate"] = telemetry.refresh_rate
+            record["telemetry_overhead"] = row["telemetry_overhead"]
+            record["event_p50_us"] = row["event_p50_us"]
+            record["event_p99_us"] = row["event_p99_us"]
+        payload[query] = record
     return payload
 
 

@@ -129,10 +129,10 @@ def _dbtoaster_program(query: TranslatedQuery):
     )
 
 
-def _dbtoaster_comp(query: TranslatedQuery, fused: bool = True):
+def _dbtoaster_comp(query: TranslatedQuery, fused: bool = True, telemetry=None):
     from repro.codegen.engine import CompiledEngine
 
-    return CompiledEngine(_dbtoaster_program(query), fuse=fused)
+    return CompiledEngine(_dbtoaster_program(query), fuse=fused, telemetry=telemetry)
 
 
 def _dbtoaster_batch(

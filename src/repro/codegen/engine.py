@@ -37,6 +37,7 @@ every code object.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, Mapping
 
 from repro.codegen import statement as statement_compiler
@@ -102,10 +103,17 @@ class CompiledExecutor:
         self._pinned: list[Statement] = []  # keeps id()-keyed statements alive
         self.compiled_statements = 0
         self.fallback_statements = 0
+        # Always-on accounting: compile/fuse wall time (one-shot) and how
+        # often the per-statement path actually hit the interpreter.
+        self.compile_seconds = 0.0
+        self.fuse_seconds = 0.0
+        self.fallback_hits = 0
         self._compile_all()
 
     # -- compilation --------------------------------------------------------
     def _compile_all(self) -> None:
+        compile_started = perf_counter()
+        fuse_spent = 0.0
         self._kernels.clear()
         self._trigger_kernels.clear()
         self.compiled_statements = 0
@@ -131,10 +139,14 @@ class CompiledExecutor:
             key = (trigger.sign, trigger.relation)
             self._plans[key] = plan
             if self._fuse and fully_compiled:
+                fuse_started = perf_counter()
                 fused = trigger_compiler.try_fuse_trigger(trigger, self._program)
+                fuse_spent += perf_counter() - fuse_started
                 if fused is not None:
                     self._trigger_kernels[key] = fused
         self.rebind()
+        self.fuse_seconds = fuse_spent
+        self.compile_seconds = perf_counter() - compile_started
 
     def rebind(self) -> None:
         """(Re)link every kernel against the live tables.
@@ -218,6 +230,7 @@ class CompiledExecutor:
                 if runner is not None:
                     runner(values, 1)
                 else:
+                    self.fallback_hits += 1
                     self._interpreter.execute_increment(
                         stmt, stmt.event.bindings_for(event)
                     )
@@ -228,6 +241,7 @@ class CompiledExecutor:
                 if runner is not None:
                     runner(event.values, 1)
                 else:
+                    self.fallback_hits += 1
                     self._interpreter.execute_assign(stmt, stmt.event.bindings_for(event))
 
     def execute_increment(
@@ -248,6 +262,7 @@ class CompiledExecutor:
             values = tuple(bindings[v] for v in statement.event.trigger_vars)
             runner(values, scale)
             return
+        self.fallback_hits += 1
         self._interpreter.execute_increment(statement, bindings, scale=scale, memo=memo)
 
     def execute_assign(self, statement: Statement, bindings: Mapping[str, Any]) -> None:
@@ -256,6 +271,7 @@ class CompiledExecutor:
             values = tuple(bindings[v] for v in statement.event.trigger_vars)
             runner(values, 1)
             return
+        self.fallback_hits += 1
         self._interpreter.execute_assign(statement, bindings)
 
     # -- reporting ----------------------------------------------------------
@@ -271,10 +287,13 @@ class CompiledExecutor:
             "compiled_statements": self.compiled_statements,
             "fallback_statements": self.fallback_statements,
             "fallbacks": fallbacks,
+            "fallback_hits": self.fallback_hits,
             "fused_kernels": len(self._trigger_kernels),
             "fused_statements": sum(k.fused_statements for k in kernels),
             "deduped_probes": sum(k.deduped_probes for k in kernels),
             "deduped_scalars": sum(k.deduped_scalars for k in kernels),
+            "compile_seconds": self.compile_seconds,
+            "fuse_seconds": self.fuse_seconds,
         }
 
 
@@ -290,8 +309,8 @@ class CompiledEngine(IncrementalEngine):
     rebuild one.
     """
 
-    def __init__(self, program: TriggerProgram, fuse: bool = True) -> None:
-        super().__init__(program)
+    def __init__(self, program: TriggerProgram, fuse: bool = True, telemetry=None) -> None:
+        super().__init__(program, telemetry=telemetry)
         self._executor = CompiledExecutor(
             program,
             self.database,
@@ -300,6 +319,9 @@ class CompiledEngine(IncrementalEngine):
             interpreter=self._executor,
             fuse=fuse,
         )
+        # Re-derive instrument handles now that the executor has fused
+        # kernels and codegen statistics to expose.
+        self._init_telemetry()
 
     @property
     def codegen(self) -> CompiledExecutor:
@@ -322,19 +344,26 @@ class CompiledEngine(IncrementalEngine):
         return stats
 
     def describe(self) -> str:
+        # Key names here deliberately match codegen_statistics() / the bench
+        # stats report, so grepping one name finds both surfaces.
         summary = self._executor.codegen_statistics()
         lines = [
             super().describe(),
             "-- codegen --",
             (
-                f"  compiled {summary['compiled_statements']} statements, "
-                f"{summary['fallback_statements']} on the interpreter"
+                f"  compiled_statements={summary['compiled_statements']} "
+                f"fallback_statements={summary['fallback_statements']} "
+                f"fallback_hits={summary['fallback_hits']}"
             ),
             (
-                f"  fused {summary['fused_kernels']} trigger kernels "
-                f"({summary['fused_statements']} statements; "
-                f"{summary['deduped_probes']} probes, "
-                f"{summary['deduped_scalars']} scalars deduped)"
+                f"  fused_kernels={summary['fused_kernels']} "
+                f"fused_statements={summary['fused_statements']} "
+                f"deduped_probes={summary['deduped_probes']} "
+                f"deduped_scalars={summary['deduped_scalars']}"
+            ),
+            (
+                f"  compile_seconds={summary['compile_seconds']:.4f} "
+                f"fuse_seconds={summary['fuse_seconds']:.4f}"
             ),
         ]
         for entry in summary["fallbacks"]:

@@ -28,6 +28,7 @@ foldable groups.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.agca.ast import free_variables
@@ -200,18 +201,28 @@ class BatchedEngine:
         batch_size: int = DEFAULT_BATCH_SIZE,
         plan: BatchPlan | None = None,
         compiled: bool = False,
+        telemetry=None,
     ) -> None:
         if batch_size < 1:
             raise ExecutionError(f"batch_size must be >= 1, got {batch_size}")
         self.program = program
         self.batch_size = batch_size
         self.compiled = compiled
+        if telemetry is None:
+            from repro.telemetry import current
+
+            telemetry = current()
+        # The inner engine shares this telemetry: fallback groups replay
+        # through its per-event apply (it observes them), bulk groups bypass
+        # it and are accounted through count_bulk_events — summed at scrape,
+        # events in == events accounted, nothing counted twice.
+        self.telemetry = telemetry
         if compiled:
             from repro.codegen.engine import CompiledEngine
 
-            self.engine: IncrementalEngine = CompiledEngine(program)
+            self.engine: IncrementalEngine = CompiledEngine(program, telemetry=telemetry)
         else:
-            self.engine = IncrementalEngine(program)
+            self.engine = IncrementalEngine(program, telemetry=telemetry)
         self.plan = plan if plan is not None and plan.program is program else BatchPlan(program)
         self._buffer: list[StreamEvent] = []
         self._stream_relations = frozenset(program.stream_relations)
@@ -220,6 +231,38 @@ class BatchedEngine:
         self.groups_applied = 0
         self.bulk_events = 0
         self.fallback_events = 0
+        if telemetry.enabled:
+            registry = telemetry.registry
+            self._fold_hist = registry.histogram(
+                "repro_exec_batch_fold_seconds",
+                help="Time folding one buffer into delta groups",
+            )
+            self._apply_hist = registry.histogram(
+                "repro_exec_batch_apply_seconds",
+                help="Time applying one folded batch through the inner engine",
+            )
+            registry.add_collector(self._collect_telemetry)
+        else:
+            self._fold_hist = None
+            self._apply_hist = None
+
+    def _collect_telemetry(self, registry) -> None:
+        registry.counter(
+            "repro_exec_batches_flushed_total", help="Delta batches flushed"
+        ).value = self.batches_flushed
+        registry.counter(
+            "repro_exec_groups_applied_total", help="Delta groups applied"
+        ).value = self.groups_applied
+        registry.counter(
+            "repro_exec_bulk_events_total", help="Events applied through bulk folds"
+        ).value = self.bulk_events
+        registry.counter(
+            "repro_exec_fallback_events_total",
+            help="Events replayed per-event inside batches",
+        ).value = self.fallback_events
+        registry.gauge(
+            "repro_exec_batch_buffer_events", help="Events currently buffered"
+        ).set(len(self._buffer))
 
     # -- stream processing ------------------------------------------------------
     @property
@@ -252,8 +295,18 @@ class BatchedEngine:
             return
         buffer, self._buffer = self._buffer, []
         self.batches_flushed += 1
-        for group in self.plan.fold(buffer):
+        fold_hist = self._fold_hist
+        if fold_hist is None:
+            for group in self.plan.fold(buffer):
+                self._apply_group(group)
+            return
+        started = perf_counter()
+        groups = self.plan.fold(buffer)
+        fold_hist.observe(perf_counter() - started)
+        started = perf_counter()
+        for group in groups:
             self._apply_group(group)
+        self._apply_hist.observe(perf_counter() - started)
 
     def _apply_group(self, group: DeltaGroup) -> None:
         self.groups_applied += 1
@@ -265,6 +318,7 @@ class BatchedEngine:
             return
 
         self.bulk_events += group.count
+        engine.count_bulk_events(group.sign, group.relation, group.count)
         analysis = self.plan.analysis(group.relation, group.sign)
         executor = engine.executor
         items = list(group.folded.items())

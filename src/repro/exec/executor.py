@@ -32,14 +32,20 @@ def _build_partition_engine(
 ):
     from repro.exec.batching import BatchedEngine
     from repro.runtime.engine import IncrementalEngine
+    from repro.telemetry import Telemetry
 
+    # Partition engines always run with telemetry disabled: events are
+    # accounted once at the routing layer, and a process-global enabled
+    # default here would count every event twice (and pay per-event timing
+    # inside every partition).
+    disabled = Telemetry(enabled=False)
     if batch_size is not None and batch_size > 1:
-        return BatchedEngine(program, batch_size, compiled=compiled)
+        return BatchedEngine(program, batch_size, compiled=compiled, telemetry=disabled)
     if compiled:
         from repro.codegen.engine import CompiledEngine
 
-        return CompiledEngine(program)
-    return IncrementalEngine(program)
+        return CompiledEngine(program, telemetry=disabled)
+    return IncrementalEngine(program, telemetry=disabled)
 
 
 class Backend(Protocol):

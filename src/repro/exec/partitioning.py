@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.agca.ast import Exists, Expr, Lift, Relation, children
@@ -354,14 +355,19 @@ class PartitionedEngine:
         batch_size: int | None = None,
         route_buffer: int = 256,
         compiled: bool = False,
+        telemetry=None,
     ) -> None:
         from repro.exec.executor import make_backend
 
         self.program = program
         self.spec = infer_partition_spec(program, partitions, partition_keys)
+        # Events are accounted once, at this routing layer; the backend's
+        # inner engines run with telemetry disabled (see executor.py), so a
+        # process-global enabled default cannot double count.
         self._backend = make_backend(
             backend, program, partitions, batch_size=batch_size, compiled=compiled
         )
+        self.backend_name = backend
         self._buffers: list[list[StreamEvent]] = [[] for _ in range(partitions)]
         self._buffered = 0
         self._route_buffer = max(1, route_buffer)
@@ -375,6 +381,54 @@ class PartitionedEngine:
         self.events_processed = 0
         self.events_routed = [0] * partitions
         self.events_broadcast = 0
+        self.flushes = 0
+        if telemetry is None:
+            from repro.telemetry import current
+
+            telemetry = current()
+        self.telemetry = telemetry
+        # (sign, relation) event counts at the routing layer (enabled only:
+        # the backend engines are where per-event latency would be measured,
+        # but they run disabled — routing is where partitioned events are
+        # accounted exactly once).
+        self._route_counts: dict[tuple[int, str], int] | None = None
+        self._roundtrip_hist = None
+        if telemetry.enabled:
+            self._route_counts = {}
+            self._roundtrip_hist = telemetry.registry.histogram(
+                "repro_exec_roundtrip_seconds",
+                {"backend": backend},
+                help="flush round-trip: dispatch plus partition drain barrier",
+            )
+            telemetry.registry.add_collector(self._collect_telemetry)
+
+    def _collect_telemetry(self, registry) -> None:
+        for (sign, relation), count in (self._route_counts or {}).items():
+            op = "insert" if sign > 0 else "delete"
+            registry.counter(
+                "repro_engine_events_total",
+                {"relation": relation, "op": op},
+                help="Stream events applied, by relation and operation",
+            ).value = count
+        routed = list(self.events_routed)
+        for index, count in enumerate(routed):
+            registry.gauge(
+                "repro_exec_partition_events",
+                {"partition": str(index)},
+                help="Events routed to one partition",
+            ).set(count)
+        mean = sum(routed) / len(routed) if routed else 0.0
+        skew = (max(routed) / mean) if mean else 0.0
+        registry.gauge(
+            "repro_exec_partition_skew",
+            help="max/mean of per-partition routed event counts",
+        ).set(skew)
+        registry.counter(
+            "repro_exec_events_broadcast_total", help="Events broadcast to every partition"
+        ).value = self.events_broadcast
+        registry.counter(
+            "repro_exec_flushes_total", help="Partitioned flush barriers"
+        ).value = self.flushes
 
     # -- data loading -----------------------------------------------------------
     def load_static(self, relation: str, rows: Iterable) -> int:
@@ -405,6 +459,10 @@ class PartitionedEngine:
             self.events_routed[index] += 1
             self._buffered += 1
         self.events_processed += 1
+        counts = self._route_counts
+        if counts is not None:
+            key = (event.sign, event.relation)
+            counts[key] = counts.get(key, 0) + 1
         if self._buffered >= self._route_buffer:
             self._dispatch()
 
@@ -424,8 +482,16 @@ class PartitionedEngine:
 
     def flush(self) -> None:
         """Dispatch buffered events and wait for every partition to drain."""
+        self.flushes += 1
+        hist = self._roundtrip_hist
+        if hist is None:
+            self._dispatch()
+            self._backend.sync()
+            return
+        started = perf_counter()
         self._dispatch()
         self._backend.sync()
+        hist.observe(perf_counter() - started)
 
     # -- reading views ----------------------------------------------------------
     def _map_name(self, name: str | None) -> str:
@@ -495,6 +561,7 @@ class PartitionedEngine:
             },
             "events_routed": list(self.events_routed),
             "events_broadcast": self.events_broadcast,
+            "flushes": self.flushes,
             "partitions": [
                 self._backend.statistics(index)
                 for index in range(self.spec.partitions)

@@ -11,7 +11,8 @@ comparison meaningful.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping, Sequence
+from time import perf_counter
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.compiler.program import TriggerProgram
 from repro.core.gmr import GMR
@@ -26,7 +27,7 @@ from repro.runtime.protocol import STATE_FORMAT, STATE_SINGLE
 class IncrementalEngine:
     """Keeps the materialized views of one trigger program continuously fresh."""
 
-    def __init__(self, program: TriggerProgram) -> None:
+    def __init__(self, program: TriggerProgram, telemetry=None) -> None:
         self.program = program
         self.maps = MapStore()
         for decl in program.maps.values():
@@ -44,10 +45,188 @@ class IncrementalEngine:
         )
         self.events_processed = 0
 
+        if telemetry is None:
+            from repro.telemetry import current
+
+            telemetry = current()
+        self.telemetry = telemetry
+        # (sign, relation) -> observe(dt) when enabled, else None: the apply
+        # hot path pays one None check in disabled mode.
+        self._trigger_observers: dict[tuple[int, str], Callable[[float], None]] | None = None
+        # Sampling countdown: only every stride-th event is timed; between
+        # samples the enabled hot path pays one attribute decrement.
+        self._telemetry_stride = 1
+        self._telemetry_tick = 1
+        # Burst profiling (profile_interval > 0): the profiler thread re-arms
+        # _trigger_observers, and after _profile_left timed events the
+        # sampled path disarms it again — zero added cost between bursts.
+        self._armed_observers: dict[tuple[int, str], Callable[[float], None]] | None = None
+        self._profile_burst = 0
+        self._profile_left = 0
+        # Events accounted in bulk (batched folds bypass per-event apply);
+        # plain int bumps, merged into the events_total counters at scrape.
+        self._bulk_events: dict[tuple[int, str], int] = {}
+        self._telemetry_collector_installed = False
+        self._init_telemetry()
+
     @property
     def executor(self) -> TriggerExecutor:
         """The trigger executor (used by the batched execution subsystem)."""
         return self._executor
+
+    # -- telemetry --------------------------------------------------------------
+    def _init_telemetry(self) -> None:
+        """(Re)build per-trigger instrument handles.
+
+        Idempotent and re-runnable: :class:`~repro.codegen.engine.CompiledEngine`
+        calls it again after swapping in its executor so fused-kernel series
+        and the codegen collector attach to the same histograms (the registry
+        dedups instruments by name+labels).
+        """
+        telemetry = self.telemetry
+        if not telemetry.enabled:
+            self._trigger_observers = None
+            return
+        self._telemetry_stride = max(1, int(getattr(telemetry, "sample_stride", 1)))
+        self._telemetry_tick = self._telemetry_stride
+        registry = telemetry.registry
+        tracer = telemetry.tracer
+        observers: dict[tuple[int, str], Callable[[float], None]] = {}
+        self._trigger_hists: dict[tuple[int, str], Any] = {}
+        for trigger in self.program.triggers.values():
+            key = (trigger.sign, trigger.relation)
+            op = "insert" if trigger.sign > 0 else "delete"
+            hist = registry.histogram(
+                "repro_engine_trigger_latency_seconds",
+                {"relation": trigger.relation, "op": op},
+                help="Per-event trigger execution latency",
+            )
+            self._trigger_hists[key] = hist
+            kernel_probe = getattr(self._executor, "trigger_kernel_for", None)
+            if kernel_probe is not None and kernel_probe(trigger.sign, trigger.relation):
+                # The fused kernel IS the trigger body: expose the measured
+                # histogram under the kernel-level name too instead of
+                # observing twice on the hot path.
+                registry.register(
+                    "repro_codegen_kernel_latency_seconds",
+                    {"trigger": f"on_{op}_{trigger.relation}"},
+                    hist,
+                    kind="histogram",
+                    help="Fused trigger-kernel execution latency",
+                )
+            if tracer.enabled:
+                observers[key] = self._traced_observer(
+                    hist.observe, f"engine.apply/{op}/{trigger.relation}", tracer
+                )
+            else:
+                observers[key] = hist.observe
+        self._armed_observers = observers
+        self._trigger_observers = observers
+        if getattr(telemetry, "profile_interval", 0) > 0:
+            self._profile_burst = telemetry.profile_burst
+            self._profile_left = self._profile_burst
+            telemetry.attach_engine(self)
+        else:
+            self._profile_burst = 0
+        if not self._telemetry_collector_installed:
+            self._telemetry_collector_installed = True
+            registry.add_collector(self._collect_telemetry)
+
+    def _telemetry_arm(self) -> None:
+        """Start one profiling burst (called from the profiler thread)."""
+        self._profile_left = self._profile_burst
+        self._trigger_observers = self._armed_observers
+
+    @staticmethod
+    def _traced_observer(observe, name: str, tracer):
+        def observe_and_trace(dt: float) -> None:
+            observe(dt)
+            tracer.event(name, dt)
+
+        return observe_and_trace
+
+    def count_bulk_events(self, sign: int, relation: str, count: int) -> None:
+        """Account events applied in bulk, outside per-event ``apply``.
+
+        The batched execution layer folds events into grouped deltas; the
+        per-group bulk path bypasses ``apply``, so it reports its event count
+        here to keep ``events in == events accounted`` exact.
+        """
+        key = (sign, relation)
+        self._bulk_events[key] = self._bulk_events.get(key, 0) + count
+
+    def _collect_telemetry(self, registry) -> None:
+        """Scrape-time collector: pull always-on counters into the registry."""
+        hists = getattr(self, "_trigger_hists", None) or {}
+        keys = set(hists) | set(self._bulk_events)
+        # Sampled observation sees a fraction of the events: scale histogram
+        # counts back up so totals stay rate-correct.  Exact at stride 1;
+        # stride-granular estimates otherwise; in burst-profiling mode the
+        # sampled fraction is only known empirically (events_processed over
+        # total samples), so per-key totals are statistical estimates.
+        if self._profile_burst:
+            total_sampled = sum(hist.count for hist in hists.values())
+            scale = self.events_processed / total_sampled if total_sampled else 0.0
+        else:
+            scale = float(self._telemetry_stride)
+        for sign, relation in keys:
+            op = "insert" if sign > 0 else "delete"
+            hist = hists.get((sign, relation))
+            counter = registry.counter(
+                "repro_engine_events_total",
+                {"relation": relation, "op": op},
+                help="Stream events applied, by relation and operation",
+            )
+            sampled = hist.count if hist is not None else 0
+            counter.value = round(sampled * scale) + self._bulk_events.get(
+                (sign, relation), 0
+            )
+        registry.gauge(
+            "repro_engine_memory_bytes", help="Resident bytes of maps plus base relations"
+        ).set(self.memory_bytes())
+        registry.counter(
+            "repro_engine_events_processed_total", help="Total events processed"
+        ).value = self.events_processed
+        for name in self.maps.names():
+            table = self.maps.table(name)
+            registry.counter(
+                "repro_map_probes_total", {"map": name}, help="Point probes per map"
+            ).value = table.probes
+            registry.counter(
+                "repro_map_scans_total", {"map": name}, help="Scans per map"
+            ).value = table.scans
+            registry.counter(
+                "repro_map_range_probes_total", {"map": name}, help="Range-sum probes per map"
+            ).value = table.range_probes
+            for column, ordered_stats in table.ordered_index_stats().items():
+                labels = {"map": name, "column": column}
+                registry.counter(
+                    "repro_ordered_probes_total", labels, help="Ordered-index probes"
+                ).value = ordered_stats["probes"]
+                registry.counter(
+                    "repro_ordered_scan_fallbacks_total",
+                    labels,
+                    help="Ordered-index probes answered by scanning",
+                ).value = ordered_stats["scan_fallbacks"]
+                registry.counter(
+                    "repro_ordered_rebuilds_total", labels, help="Ordered-index rebuilds"
+                ).value = ordered_stats["rebuilds"]
+        codegen_stats = getattr(self._executor, "codegen_statistics", None)
+        if codegen_stats is not None:
+            summary = codegen_stats()
+            registry.gauge(
+                "repro_codegen_compile_seconds", help="Wall time spent compiling statements"
+            ).set(summary.get("compile_seconds", 0.0))
+            registry.gauge(
+                "repro_codegen_fuse_seconds", help="Wall time spent fusing triggers"
+            ).set(summary.get("fuse_seconds", 0.0))
+            registry.counter(
+                "repro_codegen_fallback_hits_total",
+                help="Statement executions that fell back to the interpreter",
+            ).value = summary.get("fallback_hits", 0)
+            registry.gauge(
+                "repro_codegen_fused_kernels", help="Triggers running as one fused kernel"
+            ).set(summary.get("fused_kernels", 0))
 
     # -- data loading -----------------------------------------------------------
     def load_static(self, relation: str, rows: Iterable[Sequence[Any] | Mapping[str, Any]]) -> int:
@@ -65,7 +244,27 @@ class IncrementalEngine:
             raise RuntimeEngineError(
                 f"relation {event.relation!r} is not a stream relation of this program"
             )
-        self._executor.apply(event)
+        observers = self._trigger_observers
+        if observers is None:
+            self._executor.apply(event)
+        else:
+            self._telemetry_tick -= 1
+            if self._telemetry_tick > 0:
+                self._executor.apply(event)
+            else:
+                self._telemetry_tick = self._telemetry_stride
+                observe = observers.get((event.sign, event.relation))
+                if observe is None:
+                    self._executor.apply(event)
+                else:
+                    started = perf_counter()
+                    self._executor.apply(event)
+                    observe(perf_counter() - started)
+                if self._profile_burst:
+                    self._profile_left -= 1
+                    if self._profile_left <= 0:
+                        # Burst over: disarm until the profiler thread re-arms.
+                        self._trigger_observers = None
         self.events_processed += 1
 
     def apply_many(self, events: Iterable[StreamEvent]) -> int:

@@ -31,13 +31,20 @@ from repro.runtime.ordered import OrderedRangeIndex
 class IndexedTable:
     """A mutable map from key rows to numeric values with secondary indexes."""
 
-    __slots__ = ("columns", "_data", "_indexes", "_ordered")
+    __slots__ = ("columns", "_data", "_indexes", "_ordered", "probes", "scans", "range_probes")
 
     def __init__(self, columns: Sequence[str]) -> None:
         self.columns = tuple(columns)
         self._data: dict[Row, Any] = {}
         self._indexes: dict[frozenset[str], dict[Row, dict[Row, Any]]] = {}
         self._ordered: dict[str, OrderedRangeIndex] = {}
+        # Always-on access counters (plain int increments); the telemetry
+        # registry pulls them in at scrape time via a collector.  Generated
+        # kernels probe ``primary`` directly and are accounted at the kernel
+        # level instead.
+        self.probes = 0
+        self.scans = 0
+        self.range_probes = 0
 
     # -- basic access -------------------------------------------------------
     def __len__(self) -> int:
@@ -52,6 +59,7 @@ class IndexedTable:
 
     def get(self, key: Row | Mapping[str, Any] | Sequence[Any], default: Any = 0) -> Any:
         """Value stored under ``key`` (0 when absent)."""
+        self.probes += 1
         return self._data.get(self._normalize(key), default)
 
     def to_gmr(self) -> GMR:
@@ -154,6 +162,7 @@ class IndexedTable:
     # -- scans ---------------------------------------------------------------------
     def scan(self, bound: Mapping[str, Any]) -> Iterator[tuple[Row, Any]]:
         """Yield entries whose key agrees with ``bound`` (a column->value mapping)."""
+        self.scans += 1
         if not bound:
             yield from self._data.items()
             return
@@ -211,6 +220,7 @@ class IndexedTable:
         ``total_multiplicity`` used by ``Exists``.  In the exact regime both
         agree, which is the only regime the index answers in.
         """
+        self.range_probes += 1
         index = self.range_index(column)
         if index.wants_rebuild:
             index.rebuild(self._data.items())
@@ -296,6 +306,9 @@ class IndexedTable:
         out: dict[str, object] = {
             "entries": len(self._data),
             "memory_bytes": self.memory_bytes(),
+            "probes": self.probes,
+            "scans": self.scans,
+            "range_probes": self.range_probes,
             "indexes": self.index_stats(),
         }
         if self._ordered:

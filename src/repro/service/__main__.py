@@ -50,6 +50,12 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                         help="directory for durable checkpoints")
     parser.add_argument("--fresh", action="store_true",
                         help="ignore existing checkpoints instead of restoring")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="enable the metrics registry (also: REPRO_TELEMETRY=1)")
+    parser.add_argument("--trace-file", default=None,
+                        help="JSONL span-trace sink (implies --telemetry)")
+    parser.add_argument("--trace-sample", type=float, default=1.0,
+                        help="fraction of root spans to record (0..1)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -91,14 +97,24 @@ def build_service(args: argparse.Namespace) -> tuple[ViewService, int | None]:
         translated.schemas(),
         static_relations=translated.static_relations(),
     )
+    telemetry = None
+    if getattr(args, "telemetry", False) or getattr(args, "trace_file", None):
+        from repro.telemetry import configure
+
+        telemetry = configure(
+            enabled=True,
+            trace_file=args.trace_file,
+            trace_sample=args.trace_sample,
+        )
     engine = engine_for_mode(
         program,
         mode=args.engine,
         batch_size=args.batch_size,
         partitions=args.partitions,
         backend=args.backend,
+        telemetry=telemetry,
     )
-    service = ViewService(engine, checkpoint_dir=args.checkpoint_dir)
+    service = ViewService(engine, checkpoint_dir=args.checkpoint_dir, telemetry=telemetry)
     restored = None
     if service.checkpoints is not None and not args.fresh:
         restored = service.restore()

@@ -143,6 +143,16 @@ class ServiceClient:
         """Service + engine statistics."""
         return self._request({"op": "stats"})["statistics"]
 
+    def metrics(self) -> dict[str, Any]:
+        """The server's telemetry registry.
+
+        Returns the full response: ``enabled`` (whether telemetry is on),
+        ``prometheus`` (text exposition), ``metrics`` (structured snapshot
+        with pre-computed histogram quantiles) and ``statistics`` (the
+        unified stats schema).
+        """
+        return self._request({"op": "metrics"})
+
     def checkpoint(self) -> tuple[int, str]:
         """Persist a checkpoint server-side; returns (version, path)."""
         response = self._request({"op": "checkpoint"})

@@ -29,6 +29,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
+from time import perf_counter
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.compiler.program import MapDeclaration, TriggerProgram
@@ -64,17 +65,20 @@ def engine_for_mode(
     batch_size: int | None = None,
     partitions: int | None = None,
     backend: str = "sequential",
+    telemetry=None,
 ) -> EngineProtocol:
     """Build an engine for one of the service's execution modes."""
     if mode == "incremental":
-        return IncrementalEngine(program)
+        return IncrementalEngine(program, telemetry=telemetry)
     if mode == "compiled":
         from repro.codegen.engine import CompiledEngine
 
-        return CompiledEngine(program)
+        return CompiledEngine(program, telemetry=telemetry)
     if mode == "batched":
         return BatchedEngine(
-            program, DEFAULT_BATCH_SIZE if batch_size is None else batch_size
+            program,
+            DEFAULT_BATCH_SIZE if batch_size is None else batch_size,
+            telemetry=telemetry,
         )
     if mode == "partitioned":
         return PartitionedEngine(
@@ -82,6 +86,7 @@ def engine_for_mode(
             partitions=DEFAULT_PARTITIONS if partitions is None else partitions,
             backend=backend,
             batch_size=batch_size,
+            telemetry=telemetry,
         )
     raise ServiceError(f"unknown engine mode {mode!r}; expected one of {ENGINE_MODES}")
 
@@ -163,6 +168,7 @@ class ViewService:
         self,
         engine: EngineProtocol,
         checkpoint_dir: str | Path | None = None,
+        telemetry=None,
     ) -> None:
         if not isinstance(engine, EngineProtocol):
             raise ServiceError(
@@ -181,6 +187,64 @@ class ViewService:
         self._version = 0
         self._closed = False
         self._failed = False
+        if telemetry is None:
+            # Share the engine's telemetry so trigger latency and service
+            # staleness land in one registry (one scrape shows both).
+            telemetry = getattr(engine, "telemetry", None)
+        if telemetry is None:
+            from repro.telemetry import current
+
+            telemetry = current()
+        self.telemetry = telemetry
+        self._tracer = telemetry.tracer
+        if telemetry.enabled:
+            registry = telemetry.registry
+            self._staleness_hist = registry.histogram(
+                "repro_service_staleness_seconds",
+                help="Ingest-to-visible latency per atomic batch (apply + diff + publish)",
+            )
+            from repro.telemetry import COUNT_BOUNDS
+
+            self._ingest_batch_hist = registry.histogram(
+                "repro_service_ingest_batch_events",
+                help="Events per ingest batch",
+                bounds=COUNT_BOUNDS,
+            )
+            registry.add_collector(self._collect_telemetry)
+        else:
+            self._staleness_hist = None
+            self._ingest_batch_hist = None
+
+    def _collect_telemetry(self, registry) -> None:
+        registry.gauge("repro_service_version", help="Applied event offset").set(
+            self._version
+        )
+        registry.counter(
+            "repro_service_subscription_overflows_total",
+            help="Subscriptions closed by queue overflow",
+        ).value = self.subscriptions.overflows
+        for view, subscribers in self.subscriptions.stats().items():
+            labels = {"view": view}
+            registry.gauge(
+                "repro_service_subscription_depth",
+                labels,
+                help="Pending notifications across a view's subscribers",
+            ).set(sum(s["pending"] for s in subscribers))
+            registry.gauge(
+                "repro_service_subscription_high_watermark",
+                labels,
+                help="Deepest queue ever seen for a view",
+            ).set(max((s["high_watermark"] for s in subscribers), default=0))
+            registry.gauge(
+                "repro_service_subscription_max_delivery_age_seconds",
+                labels,
+                help="Oldest last-drain age across a view's subscribers",
+            ).set(
+                max(
+                    (s["last_delivery_age_seconds"] or 0.0 for s in subscribers),
+                    default=0.0,
+                )
+            )
 
     # -- identity --------------------------------------------------------------
     @property
@@ -255,30 +319,44 @@ class ViewService:
         than serving state that no longer matches any version.
         """
         events = list(events)
-        with self._lock:
-            self._require_open()
-            self._validate_batch(events)
-            subscribed = self.subscriptions.subscribed_views()
-            before = {view: self.engine.result_dict(view) for view in subscribed}
-            try:
-                count = self.engine.apply_many(events)
-                self.engine.flush()
-            except BaseException:
-                self._failed = True
-                raise
-            self._version += count
-            for event in events:
-                self.stream_stats.record(event)
-            notifications = 0
-            for view in subscribed:
-                changes = diff_results(before[view], self.engine.result_dict(view))
-                if changes:
-                    notifications += self.subscriptions.publish(
-                        view, self._version, changes
-                    )
-            result = IngestResult(
-                count=count, version=self._version, notifications=notifications
-            )
+        tracer = self._tracer
+        started = perf_counter()
+        with tracer.span("service.ingest", {"events": len(events)}):
+            with self._lock:
+                self._require_open()
+                with tracer.span("service.validate"):
+                    self._validate_batch(events)
+                subscribed = self.subscriptions.subscribed_views()
+                before = {view: self.engine.result_dict(view) for view in subscribed}
+                try:
+                    with tracer.span("service.apply"):
+                        count = self.engine.apply_many(events)
+                        self.engine.flush()
+                except BaseException:
+                    self._failed = True
+                    raise
+                self._version += count
+                for event in events:
+                    self.stream_stats.record(event)
+                notifications = 0
+                with tracer.span("service.publish"):
+                    for view in subscribed:
+                        changes = diff_results(
+                            before[view], self.engine.result_dict(view)
+                        )
+                        if changes:
+                            notifications += self.subscriptions.publish(
+                                view, self._version, changes
+                            )
+                result = IngestResult(
+                    count=count, version=self._version, notifications=notifications
+                )
+                staleness_hist = self._staleness_hist
+                if staleness_hist is not None and events:
+                    # Ingest-to-visible staleness: by here the views reflect the
+                    # batch and every subscriber queue holds its deltas.
+                    staleness_hist.observe(perf_counter() - started)
+                    self._ingest_batch_hist.observe(len(events))
         if notifications:
             for hook in list(self._publish_hooks):
                 hook()
@@ -345,18 +423,27 @@ class ViewService:
     # -- snapshot reads ---------------------------------------------------------
     def query(self, name: str | None = None) -> Snapshot:
         """A version-tagged, snapshot-consistent read of one view."""
-        with self._lock:
-            self._require_open()
-            view = self._canonical_view(name)  # friendly multi-root error first
-            decl = self._declaration(view)
-            self.engine.flush()
-            return Snapshot(
-                version=self._version,
-                view=view,
-                map_name=decl.name,
-                columns=decl.keys,
-                entries=self.engine.result_dict(view),
-            )
+        started = perf_counter()
+        with self._tracer.span("service.query", {"view": name}):
+            with self._lock:
+                self._require_open()
+                view = self._canonical_view(name)  # friendly multi-root error first
+                decl = self._declaration(view)
+                self.engine.flush()
+                snapshot = Snapshot(
+                    version=self._version,
+                    view=view,
+                    map_name=decl.name,
+                    columns=decl.keys,
+                    entries=self.engine.result_dict(view),
+                )
+        if self.telemetry.enabled:
+            self.telemetry.registry.histogram(
+                "repro_service_query_latency_seconds",
+                {"view": snapshot.view},
+                help="Snapshot query latency per view",
+            ).observe(perf_counter() - started)
+        return snapshot
 
     # -- subscriptions ----------------------------------------------------------
     def subscribe(

@@ -9,6 +9,8 @@ Operations (one request line -> one response line):
   mode: after the ack the server streams ``{"type": "delta", ...}`` lines for
   every output-key change of the view (ordered, exactly-once);
 * ``{"op": "stats"}`` — service + engine statistics;
+* ``{"op": "metrics"}`` — the telemetry registry: Prometheus text plus a
+  structured JSON snapshot and the unified statistics schema;
 * ``{"op": "checkpoint"}`` — persist a checkpoint, returns version and path;
 * ``{"op": "shutdown"}`` — stop the server after acknowledging.
 
@@ -226,6 +228,21 @@ class ViewServer:
         if op == "stats":
             return {"ok": True, "statistics": service.statistics()}, subscription
 
+        if op == "metrics":
+            from repro.telemetry import unify_statistics
+
+            telemetry = service.telemetry
+            return (
+                {
+                    "ok": True,
+                    "enabled": telemetry.enabled,
+                    "prometheus": telemetry.registry.render_prometheus(),
+                    "metrics": telemetry.registry.snapshot(),
+                    "statistics": unify_statistics(service.statistics()),
+                },
+                subscription,
+            )
+
         if op == "checkpoint":
             info = service.checkpoint()
             return (
@@ -250,6 +267,17 @@ class ViewServer:
         the same no-silent-loss contract as the bounded queues.
         """
         dead: list[tuple[Subscription, asyncio.StreamWriter]] = []
+        tracer = self.service.telemetry.tracer
+        with tracer.span("service.deliver", {"subscribers": len(self._subscribers)}):
+            await self._pump_subscribers_inner(dead)
+        for pair in dead:
+            self.service.unsubscribe(pair[0])
+            if pair in self._subscribers:
+                self._subscribers.remove(pair)
+
+    async def _pump_subscribers_inner(
+        self, dead: list[tuple[Subscription, asyncio.StreamWriter]]
+    ) -> None:
         for pair in list(self._subscribers):
             subscription, writer = pair
             try:
@@ -273,10 +301,6 @@ class ViewServer:
                     dead.append(pair)
             except (ConnectionResetError, BrokenPipeError, RuntimeError):
                 dead.append(pair)
-        for pair in dead:
-            self.service.unsubscribe(pair[0])
-            if pair in self._subscribers:
-                self._subscribers.remove(pair)
 
 
 class ServerHandle:

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping
@@ -81,6 +82,10 @@ class Subscription:
         self._delivered = 0
         self._closed = False
         self._overflowed = False
+        self._high_watermark = 0
+        # Monotonic timestamp of the last successful drain (creation counts
+        # as one): lets QueueStats report how long a backlog has sat idle.
+        self._last_delivery = time.monotonic()
 
     # -- producer side (registry only) ----------------------------------------
     def _publish(self, version: int, key: tuple, old: Any, new: Any) -> bool:
@@ -96,6 +101,8 @@ class Subscription:
             DeltaNotification(self._sequence, version, self.view, key, old, new)
         )
         self._sequence += 1
+        if len(self._queue) > self._high_watermark:
+            self._high_watermark = len(self._queue)
         return True
 
     # -- consumer side ---------------------------------------------------------
@@ -117,16 +124,20 @@ class Subscription:
         out: list[DeltaNotification] = []
         while self._queue and (max_items is None or len(out) < max_items):
             out.append(self._queue.popleft())
-        self._delivered += len(out)
+        if out:
+            self._delivered += len(out)
+            self._last_delivery = time.monotonic()
         return out
 
     def stats(self) -> QueueStats:
-        """Delivery counters and current lag of this subscription."""
+        """Delivery counters, lag, depth high-watermark and drain recency."""
         return QueueStats(
             published=self._sequence,
             delivered=self._delivered,
             pending=len(self._queue),
             overflowed=self._overflowed,
+            high_watermark=self._high_watermark,
+            last_delivery_age_seconds=time.monotonic() - self._last_delivery,
         )
 
 
@@ -137,6 +148,8 @@ class SubscriptionRegistry:
         self._by_view: dict[str, list[Subscription]] = {}
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
+        #: Subscriptions ever closed by queue overflow (survives removal).
+        self.overflows = 0
 
     def subscribe(self, view: str, maxlen: int = DEFAULT_QUEUE_SIZE) -> Subscription:
         """Register a consumer for one view's deltas."""
@@ -188,10 +201,17 @@ class SubscriptionRegistry:
         with self._lock:
             subscribers = list(self._by_view.get(view, ()))
         count = 0
+        overflowed_now = 0
         for key, old, new in changes:
             for subscription in subscribers:
+                was_overflowed = subscription._overflowed
                 if subscription._publish(version, key, old, new):
                     count += 1
+                elif subscription._overflowed and not was_overflowed:
+                    overflowed_now += 1
+        if overflowed_now:
+            with self._lock:
+                self.overflows += overflowed_now
         return count
 
     def stats(self) -> dict[str, list[dict[str, object]]]:

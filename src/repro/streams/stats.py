@@ -49,17 +49,30 @@ class QueueStats:
     ``lag`` is the number of published-but-undelivered notifications; a
     non-zero ``overflowed`` means the queue hit its bound and the subscription
     was closed rather than silently dropping notifications.
+
+    ``high_watermark`` is the deepest the queue ever got, and
+    ``last_delivery_age_seconds`` is the monotonic-clock age of the last
+    successful drain — together they make a stalled consumer visible even
+    when nothing is being published right now (pending alone reads 0 both
+    for a healthy idle subscriber and for one that died mid-backlog).
     """
 
     published: int
     delivered: int
     pending: int
     overflowed: bool
+    high_watermark: int = 0
+    last_delivery_age_seconds: float | None = None
 
     @property
     def lag(self) -> int:
         """Published notifications the consumer has not drained yet."""
         return self.pending
+
+    @property
+    def idle(self) -> bool:
+        """True when there is a backlog the consumer has not touched recently."""
+        return self.pending > 0 and (self.last_delivery_age_seconds or 0.0) > 0.0
 
     def as_dict(self) -> dict[str, object]:
         """A JSON-serializable summary (used by service statistics)."""
@@ -69,6 +82,8 @@ class QueueStats:
             "pending": self.pending,
             "lag": self.lag,
             "overflowed": self.overflowed,
+            "high_watermark": self.high_watermark,
+            "last_delivery_age_seconds": self.last_delivery_age_seconds,
         }
 
 

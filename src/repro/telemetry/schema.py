@@ -1,0 +1,123 @@
+"""One documented shape for the stack's statistics dictionaries.
+
+Historically every layer grew its own ``stats()`` dict: the single engines
+return ``{events_processed, memory_bytes, maps, relations[, codegen]}``, the
+batched engine adds ``batching``, the partitioned engine returns routing
+counters plus a ``partitions`` list, and the service wraps an ``engine`` key
+inside ``{version, views, stream, subscriptions}``.  Consumers (``bench
+stats``, ``describe()``, dashboards) each hard-coded one of those shapes.
+
+:func:`unify_statistics` normalizes any of them into the schema below without
+touching the original dictionaries — the raw shapes stay exactly as they were
+(the compatibility shim: every existing key keeps its name and meaning, and
+the raw dict rides along under ``"raw"``).
+
+Schema ``repro.stats/1``::
+
+    {
+      "schema":  "repro.stats/1",
+      "mode":    "incremental" | "compiled" | "batched" | "partitioned",
+      "engine":  {"events_processed": int, "memory_bytes": int},
+      "maps":    {name: {entries, memory_bytes, probes, scans, range_probes,
+                         indexes, [ordered_indexes]}} | None,
+      "relations": {name: {...}} | None,
+      "codegen":   {...} | None,          # codegen_statistics() shape
+      "batching":  {...} | None,          # batching counters
+      "partitioning": {"spec", "events_routed", "events_broadcast",
+                       "partitions": [unified...]} | None,
+      "service": {"version", "views", "stream", "subscriptions"} | None,
+      "raw": <the original dictionary>,
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+#: Version marker carried by every unified statistics dictionary.
+STATS_SCHEMA = "repro.stats/1"
+
+
+def unify_statistics(stats: Mapping[str, Any]) -> dict[str, Any]:
+    """Normalize any layer's ``statistics()`` dict into the unified schema."""
+    if "engine" in stats and "views" in stats:
+        engine = unify_statistics(stats["engine"])
+        unified = dict(engine)
+        unified["service"] = {
+            "version": stats.get("version"),
+            "views": stats.get("views"),
+            "stream": stats.get("stream"),
+            "subscriptions": stats.get("subscriptions"),
+        }
+        unified["raw"] = dict(stats)
+        return unified
+
+    unified: dict[str, Any] = {
+        "schema": STATS_SCHEMA,
+        "engine": {
+            "events_processed": stats.get("events_processed", 0),
+            "memory_bytes": stats.get("memory_bytes", 0),
+        },
+        "maps": stats.get("maps"),
+        "relations": stats.get("relations"),
+        "codegen": stats.get("codegen"),
+        "batching": stats.get("batching"),
+        "partitioning": None,
+        "service": None,
+        "raw": dict(stats),
+    }
+    if "partitions" in stats and "spec" in stats:
+        unified["mode"] = "partitioned"
+        unified["partitioning"] = {
+            "spec": stats.get("spec"),
+            "events_routed": stats.get("events_routed"),
+            "events_broadcast": stats.get("events_broadcast"),
+            "exec": stats.get("exec"),
+            "partitions": [unify_statistics(p) for p in stats.get("partitions", ())],
+        }
+    elif stats.get("batching") is not None:
+        unified["mode"] = "batched"
+    elif stats.get("codegen") is not None:
+        unified["mode"] = "compiled"
+    else:
+        unified["mode"] = "incremental"
+    return unified
+
+
+def flatten_statistics(stats: Mapping[str, Any]) -> dict[str, Any]:
+    """Headline scalars of a (unified or raw) statistics dict, one level deep.
+
+    The ``bench stats --json`` output: stable dotted keys, scalar values.
+    """
+    unified = stats if stats.get("schema") == STATS_SCHEMA else unify_statistics(stats)
+    flat: dict[str, Any] = {
+        "schema": unified["schema"],
+        "mode": unified["mode"],
+        "engine.events_processed": unified["engine"]["events_processed"],
+        "engine.memory_bytes": unified["engine"]["memory_bytes"],
+    }
+    codegen = unified.get("codegen")
+    if codegen:
+        for key in (
+            "compiled_statements",
+            "fallback_statements",
+            "fallback_hits",
+            "fused_kernels",
+            "fused_statements",
+        ):
+            if key in codegen:
+                flat[f"codegen.{key}"] = codegen[key]
+    batching = unified.get("batching")
+    if batching:
+        for key, value in batching.items():
+            flat[f"batching.{key}"] = value
+    partitioning = unified.get("partitioning")
+    if partitioning:
+        flat["partitioning.events_broadcast"] = partitioning.get("events_broadcast")
+        routed = partitioning.get("events_routed") or []
+        flat["partitioning.events_routed"] = sum(routed)
+        flat["partitioning.partitions"] = len(partitioning.get("partitions", ()))
+    service = unified.get("service")
+    if service:
+        flat["service.version"] = service.get("version")
+    return flat

@@ -1,0 +1,257 @@
+"""Span-style tracing of the event pipeline, with a JSONL file sink.
+
+Spans form a per-thread stack, so a trace of one ingest batch reads as the
+pipeline hierarchy::
+
+    service.ingest
+      service.validate
+      service.apply
+        engine.apply            (sampled per-event records)
+      service.publish
+        service.deliver
+
+Each finished span becomes one JSON object in the sink (rotating file) with
+monotonic-clock timing.  Sampling is deterministic and counter-based: at
+``sample_rate=0.01`` exactly every 100th candidate span is recorded, which
+keeps overhead bounded and runs reproducible.  The disabled tracer hands out
+one shared no-op span, so un-sampled spans allocate nothing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from typing import Any, Mapping
+
+
+class JsonlTraceSink:
+    """An append-only JSONL file with size-based rotation (one ``.1`` backup)."""
+
+    def __init__(self, path: str, max_bytes: int = 16 * 1024 * 1024) -> None:
+        self.path = path
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._file = open(path, "a", encoding="utf-8")
+
+    def write(self, record: Mapping[str, Any]) -> None:
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        with self._lock:
+            self._file.write(line + "\n")
+            if self._file.tell() >= self.max_bytes:
+                self._rotate()
+
+    def _rotate(self) -> None:
+        self._file.close()
+        backup = self.path + ".1"
+        if os.path.exists(backup):
+            os.remove(backup)
+        os.replace(self.path, backup)
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    def flush(self) -> None:
+        with self._lock:
+            self._file.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.flush()
+                self._file.close()
+
+
+class Span:
+    """One timed section; use as a context manager."""
+
+    __slots__ = ("tracer", "name", "span_id", "parent_id", "attrs", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int, parent_id: int | None, attrs):
+        self.tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        self.tracer._push(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter() - self._start
+        self.tracer._pop(self)
+        self.tracer._record(self, duration, error=exc_type is not None)
+
+
+class _NullSpan:
+    __slots__ = ()
+    name = ""
+    span_id = 0
+    parent_id = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SuppressedSpan:
+    """No-op span for the subtree of an un-sampled root.
+
+    Unlike :data:`NULL_SPAN` it tracks nesting depth on the tracer's
+    thread-local stack so that spans opened *inside* an un-sampled root are
+    suppressed too, instead of being re-sampled as orphan roots.  One shared
+    instance per tracer — entering only bumps a counter, so un-sampled
+    subtrees still allocate nothing per span.
+    """
+
+    __slots__ = ("tracer",)
+    name = ""
+    span_id = 0
+    parent_id = None
+
+    def __init__(self, tracer: "Tracer") -> None:
+        self.tracer = tracer
+
+    def __enter__(self) -> "_SuppressedSpan":
+        stack = self.tracer._stack
+        stack.suppressed = getattr(stack, "suppressed", 0) + 1
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.tracer._stack.suppressed -= 1
+
+
+class Tracer:
+    """Emits sampled span records into a sink."""
+
+    def __init__(self, sink: JsonlTraceSink | None = None, sample_rate: float = 1.0):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1], got {sample_rate}")
+        self.sink = sink
+        self.sample_rate = sample_rate
+        self.enabled = sink is not None and sample_rate > 0.0
+        self.spans_recorded = 0
+        self.spans_skipped = 0
+        self._ids = itertools.count(1)
+        self._candidates = 0
+        self._accumulator = 0.0
+        self._sample_lock = threading.Lock()
+        self._stack = threading.local()
+        self._suppressed_span = _SuppressedSpan(self)
+
+    # -- sampling ---------------------------------------------------------------
+    def _sampled(self) -> bool:
+        """Deterministic counter-based sampling (every 1/rate-th candidate)."""
+        if not self.enabled:
+            return False
+        if self.sample_rate >= 1.0:
+            return True
+        with self._sample_lock:
+            self._accumulator += self.sample_rate
+            if self._accumulator >= 1.0:
+                self._accumulator -= 1.0
+                return True
+            self.spans_skipped += 1
+            return False
+
+    # -- span stack -------------------------------------------------------------
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._stack, "spans", None)
+        if stack is None:
+            stack = self._stack.spans = []
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = getattr(self._stack, "spans", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    def _parent_id(self) -> int | None:
+        stack = getattr(self._stack, "spans", None)
+        return stack[-1].span_id if stack else None
+
+    # -- public API -------------------------------------------------------------
+    def span(self, name: str, attrs: Mapping[str, Any] | None = None):
+        """A context-managed span; the shared no-op span when not sampled.
+
+        Sampling applies at trace roots: nested spans inside a sampled root
+        are always recorded (a sampled ingest carries its full pipeline
+        breakdown) and nested spans inside an un-sampled root are always
+        suppressed (no orphan children in the trace).
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        if getattr(self._stack, "suppressed", 0):
+            return self._suppressed_span
+        if self._parent_id() is None and not self._sampled():
+            return self._suppressed_span
+        return Span(self, name, next(self._ids), self._parent_id(), attrs)
+
+    def event(self, name: str, duration: float, attrs: Mapping[str, Any] | None = None) -> None:
+        """Record an already-measured duration as a leaf span.
+
+        Lets hot paths reuse a ``perf_counter`` pair they measured anyway
+        (the engine's per-event latency sample) instead of timing twice.
+        """
+        if getattr(self._stack, "suppressed", 0):
+            return
+        if self._parent_id() is None and not self._sampled():
+            return
+        span = Span(self, name, next(self._ids), self._parent_id(), attrs)
+        self._record(span, duration, error=False)
+
+    def _record(self, span: Span, duration: float, error: bool) -> None:
+        if self.sink is None:
+            return
+        record: dict[str, Any] = {
+            "name": span.name,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "duration_seconds": duration,
+            "monotonic": time.monotonic(),
+        }
+        if span.attrs:
+            record["attrs"] = dict(span.attrs)
+        if error:
+            record["error"] = True
+        self.spans_recorded += 1
+        self.sink.write(record)
+
+    def flush(self) -> None:
+        if self.sink is not None:
+            self.sink.flush()
+
+    def close(self) -> None:
+        if self.sink is not None:
+            self.sink.close()
+
+
+class NullTracer:
+    """The disabled tracer: every span is the shared no-op span."""
+
+    enabled = False
+    spans_recorded = 0
+    spans_skipped = 0
+
+    def span(self, name: str, attrs: Mapping[str, Any] | None = None) -> _NullSpan:
+        return NULL_SPAN
+
+    def event(self, name: str, duration: float, attrs=None) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

@@ -82,11 +82,12 @@ def test_codegen_command_writes_json_and_gates(capsys, tmp_path):
     import json
 
     output = tmp_path / "BENCH_codegen.json"
-    # Tiny event counts make the fused/per-statement ratio pure timer noise,
-    # so the fusion gate is disabled everywhere it is not itself under test.
+    # Tiny event counts make the fused/per-statement ratio (and the
+    # telemetry overhead) pure timer noise, so those gates are disabled
+    # everywhere they are not themselves under test.
     code = main(["codegen", "--queries", "Q6", "--events", "150",
                  "--budget", "3", "--output", str(output),
-                 "--min-fused-speedup", "0"])
+                 "--min-fused-speedup", "0", "--max-telemetry-overhead", "inf"])
     assert code == 0
     out = capsys.readouterr().out
     assert "compiled vs interpreted" in out and "Q6" in out
@@ -101,13 +102,20 @@ def test_codegen_command_writes_json_and_gates(capsys, tmp_path):
     # An absurd bound trips the regression gate on a fully-compiled query.
     code = main(["codegen", "--queries", "Q6", "--events", "80", "--budget", "2",
                  "--output", "-", "--min-speedup", "1e9",
-                 "--min-fused-speedup", "0"])
+                 "--min-fused-speedup", "0", "--max-telemetry-overhead", "inf"])
     assert code == 2
     # ... and an absurd fused bound trips the fusion regression gate.
     code = main(["codegen", "--queries", "Q6", "--events", "80", "--budget", "2",
-                 "--output", "-", "--min-fused-speedup", "1e9"])
+                 "--output", "-", "--min-fused-speedup", "1e9",
+                 "--max-telemetry-overhead", "inf"])
     assert code == 2
     assert "fusion throughput regression" in capsys.readouterr().out
+    # ... and an impossible overhead bound trips the telemetry overhead gate.
+    code = main(["codegen", "--queries", "Q6", "--events", "80", "--budget", "2",
+                 "--output", "-", "--min-fused-speedup", "0",
+                 "--max-telemetry-overhead", "-1"])
+    assert code == 2
+    assert "telemetry overhead regression" in capsys.readouterr().out
 
 
 def test_codegen_command_exempts_fallback_dominated_queries(capsys, monkeypatch):
@@ -120,7 +128,8 @@ def test_codegen_command_exempts_fallback_dominated_queries(capsys, monkeypatch)
         statement_module, "try_compile_statement", lambda statement, program: None
     )
     code = main(["codegen", "--queries", "VWAP", "--events", "60", "--budget", "2",
-                 "--output", "-", "--min-speedup", "1e9"])
+                 "--output", "-", "--min-speedup", "1e9",
+                 "--max-telemetry-overhead", "inf"])
     assert code == 0
 
 
@@ -130,7 +139,7 @@ def test_finance_command_requires_compiled(capsys, tmp_path):
     output = tmp_path / "BENCH_finance.json"
     code = main(["finance", "--queries", "VWAP", "--events", "120", "--budget", "3",
                  "--output", str(output), "--require-compiled", "VWAP",
-                 "--min-fused-speedup", "0"])
+                 "--min-fused-speedup", "0", "--max-telemetry-overhead", "inf"])
     assert code == 0
     import json
 
@@ -141,7 +150,8 @@ def test_finance_command_requires_compiled(capsys, tmp_path):
 def test_finance_command_rejects_unknown_required_queries(capsys):
     # A required query absent from the sweep must fail the gate, not pass it.
     code = main(["finance", "--queries", "VWAP", "--events", "60", "--budget", "2",
-                 "--output", "-", "--require-compiled", "VWAp"])
+                 "--output", "-", "--require-compiled", "VWAp",
+                 "--max-telemetry-overhead", "inf"])
     assert code == 3
     assert "gate error" in capsys.readouterr().out
 
@@ -153,7 +163,8 @@ def test_finance_command_fallback_gate_trips(capsys, monkeypatch):
         statement_module, "try_compile_statement", lambda statement, program: None
     )
     code = main(["finance", "--queries", "VWAP", "--events", "60", "--budget", "2",
-                 "--output", "-", "--require-compiled", "VWAP"])
+                 "--output", "-", "--require-compiled", "VWAP",
+                 "--max-telemetry-overhead", "inf"])
     assert code == 3
     assert "fallback regression" in capsys.readouterr().out
 

@@ -1,0 +1,38 @@
+"""Shared fixtures for the telemetry tests.
+
+The contract tests replay the same Q1 stream (inserts and deletions) through
+every execution mode with one enabled registry each and assert the accounting
+invariants; the fixture is package-scoped because compiling the workload is
+the expensive part.
+"""
+
+import pytest
+
+from repro.compiler.hoivm import compile_query
+from repro.workloads import workload
+
+
+class _Fixture:
+    def __init__(self, query_name, events, **stream_kwargs):
+        self.spec = workload(query_name)
+        self.translated = self.spec.query_factory()
+        self.program = compile_query(
+            self.translated.roots(),
+            self.translated.schemas(),
+            static_relations=self.translated.static_relations(),
+        )
+        self.statics = self.spec.static_tables()
+        self.events = list(self.spec.stream_factory(events=events, **stream_kwargs))
+        self.root = next(iter(self.translated.roots()))
+
+    def load_statics(self, engine_or_service):
+        for relation, rows in self.statics.items():
+            if relation in self.program.static_relations:
+                engine_or_service.load_static(relation, rows)
+
+
+@pytest.fixture(scope="package")
+def q1():
+    fixture = _Fixture("Q1", events=300, max_live_orders=20)
+    assert any(event.sign < 0 for event in fixture.events)
+    return fixture

@@ -1,0 +1,160 @@
+"""The server ``metrics`` op, subscription queue stats, and the CLI."""
+
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service import ServiceClient, ViewService, engine_for_mode, start_in_thread
+from repro.service.subscriptions import SubscriptionRegistry
+from repro.telemetry import Telemetry
+
+
+def _serve(q1, telemetry=None, mode="compiled", **kwargs):
+    engine = engine_for_mode(q1.program, mode, telemetry=telemetry, **kwargs)
+    service = ViewService(engine, telemetry=telemetry)
+    q1.load_statics(service)
+    return service, start_in_thread(service)
+
+
+class TestMetricsOp:
+    def test_disabled_telemetry_still_answers_with_statistics(self, q1):
+        service, handle = _serve(q1, telemetry=None)
+        try:
+            with ServiceClient(*handle.address) as client:
+                client.ingest(q1.events[:20])
+                response = client.metrics()
+            assert response["ok"]
+            assert response["enabled"] is False
+            assert response["prometheus"] == ""
+            assert response["metrics"] == {}
+            assert response["statistics"]["engine"]["events_processed"] == 20
+        finally:
+            handle.stop()
+            service.close()
+
+    def test_enabled_telemetry_exposes_every_layer(self, q1):
+        telemetry = Telemetry(enabled=True)
+        service, handle = _serve(q1, telemetry=telemetry)
+        try:
+            with ServiceClient(*handle.address) as client:
+                client.ingest(q1.events)
+                client.query(q1.root)
+                response = client.metrics()
+            assert response["enabled"] is True
+            text = response["prometheus"]
+            assert "repro_engine_trigger_latency_seconds_bucket" in text
+            assert "repro_engine_events_total" in text
+            assert "repro_service_staleness_seconds" in text
+            assert "repro_service_query_latency_seconds" in text
+            families = response["metrics"]
+            events_total = sum(
+                series["value"]
+                for series in families["repro_engine_events_total"]["series"]
+            )
+            assert events_total == len(q1.events)
+        finally:
+            handle.stop()
+            service.close()
+
+    def test_subscription_depth_is_gauged(self, q1):
+        telemetry = Telemetry(enabled=True)
+        service, handle = _serve(q1, telemetry=telemetry, mode="incremental")
+        try:
+            subscription = service.subscribe(q1.root)
+            service.ingest(q1.events[:50])
+            with ServiceClient(*handle.address) as client:
+                families = client.metrics()["metrics"]
+            depth = families.get("repro_service_subscription_depth")
+            assert depth is not None
+            (series,) = depth["series"]
+            assert series["labels"] == {"view": q1.root}
+            assert series["value"] == len(subscription)  # undrained backlog
+            watermark = families["repro_service_subscription_high_watermark"]
+            assert watermark["series"][0]["value"] >= series["value"] > 0
+        finally:
+            handle.stop()
+            service.close()
+
+
+class TestQueueStats:
+    def _registry_with_publishes(self, count, maxlen=8):
+        registry = SubscriptionRegistry()
+        subscription = registry.subscribe("v", maxlen=maxlen)
+        registry.publish("v", 1, [((i,), None, i) for i in range(count)])
+        return registry, subscription
+
+    def test_high_watermark_tracks_peak_depth_not_current(self):
+        _, subscription = self._registry_with_publishes(5)
+        subscription.poll()
+        stats = subscription.stats()
+        assert stats.pending == 0
+        assert stats.high_watermark == 5
+        assert stats.delivered == 5
+
+    def test_last_delivery_age_resets_on_poll(self):
+        _, subscription = self._registry_with_publishes(3)
+        time.sleep(0.02)
+        assert subscription.stats().last_delivery_age_seconds >= 0.02
+        subscription.poll()
+        assert subscription.stats().last_delivery_age_seconds < 0.02
+
+    def test_overflow_closes_once_and_counts_once(self):
+        registry, subscription = self._registry_with_publishes(20, maxlen=8)
+        assert subscription.overflowed
+        assert subscription.closed
+        assert registry.overflows == 1
+        # Further publishes to the dead subscription don't recount.
+        registry.publish("v", 2, [((99,), None, 99)])
+        assert registry.overflows == 1
+        stats = subscription.stats()
+        assert stats.high_watermark == 8
+        assert stats.published == 8  # nothing enqueued past the bound
+
+
+class TestCli:
+    @pytest.fixture()
+    def served(self, q1):
+        telemetry = Telemetry(enabled=True)
+        service, handle = _serve(q1, telemetry=telemetry)
+        with ServiceClient(*handle.address) as client:
+            client.ingest(q1.events)
+            client.query(q1.root)
+        yield handle.address
+        handle.stop()
+        service.close()
+
+    def _cli(self, *argv):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.telemetry", *argv],
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+
+    def test_summary_reports_events_and_triggers(self, served, q1):
+        host, port = served
+        result = self._cli("summary", "--host", host, "--port", str(port))
+        assert result.returncode == 0, result.stderr
+        assert f"{len(q1.events)}" in result.stdout
+        assert "p50" in result.stdout and "p99" in result.stdout
+        assert "on_insert_" in result.stdout
+
+    def test_top_triggers_limits_rows(self, served):
+        host, port = served
+        result = self._cli("top-triggers", "-n", "2", "--host", host, "--port", str(port))
+        assert result.returncode == 0, result.stderr
+        rows = [line for line in result.stdout.splitlines() if "on_" in line]
+        assert 0 < len(rows) <= 2
+
+    def test_dump_prom_emits_exposition_format(self, served):
+        host, port = served
+        result = self._cli("dump", "--prom", "--host", host, "--port", str(port))
+        assert result.returncode == 0, result.stderr
+        assert "# TYPE repro_engine_events_total counter" in result.stdout
+
+    def test_connection_refused_is_a_clean_failure(self):
+        result = self._cli("summary", "--port", "1")  # nothing listens there
+        assert result.returncode == 1
+        assert "no server" in result.stderr.lower()
