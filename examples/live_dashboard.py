@@ -13,12 +13,19 @@ At the end the service checkpoints itself, a second service restores from
 the checkpoint, and the example verifies the restored views match — the full
 serve / subscribe / checkpoint / restore loop in one script.
 
-Run with:  python examples/live_dashboard.py [events]
+With ``--telemetry`` the server runs with the metrics registry on and the
+dashboard scrapes the ``metrics`` operation; with ``--provenance-depth N``
+row provenance is recorded and the dashboard replays the mutation history of
+the top revenue order through ``explain-row``.  The ``explain`` operation
+(physical design joined with observed counters) is exercised either way.
+
+Run with:  python examples/live_dashboard.py [events] [--telemetry]
+               [--provenance-depth 32]
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 import tempfile
 
 from repro.compiler.hoivm import compile_query
@@ -43,19 +50,38 @@ def build_program():
     return compile_query(roots, schemas, static_relations=sorted(statics))
 
 
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("events", nargs="?", type=int, default=2000,
+                        help="stream events to ingest")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="serve with the metrics registry on and scrape it")
+    parser.add_argument("--provenance-depth", type=int, default=None,
+                        help="record row provenance and explain the top order")
+    return parser.parse_args()
+
+
 def main() -> None:
-    events = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
-    stream = list(tpch_stream(events=events, scale=1.0, seed=7))
+    args = parse_args()
+    stream = list(tpch_stream(events=args.events, scale=1.0, seed=7))
     program = build_program()
     checkpoint_dir = tempfile.mkdtemp(prefix="live-dashboard-")
 
+    telemetry = None
+    if args.telemetry:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry(enabled=True)
     service = ViewService(
-        engine_for_mode(program, "batched", batch_size=BATCH_SIZE),
+        engine_for_mode(program, "batched", batch_size=BATCH_SIZE, telemetry=telemetry),
         checkpoint_dir=checkpoint_dir,
+        telemetry=telemetry,
     )
     for relation, rows in static_tables(scale=1.0, seed=7).items():
         if relation in program.static_relations:
             service.load_static(relation, rows)
+    if args.provenance_depth is not None:
+        service.enable_provenance(depth=args.provenance_depth)
 
     handle = start_in_thread(service)
     print(f"serving {sorted(program.roots)[:3]}... on {handle.host}:{handle.port}")
@@ -73,6 +99,37 @@ def main() -> None:
                   f"open orders ({result.notifications} deltas published)")
         q1 = ingestor.query("Q1_sum_qty")
         q3 = ingestor.query("Q3_revenue")
+
+        # Physical-design explain: planned probe shapes joined with the
+        # probe/scan counters this very server accumulated.
+        report = ingestor.explain()
+        summary = report["plan"]["summary"]
+        print(f"\nexplain ({report['schema']}): "
+              f"{summary['compiled_statements']} statements compiled, "
+              f"{summary['fused_kernels']} fused kernels, "
+              f"{summary['fallback_statements']} fallbacks; "
+              f"observed events={report['observed']['events_processed']}")
+
+        if args.telemetry:
+            scraped = ingestor.metrics()
+            processed = scraped["metrics"].get("repro_engine_events_processed_total", {})
+            series = processed.get("series") or [{}]
+            print(f"metrics ({scraped['schema']}): telemetry enabled, "
+                  f"{len(scraped['metrics'])} metric families, "
+                  f"engine events processed = {series[0].get('value', 'n/a')}")
+
+        if args.provenance_depth is not None and q3.entries:
+            top_key = max(q3.entries, key=lambda k: q3.entries[k])
+            history = ingestor.explain_row("Q3_revenue", list(top_key))
+            print(f"provenance of top order {top_key[1]} "
+                  f"({len(history['history'])} recent mutations, "
+                  f"current {history['current']:,.2f}):")
+            for entry in history["history"][-3:]:
+                cause = entry["cause"] or {}
+                print(f"  v{entry['version']}: {entry['old']!r} -> "
+                      f"{entry['new']!r} <- {cause.get('kind')} "
+                      f"{cause.get('relation', '')}")
+
         version, path = ingestor.checkpoint()
 
     received = deltas.take(published)

@@ -143,6 +143,11 @@ def _build_parser() -> argparse.ArgumentParser:
                               "slower than the metrics-disabled one by more than "
                               "this fraction (best-of-retries; 'inf' disables "
                               "the overhead gate)")
+    codegen.add_argument("--max-provenance-overhead", type=float, default=0.15,
+                         help="exit nonzero when the provenance-enabled fused run "
+                              "is slower than the plain fused one by more than "
+                              "this fraction (best-of-retries; 'inf' disables "
+                              "the gate)")
 
     finance = sub.add_parser(
         "finance",
@@ -169,6 +174,11 @@ def _build_parser() -> argparse.ArgumentParser:
                               "slower than the metrics-disabled one by more than "
                               "this fraction (best-of-retries; 'inf' disables "
                               "the overhead gate)")
+    finance.add_argument("--max-provenance-overhead", type=float, default=0.15,
+                         help="exit nonzero when the provenance-enabled fused run "
+                              "is slower than the plain fused one by more than "
+                              "this fraction (best-of-retries; 'inf' disables "
+                              "the gate)")
 
     stats = sub.add_parser("stats", help="Per-map / per-partition memory statistics")
     stats.add_argument("query")
@@ -272,6 +282,7 @@ def main(argv: list[str] | None = None) -> int:
             events=args.events,
             max_seconds_per_run=args.budget,
             telemetry_overhead_target=args.max_telemetry_overhead,
+            provenance_overhead_target=args.max_provenance_overhead,
         )
         print("compiled vs interpreted per-event throughput:")
         print(format_codegen_sweep(results))
@@ -336,6 +347,18 @@ def main(argv: list[str] | None = None) -> int:
         ]
         if overhead_failures:
             print("telemetry overhead regression: " + "; ".join(overhead_failures))
+            return 2
+        # Provenance gate: fused execution with per-view history rings on
+        # must stay within its budgeted overhead of the rings-off run.
+        provenance_failures = [
+            f"{query}: {row['provenance_overhead']:+.1%} > "
+            f"{args.max_provenance_overhead:.1%}"
+            for query, row in results.items()
+            if row.get("provenance_overhead") is not None
+            and row["provenance_overhead"] > args.max_provenance_overhead
+        ]
+        if provenance_failures:
+            print("provenance overhead regression: " + "; ".join(provenance_failures))
             return 2
         return 0
 

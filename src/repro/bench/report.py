@@ -117,7 +117,7 @@ def format_codegen_sweep(results: Mapping[str, Mapping[str, object]]) -> str:
     lines = [
         f"{'query':>8} {'events':>8} {'interp/s':>12} {'compiled/s':>12} "
         f"{'fused/s':>12} {'speedup':>9} {'fusion':>8} {'stmts':>12} "
-        f"{'tele ovh':>9} {'ev p50/p99':>16}"
+        f"{'tele ovh':>9} {'prov ovh':>9} {'ev p50/p99':>16}"
     ]
     for query, row in results.items():
         interpreted: RunResult = row["interpreted"]  # type: ignore[assignment]
@@ -126,6 +126,8 @@ def format_codegen_sweep(results: Mapping[str, Mapping[str, object]]) -> str:
         coverage = f"{row['compiled_statements']}+{row['fallback_statements']}fb"
         overhead = row.get("telemetry_overhead")
         overhead_text = f"{overhead:+.1%}" if overhead is not None else "-"
+        prov = row.get("provenance_overhead")
+        prov_text = f"{prov:+.1%}" if prov is not None else "-"
         p50 = row.get("event_p50_us")
         p99 = row.get("event_p99_us")
         quantiles = (
@@ -137,7 +139,7 @@ def format_codegen_sweep(results: Mapping[str, Mapping[str, object]]) -> str:
             f"{_format_rate(compiled.refresh_rate):>12} "
             f"{_format_rate(fused.refresh_rate):>12} "
             f"{row['speedup']:>8.2f}x {row['fused_speedup']:>7.2f}x {coverage:>12} "
-            f"{overhead_text:>9} {quantiles:>16}"
+            f"{overhead_text:>9} {prov_text:>9} {quantiles:>16}"
         )
     return "\n".join(lines)
 
@@ -174,6 +176,10 @@ def codegen_sweep_json(results: Mapping[str, Mapping[str, object]]) -> dict:
             record["telemetry_overhead"] = row["telemetry_overhead"]
             record["event_p50_us"] = row["event_p50_us"]
             record["event_p99_us"] = row["event_p99_us"]
+        provenance: RunResult | None = row.get("provenance")  # type: ignore[assignment]
+        if provenance is not None:
+            record["provenance_rate"] = provenance.refresh_rate
+            record["provenance_overhead"] = row["provenance_overhead"]
         payload[query] = record
     return payload
 

@@ -271,6 +271,24 @@ def _measure_telemetry_run(translated, agenda, static, name, max_seconds):
     return result, p50, p99
 
 
+def _measure_provenance_run(translated, agenda, static, name, max_seconds):
+    """One fused run with row-provenance rings enabled on every view."""
+    engine = build_engine("dbtoaster-comp", translated)
+    try:
+        engine.enable_provenance()
+        return measure_refresh_rate(
+            engine,
+            agenda,
+            static,
+            max_seconds=max_seconds,
+            strategy="provenance",
+            query=name,
+        )
+    finally:
+        if hasattr(engine, "close"):
+            engine.close()
+
+
 def run_codegen_sweep(
     queries: Sequence[str] = DEFAULT_CODEGEN_QUERIES,
     events: int = 3000,
@@ -278,6 +296,7 @@ def run_codegen_sweep(
     seed: int = 7,
     telemetry_overhead_target: float | None = 0.05,
     telemetry_retries: int = 4,
+    provenance_overhead_target: float | None = 0.10,
 ) -> dict[str, dict[str, object]]:
     """Per-event throughput of fused/per-statement/interpreted execution.
 
@@ -300,6 +319,11 @@ def run_codegen_sweep(
     the right estimator here: timer noise is one-sided (interference only
     ever slows a run down), so both bests converge to the true rates from
     below as retries accumulate.
+
+    A fifth run measures the ``provenance`` axis the same way: fused
+    execution with row-provenance rings enabled on every view (one watcher
+    call per view mutation), re-measured best-of-N while the overhead
+    against the plain fused run exceeds ``provenance_overhead_target``.
     """
     runs = (
         ("interpreted", "dbtoaster", {}),
@@ -361,6 +385,35 @@ def run_codegen_sweep(
             )
             if retry_run.refresh_rate > telemetry_run.refresh_rate:
                 telemetry_run, event_p50, event_p99 = retry_run, retry_p50, retry_p99
+
+        provenance_run = _measure_provenance_run(
+            translated, agenda, static, name, max_seconds_per_run
+        )
+        retries = telemetry_retries
+        while (
+            provenance_overhead_target is not None
+            and retries > 0
+            and fused.refresh_rate > 0
+            and 1.0 - provenance_run.refresh_rate / fused.refresh_rate
+            > provenance_overhead_target
+        ):
+            retries -= 1
+            engine = build_engine("dbtoaster-comp", translated)
+            try:
+                fused_again = measure_refresh_rate(
+                    engine, agenda, static,
+                    max_seconds=max_seconds_per_run, strategy="fused", query=name,
+                )
+            finally:
+                if hasattr(engine, "close"):
+                    engine.close()
+            if fused_again.refresh_rate > fused.refresh_rate:
+                fused = fused_again
+            retry_run = _measure_provenance_run(
+                translated, agenda, static, name, max_seconds_per_run
+            )
+            if retry_run.refresh_rate > provenance_run.refresh_rate:
+                provenance_run = retry_run
         per_query["fused"] = fused
 
         speedup = (
@@ -378,6 +431,11 @@ def run_codegen_sweep(
             if fused.refresh_rate > 0
             else 0.0
         )
+        provenance_overhead = (
+            1.0 - provenance_run.refresh_rate / fused.refresh_rate
+            if fused.refresh_rate > 0
+            else 0.0
+        )
         results[name] = {
             "events": min(
                 interpreted.events_processed,
@@ -388,9 +446,11 @@ def run_codegen_sweep(
             "compiled": compiled,
             "fused": fused,
             "telemetry": telemetry_run,
+            "provenance": provenance_run,
             "speedup": speedup,
             "fused_speedup": fused_speedup,
             "telemetry_overhead": telemetry_overhead,
+            "provenance_overhead": provenance_overhead,
             "event_p50_us": event_p50 * 1e6,
             "event_p99_us": event_p99 * 1e6,
             "compiled_statements": codegen_stats.get("compiled_statements", 0),

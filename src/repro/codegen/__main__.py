@@ -11,7 +11,10 @@ for when a generated kernel misbehaves or a fusion win needs verifying::
 
 ``--trigger REL:+`` / ``REL:-`` restricts the output to one (relation, op)
 trigger; ``--per-statement`` additionally prints every statement's
-individual kernel (the batched execution path) below the fused one.
+individual kernel (the batched execution path) below the fused one;
+``--json`` emits the ``repro.kernels/1`` machine description instead — the
+same document ``python -m repro.inspect explain`` joins with observed
+statistics.
 """
 
 from __future__ import annotations
@@ -54,6 +57,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--per-statement", action="store_true",
         help="also print each statement's individual kernel",
     )
+    dump.add_argument(
+        "--json", action="store_true",
+        help="emit the repro.kernels/1 machine-readable kernel description "
+             "(the same document the repro.inspect explain report embeds)",
+    )
     return parser
 
 
@@ -71,6 +79,13 @@ def main(argv: list[str] | None = None) -> int:
         translated.schemas(),
         static_relations=translated.static_relations(),
     )
+    if args.json:
+        import json
+
+        from repro.codegen.describe import describe_program
+
+        print(json.dumps(describe_program(program), indent=2, sort_keys=True))
+        return 0
     engine = CompiledEngine(program)
     executor = engine.codegen
 

@@ -394,6 +394,18 @@ class TriggerKernel:
         self._bound_tables: tuple | None = None
         self._bound_runner: Callable[[tuple], None] | None = None
 
+    def describe(self) -> dict[str, Any]:
+        """This kernel's shape as plain data (the ``repro.kernels/1`` idiom)."""
+        return {
+            "relation": self.relation,
+            "op": "insert" if self.sign > 0 else "delete",
+            "arity": self.arity,
+            "fused_statements": self.fused_statements,
+            "deduped_probes": self.deduped_probes,
+            "deduped_scalars": self.deduped_scalars,
+            "ir_ops": dict(self.ir_ops),
+        }
+
     def bind(self, maps, database) -> Callable[[tuple], None]:
         """Link against live tables; returns ``run(values)``.
 

@@ -82,6 +82,14 @@ class Row(Mapping[str, Any]):
         inner = ", ".join(f"{name}: {value!r}" for name, value in self._items)
         return f"<{inner}>"
 
+    def values_sorted(self) -> tuple:
+        """Values in name-sorted order (the row's storage order).
+
+        Hot-path accessor for callers that resolved the column permutation
+        up front (e.g. provenance watchers): one pass, no name lookups.
+        """
+        return tuple(value for _, value in self._items)
+
     # -- row algebra --------------------------------------------------------
     @property
     def columns(self) -> frozenset[str]:

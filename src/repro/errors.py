@@ -71,3 +71,7 @@ class ExecutionError(ReproError):
 
 class ServiceError(ReproError):
     """The view-serving subsystem (service/server/client) hit an invalid state."""
+
+
+class AuditError(ReproError):
+    """The online view auditor found live state diverging from the reference."""

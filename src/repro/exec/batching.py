@@ -323,6 +323,20 @@ class BatchedEngine:
         executor = engine.executor
         items = list(group.folded.items())
 
+        # Bulk folds bypass per-event apply, so provenance attributes every
+        # transition of this group to the fold descriptor (the documented
+        # batching attribution rule), stamped with the post-group version.
+        prov = engine.provenance
+        if prov is not None:
+            prov.version = engine.events_processed + group.count
+            prov.cause = (
+                "fold",
+                group.relation,
+                "insert" if group.sign > 0 else "delete",
+                group.count,
+                len(items),
+            )
+
         memo: dict = {}
         runner_for = getattr(executor, "runner_for", None)
         for statement in analysis.slow_increments:
@@ -354,6 +368,19 @@ class BatchedEngine:
             executor.execute_assign(statement, dict(zip(trigger_vars, items[0][0])))
 
         engine.events_processed += group.count
+
+    # -- row provenance ----------------------------------------------------------
+    @property
+    def provenance(self):
+        return self.engine.provenance
+
+    def enable_provenance(self, depth: int | None = None, views=None):
+        """Enable row provenance on the inner engine (fold attribution applies)."""
+        return self.engine.enable_provenance(depth=depth, views=views)
+
+    def explain_row(self, view: str | None = None, key=None) -> dict[str, Any]:
+        self.flush()
+        return self.engine.explain_row(view, key)
 
     # -- reading views ----------------------------------------------------------
     def view(self, name: str | None = None) -> GMR:

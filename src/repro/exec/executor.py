@@ -24,7 +24,7 @@ from typing import Any, Protocol, Sequence
 
 from repro.compiler.program import TriggerProgram
 from repro.delta.events import StreamEvent
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, ReproError
 
 
 def _build_partition_engine(
@@ -66,6 +66,14 @@ class Backend(Protocol):
     def memory_bytes(self, index: int) -> int: ...
 
     def statistics(self, index: int) -> dict[str, object]: ...
+
+    def enable_provenance(
+        self, index: int, depth: int | None, views: list[str] | None
+    ) -> None: ...
+
+    def explain_row(
+        self, index: int, view: str | None, key: tuple | None
+    ) -> dict[str, Any]: ...
 
     def state(self, index: int) -> dict[str, Any]: ...
 
@@ -117,6 +125,16 @@ class SequentialBackend:
     def statistics(self, index: int) -> dict[str, object]:
         return self._engines[index].statistics()
 
+    def enable_provenance(
+        self, index: int, depth: int | None, views: list[str] | None
+    ) -> None:
+        self._engines[index].enable_provenance(depth=depth, views=views)
+
+    def explain_row(
+        self, index: int, view: str | None, key: tuple | None
+    ) -> dict[str, Any]:
+        return self._engines[index].explain_row(view, key)
+
     def state(self, index: int) -> dict[str, Any]:
         return self._engines[index].checkpoint_state()
 
@@ -159,6 +177,16 @@ def _worker_main(
             connection.send(engine.memory_bytes())
         elif command == "statistics":
             connection.send(engine.statistics())
+        elif command == "enable_provenance":
+            depth, views = payload
+            engine.enable_provenance(depth=depth, views=views)
+            connection.send(True)
+        elif command == "explain_row":
+            view, key = payload
+            try:
+                connection.send(engine.explain_row(view, key))
+            except ReproError as exc:
+                connection.send(exc)
         elif command == "state":
             connection.send(engine.checkpoint_state())
         elif command == "restore":
@@ -240,6 +268,16 @@ class MultiprocessBackend:
 
     def statistics(self, index: int) -> dict[str, object]:
         return self._request(index, "statistics", None)
+
+    def enable_provenance(
+        self, index: int, depth: int | None, views: list[str] | None
+    ) -> None:
+        self._request(index, "enable_provenance", (depth, views))
+
+    def explain_row(
+        self, index: int, view: str | None, key: tuple | None
+    ) -> dict[str, Any]:
+        return self._request(index, "explain_row", (view, key))
 
     def state(self, index: int) -> dict[str, Any]:
         return self._request(index, "state", None)

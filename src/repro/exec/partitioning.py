@@ -393,6 +393,10 @@ class PartitionedEngine:
         # accounted exactly once).
         self._route_counts: dict[tuple[int, str], int] | None = None
         self._roundtrip_hist = None
+        # Provenance configuration, remembered so the engine can answer
+        # ``provenance_enabled`` without a backend round-trip.  The rings
+        # themselves live inside the per-partition engines.
+        self._provenance_config: tuple[int | None, list[str] | None] | None = None
         if telemetry.enabled:
             self._route_counts = {}
             self._roundtrip_hist = telemetry.registry.histogram(
@@ -532,6 +536,65 @@ class PartitionedEngine:
         _, merged = self.merged_items(name)
         return merged
 
+    # -- row provenance ----------------------------------------------------------
+    @property
+    def provenance_enabled(self) -> bool:
+        return self._provenance_config is not None
+
+    def enable_provenance(
+        self, depth: int | None = None, views: list[str] | None = None
+    ) -> None:
+        """Enable delta-history rings inside every partition engine.
+
+        Each partition records the transitions *it* executed: a routed event
+        shows up in exactly one partition's ring, a broadcast in all of them.
+        ``explain_row`` merges the per-partition histories back together.
+        """
+        self.flush()
+        view_list = list(views) if views is not None else None
+        for index in range(self.spec.partitions):
+            self._backend.enable_provenance(index, depth, view_list)
+        self._provenance_config = (depth, view_list)
+
+    def explain_row(
+        self, view: str | None = None, key: Iterable[Any] | None = None
+    ) -> dict[str, Any]:
+        """Merged recent mutation history of one view (optionally one key).
+
+        Per-partition entries are tagged with their ``partition`` index and
+        ordered by ``(partition, version)`` — versions count events *within*
+        a partition, so they are not comparable across partitions.
+        """
+        if self._provenance_config is None:
+            raise ExecutionError(
+                "row provenance is disabled; call enable_provenance() "
+                "(or serve with --provenance-depth)"
+            )
+        self.flush()
+        key_tuple = tuple(key) if key is not None else None
+        reports = [
+            self._backend.explain_row(index, view, key_tuple)
+            for index in range(self.spec.partitions)
+        ]
+        history: list[dict[str, Any]] = []
+        for index, report in enumerate(reports):
+            for entry in report["history"]:
+                entry["partition"] = index
+                history.append(entry)
+        merged: dict[str, Any] = {
+            "view": reports[0]["view"],
+            "map": reports[0]["map"],
+            "columns": reports[0]["columns"],
+            "key": reports[0]["key"],
+            "depth": reports[0]["depth"],
+            "partitions": self.spec.partitions,
+            "history": history,
+        }
+        if key_tuple is not None:
+            map_name = self._map_name(view)
+            merged["current"] = self.result_dict(map_name).get(key_tuple, 0)
+        return merged
+
     # -- accounting --------------------------------------------------------------
     def memory_bytes(self) -> int:
         self.flush()
@@ -617,6 +680,17 @@ class PartitionedEngine:
         self._buffered = 0
         for index, partition_state in enumerate(state["states"]):
             self._backend.restore(index, partition_state)
+        # Partition engines auto-enable provenance from their own saved
+        # states; mirror that into this layer's flag so explain_row works.
+        if self._provenance_config is None:
+            for partition_state in state["states"]:
+                saved = partition_state.get("provenance")
+                if saved:
+                    self._provenance_config = (
+                        saved.get("depth"),
+                        sorted(saved.get("views", ())),
+                    )
+                    break
         self.events_processed = int(state["events_processed"])
         self.events_routed = list(state["events_routed"])
         self.events_broadcast = int(state["events_broadcast"])

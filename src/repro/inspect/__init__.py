@@ -1,0 +1,34 @@
+"""Correctness observability: row provenance, view audit, physical explain.
+
+PR 6's :mod:`repro.telemetry` answers "how fast is the system"; this package
+answers "is it *right*, and why does a row have its value":
+
+* :mod:`repro.inspect.provenance` — an opt-in, bounded per-view delta-history
+  ring recording ``(version, key, old, new, cause)`` for every view mutation,
+  so ``explain-row`` can replay the recent history of one key together with
+  the stream events that caused each transition;
+* :mod:`repro.inspect.auditor` — an online sampled checker that re-derives
+  view rows from a from-scratch reference evaluation and compares them against
+  the live incremental state, publishing drift counters into the metric
+  registry (with an optional fail-fast mode);
+* :mod:`repro.inspect.explain` — the physical-design explain report joining
+  planned kernel IR (probe shapes per map, fusion structure, fallbacks) with
+  observed telemetry (probe/scan counters, map sizes, trigger latency) — the
+  input the ROADMAP's adaptive index/strategy selector consumes.
+
+``python -m repro.inspect`` exposes ``explain`` and ``explain-row`` both
+offline (replaying a synthetic stream) and against a running view server.
+"""
+
+from repro.inspect.auditor import AuditReport, ViewAuditor
+from repro.inspect.explain import build_explain_report, render_explain_text
+from repro.inspect.provenance import ProvenanceRecorder, cause_to_dict
+
+__all__ = [
+    "AuditReport",
+    "ProvenanceRecorder",
+    "ViewAuditor",
+    "build_explain_report",
+    "cause_to_dict",
+    "render_explain_text",
+]

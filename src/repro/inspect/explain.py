@@ -1,0 +1,184 @@
+"""Physical-design explain: planned kernels joined with observed behaviour.
+
+``build_explain_report`` produces one ``repro.explain/1`` document for a
+trigger program: the planned side comes from
+:func:`repro.codegen.describe.describe_program` (probe shapes per map, fused
+kernel structure, interpreter fallbacks with their reasons), and the observed
+side from an engine's ``statistics()`` dictionary (map sizes, probe/scan
+counters, codegen fallback hits, batching/partitioning counters) when one is
+supplied.  The per-map ``maps`` section joins both: for every materialized
+view, the access shapes the planner chose next to the probe/scan traffic the
+live engine actually executed — the document the ROADMAP's adaptive
+index/strategy selection consumes, and what ``python -m repro.inspect
+explain`` prints.
+
+Statistics from every engine mode normalize into the same observed shape:
+single engines report their map table stats directly, batched engines add
+fold counters, partitioned engines sum their per-partition map counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.codegen.describe import KERNELS_SCHEMA, describe_program
+from repro.compiler.program import TriggerProgram
+
+#: Schema tag of the explain document.
+EXPLAIN_SCHEMA = "repro.explain/1"
+
+#: Per-map observed counters carried into the joined section.
+_MAP_COUNTERS = ("entries", "memory_bytes", "probes", "scans", "range_probes")
+
+
+def _merge_map_stats(per_engine: list[Mapping[str, Any]]) -> dict[str, dict[str, Any]]:
+    """Sum per-map counters across engines (the partitioned merge)."""
+    merged: dict[str, dict[str, Any]] = {}
+    for maps in per_engine:
+        for name, stats in maps.items():
+            agg = merged.setdefault(name, {key: 0 for key in _MAP_COUNTERS})
+            for key in _MAP_COUNTERS:
+                agg[key] += stats.get(key, 0)
+    return merged
+
+
+def _observed(statistics: Mapping[str, Any] | None) -> dict[str, Any] | None:
+    """Normalize any engine mode's ``statistics()`` into one observed shape."""
+    if statistics is None:
+        return None
+    observed: dict[str, Any] = {
+        "events_processed": statistics.get("events_processed", 0),
+        "memory_bytes": statistics.get("memory_bytes", 0),
+    }
+    if "maps" in statistics:
+        observed["maps"] = {
+            name: {key: stats.get(key, 0) for key in _MAP_COUNTERS}
+            for name, stats in statistics["maps"].items()
+        }
+    elif "partitions" in statistics:
+        partitions = statistics["partitions"]
+        observed["maps"] = _merge_map_stats([p.get("maps", {}) for p in partitions])
+        observed["partitioning"] = statistics.get("spec")
+        observed["events_routed"] = statistics.get("events_routed")
+        observed["events_broadcast"] = statistics.get("events_broadcast")
+        for partition in partitions:
+            if "codegen" in partition:
+                observed["codegen"] = dict(partition["codegen"])
+                break
+            if "batching" in partition:
+                observed["batching"] = dict(partition["batching"])
+    if "codegen" in statistics:
+        observed["codegen"] = dict(statistics["codegen"])
+    if "batching" in statistics:
+        observed["batching"] = dict(statistics["batching"])
+    return observed
+
+
+def build_explain_report(
+    program: TriggerProgram,
+    query: str | None = None,
+    statistics: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """The ``repro.explain/1`` document: plan plus (optional) observation."""
+    plan = describe_program(program)
+    observed = _observed(statistics)
+    observed_maps = (observed or {}).get("maps", {})
+    joined: dict[str, dict[str, Any]] = {}
+    for name, planned in plan["maps"].items():
+        entry: dict[str, Any] = {
+            "keys": planned["keys"],
+            "level": planned["level"],
+            "degree": planned["degree"],
+            "access_shapes": planned["access_shapes"],
+        }
+        if name in observed_maps:
+            entry["observed"] = observed_maps[name]
+        joined[name] = entry
+    return {
+        "schema": EXPLAIN_SCHEMA,
+        "query": query,
+        "views": sorted(program.roots),
+        "plan_schema": KERNELS_SCHEMA,
+        "plan": plan,
+        "maps": joined,
+        "observed": observed,
+    }
+
+
+def _format_shapes(shapes: Mapping[str, int]) -> str:
+    return (
+        ", ".join(f"{shape}x{count}" for shape, count in sorted(shapes.items()))
+        or "-"
+    )
+
+
+def render_explain_text(report: Mapping[str, Any]) -> str:
+    """Human-readable rendering of one explain report."""
+    lines: list[str] = []
+    plan = report["plan"]
+    summary = plan["summary"]
+    header = report.get("query") or "/".join(report["views"]) or "program"
+    lines.append(
+        f"explain {header} (views: {', '.join(report['views']) or '-'})"
+    )
+    lines.append(
+        f"plan: {summary['compiled_statements']} statements compiled, "
+        f"{summary['fallback_statements']} interpreter fallbacks; "
+        f"{summary['fused_kernels']}/{summary['triggers']} triggers fused "
+        f"({summary['deduped_probes']} probes, "
+        f"{summary['deduped_scalars']} scalars deduped)"
+    )
+    lines.append("maps:")
+    for name, entry in sorted(report["maps"].items()):
+        keys = ", ".join(entry["keys"]) or "-"
+        line = (
+            f"  {name}[{keys}] level={entry['level']} degree={entry['degree']} "
+            f"shapes: {_format_shapes(entry['access_shapes'])}"
+        )
+        observed = entry.get("observed")
+        if observed is not None:
+            line += (
+                f" | observed entries={observed['entries']} "
+                f"probes={observed['probes']} scans={observed['scans']} "
+                f"range_probes={observed['range_probes']}"
+            )
+        lines.append(line)
+    lines.append("triggers:")
+    for trigger in plan["triggers"]:
+        name = f"{trigger['relation']}:{'+' if trigger['op'] == 'insert' else '-'}"
+        if trigger["fused"]:
+            fusion = trigger["fusion"]
+            lines.append(
+                f"  {name} fused ({fusion['fused_statements']} statements, "
+                f"{fusion['deduped_probes']} probes + "
+                f"{fusion['deduped_scalars']} scalars deduped)"
+            )
+        else:
+            lines.append(f"  {name} per-statement dispatch")
+        for statement in trigger["statements"]:
+            if not statement["compiled"]:
+                lines.append(
+                    f"    fallback {statement['target']}: "
+                    f"{statement['fallback_reason']}"
+                )
+    observed = report.get("observed")
+    if observed is not None:
+        line = f"observed: events={observed['events_processed']}"
+        codegen = observed.get("codegen")
+        if codegen:
+            line += (
+                f" fallback_hits={codegen.get('fallback_hits', 0)}"
+                f" fused_kernels={codegen.get('fused_kernels', 0)}"
+            )
+        batching = observed.get("batching")
+        if batching:
+            line += (
+                f" bulk_events={batching.get('bulk_events', 0)}"
+                f" fallback_events={batching.get('fallback_events', 0)}"
+            )
+        if "partitioning" in observed and observed["partitioning"]:
+            line += f" partitions={observed['partitioning'].get('partitions')}"
+        lines.append(line)
+    else:
+        lines.append("observed: (no runtime statistics; plan only)")
+    return "\n".join(lines)

@@ -44,6 +44,9 @@ class IncrementalEngine:
             program, self.database, self.maps, maintained_relations=self._maintained
         )
         self.events_processed = 0
+        # Opt-in row provenance (repro.inspect): None keeps the hot path at a
+        # single comparison per event.
+        self._provenance = None
 
         if telemetry is None:
             from repro.telemetry import current
@@ -244,6 +247,15 @@ class IncrementalEngine:
             raise RuntimeEngineError(
                 f"relation {event.relation!r} is not a stream relation of this program"
             )
+        prov = self._provenance
+        if prov is not None:
+            prov.version = self.events_processed + 1
+            prov.cause = (
+                "event",
+                event.relation,
+                "insert" if event.sign > 0 else "delete",
+                event.values,
+            )
         observers = self._trigger_observers
         if observers is None:
             self._executor.apply(event)
@@ -304,6 +316,87 @@ class IncrementalEngine:
             tuple(row[c] for c in table.columns): value for row, value in table.items()
         }
 
+    # -- row provenance ----------------------------------------------------------
+    def _view_declaration(self, name: str | None):
+        """The map declaration behind a view name (root query or map name)."""
+        decl = self.program.root_map(name) if (
+            name is None or name in self.program.roots
+        ) else self.program.maps.get(name)
+        if decl is None:
+            raise RuntimeEngineError(f"unknown view {name!r}")
+        return decl
+
+    @property
+    def provenance(self):
+        """The active :class:`ProvenanceRecorder`, or None when disabled."""
+        return self._provenance
+
+    def enable_provenance(
+        self, depth: int | None = None, views: Sequence[str] | None = None
+    ):
+        """Start recording per-view mutation history into bounded rings.
+
+        ``views`` accepts root query names or map names and defaults to the
+        program's root maps.  Calling again reconfigures (old rings are
+        dropped).  Returns the recorder.
+        """
+        from repro.inspect.provenance import DEFAULT_DEPTH, ProvenanceRecorder
+
+        if self._provenance is not None:
+            self._detach_provenance()
+        names = list(views) if views else sorted(self.program.roots)
+        tracked: dict[str, tuple[str, ...]] = {}
+        for name in names:
+            decl = self._view_declaration(name)
+            tracked[decl.name] = self.maps.table(decl.name).columns
+        recorder = ProvenanceRecorder(
+            tracked, depth=DEFAULT_DEPTH if depth is None else depth
+        )
+        recorder.version = self.events_processed
+        self._provenance = recorder
+        self._attach_provenance()
+        return recorder
+
+    def _attach_provenance(self) -> None:
+        for name in self._provenance.views():
+            self.maps.table(name).set_watcher(self._provenance.watcher_for(name))
+
+    def _detach_provenance(self) -> None:
+        for name in self._provenance.views():
+            self.maps.table(name).set_watcher(None)
+
+    def explain_row(
+        self, view: str | None = None, key: Sequence[Any] | None = None
+    ) -> dict[str, Any]:
+        """Recent mutation history of one view (optionally one key).
+
+        Returns the tracked ring entries with their causing events, newest
+        last, plus the key's current value when a key is given.  Requires
+        :meth:`enable_provenance`.
+        """
+        self.flush()
+        if self._provenance is None:
+            raise RuntimeEngineError(
+                "provenance is not enabled on this engine "
+                "(call enable_provenance / serve with --provenance-depth)"
+            )
+        from repro.inspect.provenance import entry_to_dict
+
+        decl = self._view_declaration(view)
+        table = self.maps.table(decl.name)
+        entries = self._provenance.history(decl.name, key)
+        report: dict[str, Any] = {
+            "view": view if view is not None else decl.name,
+            "map": decl.name,
+            "columns": list(table.columns),
+            "key": list(key) if key is not None else None,
+            "depth": self._provenance.depth,
+            "history": [entry_to_dict(entry) for entry in entries],
+        }
+        if key is not None:
+            report["current"] = table.get(tuple(key), 0)
+        return report
+
     # -- accounting ----------------------------------------------------------------------
     def memory_bytes(self) -> int:
         """Approximate resident size of all views plus stored base relations."""
@@ -348,13 +441,16 @@ class IncrementalEngine:
                 (tuple(row[c] for c in table.columns), value)
                 for row, value in table.items()
             ]
-        return {
+        state: dict[str, Any] = {
             "format": STATE_FORMAT,
             "kind": STATE_SINGLE,
             "events_processed": self.events_processed,
             "maps": maps,
             "relations": relations,
         }
+        if self._provenance is not None:
+            state["provenance"] = self._provenance.state()
+        return state
 
     def restore_state(self, state: Mapping[str, Any]) -> None:
         """Load a :meth:`checkpoint_state` dictionary into this engine.
@@ -383,6 +479,12 @@ class IncrementalEngine:
             raise RuntimeEngineError(
                 f"state holds relations {sorted(unknown)} not declared by this program"
             )
+        # Repopulation below must not masquerade as view mutations: detach
+        # the provenance watchers for the duration and reload ring contents
+        # from the state afterwards.
+        recorder = self._provenance
+        if recorder is not None:
+            self._detach_provenance()
         for name in self.maps.names():
             table = self.maps.table(name)
             table.clear()
@@ -394,6 +496,23 @@ class IncrementalEngine:
             for values, value in state["relations"].get(name, ()):
                 table.set(values, value)
         self.events_processed = int(state["events_processed"])
+        saved = state.get("provenance")
+        if recorder is None and saved:
+            # The state was produced with provenance enabled: carry the
+            # configuration and history across the restore transparently.
+            recorder = self.enable_provenance(
+                depth=saved.get("depth"), views=list(saved.get("views", ()))
+            )
+            recorder.restore(saved)
+        elif recorder is not None:
+            self._attach_provenance()
+            recorder.version = self.events_processed
+            recorder.cause = ("restore", self.events_processed)
+            if saved:
+                recorder.restore(saved)
+            else:
+                for ring in recorder.rings.values():
+                    ring.clear()
 
     def close(self) -> None:
         """No-op: the per-event engine owns no external resources."""

@@ -31,7 +31,10 @@ from repro.runtime.ordered import OrderedRangeIndex
 class IndexedTable:
     """A mutable map from key rows to numeric values with secondary indexes."""
 
-    __slots__ = ("columns", "_data", "_indexes", "_ordered", "probes", "scans", "range_probes")
+    __slots__ = (
+        "columns", "_data", "_indexes", "_ordered", "probes", "scans",
+        "range_probes", "_watcher",
+    )
 
     def __init__(self, columns: Sequence[str]) -> None:
         self.columns = tuple(columns)
@@ -45,6 +48,12 @@ class IndexedTable:
         self.probes = 0
         self.scans = 0
         self.range_probes = 0
+        # Optional mutation hook ``watcher(row, old, new)``, called once per
+        # actual value transition (never on no-ops).  All writes — including
+        # those issued by generated kernels, which bind ``add`` as a method —
+        # funnel through add/set/replace/clear, so this one slot observes
+        # every mutation at the cost of a single None check.
+        self._watcher: Callable[[Row, Any, Any], None] | None = None
 
     # -- basic access -------------------------------------------------------
     def __len__(self) -> int:
@@ -101,6 +110,10 @@ class IndexedTable:
         return Row(zip(self.columns, values))
 
     # -- mutation ---------------------------------------------------------------
+    def set_watcher(self, watcher: Callable[[Row, Any, Any], None] | None) -> None:
+        """Install (or remove, with None) the mutation watcher."""
+        self._watcher = watcher
+
     def add(self, key: Row | Mapping[str, Any] | Sequence[Any], delta: Any) -> None:
         """Add ``delta`` to the value stored under ``key`` (removing zeros)."""
         if is_zero(delta):
@@ -114,6 +127,8 @@ class IndexedTable:
                 self._index_remove(row)
                 if self._ordered:
                     self._ordered_change(row, old, None)
+                if self._watcher is not None:
+                    self._watcher(row, old, 0)
         else:
             self._data[row] = new
             if old is None:
@@ -122,6 +137,8 @@ class IndexedTable:
                 self._index_update(row, new)
             if self._ordered:
                 self._ordered_change(row, old, new)
+            if self._watcher is not None:
+                self._watcher(row, 0 if old is None else old, new)
 
     def set(self, key: Row | Mapping[str, Any] | Sequence[Any], value: Any) -> None:
         """Overwrite the value stored under ``key`` (removing it when zero)."""
@@ -130,17 +147,24 @@ class IndexedTable:
         if old is not None:
             self._index_remove(row)
         if is_zero(value):
-            if old is not None and self._ordered:
-                self._ordered_change(row, old, None)
+            if old is not None:
+                if self._ordered:
+                    self._ordered_change(row, old, None)
+                if self._watcher is not None:
+                    self._watcher(row, old, 0)
             return
         new = normalize_number(value)
         self._data[row] = new
         self._index_add(row)
         if self._ordered:
             self._ordered_change(row, old, new)
+        if self._watcher is not None and (old is None or old != new or type(old) is not type(new)):
+            self._watcher(row, 0 if old is None else old, new)
 
     def replace(self, entries: Iterable[tuple[Row | Sequence[Any], Any]]) -> None:
         """Replace the entire contents (used by ``:=`` re-evaluation statements)."""
+        watcher = self._watcher
+        old_data = self._data if watcher is not None else None
         self._data = {}
         self._indexes = {}
         self._ordered = {}
@@ -152,12 +176,31 @@ class IndexedTable:
             if is_zero(self._data[row]):
                 del self._data[row]
         # Secondary and ordered indexes are rebuilt lazily on the next probe.
+        if watcher is not None:
+            self._diff_into_watcher(old_data, watcher)
 
     def clear(self) -> None:
         """Remove every entry."""
+        watcher = self._watcher
+        old_data = self._data if watcher is not None else None
         self._data = {}
         self._indexes = {}
         self._ordered = {}
+        if watcher is not None:
+            self._diff_into_watcher(old_data, watcher)
+
+    def _diff_into_watcher(
+        self, old_data: Mapping[Row, Any], watcher: Callable[[Row, Any, Any], None]
+    ) -> None:
+        """Report wholesale-swap transitions (:meth:`replace` / :meth:`clear`)."""
+        new_data = self._data
+        for row, old in old_data.items():
+            new = new_data.get(row, 0)
+            if old != new or type(old) is not type(new):
+                watcher(row, old, new)
+        for row, new in new_data.items():
+            if row not in old_data:
+                watcher(row, 0, new)
 
     # -- scans ---------------------------------------------------------------------
     def scan(self, bound: Mapping[str, Any]) -> Iterator[tuple[Row, Any]]:

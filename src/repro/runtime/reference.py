@@ -66,6 +66,20 @@ def evaluate_reference(
     return _combine(_eval(expr, tables, ctx))
 
 
+def _total(rows: RefResult) -> Any:
+    """Sum of multiplicities without assuming a numeric type.
+
+    Lifted values may be non-numeric (``(seg ^= 'BUILDING')`` lifts a string),
+    so the fold starts from the first multiplicity instead of ``0``.
+    """
+    if not rows:
+        return 0
+    total = rows[0][1]
+    for _, mult in rows[1:]:
+        total = total + mult
+    return total
+
+
 def _eval(expr: Expr, tables: Mapping[str, Sequence[tuple[RefRow, Any]]], ctx: RefRow) -> RefResult:
     if isinstance(expr, Value):
         value = eval_value(expr.vexpr, ctx)
@@ -141,15 +155,13 @@ def _eval(expr: Expr, tables: Mapping[str, Sequence[tuple[RefRow, Any]]], ctx: R
         return [(row, mult) for row, mult in grouped.values()]
 
     if isinstance(expr, Lift):
-        inner = _eval(expr.term, tables, ctx)
-        value = sum(mult for _, mult in inner)
+        value = _total(_eval(expr.term, tables, ctx))
         if expr.var in ctx:
             return [({}, 1)] if ctx[expr.var] == value else []
         return [({expr.var: value}, 1)]
 
     if isinstance(expr, Exists):
-        inner = _eval(expr.term, tables, ctx)
-        value = sum(mult for _, mult in inner)
+        value = _total(_eval(expr.term, tables, ctx))
         return [({}, 1)] if not is_zero(value) else []
 
     raise TypeError(f"not an AGCA expression: {expr!r}")

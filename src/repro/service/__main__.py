@@ -16,7 +16,10 @@ The ``--engine`` flag selects the execution mode (``incremental``,
 ``compiled`` — trigger programs lowered to specialized Python by
 ``repro.codegen`` — ``batched`` or ``partitioned``); ``--batch-size``,
 ``--partitions`` and ``--backend`` configure it exactly like the benchmark
-CLI.
+CLI.  ``--provenance-depth N`` keeps per-view mutation-history rings (served
+through the ``explain-row`` operation), and ``--audit`` attaches the online
+view auditor, re-deriving sampled view rows from mirrored base data every
+``--audit-every`` events.
 """
 
 from __future__ import annotations
@@ -56,6 +59,18 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                         help="JSONL span-trace sink (implies --telemetry)")
     parser.add_argument("--trace-sample", type=float, default=1.0,
                         help="fraction of root spans to record (0..1)")
+    parser.add_argument("--provenance-depth", type=int, default=None,
+                        help="enable row provenance with this per-view history "
+                             "depth (serves the explain-row operation)")
+    parser.add_argument("--audit", action="store_true",
+                        help="enable the online view auditor (sampled reference "
+                             "re-derivation against live views)")
+    parser.add_argument("--audit-every", type=int, default=None,
+                        help="audit once per this many ingested events")
+    parser.add_argument("--audit-sample", type=int, default=None,
+                        help="view rows re-derived per audit pass")
+    parser.add_argument("--audit-fail-fast", action="store_true",
+                        help="raise (failing the ingest) on the first divergence")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -115,6 +130,15 @@ def build_service(args: argparse.Namespace) -> tuple[ViewService, int | None]:
         telemetry=telemetry,
     )
     service = ViewService(engine, checkpoint_dir=args.checkpoint_dir, telemetry=telemetry)
+    # Auditing must attach before any data reaches the engine (the mirror
+    # has to see every static row and event); restore afterwards reloads the
+    # mirror from the checkpoint's audit state.
+    if getattr(args, "audit", False):
+        service.enable_audit(
+            check_every=args.audit_every,
+            sample_rows=args.audit_sample,
+            fail_fast=args.audit_fail_fast,
+        )
     restored = None
     if service.checkpoints is not None and not args.fresh:
         restored = service.restore()
@@ -122,6 +146,8 @@ def build_service(args: argparse.Namespace) -> tuple[ViewService, int | None]:
         for relation, rows in spec.static_tables().items():
             if relation in program.static_relations:
                 service.load_static(relation, rows)
+    if getattr(args, "provenance_depth", None) is not None:
+        service.enable_provenance(depth=args.provenance_depth)
     return service, restored
 
 

@@ -61,14 +61,22 @@ class CheckpointStore:
         version: int,
         engine_state: Mapping[str, Any],
         stream_stats: Mapping[str, Any] | None = None,
+        audit_state: Mapping[str, Any] | None = None,
     ) -> CheckpointInfo:
-        """Persist one checkpoint atomically; returns its metadata."""
+        """Persist one checkpoint atomically; returns its metadata.
+
+        ``audit_state`` carries the online auditor's base-relation mirror
+        when auditing is enabled, so a restored service keeps auditing
+        (checkpoints without it deactivate a live auditor on restore).
+        """
         payload = {
             "format": CHECKPOINT_FORMAT,
             "version": version,
             "engine_state": dict(engine_state),
             "stream_stats": dict(stream_stats or {}),
         }
+        if audit_state is not None:
+            payload["audit_state"] = dict(audit_state)
         path = self.directory / f"checkpoint-{version:012d}.ckpt"
         handle, temp_name = tempfile.mkstemp(
             dir=self.directory, prefix=".checkpoint-", suffix=".tmp"

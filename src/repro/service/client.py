@@ -20,7 +20,13 @@ from repro.delta.events import StreamEvent
 from repro.errors import ServiceError
 from repro.service.core import IngestResult, Snapshot
 from repro.service.subscriptions import DeltaNotification
-from repro.service.wire import decode_entries, decode_value, dump_line, parse_line
+from repro.service.wire import (
+    decode_entries,
+    decode_value,
+    dump_line,
+    encode_value,
+    parse_line,
+)
 from repro.streams.adapters import event_to_dict
 
 #: Default socket timeout (seconds) for requests and subscription reads.
@@ -152,6 +158,41 @@ class ServiceClient:
         unified stats schema).
         """
         return self._request({"op": "metrics"})
+
+    def explain(self, query: str | None = None) -> dict[str, Any]:
+        """The server's physical-design explain report (``repro.explain/1``).
+
+        Planned kernel shapes for every map and trigger, joined with the
+        probe/scan counters the serving engine has actually accumulated.
+        """
+        return self._request({"op": "explain", "query": query})["report"]
+
+    def explain_row(
+        self, view: str | None = None, key: Iterable[Any] | None = None
+    ) -> dict[str, Any]:
+        """Recent provenance history of one view row (or a whole view).
+
+        The server must be running with row provenance enabled (``serve
+        --provenance-depth``).  Values decode back to engine types.
+        """
+        payload: dict[str, Any] = {"op": "explain-row", "view": view}
+        if key is not None:
+            payload["key"] = [encode_value(part) for part in key]
+        report = self._request(payload)["report"]
+        report["history"] = [
+            {
+                **entry,
+                "key": [decode_value(part) for part in entry["key"]],
+                "old": decode_value(entry["old"]),
+                "new": decode_value(entry["new"]),
+            }
+            for entry in report["history"]
+        ]
+        if report.get("key") is not None:
+            report["key"] = [decode_value(part) for part in report["key"]]
+        if "current" in report:
+            report["current"] = decode_value(report["current"])
+        return report
 
     def checkpoint(self) -> tuple[int, str]:
         """Persist a checkpoint server-side; returns (version, path)."""

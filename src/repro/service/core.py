@@ -34,7 +34,7 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.compiler.program import MapDeclaration, TriggerProgram
 from repro.delta.events import StreamEvent
-from repro.errors import ServiceError
+from repro.errors import AuditError, ServiceError
 from repro.exec import (
     DEFAULT_BATCH_SIZE,
     DEFAULT_PARTITIONS,
@@ -187,6 +187,8 @@ class ViewService:
         self._version = 0
         self._closed = False
         self._failed = False
+        self._auditor = None
+        self._statics_loaded = 0
         if telemetry is None:
             # Share the engine's telemetry so trigger latency and service
             # staleness land in one registry (one scrape shows both).
@@ -283,7 +285,92 @@ class ViewService:
     ) -> int:
         """Load a static relation before (or between) ingest batches."""
         with self._lock:
+            if self._auditor is not None:
+                rows = list(rows)
+                loaded = self.engine.load_static(relation, rows)
+                self._auditor.observe_static(relation, rows)
+                return loaded
+            self._statics_loaded += 1
             return self.engine.load_static(relation, rows)
+
+    # -- correctness observability ----------------------------------------------
+    def enable_audit(
+        self,
+        views: Sequence[str] | None = None,
+        check_every: int | None = None,
+        sample_rows: int | None = None,
+        seed: int = 0,
+        fail_fast: bool = False,
+    ):
+        """Attach an online :class:`~repro.inspect.auditor.ViewAuditor`.
+
+        Must run before any data reaches the engine — the auditor mirrors
+        base relations as they stream in, so statics loaded or events
+        ingested earlier would be missing from its reference.  (Restoring a
+        checkpoint afterwards is fine: :meth:`restore` reloads the mirror
+        from the checkpoint's audit state, or deactivates the auditor when
+        the checkpoint predates auditing.)  Returns the auditor.
+        """
+        from repro.inspect.auditor import (
+            DEFAULT_CHECK_EVERY,
+            DEFAULT_SAMPLE_ROWS,
+            ViewAuditor,
+        )
+
+        with self._lock:
+            self._require_open()
+            if self._version > 0 or self._statics_loaded > 0:
+                raise ServiceError(
+                    "enable_audit must run before statics are loaded or events "
+                    "ingested; the auditor cannot reconstruct data it never saw"
+                )
+            registry = self.telemetry.registry if self.telemetry.enabled else None
+            self._auditor = ViewAuditor(
+                self.program,
+                views=views,
+                check_every=DEFAULT_CHECK_EVERY if check_every is None else check_every,
+                sample_rows=DEFAULT_SAMPLE_ROWS if sample_rows is None else sample_rows,
+                seed=seed,
+                fail_fast=fail_fast,
+                registry=registry,
+            )
+            return self._auditor
+
+    @property
+    def auditor(self):
+        return self._auditor
+
+    def audit_now(self):
+        """Force an audit pass immediately (regardless of cadence)."""
+        with self._lock:
+            self._require_open()
+            if self._auditor is None:
+                raise ServiceError("auditing is not enabled on this service")
+            self.engine.flush()
+            try:
+                return self._auditor.check(self.engine, self._version)
+            except AuditError:
+                self._failed = True
+                raise
+
+    def enable_provenance(
+        self, depth: int | None = None, views: Sequence[str] | None = None
+    ) -> None:
+        """Enable row-provenance rings on the owned engine."""
+        with self._lock:
+            self._require_open()
+            self.engine.enable_provenance(depth=depth, views=list(views) if views else None)
+
+    def explain_row(
+        self, view: str | None = None, key: Sequence[Any] | None = None
+    ) -> dict[str, Any]:
+        """Recent mutation history of one view row, stamped with the version."""
+        with self._lock:
+            self._require_open()
+            self.engine.flush()
+            report = self.engine.explain_row(view, key)
+            report["version"] = self._version
+            return report
 
     # -- ingestion -------------------------------------------------------------
     def _validate_batch(self, events: Sequence[StreamEvent]) -> None:
@@ -338,6 +425,16 @@ class ViewService:
                 self._version += count
                 for event in events:
                     self.stream_stats.record(event)
+                auditor = self._auditor
+                if auditor is not None and auditor.active:
+                    auditor.record(events)
+                    try:
+                        auditor.maybe_check(self.engine, self._version)
+                    except AuditError:
+                        # The incremental state provably diverged from the
+                        # reference: stop serving it (restore() recovers).
+                        self._failed = True
+                        raise
                 notifications = 0
                 with tracer.span("service.publish"):
                     for view in subscribed:
@@ -484,10 +581,16 @@ class ViewService:
             if self.checkpoints is None:
                 raise ServiceError("service was built without a checkpoint directory")
             self.engine.flush()
+            auditor = self._auditor
             return self.checkpoints.save(
                 self._version,
                 self.engine.checkpoint_state(),
                 self.stream_stats.as_dict(),
+                audit_state=(
+                    auditor.state()
+                    if auditor is not None and auditor.active
+                    else None
+                ),
             )
 
     def restore(self) -> int | None:
@@ -517,6 +620,8 @@ class ViewService:
                 deletes=stats.get("deletes", 0),
                 per_relation=dict(stats.get("per_relation", {})),
             )
+            if self._auditor is not None:
+                self._auditor.restore(payload.get("audit_state"))
             self.subscriptions.close_all()
             self._failed = False
             version = self._version
@@ -531,13 +636,16 @@ class ViewService:
         with self._lock:
             self._require_open()
             self.engine.flush()
-            return {
+            stats = {
                 "version": self._version,
                 "views": list(self.views()),
                 "stream": self.stream_stats.as_dict(),
                 "subscriptions": self.subscriptions.stats(),
                 "engine": self.engine.statistics(),
             }
+            if self._auditor is not None:
+                stats["audit"] = self._auditor.summary()
+            return stats
 
     def _require_open(self) -> None:
         if self._closed:

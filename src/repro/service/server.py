@@ -11,6 +11,10 @@ Operations (one request line -> one response line):
 * ``{"op": "stats"}`` — service + engine statistics;
 * ``{"op": "metrics"}`` — the telemetry registry: Prometheus text plus a
   structured JSON snapshot and the unified statistics schema;
+* ``{"op": "explain", "query": name?}`` — the physical-design explain report
+  (planned kernels joined with this service's observed statistics);
+* ``{"op": "explain-row", "view": name?, "key": [...]?}`` — recent provenance
+  history of one view row (requires the service to run with provenance on);
 * ``{"op": "checkpoint"}`` — persist a checkpoint, returns version and path;
 * ``{"op": "shutdown"}`` — stop the server after acknowledging.
 
@@ -38,7 +42,13 @@ from typing import Any
 from repro.errors import ReproError, ServiceError
 from repro.service.core import ViewService
 from repro.service.subscriptions import Subscription
-from repro.service.wire import dump_line, encode_entries, parse_line
+from repro.service.wire import (
+    decode_value,
+    dump_line,
+    encode_entries,
+    encode_value,
+    parse_line,
+)
 from repro.streams.adapters import event_from_dict
 
 #: Safety bound for one request line (16 MiB accommodates large ingest batches).
@@ -229,12 +239,13 @@ class ViewServer:
             return {"ok": True, "statistics": service.statistics()}, subscription
 
         if op == "metrics":
-            from repro.telemetry import unify_statistics
+            from repro.telemetry import STATS_SCHEMA, unify_statistics
 
             telemetry = service.telemetry
             return (
                 {
                     "ok": True,
+                    "schema": STATS_SCHEMA,
                     "enabled": telemetry.enabled,
                     "prometheus": telemetry.registry.render_prometheus(),
                     "metrics": telemetry.registry.snapshot(),
@@ -242,6 +253,36 @@ class ViewServer:
                 },
                 subscription,
             )
+
+        if op == "explain":
+            from repro.inspect.explain import build_explain_report
+
+            report = build_explain_report(
+                service.program,
+                query=request.get("query"),
+                statistics=service.statistics().get("engine"),
+            )
+            return {"ok": True, "report": report}, subscription
+
+        if op == "explain-row":
+            key = request.get("key")
+            if key is not None:
+                key = [decode_value(part) for part in key]
+            report = service.explain_row(request.get("view"), key)
+            report["history"] = [
+                {
+                    **entry,
+                    "key": [encode_value(part) for part in entry["key"]],
+                    "old": encode_value(entry["old"]),
+                    "new": encode_value(entry["new"]),
+                }
+                for entry in report["history"]
+            ]
+            if "key" in report and report["key"] is not None:
+                report["key"] = [encode_value(part) for part in report["key"]]
+            if "current" in report:
+                report["current"] = encode_value(report["current"])
+            return {"ok": True, "report": report}, subscription
 
         if op == "checkpoint":
             info = service.checkpoint()

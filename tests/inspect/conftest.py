@@ -1,0 +1,24 @@
+"""Shared fixtures for the correctness-observability tests.
+
+Q1 exercises a single-relation aggregate whose eleven root views all mutate
+on every event (the provenance worst case); Q3 joins three streamed
+relations, so its rings see inserts, updates and deletions of joined rows.
+Both streams bound the live working set so deletions actually occur; Q3
+shrinks the key space (``scale``) so the three-way join produces rows.
+"""
+
+import pytest
+
+from inspect_helpers import make_fixture
+
+
+@pytest.fixture(scope="package")
+def q1():
+    fixture = make_fixture("Q1", events=300, max_live_orders=20)
+    assert any(event.sign < 0 for event in fixture.events)
+    return fixture
+
+
+@pytest.fixture(scope="package")
+def q3():
+    return make_fixture("Q3", events=300, scale=0.05, max_live_orders=25)

@@ -1,0 +1,29 @@
+"""Helper functions shared by the observability tests (imported by name)."""
+
+from types import SimpleNamespace
+
+from repro.compiler.hoivm import compile_query
+from repro.workloads import workload
+
+
+def make_fixture(query_name, events, **stream_kwargs):
+    spec = workload(query_name)
+    translated = spec.query_factory()
+    program = compile_query(
+        translated.roots(),
+        translated.schemas(),
+        static_relations=translated.static_relations(),
+    )
+    return SimpleNamespace(
+        spec=spec,
+        program=program,
+        statics=spec.static_tables(),
+        events=list(spec.stream_factory(events=events, **stream_kwargs)),
+        root=next(iter(translated.roots())),
+    )
+
+
+def load_statics(engine_or_service, program, statics):
+    for relation, rows in statics.items():
+        if relation in program.static_relations:
+            engine_or_service.load_static(relation, rows)

@@ -1,0 +1,152 @@
+"""Online view auditor: clean workloads audit clean, corruption is caught."""
+
+import pytest
+
+from inspect_helpers import load_statics
+from repro.errors import AuditError, ServiceError
+from repro.service import ViewService, engine_for_mode
+from repro.telemetry import Telemetry
+
+
+def audited_service(fixture, telemetry=None, checkpoint_dir=None, **audit_kwargs):
+    """A service with auditing enabled before any data arrives."""
+    service = ViewService(
+        engine_for_mode(fixture.program, "incremental", telemetry=telemetry),
+        telemetry=telemetry,
+        checkpoint_dir=checkpoint_dir,
+    )
+    service.enable_audit(**audit_kwargs)
+    load_statics(service, fixture.program, fixture.statics)
+    return service
+
+
+def corrupt_root_map(service, fixture):
+    """Flip one live row behind the engine's back; returns the victim key."""
+    table = service.engine.maps.table(fixture.root)
+    live = service.engine.result_dict(fixture.root)
+    key = max(live, key=repr)
+    table.set(key, live[key] + 1_000_000)
+    return key
+
+
+class TestCleanWorkloads:
+    def test_zero_drift_on_clean_stream(self, q1):
+        service = audited_service(q1, check_every=64, sample_rows=4)
+        service.ingest(q1.events)
+        report = service.audit_now()
+        assert report.divergences == []
+        auditor = service.auditor
+        assert auditor.drift_total == 0
+        assert auditor.checks >= 1 and auditor.rows_checked > 0
+        service.close()
+
+    def test_cadence_checks_run_during_ingest(self, q1):
+        service = audited_service(q1, check_every=32, sample_rows=4)
+        for start in range(0, len(q1.events), 50):
+            service.ingest(q1.events[start:start + 50])
+        # 300 events at a 32-event cadence must have audited several times
+        # without audit_now ever being called.
+        assert service.auditor.checks >= 5
+        assert service.auditor.drift_total == 0
+        service.close()
+
+    def test_static_join_views_audit_clean(self, q3):
+        service = audited_service(q3, check_every=64, sample_rows=4)
+        service.ingest(q3.events)
+        assert service.audit_now().divergences == []
+        service.close()
+
+
+class TestCorruptionDetection:
+    def test_injected_corruption_is_detected(self, q1):
+        service = audited_service(q1, check_every=10_000, sample_rows=10_000)
+        service.ingest(q1.events)
+        assert service.audit_now().divergences == []
+        key = corrupt_root_map(service, q1)
+        report = service.audit_now()
+        assert any(
+            d["view"] == q1.root and tuple(d["key"]) == tuple(key)
+            for d in report.divergences
+        )
+        assert service.auditor.drift_total >= 1
+        assert service.auditor.last_divergence_version == report.version
+
+    def test_fail_fast_raises_audit_error(self, q1):
+        service = audited_service(
+            q1, check_every=10_000, sample_rows=10_000, fail_fast=True
+        )
+        service.ingest(q1.events)
+        corrupt_root_map(service, q1)
+        with pytest.raises(AuditError, match="diverged"):
+            service.audit_now()
+
+    def test_dropped_row_is_detected(self, q1):
+        """Full comparison also catches rows that vanished entirely."""
+        service = audited_service(q1, check_every=10_000, sample_rows=10_000)
+        service.ingest(q1.events)
+        table = service.engine.maps.table(q1.root)
+        live = service.engine.result_dict(q1.root)
+        victim = max(live, key=repr)
+        table.set(victim, 0)  # multiplicity 0 deletes the row
+        report = service.audit_now()
+        assert any(tuple(d["key"]) == tuple(victim) for d in report.divergences)
+
+
+class TestLifecycle:
+    def test_enable_audit_must_precede_data(self, q1):
+        service = ViewService(engine_for_mode(q1.program, "incremental"))
+        load_statics(service, q1.program, q1.statics)
+        with pytest.raises(ServiceError, match="before statics"):
+            service.enable_audit()
+        service.close()
+
+    def test_audit_state_survives_checkpoint_restore(self, q1, tmp_path):
+        service = audited_service(
+            q1, checkpoint_dir=str(tmp_path), check_every=64, sample_rows=4
+        )
+        service.ingest(q1.events[:200])
+        version = service.checkpoint().version
+        service.close()
+
+        restored = ViewService(
+            engine_for_mode(q1.program, "incremental"), checkpoint_dir=str(tmp_path)
+        )
+        restored.enable_audit(check_every=64, sample_rows=4)
+        assert restored.restore() == version
+        restored.ingest(q1.events[200:])
+        assert restored.audit_now().divergences == []
+        restored.close()
+
+    def test_restore_without_audit_state_deactivates(self, q1, tmp_path):
+        plain = ViewService(
+            engine_for_mode(q1.program, "incremental"), checkpoint_dir=str(tmp_path)
+        )
+        load_statics(plain, q1.program, q1.statics)
+        plain.ingest(q1.events[:100])
+        plain.checkpoint()
+        plain.close()
+
+        restored = ViewService(
+            engine_for_mode(q1.program, "incremental"), checkpoint_dir=str(tmp_path)
+        )
+        restored.enable_audit()
+        restored.restore()
+        assert not restored.auditor.active
+        with pytest.raises(AuditError, match="inactive"):
+            restored.audit_now()
+        restored.close()
+
+
+class TestTelemetry:
+    def test_audit_metrics_published_to_registry(self, q1):
+        telemetry = Telemetry(enabled=True)
+        service = audited_service(
+            q1, telemetry=telemetry, check_every=64, sample_rows=4
+        )
+        service.ingest(q1.events)
+        service.audit_now()
+        families = telemetry.registry.snapshot()
+        assert families["repro_audit_checks_total"]["series"][0]["value"] >= 1
+        assert families["repro_audit_drift_total"]["series"][0]["value"] == 0
+        assert families["repro_audit_active"]["series"][0]["value"] == 1
+        service.close()

@@ -1,0 +1,124 @@
+"""Correctness-observability operations over the wire: ``explain``,
+``explain-row``, the schema-tagged ``metrics`` scrape, and the audit summary
+in ``stats``."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import ServiceClient, ViewService, engine_for_mode, start_in_thread
+from repro.telemetry import Telemetry
+from svc_helpers import build_service, load_statics, make_workload_fixture
+
+
+def serve(service):
+    handle = start_in_thread(service)
+    return handle
+
+
+@pytest.fixture(scope="module")
+def q3_dense():
+    """Q3 with a shrunk key space so the three-way join has live rows."""
+    return make_workload_fixture("Q3", events=300, scale=0.05, max_live_orders=25)
+
+
+def test_explain_op_joins_plan_with_observed_counters(q1):
+    service = build_service(q1)
+    handle = serve(service)
+    try:
+        with ServiceClient(*handle.address) as client:
+            client.ingest(q1.events)
+            report = client.explain(query="Q1")
+            assert report["schema"] == "repro.explain/1"
+            assert report["query"] == "Q1"
+            assert report["observed"]["events_processed"] == len(q1.events)
+            assert set(report["maps"]) == set(q1.program.maps)
+            assert report["plan"]["summary"]["triggers"] >= 1
+    finally:
+        handle.stop()
+        service.close()
+
+
+def test_explain_row_op_round_trips_history(q3_dense):
+    q3 = q3_dense
+    service = build_service(q3)
+    service.enable_provenance(depth=32)
+    handle = serve(service)
+    try:
+        with ServiceClient(*handle.address) as client:
+            client.ingest(q3.events)
+            snapshot = client.query(q3.root)
+            key = max(snapshot.entries, key=repr)
+            report = client.explain_row(q3.root, list(key))
+            assert report["view"] == q3.root
+            assert report["key"] == list(key)
+            assert report["current"] == snapshot.entries[key]
+            assert report["version"] == snapshot.version
+            assert report["history"], "no mutations recorded for a live row"
+            last = report["history"][-1]
+            assert last["new"] == snapshot.entries[key]
+            assert last["cause"]["kind"] == "event"
+        # The wire history matches what the engine reports locally.
+        local = service.explain_row(q3.root, key)
+        assert [e["new"] for e in local["history"]] == [
+            e["new"] for e in report["history"]
+        ]
+    finally:
+        handle.stop()
+        service.close()
+
+
+def test_explain_row_requires_provenance(q1):
+    service = build_service(q1)
+    handle = serve(service)
+    try:
+        with ServiceClient(*handle.address) as client:
+            client.ingest(q1.events[:50])
+            with pytest.raises(ServiceError, match="provenance is not enabled"):
+                client.explain_row(q1.root)
+    finally:
+        handle.stop()
+        service.close()
+
+
+def test_metrics_op_is_schema_tagged(q1):
+    telemetry = Telemetry(enabled=True)
+    service = ViewService(
+        engine_for_mode(q1.program, "incremental", telemetry=telemetry),
+        telemetry=telemetry,
+    )
+    load_statics(service, q1.program, q1.statics)
+    handle = serve(service)
+    try:
+        with ServiceClient(*handle.address) as client:
+            client.ingest(q1.events)
+            scraped = client.metrics()
+            assert scraped["schema"] == "repro.stats/1"
+            processed = scraped["metrics"]["repro_engine_events_processed_total"]
+            assert processed["series"][0]["value"] == len(q1.events)
+    finally:
+        handle.stop()
+        service.close()
+
+
+def test_stats_op_carries_audit_summary(q1):
+    telemetry = Telemetry(enabled=True)
+    service = ViewService(
+        engine_for_mode(q1.program, "incremental", telemetry=telemetry),
+        telemetry=telemetry,
+    )
+    service.enable_audit(check_every=64, sample_rows=4)
+    load_statics(service, q1.program, q1.statics)
+    handle = serve(service)
+    try:
+        with ServiceClient(*handle.address) as client:
+            client.ingest(q1.events)
+            stats = client.statistics()
+            audit = stats["audit"]
+            assert audit["active"] is True
+            assert audit["checks"] >= 1
+            assert audit["drift_total"] == 0
+            scraped = client.metrics()
+            assert scraped["metrics"]["repro_audit_drift_total"]["series"][0]["value"] == 0
+    finally:
+        handle.stop()
+        service.close()
