@@ -39,6 +39,10 @@ Compare the scale-out strategies against per-event HO-IVM::
 Per-map / per-partition memory statistics::
 
     python -m repro.bench stats Q3 --strategy dbtoaster-par --partitions 4
+
+Durable ingest throughput and recovery time (writes BENCH_durability.json)::
+
+    python -m repro.bench durability --events 50000
 """
 
 from __future__ import annotations
@@ -47,8 +51,10 @@ import argparse
 
 from repro.bench.report import (
     codegen_sweep_json,
+    durability_bench_json,
     format_batch_sweep,
     format_codegen_sweep,
+    format_durability_bench,
     format_engine_statistics,
     format_feature_table,
     format_refresh_rate_table,
@@ -65,6 +71,7 @@ from repro.bench.scenarios import (
     run_ablation,
     run_batch_size_sweep,
     run_codegen_sweep,
+    run_durability_bench,
     run_engine_statistics,
     run_refresh_rate_table,
     run_scaling,
@@ -148,6 +155,11 @@ def _build_parser() -> argparse.ArgumentParser:
                               "is slower than the plain fused one by more than "
                               "this fraction (best-of-retries; 'inf' disables "
                               "the gate)")
+    codegen.add_argument("--max-wal-overhead", type=float, default=0.5,
+                         help="exit nonzero when durable ingest (per-batch WAL "
+                              "fsync behind the service) loses more than this "
+                              "fraction of fused throughput on the durability "
+                              "queries (best-of-retries; 'inf' disables the gate)")
 
     finance = sub.add_parser(
         "finance",
@@ -179,6 +191,11 @@ def _build_parser() -> argparse.ArgumentParser:
                               "is slower than the plain fused one by more than "
                               "this fraction (best-of-retries; 'inf' disables "
                               "the gate)")
+    finance.add_argument("--max-wal-overhead", type=float, default=0.5,
+                         help="exit nonzero when durable ingest loses more than "
+                              "this fraction of fused throughput on the "
+                              "durability queries, when any are in the sweep "
+                              "('inf' disables the gate)")
 
     stats = sub.add_parser("stats", help="Per-map / per-partition memory statistics")
     stats.add_argument("query")
@@ -203,6 +220,31 @@ def _build_parser() -> argparse.ArgumentParser:
     service.add_argument("--batch-size", type=int, default=None)
     service.add_argument("--partitions", type=int, default=None)
     service.add_argument("--backend", choices=["sequential", "process"], default=None)
+
+    durability = sub.add_parser(
+        "durability",
+        help="Durable ingest throughput and recovery time "
+             "(writes BENCH_durability.json)",
+    )
+    durability.add_argument("--query", default="Q1")
+    durability.add_argument("--engine",
+                            choices=["incremental", "compiled", "batched"],
+                            default="incremental")
+    durability.add_argument("--events", type=int, default=50_000)
+    durability.add_argument("--scale", type=float, default=None,
+                            help="dataset scale factor (the default TPC-H "
+                                 "dataset yields ~7k stream events; raise this "
+                                 "when --events asks for more)")
+    durability.add_argument("--ingest-batch", type=int, default=500)
+    durability.add_argument("--checkpoint-every", type=int, default=10,
+                            help="cut an incremental checkpoint every N ingest "
+                                 "batches")
+    durability.add_argument("--output", default="BENCH_durability.json",
+                            help="where to write the JSON record ('-' disables)")
+    durability.add_argument("--min-recovery-speedup", type=float, default=1.0,
+                            help="exit nonzero when chain restore + WAL tail is "
+                                 "not at least this many times faster than "
+                                 "replaying the full stream (0 disables)")
 
     sub.add_parser("features", help="Figure 2: workload features and compiled-program stats")
     sub.add_parser("list", help="List the available workload queries")
@@ -283,6 +325,7 @@ def main(argv: list[str] | None = None) -> int:
             max_seconds_per_run=args.budget,
             telemetry_overhead_target=args.max_telemetry_overhead,
             provenance_overhead_target=args.max_provenance_overhead,
+            wal_overhead_target=args.max_wal_overhead,
         )
         print("compiled vs interpreted per-event throughput:")
         print(format_codegen_sweep(results))
@@ -360,6 +403,17 @@ def main(argv: list[str] | None = None) -> int:
         if provenance_failures:
             print("provenance overhead regression: " + "; ".join(provenance_failures))
             return 2
+        # Durability gate: group-fsynced WAL ingest through the service must
+        # retain at least (1 - max_wal_overhead) of the fused in-memory rate.
+        wal_failures = [
+            f"{query}: {row['wal_overhead']:+.1%} > {args.max_wal_overhead:.1%}"
+            for query, row in results.items()
+            if row.get("wal_overhead") is not None
+            and row["wal_overhead"] > args.max_wal_overhead
+        ]
+        if wal_failures:
+            print("durable ingest overhead regression: " + "; ".join(wal_failures))
+            return 2
         return 0
 
     if args.command == "stats":
@@ -401,6 +455,37 @@ def main(argv: list[str] | None = None) -> int:
             },
         )
         print(format_service_run(result))
+        return 0
+
+    if args.command == "durability":
+        import json
+
+        result = run_durability_bench(
+            query=args.query,
+            engine_mode=args.engine,
+            events=args.events,
+            ingest_batch=args.ingest_batch,
+            checkpoint_every=args.checkpoint_every,
+            scale=args.scale,
+        )
+        print(format_durability_bench(result))
+        if args.output != "-":
+            with open(args.output, "w") as handle:
+                json.dump(durability_bench_json(result), handle, indent=2,
+                          sort_keys=True)
+                handle.write("\n")
+            print(f"wrote {args.output}")
+        # Recovery-time gate: incremental checkpoints exist to make restart
+        # cheaper than reprocessing history; if they are not, that is a bug.
+        if (
+            args.min_recovery_speedup > 0
+            and result.recovery_speedup < args.min_recovery_speedup
+        ):
+            print(
+                f"recovery-time regression: {result.recovery_speedup:.2f}x < "
+                f"{args.min_recovery_speedup:.2f}x over full replay"
+            )
+            return 2
         return 0
 
     if args.command == "features":

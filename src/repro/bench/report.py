@@ -117,7 +117,7 @@ def format_codegen_sweep(results: Mapping[str, Mapping[str, object]]) -> str:
     lines = [
         f"{'query':>8} {'events':>8} {'interp/s':>12} {'compiled/s':>12} "
         f"{'fused/s':>12} {'speedup':>9} {'fusion':>8} {'stmts':>12} "
-        f"{'tele ovh':>9} {'prov ovh':>9} {'ev p50/p99':>16}"
+        f"{'tele ovh':>9} {'prov ovh':>9} {'wal ovh':>8} {'ev p50/p99':>16}"
     ]
     for query, row in results.items():
         interpreted: RunResult = row["interpreted"]  # type: ignore[assignment]
@@ -128,6 +128,8 @@ def format_codegen_sweep(results: Mapping[str, Mapping[str, object]]) -> str:
         overhead_text = f"{overhead:+.1%}" if overhead is not None else "-"
         prov = row.get("provenance_overhead")
         prov_text = f"{prov:+.1%}" if prov is not None else "-"
+        wal = row.get("wal_overhead")
+        wal_text = f"{wal:+.1%}" if wal is not None else "-"
         p50 = row.get("event_p50_us")
         p99 = row.get("event_p99_us")
         quantiles = (
@@ -139,7 +141,7 @@ def format_codegen_sweep(results: Mapping[str, Mapping[str, object]]) -> str:
             f"{_format_rate(compiled.refresh_rate):>12} "
             f"{_format_rate(fused.refresh_rate):>12} "
             f"{row['speedup']:>8.2f}x {row['fused_speedup']:>7.2f}x {coverage:>12} "
-            f"{overhead_text:>9} {prov_text:>9} {quantiles:>16}"
+            f"{overhead_text:>9} {prov_text:>9} {wal_text:>8} {quantiles:>16}"
         )
     return "\n".join(lines)
 
@@ -180,6 +182,13 @@ def codegen_sweep_json(results: Mapping[str, Mapping[str, object]]) -> dict:
         if provenance is not None:
             record["provenance_rate"] = provenance.refresh_rate
             record["provenance_overhead"] = row["provenance_overhead"]
+        durable: RunResult | None = row.get("durable")  # type: ignore[assignment]
+        if durable is not None:
+            wal = row.get("wal") or {}
+            record["durable_rate"] = durable.refresh_rate
+            record["wal_overhead"] = row["wal_overhead"]
+            record["wal_fsyncs"] = wal.get("fsyncs", 0)
+            record["wal_bytes"] = wal.get("bytes_appended", 0)
         payload[query] = record
     return payload
 
@@ -275,6 +284,49 @@ def format_feature_table(features: Mapping[str, Mapping[str, object]]) -> str:
         row = [query] + [str(features[query].get(column, "-")) for column in columns]
         lines.append("".join(cell.ljust(w) for cell, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def format_durability_bench(result) -> str:
+    """One durable-ingest + recovery-time run (the ``durability`` scenario)."""
+    wal = result.wal or {}
+    lines = [
+        f"durability run: {result.query} ({result.engine_mode} engine)",
+        f"  durable ingest: {result.events} events in "
+        f"{result.durable_elapsed_seconds:.2f}s -> "
+        f"{_format_rate(result.durable_ingest_rate)} events/s "
+        f"({result.checkpoints} incremental checkpoints, "
+        f"{wal.get('fsyncs', 0)} fsyncs, "
+        f"{wal.get('bytes_appended', 0) / 1024:.0f} KB logged)",
+        f"  recovery (base + deltas + WAL tail): {result.recovery_seconds:.3f}s "
+        f"to version {result.recovered_version} "
+        f"(restored={result.restored_from_checkpoint}, "
+        f"{result.wal_batches_replayed} WAL batches replayed)",
+        f"  full replay from source: {result.full_replay_seconds:.3f}s "
+        f"({_format_rate(result.full_replay_rate)} events/s)",
+        f"  recovery speedup over full replay: {result.recovery_speedup:.1f}x",
+    ]
+    return "\n".join(lines)
+
+
+def durability_bench_json(result) -> dict:
+    """The ``BENCH_durability.json`` payload for one run, plain types."""
+    return {
+        "query": result.query,
+        "engine_mode": result.engine_mode,
+        "events": result.events,
+        "ingest_batch": result.ingest_batch,
+        "checkpoints": result.checkpoints,
+        "durable_elapsed_seconds": result.durable_elapsed_seconds,
+        "durable_ingest_rate": result.durable_ingest_rate,
+        "wal": dict(result.wal or {}),
+        "recovery_seconds": result.recovery_seconds,
+        "recovered_version": result.recovered_version,
+        "restored_from_checkpoint": result.restored_from_checkpoint,
+        "wal_batches_replayed": result.wal_batches_replayed,
+        "full_replay_seconds": result.full_replay_seconds,
+        "full_replay_rate": result.full_replay_rate,
+        "recovery_speedup": result.recovery_speedup,
+    }
 
 
 def format_service_run(result) -> str:

@@ -289,6 +289,54 @@ def _measure_provenance_run(translated, agenda, static, name, max_seconds):
             engine.close()
 
 
+#: Events per durable ingest batch (one WAL record + group fsync per batch).
+DURABLE_INGEST_BATCH = 100
+
+
+def _measure_durable_run(translated, agenda, static, name, max_seconds,
+                         fsync_every=1, batch_events=DURABLE_INGEST_BATCH):
+    """One fused run behind a :class:`ViewService` with a per-batch-fsynced WAL.
+
+    Measures the durable ingest path end to end: wire-encode + CRC + append +
+    fsync before the events touch engine state, in ingest batches of
+    ``batch_events``.  Returns ``(RunResult, wal stats)``.
+    """
+    import tempfile
+    import time
+
+    from repro.service.core import ViewService
+
+    engine = build_engine("dbtoaster-comp", translated)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-wal-") as wal_dir:
+        service = ViewService(engine, wal_dir=wal_dir, fsync_every=fsync_every)
+        try:
+            for relation, rows in (static or {}).items():
+                service.load_static(relation, rows)
+            events = list(agenda)
+            processed = 0
+            start = time.perf_counter()
+            deadline = start + max_seconds if max_seconds is not None else None
+            for index in range(0, len(events), batch_events):
+                batch = events[index:index + batch_events]
+                service.ingest(batch)
+                processed += len(batch)
+                if deadline is not None and time.perf_counter() >= deadline:
+                    break
+            elapsed = time.perf_counter() - start
+            memory = engine.memory_bytes() if hasattr(engine, "memory_bytes") else 0
+            result = RunResult(
+                strategy="durable",
+                query=name,
+                events_processed=processed,
+                elapsed_seconds=elapsed,
+                memory_bytes=memory,
+                completed=processed == len(events),
+            )
+            return result, service.wal.stats()
+        finally:
+            service.close()
+
+
 def run_codegen_sweep(
     queries: Sequence[str] = DEFAULT_CODEGEN_QUERIES,
     events: int = 3000,
@@ -297,6 +345,8 @@ def run_codegen_sweep(
     telemetry_overhead_target: float | None = 0.05,
     telemetry_retries: int = 4,
     provenance_overhead_target: float | None = 0.10,
+    durability_queries: Sequence[str] | None = ("Q1",),
+    wal_overhead_target: float | None = 0.5,
 ) -> dict[str, dict[str, object]]:
     """Per-event throughput of fused/per-statement/interpreted execution.
 
@@ -324,6 +374,13 @@ def run_codegen_sweep(
     execution with row-provenance rings enabled on every view (one watcher
     call per view mutation), re-measured best-of-N while the overhead
     against the plain fused run exceeds ``provenance_overhead_target``.
+
+    For the queries in ``durability_queries`` a sixth run measures the
+    ``durable`` axis: the same fused engine behind a ``ViewService`` with a
+    write-ahead log fsynced once per 100-event ingest batch.  The recorded
+    ``wal_overhead`` is the relative throughput loss against the in-memory
+    fused run, re-measured best-of-N while it exceeds
+    ``wal_overhead_target`` (the ``--max-wal-overhead`` CI gate).
     """
     runs = (
         ("interpreted", "dbtoaster", {}),
@@ -414,6 +471,38 @@ def run_codegen_sweep(
             )
             if retry_run.refresh_rate > provenance_run.refresh_rate:
                 provenance_run = retry_run
+
+        durable_run = wal_stats = None
+        if durability_queries is not None and name in durability_queries:
+            durable_run, wal_stats = _measure_durable_run(
+                translated, agenda, static, name, max_seconds_per_run
+            )
+            retries = telemetry_retries
+            while (
+                wal_overhead_target is not None
+                and retries > 0
+                and fused.refresh_rate > 0
+                and 1.0 - durable_run.refresh_rate / fused.refresh_rate
+                > wal_overhead_target
+            ):
+                retries -= 1
+                engine = build_engine("dbtoaster-comp", translated)
+                try:
+                    fused_again = measure_refresh_rate(
+                        engine, agenda, static,
+                        max_seconds=max_seconds_per_run, strategy="fused",
+                        query=name,
+                    )
+                finally:
+                    if hasattr(engine, "close"):
+                        engine.close()
+                if fused_again.refresh_rate > fused.refresh_rate:
+                    fused = fused_again
+                retry_run, retry_stats = _measure_durable_run(
+                    translated, agenda, static, name, max_seconds_per_run
+                )
+                if retry_run.refresh_rate > durable_run.refresh_rate:
+                    durable_run, wal_stats = retry_run, retry_stats
         per_query["fused"] = fused
 
         speedup = (
@@ -436,6 +525,13 @@ def run_codegen_sweep(
             if fused.refresh_rate > 0
             else 0.0
         )
+        wal_overhead = None
+        if durable_run is not None:
+            wal_overhead = (
+                1.0 - durable_run.refresh_rate / fused.refresh_rate
+                if fused.refresh_rate > 0
+                else 0.0
+            )
         results[name] = {
             "events": min(
                 interpreted.events_processed,
@@ -459,6 +555,10 @@ def run_codegen_sweep(
             "deduped_probes": codegen_stats.get("deduped_probes", 0),
             "deduped_scalars": codegen_stats.get("deduped_scalars", 0),
         }
+        if durable_run is not None:
+            results[name]["durable"] = durable_run
+            results[name]["wal_overhead"] = wal_overhead
+            results[name]["wal"] = wal_stats
     return results
 
 
@@ -591,6 +691,168 @@ def run_service_freshness(
         latencies_ms=tuple(latencies),
         staleness=tuple(staleness),
         final_version=final_version,
+    )
+
+
+@dataclass(frozen=True)
+class DurabilityBenchResult:
+    """Durable ingest throughput and recovery-time comparison.
+
+    ``recovery_seconds`` is the time to rebuild state from the newest intact
+    base checkpoint, its delta chain and the WAL tail; ``full_replay_seconds``
+    is the time a checkpoint-less restart needs to reprocess the entire
+    stream.  Their ratio is the payoff of incremental checkpoints.
+    """
+
+    query: str
+    engine_mode: str
+    events: int
+    ingest_batch: int
+    checkpoints: int
+    durable_elapsed_seconds: float
+    wal: Mapping[str, object]
+    recovery_seconds: float
+    recovered_version: int
+    restored_from_checkpoint: bool
+    wal_batches_replayed: int
+    full_replay_seconds: float
+
+    @property
+    def durable_ingest_rate(self) -> float:
+        if self.durable_elapsed_seconds <= 0:
+            return 0.0
+        return self.events / self.durable_elapsed_seconds
+
+    @property
+    def full_replay_rate(self) -> float:
+        if self.full_replay_seconds <= 0:
+            return 0.0
+        return self.events / self.full_replay_seconds
+
+    @property
+    def recovery_speedup(self) -> float:
+        """How many times faster the chain restore is than replaying all events."""
+        if self.recovery_seconds <= 0:
+            return 0.0
+        return self.full_replay_seconds / self.recovery_seconds
+
+
+def run_durability_bench(
+    query: str = "Q1",
+    engine_mode: str = "incremental",
+    events: int = 50_000,
+    ingest_batch: int = 500,
+    checkpoint_every: int = 10,
+    checkpoint_full_every: int = 4,
+    tail_batches: int = 5,
+    fsync_every: int = 1,
+    seed: int = 7,
+    scale: float | None = None,
+    engine_config: Mapping[str, object] | None = None,
+) -> DurabilityBenchResult:
+    """Measure durable ingest throughput and recovery time (BENCH_durability).
+
+    Phase one ingests ``events`` in ``ingest_batch``-sized batches through a
+    WAL-backed service (one fsynced record per batch), cutting an incremental
+    checkpoint every ``checkpoint_every`` batches — the last ``tail_batches``
+    batches stay uncheckpointed so recovery exercises the WAL tail.  Phase
+    two times ``recover()`` on a fresh service over the same directories:
+    newest intact base + delta chain + WAL tail replay.  Phase three times
+    the no-durability alternative — reprocessing the full stream from the
+    source — which is what a restart costs without checkpoints.
+
+    The default TPC-H dataset yields ~7k stream events; pass ``scale`` to
+    grow the dataset when ``events`` asks for more.
+    """
+    import tempfile
+    import time
+
+    from repro.compiler.hoivm import compile_query as _compile
+    from repro.service.core import ViewService, engine_for_mode
+
+    spec = workload(query)
+    agenda, static = _prepare(spec, events, scale, seed)
+    translated = spec.query_factory()
+    program = _compile(
+        translated.roots(),
+        translated.schemas(),
+        static_relations=translated.static_relations(),
+    )
+    config = dict(engine_config or {})
+
+    def make_engine():
+        return engine_for_mode(
+            program,
+            mode=engine_mode,
+            batch_size=config.get("batch_size"),
+            partitions=config.get("partitions"),
+            backend=config.get("backend") or "sequential",
+        )
+
+    def load_statics(service: ViewService) -> None:
+        for relation, rows in static.items():
+            if relation in program.static_relations:
+                service.load_static(relation, rows)
+
+    stream = list(agenda)
+    batches = [
+        stream[i:i + ingest_batch] for i in range(0, len(stream), ingest_batch)
+    ]
+    cutoff = max(0, len(batches) - tail_batches)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-dur-") as base:
+        service = ViewService(
+            make_engine(),
+            checkpoint_dir=f"{base}/ckpt",
+            wal_dir=f"{base}/wal",
+            fsync_every=fsync_every,
+            checkpoint_full_every=checkpoint_full_every,
+        )
+        load_statics(service)
+        checkpoints = 0
+        start = time.perf_counter()
+        for index, chunk in enumerate(batches):
+            service.ingest(chunk)
+            if index < cutoff and (index + 1) % checkpoint_every == 0:
+                service.checkpoint()
+                checkpoints += 1
+        durable_elapsed = time.perf_counter() - start
+        wal_stats = dict(service.wal.stats())
+        service.close()
+
+        recovered = ViewService(
+            make_engine(),
+            checkpoint_dir=f"{base}/ckpt",
+            wal_dir=f"{base}/wal",
+            fsync_every=fsync_every,
+            checkpoint_full_every=checkpoint_full_every,
+        )
+        start = time.perf_counter()
+        report = recovered.recover(load_statics=lambda: load_statics(recovered))
+        recovery_seconds = time.perf_counter() - start
+        recovered_version = recovered.version
+        recovered.close()
+
+    replayer = ViewService(make_engine())
+    load_statics(replayer)
+    start = time.perf_counter()
+    for chunk in batches:
+        replayer.ingest(chunk)
+    full_replay_seconds = time.perf_counter() - start
+    replayer.close()
+
+    return DurabilityBenchResult(
+        query=query,
+        engine_mode=engine_mode,
+        events=len(stream),
+        ingest_batch=ingest_batch,
+        checkpoints=checkpoints,
+        durable_elapsed_seconds=durable_elapsed,
+        wal=wal_stats,
+        recovery_seconds=recovery_seconds,
+        recovered_version=recovered_version,
+        restored_from_checkpoint=bool(report.get("restored")),
+        wal_batches_replayed=int(report.get("wal_batches_replayed", 0)),
+        full_replay_seconds=full_replay_seconds,
     )
 
 

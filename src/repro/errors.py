@@ -75,3 +75,7 @@ class ServiceError(ReproError):
 
 class AuditError(ReproError):
     """The online view auditor found live state diverging from the reference."""
+
+
+class DurabilityError(ReproError):
+    """The durability layer (WAL / incremental checkpoints / recovery) failed."""

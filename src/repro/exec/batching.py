@@ -435,6 +435,25 @@ class BatchedEngine:
         self._buffer = []
         self.engine.restore_state(state)
 
+    # -- incremental state (delta checkpoints) ----------------------------------
+    def supports_delta_state(self) -> bool:
+        return self.engine.supports_delta_state()
+
+    def begin_delta_tracking(self) -> None:
+        """Flush, then track dirty keys on the inner engine's tables."""
+        self.flush()
+        self.engine.begin_delta_tracking()
+
+    def delta_state(self) -> dict[str, Any]:
+        """Flush, then cut the inner engine's delta (covers every accepted event)."""
+        self.flush()
+        return self.engine.delta_state()
+
+    def apply_delta_state(self, state) -> None:
+        """Apply a delta cut, discarding any buffered events."""
+        self._buffer = []
+        self.engine.apply_delta_state(state)
+
     def close(self) -> None:
         """Flush pending work; the batched engine owns no external resources."""
         self.flush()

@@ -33,7 +33,7 @@ class IndexedTable:
 
     __slots__ = (
         "columns", "_data", "_indexes", "_ordered", "probes", "scans",
-        "range_probes", "_watcher",
+        "range_probes", "_watcher", "write_epoch", "_dirty", "_dirty_full",
     )
 
     def __init__(self, columns: Sequence[str]) -> None:
@@ -54,6 +54,15 @@ class IndexedTable:
         # funnel through add/set/replace/clear, so this one slot observes
         # every mutation at the cost of a single None check.
         self._watcher: Callable[[Row, Any, Any], None] | None = None
+        # Monotone write epoch: bumped once per actual value transition
+        # (wholesale swaps count as one).  Incremental checkpoints compare
+        # epochs across cuts to skip maps that have not changed at all.
+        self.write_epoch = 0
+        # Dirty-key tracking for incremental checkpoints: None when off;
+        # while on, every transitioned key row is recorded.  Wholesale swaps
+        # (clear/replace) set _dirty_full instead of enumerating rows.
+        self._dirty: set[Row] | None = None
+        self._dirty_full = False
 
     # -- basic access -------------------------------------------------------
     def __len__(self) -> int:
@@ -114,6 +123,44 @@ class IndexedTable:
         """Install (or remove, with None) the mutation watcher."""
         self._watcher = watcher
 
+    # -- dirty-key tracking (incremental checkpoints) -------------------------
+    @property
+    def dirty_tracking(self) -> bool:
+        """True while dirty keys are being recorded."""
+        return self._dirty is not None
+
+    def begin_dirty_tracking(self) -> None:
+        """Start (or restart) recording keys whose values transition."""
+        self._dirty = set()
+        self._dirty_full = False
+
+    def collect_dirty(self) -> tuple[str, list[Row]]:
+        """Drain the dirty set and keep tracking from a fresh cut.
+
+        Returns ``(mode, rows)``:
+
+        * ``("clean", [])`` — no transition since the last cut;
+        * ``("changed", rows)`` — exactly these keys transitioned (their
+          current values — or absence — fully describe the change);
+        * ``("full", [])`` — a wholesale swap (:meth:`replace` /
+          :meth:`clear`) happened, or tracking was never begun: the caller
+          must treat the whole table as changed.
+        """
+        if self._dirty is None:
+            return ("full", [])
+        if self._dirty_full:
+            self._dirty = set()
+            self._dirty_full = False
+            return ("full", [])
+        rows = list(self._dirty)
+        self._dirty = set()
+        return ("changed", rows) if rows else ("clean", [])
+
+    def end_dirty_tracking(self) -> None:
+        """Stop recording dirty keys."""
+        self._dirty = None
+        self._dirty_full = False
+
     def add(self, key: Row | Mapping[str, Any] | Sequence[Any], delta: Any) -> None:
         """Add ``delta`` to the value stored under ``key`` (removing zeros)."""
         if is_zero(delta):
@@ -127,6 +174,9 @@ class IndexedTable:
                 self._index_remove(row)
                 if self._ordered:
                     self._ordered_change(row, old, None)
+                self.write_epoch += 1
+                if self._dirty is not None:
+                    self._dirty.add(row)
                 if self._watcher is not None:
                     self._watcher(row, old, 0)
         else:
@@ -137,6 +187,9 @@ class IndexedTable:
                 self._index_update(row, new)
             if self._ordered:
                 self._ordered_change(row, old, new)
+            self.write_epoch += 1
+            if self._dirty is not None:
+                self._dirty.add(row)
             if self._watcher is not None:
                 self._watcher(row, 0 if old is None else old, new)
 
@@ -150,6 +203,9 @@ class IndexedTable:
             if old is not None:
                 if self._ordered:
                     self._ordered_change(row, old, None)
+                self.write_epoch += 1
+                if self._dirty is not None:
+                    self._dirty.add(row)
                 if self._watcher is not None:
                     self._watcher(row, old, 0)
             return
@@ -158,13 +214,18 @@ class IndexedTable:
         self._index_add(row)
         if self._ordered:
             self._ordered_change(row, old, new)
-        if self._watcher is not None and (old is None or old != new or type(old) is not type(new)):
-            self._watcher(row, 0 if old is None else old, new)
+        if old is None or old != new or type(old) is not type(new):
+            self.write_epoch += 1
+            if self._dirty is not None:
+                self._dirty.add(row)
+            if self._watcher is not None:
+                self._watcher(row, 0 if old is None else old, new)
 
     def replace(self, entries: Iterable[tuple[Row | Sequence[Any], Any]]) -> None:
         """Replace the entire contents (used by ``:=`` re-evaluation statements)."""
         watcher = self._watcher
         old_data = self._data if watcher is not None else None
+        had_entries = bool(self._data)
         self._data = {}
         self._indexes = {}
         self._ordered = {}
@@ -176,6 +237,10 @@ class IndexedTable:
             if is_zero(self._data[row]):
                 del self._data[row]
         # Secondary and ordered indexes are rebuilt lazily on the next probe.
+        if had_entries or self._data:
+            self.write_epoch += 1
+            if self._dirty is not None:
+                self._dirty_full = True
         if watcher is not None:
             self._diff_into_watcher(old_data, watcher)
 
@@ -183,6 +248,10 @@ class IndexedTable:
         """Remove every entry."""
         watcher = self._watcher
         old_data = self._data if watcher is not None else None
+        if self._data:
+            self.write_epoch += 1
+            if self._dirty is not None:
+                self._dirty_full = True
         self._data = {}
         self._indexes = {}
         self._ordered = {}

@@ -38,6 +38,10 @@ STATE_SINGLE = "single"
 #: ``kind`` of a state produced by a partitioned engine.
 STATE_PARTITIONED = "partitioned"
 
+#: ``kind`` of an *incremental* state: only the entries that changed since
+#: the previous cut (per-map dirty keys; absent value = key removed).
+STATE_DELTA = "single-delta"
+
 
 @runtime_checkable
 class EngineProtocol(Protocol):
@@ -77,5 +81,18 @@ class EngineProtocol(Protocol):
     def checkpoint_state(self) -> dict[str, Any]: ...
 
     def restore_state(self, state: Mapping[str, Any]) -> None: ...
+
+    # -- incremental state (delta checkpoints) --------------------------------
+    # ``supports_delta_state`` advertises whether the three methods below do
+    # real work: engines exploiting IndexedTable dirty tracking return True;
+    # others (currently the partitioned engine) return False and raise from
+    # delta_state/apply_delta_state, and callers fall back to full states.
+    def supports_delta_state(self) -> bool: ...
+
+    def begin_delta_tracking(self) -> None: ...
+
+    def delta_state(self) -> dict[str, Any]: ...
+
+    def apply_delta_state(self, state: Mapping[str, Any]) -> None: ...
 
     def close(self) -> None: ...

@@ -1,10 +1,10 @@
 """Command-line entry point for the view service.
 
-Serve a workload query over TCP (restoring the newest checkpoint when the
-checkpoint directory holds one)::
+Serve a workload query over TCP, durably (recovering from the newest intact
+checkpoint chain and the write-ahead log when they hold anything)::
 
     python -m repro.service serve --query Q1 --engine batched --batch-size 100 \\
-        --checkpoint-dir /tmp/q1-ckpt --port 7641
+        --checkpoint-dir /tmp/q1-ckpt --wal-dir /tmp/q1-wal --port 7641
 
 Replay a persisted event stream through a service offline, print the final
 views and leave a checkpoint behind::
@@ -51,8 +51,23 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                         default="sequential", help="partitioned-engine backend")
     parser.add_argument("--checkpoint-dir", default=None,
                         help="directory for durable checkpoints")
+    parser.add_argument("--wal-dir", default=None,
+                        help="directory for the write-ahead event log (enables "
+                             "crash recovery past the last checkpoint)")
+    parser.add_argument("--fsync-every", type=int, default=1,
+                        help="group-commit bound: fsync the WAL once per this "
+                             "many ingested batches (1 = every batch)")
+    parser.add_argument("--fsync-interval-ms", type=float, default=None,
+                        help="also fsync when this many milliseconds passed "
+                             "since the last sync")
+    parser.add_argument("--checkpoint-full-every", type=int, default=None,
+                        help="cuts between full checkpoint bases; intermediate "
+                             "cuts write incremental deltas (1 = always full)")
+    parser.add_argument("--checkpoint-keep", type=int, default=None,
+                        help="full checkpoint bases retained by checkpoint GC")
     parser.add_argument("--fresh", action="store_true",
-                        help="ignore existing checkpoints instead of restoring")
+                        help="ignore existing checkpoints (and reset the WAL) "
+                             "instead of recovering")
     parser.add_argument("--telemetry", action="store_true",
                         help="enable the metrics registry (also: REPRO_TELEMETRY=1)")
     parser.add_argument("--trace-file", default=None,
@@ -99,11 +114,16 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def build_service(args: argparse.Namespace) -> tuple[ViewService, int | None]:
-    """Compile the query, build the engine and (maybe) restore a checkpoint.
+def build_service(
+    args: argparse.Namespace,
+) -> tuple[ViewService, dict | None]:
+    """Compile the query, build the engine and (maybe) recover durable state.
 
-    Static tables are loaded only when starting fresh: a restored engine state
-    already contains them, and loading twice would double their multiplicity.
+    Returns the service plus the recovery report (``None`` under ``--fresh``).
+    Static tables are loaded only when nothing was restored: a restored
+    engine state already contains them, and loading twice would double their
+    multiplicity — :meth:`ViewService.recover` invokes the loader callback
+    exactly on that cold-start path.
     """
     spec = workload(args.query)
     translated = spec.query_factory()
@@ -129,9 +149,22 @@ def build_service(args: argparse.Namespace) -> tuple[ViewService, int | None]:
         backend=args.backend,
         telemetry=telemetry,
     )
-    service = ViewService(engine, checkpoint_dir=args.checkpoint_dir, telemetry=telemetry)
+    service_kwargs = {}
+    if getattr(args, "checkpoint_full_every", None) is not None:
+        service_kwargs["checkpoint_full_every"] = args.checkpoint_full_every
+    if getattr(args, "checkpoint_keep", None) is not None:
+        service_kwargs["checkpoint_keep"] = args.checkpoint_keep
+    service = ViewService(
+        engine,
+        checkpoint_dir=args.checkpoint_dir,
+        telemetry=telemetry,
+        wal_dir=getattr(args, "wal_dir", None),
+        fsync_every=getattr(args, "fsync_every", 1),
+        fsync_interval_ms=getattr(args, "fsync_interval_ms", None),
+        **service_kwargs,
+    )
     # Auditing must attach before any data reaches the engine (the mirror
-    # has to see every static row and event); restore afterwards reloads the
+    # has to see every static row and event); recovery afterwards reloads the
     # mirror from the checkpoint's audit state.
     if getattr(args, "audit", False):
         service.enable_audit(
@@ -139,16 +172,40 @@ def build_service(args: argparse.Namespace) -> tuple[ViewService, int | None]:
             sample_rows=args.audit_sample,
             fail_fast=args.audit_fail_fast,
         )
-    restored = None
-    if service.checkpoints is not None and not args.fresh:
-        restored = service.restore()
-    if restored is None:
+
+    def _load_statics() -> None:
         for relation, rows in spec.static_tables().items():
             if relation in program.static_relations:
                 service.load_static(relation, rows)
+
+    recovery = None
+    if args.fresh:
+        if service.wal is not None:
+            service.wal.reset()
+        _load_statics()
+    else:
+        recovery = service.recover(load_statics=_load_statics)
     if getattr(args, "provenance_depth", None) is not None:
         service.enable_provenance(depth=args.provenance_depth)
-    return service, restored
+    return service, recovery
+
+
+def describe_recovery(recovery: dict | None) -> str | None:
+    """A one-line human summary of a recovery report (``None``: nothing to say)."""
+    if recovery is None:
+        return None
+    replayed = recovery["wal_batches_replayed"]
+    if recovery["restored"]:
+        message = f"restored checkpoint at version {recovery['version']}"
+        if replayed:
+            message += f" (including {replayed} replayed WAL batches)"
+        return message
+    if replayed:
+        return (
+            f"replayed {replayed} WAL batches; "
+            f"recovered to version {recovery['version']}"
+        )
+    return None
 
 
 async def _serve(service: ViewService, host: str, port: int) -> None:
@@ -169,9 +226,10 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "serve":
-        service, restored = build_service(args)
-        if restored is not None:
-            print(f"restored checkpoint at version {restored}", flush=True)
+        service, recovery = build_service(args)
+        recovered = describe_recovery(recovery)
+        if recovered is not None:
+            print(recovered, flush=True)
         try:
             asyncio.run(_serve(service, args.host, args.port))
         except KeyboardInterrupt:
@@ -181,10 +239,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "replay":
-        service, restored = build_service(args)
+        service, recovery = build_service(args)
         try:
-            if restored is not None:
-                print(f"restored checkpoint at version {restored}")
+            recovered = describe_recovery(recovery)
+            if recovered is not None:
+                print(recovered)
             applied = service.replay(
                 args.source,
                 batch_size=args.ingest_batch,

@@ -1,7 +1,8 @@
 """Checkpoint/restore: durable service state on disk.
 
-A checkpoint captures, at one event offset, everything a restarted service
-needs to serve bit-identical views without replaying the whole stream:
+A **full checkpoint** captures, at one event offset, everything a restarted
+service needs to serve bit-identical views without replaying the whole
+stream:
 
 * the engine state from
   :meth:`~repro.runtime.protocol.EngineProtocol.checkpoint_state` — every
@@ -11,15 +12,30 @@ needs to serve bit-identical views without replaying the whole stream:
   leading events to skip;
 * the running stream statistics, so reporting continues seamlessly.
 
-Files are pickled payloads named ``checkpoint-<offset>.ckpt`` inside the
-checkpoint directory, written atomically (temp file + fsync + rename, then a
-directory fsync) so a crash mid-write never corrupts the latest durable
-state; should a file still turn out unreadable (e.g. power loss on a
-filesystem that reordered the rename), :meth:`CheckpointStore.load` falls
-back to the next older intact checkpoint.  Pickle is the right
-trade-off here: checkpoints are private files written and read by the same
-library, and restore must reproduce values *bit-identically* (ints vs floats
-vs Fractions survive, which JSON cannot guarantee).
+An **incremental checkpoint** (a *delta*) captures only the per-map dirty
+keys since the previous cut, as produced by
+:meth:`~repro.runtime.protocol.EngineProtocol.delta_state`.  Deltas form a
+linear chain through full-base waypoints: every cut writes a delta (when the
+engine supports them) carrying the ``parent`` cut version, and periodically a
+cut also writes a full base.  Restore walks the newest *intact* base forward
+through the chain (:meth:`CheckpointStore.load_chain`) and the write-ahead
+log replays whatever the chain does not reach:
+
+* a corrupt newest base falls back to the next older base — the delta chain
+  is shared, so the walk simply passes through the corrupt base's version;
+* a corrupt or missing mid-chain delta stops the walk at the last intact
+  link; the WAL tail covers the rest;
+* :meth:`CheckpointStore.prune` keeps the newest ``keep_bases`` bases and
+  deletes older bases and the deltas at or below the oldest kept base, which
+  is also the offset the WAL can be pruned to.
+
+Files are pickled payloads — ``checkpoint-<offset>.ckpt`` for bases,
+``delta-<offset>.ckpt`` for deltas — written atomically (temp file + fsync +
+rename, then a directory fsync) so a crash mid-write never corrupts the
+latest durable state.  Pickle is the right trade-off here: checkpoints are
+private files written and read by the same library, and restore must
+reproduce values *bit-identically* (ints vs floats vs Fractions survive,
+which JSON cannot guarantee).
 """
 
 from __future__ import annotations
@@ -32,20 +48,29 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro.durability.faults import maybe_crash
 from repro.errors import ServiceError
 
 #: Version tag of the checkpoint payload layout.
 CHECKPOINT_FORMAT = 1
 
+#: How many cuts between full bases by default (every cut writes a delta).
+DEFAULT_FULL_EVERY = 4
+
+#: How many full bases checkpoint GC retains by default.
+DEFAULT_KEEP_BASES = 2
+
 _FILE_PATTERN = re.compile(r"^checkpoint-(\d+)\.ckpt$")
+_DELTA_PATTERN = re.compile(r"^delta-(\d+)\.ckpt$")
 
 
 @dataclass(frozen=True)
 class CheckpointInfo:
-    """Metadata of one on-disk checkpoint."""
+    """Metadata of one on-disk checkpoint (full base or delta)."""
 
     path: Path
     version: int
+    kind: str = "full"
 
 
 class CheckpointStore:
@@ -63,7 +88,7 @@ class CheckpointStore:
         stream_stats: Mapping[str, Any] | None = None,
         audit_state: Mapping[str, Any] | None = None,
     ) -> CheckpointInfo:
-        """Persist one checkpoint atomically; returns its metadata.
+        """Persist one full checkpoint atomically; returns its metadata.
 
         ``audit_state`` carries the online auditor's base-relation mirror
         when auditing is enabled, so a restored service keeps auditing
@@ -71,6 +96,7 @@ class CheckpointStore:
         """
         payload = {
             "format": CHECKPOINT_FORMAT,
+            "kind": "full",
             "version": version,
             "engine_state": dict(engine_state),
             "stream_stats": dict(stream_stats or {}),
@@ -78,6 +104,40 @@ class CheckpointStore:
         if audit_state is not None:
             payload["audit_state"] = dict(audit_state)
         path = self.directory / f"checkpoint-{version:012d}.ckpt"
+        self._write_atomic(path, payload, "checkpoint.written", "checkpoint.renamed")
+        return CheckpointInfo(path=path, version=version, kind="full")
+
+    def save_delta(
+        self,
+        version: int,
+        parent: int,
+        delta_state: Mapping[str, Any],
+        stream_stats: Mapping[str, Any] | None = None,
+        audit_state: Mapping[str, Any] | None = None,
+    ) -> CheckpointInfo:
+        """Persist one incremental checkpoint; ``parent`` is the previous cut.
+
+        Restore applies a delta only on top of exactly its parent cut, so a
+        missing or corrupt link breaks the chain there instead of producing a
+        silently wrong state.
+        """
+        payload = {
+            "format": CHECKPOINT_FORMAT,
+            "kind": "delta",
+            "version": version,
+            "parent": parent,
+            "engine_state": dict(delta_state),
+            "stream_stats": dict(stream_stats or {}),
+        }
+        if audit_state is not None:
+            payload["audit_state"] = dict(audit_state)
+        path = self.directory / f"delta-{version:012d}.ckpt"
+        self._write_atomic(path, payload, "delta.written", "delta.renamed")
+        return CheckpointInfo(path=path, version=version, kind="delta")
+
+    def _write_atomic(
+        self, path: Path, payload: dict[str, Any], site_written: str, site_renamed: str
+    ) -> None:
         handle, temp_name = tempfile.mkstemp(
             dir=self.directory, prefix=".checkpoint-", suffix=".tmp"
         )
@@ -86,6 +146,7 @@ class CheckpointStore:
                 pickle.dump(payload, temp, protocol=pickle.HIGHEST_PROTOCOL)
                 temp.flush()
                 os.fsync(temp.fileno())
+            maybe_crash(site_written)
             os.replace(temp_name, path)
         except BaseException:
             try:
@@ -93,8 +154,8 @@ class CheckpointStore:
             except OSError:
                 pass
             raise
+        maybe_crash(site_renamed)
         self._sync_directory()
-        return CheckpointInfo(path=path, version=version)
 
     def _sync_directory(self) -> None:
         """fsync the directory so the rename itself is durable (best effort)."""
@@ -111,21 +172,34 @@ class CheckpointStore:
 
     # -- reading ----------------------------------------------------------------
     def list(self) -> list[CheckpointInfo]:
-        """All checkpoints in the directory, oldest first."""
+        """All full checkpoints in the directory, oldest first."""
         found: list[CheckpointInfo] = []
         for entry in self.directory.iterdir():
             match = _FILE_PATTERN.match(entry.name)
             if match:
-                found.append(CheckpointInfo(path=entry, version=int(match.group(1))))
+                found.append(
+                    CheckpointInfo(path=entry, version=int(match.group(1)), kind="full")
+                )
+        return sorted(found, key=lambda info: info.version)
+
+    def list_deltas(self) -> list[CheckpointInfo]:
+        """All incremental checkpoints in the directory, oldest first."""
+        found: list[CheckpointInfo] = []
+        for entry in self.directory.iterdir():
+            match = _DELTA_PATTERN.match(entry.name)
+            if match:
+                found.append(
+                    CheckpointInfo(path=entry, version=int(match.group(1)), kind="delta")
+                )
         return sorted(found, key=lambda info: info.version)
 
     def latest(self) -> CheckpointInfo | None:
-        """The most recent checkpoint, or ``None`` when the directory is empty."""
+        """The most recent full checkpoint, or ``None`` when there is none."""
         checkpoints = self.list()
         return checkpoints[-1] if checkpoints else None
 
     def load(self, info: CheckpointInfo | None = None) -> dict[str, Any]:
-        """Read one checkpoint payload (the newest *intact* one by default).
+        """Read one full-checkpoint payload (the newest *intact* one by default).
 
         With an explicit ``info`` the file must be readable.  Without one, a
         corrupt newest file (e.g. truncated by a crash) is skipped in favour
@@ -148,6 +222,48 @@ class CheckpointStore:
             f"no intact checkpoint in {self.directory} ({'; '.join(errors)})"
         )
 
+    def load_chain(self) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+        """The newest intact base plus the intact delta chain on top of it.
+
+        Returns ``(base payload, [delta payloads in application order])``.
+        The walk starts at the base's version and follows ``parent`` links
+        upward; a corrupt, missing or mis-parented delta ends the chain there
+        (the WAL tail replays the rest).  A corrupt newest base falls back to
+        an older one — the shared delta chain walks through the corrupt
+        base's version unchanged.
+        """
+        bases = self.list()
+        if not bases:
+            raise ServiceError(f"no checkpoints in {self.directory}")
+        deltas = {info.version: info for info in self.list_deltas()}
+        ordered_versions = sorted(deltas)
+        errors: list[str] = []
+        for candidate in reversed(bases):
+            try:
+                base = self._read(candidate)
+            except ServiceError:
+                raise
+            except Exception as exc:
+                errors.append(f"{candidate.path.name}: {exc}")
+                continue
+            chain: list[dict[str, Any]] = []
+            current = candidate.version
+            for version in ordered_versions:
+                if version <= candidate.version:
+                    continue
+                try:
+                    payload = self._read(deltas[version])
+                except Exception:
+                    break  # corrupt link: stop here, WAL covers the rest
+                if payload.get("kind") != "delta" or payload.get("parent") != current:
+                    break  # gap or foreign chain: do not guess
+                chain.append(payload)
+                current = version
+            return base, chain
+        raise ServiceError(
+            f"no intact checkpoint in {self.directory} ({'; '.join(errors)})"
+        )
+
     def _read(self, info: CheckpointInfo) -> dict[str, Any]:
         with open(info.path, "rb") as handle:
             payload = pickle.load(handle)
@@ -157,3 +273,32 @@ class CheckpointStore:
                 f"this build reads format {CHECKPOINT_FORMAT}"
             )
         return payload
+
+    # -- garbage collection -------------------------------------------------------
+    def prune(self, keep_bases: int = DEFAULT_KEEP_BASES) -> int | None:
+        """Drop bases beyond the newest ``keep_bases`` and now-unreachable deltas.
+
+        Deltas at or below the oldest kept base can never be applied again
+        (their parents are gone), so they go too.  Returns the oldest kept
+        base version — the offset the WAL can safely be pruned to — or None
+        when nothing is on disk yet.
+        """
+        if keep_bases < 1:
+            raise ServiceError(f"keep_bases must be >= 1, got {keep_bases}")
+        bases = self.list()
+        if not bases:
+            return None
+        kept = bases[-keep_bases:]
+        floor = kept[0].version
+        removed = False
+        for info in bases[:-keep_bases]:
+            info.path.unlink(missing_ok=True)
+            removed = True
+        for info in self.list_deltas():
+            if info.version <= floor:
+                info.path.unlink(missing_ok=True)
+                removed = True
+        if removed:
+            maybe_crash("checkpoint.pruned")
+            self._sync_directory()
+        return floor

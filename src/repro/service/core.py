@@ -27,13 +27,16 @@ this class; everything here also works fully in-process.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace as dataclass_replace
 from pathlib import Path
 from time import perf_counter
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.compiler.program import MapDeclaration, TriggerProgram
 from repro.delta.events import StreamEvent
+from repro.durability.faults import maybe_crash
+from repro.durability.wal import WriteAheadLog
 from repro.errors import AuditError, ServiceError
 from repro.exec import (
     DEFAULT_BATCH_SIZE,
@@ -43,7 +46,12 @@ from repro.exec import (
 )
 from repro.runtime.engine import IncrementalEngine
 from repro.runtime.protocol import EngineProtocol
-from repro.service.checkpoint import CheckpointInfo, CheckpointStore
+from repro.service.checkpoint import (
+    DEFAULT_FULL_EVERY,
+    DEFAULT_KEEP_BASES,
+    CheckpointInfo,
+    CheckpointStore,
+)
 from repro.service.subscriptions import (
     DEFAULT_QUEUE_SIZE,
     Subscription,
@@ -57,6 +65,10 @@ ENGINE_MODES = ("incremental", "compiled", "batched", "partitioned")
 
 #: Events per ingest batch when replaying a source through the service.
 DEFAULT_INGEST_BATCH = 256
+
+#: Client batch ids remembered in memory for idempotent-retry answers
+#: (the WAL-backed index extends this window across restarts).
+DEDUP_CACHE_SIZE = 8192
 
 
 def engine_for_mode(
@@ -137,11 +149,14 @@ class IngestResult:
 
     ``notifications`` counts the delta notifications actually enqueued to
     subscriber queues (closed or overflowed subscriptions receive nothing).
+    ``deduplicated`` marks a retried batch id answered from the dedup index
+    instead of being applied a second time.
     """
 
     count: int
     version: int
     notifications: int = 0
+    deduplicated: bool = False
 
 
 def diff_results(before: Mapping[tuple, Any], after: Mapping[tuple, Any]):
@@ -169,10 +184,19 @@ class ViewService:
         engine: EngineProtocol,
         checkpoint_dir: str | Path | None = None,
         telemetry=None,
+        wal_dir: str | Path | None = None,
+        fsync_every: int | None = 1,
+        fsync_interval_ms: float | None = None,
+        checkpoint_full_every: int = DEFAULT_FULL_EVERY,
+        checkpoint_keep: int = DEFAULT_KEEP_BASES,
     ) -> None:
         if not isinstance(engine, EngineProtocol):
             raise ServiceError(
                 f"{type(engine).__name__} does not implement the engine protocol"
+            )
+        if checkpoint_full_every < 1:
+            raise ServiceError(
+                f"checkpoint_full_every must be >= 1, got {checkpoint_full_every}"
             )
         self.engine = engine
         self.program: TriggerProgram = engine.program
@@ -187,8 +211,23 @@ class ViewService:
         self._version = 0
         self._closed = False
         self._failed = False
+        self._recovering = False
         self._auditor = None
         self._statics_loaded = 0
+        # Incremental-checkpoint chain state: cut counter (full base every
+        # checkpoint_full_every-th cut) and the version of the previous cut
+        # on disk (the parent of the next delta; None before any cut).
+        self.checkpoint_full_every = checkpoint_full_every
+        self.checkpoint_keep = checkpoint_keep
+        self._cuts = 0
+        self._last_cut_version: int | None = None
+        self._incremental = (
+            checkpoint_full_every > 1 and engine.supports_delta_state()
+        )
+        # Idempotent-ingest answers for recently seen client batch ids.
+        self._dedup: OrderedDict[str, IngestResult] = OrderedDict()
+        self._recovery_seconds: float | None = None
+        self._wal_replayed_last = 0
         if telemetry is None:
             # Share the engine's telemetry so trigger latency and service
             # staleness land in one registry (one scrape shows both).
@@ -198,6 +237,20 @@ class ViewService:
 
             telemetry = current()
         self.telemetry = telemetry
+        self.wal = (
+            WriteAheadLog(
+                wal_dir,
+                fsync_every=fsync_every,
+                fsync_interval_ms=fsync_interval_ms,
+                telemetry=telemetry,
+            )
+            if wal_dir is not None
+            else None
+        )
+        if self._incremental:
+            # Track from the very first event so the first delta cut is
+            # complete; restore()/recover() re-begin tracking at their cut.
+            engine.begin_delta_tracking()
         self._tracer = telemetry.tracer
         if telemetry.enabled:
             registry = telemetry.registry
@@ -221,6 +274,14 @@ class ViewService:
         registry.gauge("repro_service_version", help="Applied event offset").set(
             self._version
         )
+        registry.gauge(
+            "repro_service_recovering", help="1 while recovery blocks reads"
+        ).set(1 if self._recovering else 0)
+        if self._recovery_seconds is not None:
+            registry.gauge(
+                "repro_service_recovery_seconds",
+                help="Wall time of the last restore (chain + WAL tail)",
+            ).set(self._recovery_seconds)
         registry.counter(
             "repro_service_subscription_overflows_total",
             help="Subscriptions closed by queue overflow",
@@ -394,7 +455,38 @@ class ViewService:
                     f"got {len(event.values)}"
                 )
 
-    def ingest(self, events: Iterable[StreamEvent]) -> IngestResult:
+    def _remember_batch(self, batch_id: str, result: IngestResult) -> None:
+        """Cache the idempotent-retry answer for a client batch id."""
+        self._dedup[batch_id] = result
+        self._dedup.move_to_end(batch_id)
+        while len(self._dedup) > DEDUP_CACHE_SIZE:
+            self._dedup.popitem(last=False)
+
+    def _deduplicate(self, batch_id: str) -> IngestResult | None:
+        """The original result of an already-applied batch id, if known.
+
+        The in-memory cache answers retries against a live server; the
+        WAL-backed index extends the window across restarts to everything in
+        the log's retained segments.
+        """
+        cached = self._dedup.get(batch_id)
+        if cached is not None:
+            self._dedup.move_to_end(batch_id)
+            return cached
+        if self.wal is not None:
+            seen = self.wal.seen_batch(batch_id)
+            if seen is not None:
+                count, version = seen
+                result = IngestResult(
+                    count=count, version=version, notifications=0, deduplicated=True
+                )
+                self._remember_batch(batch_id, result)
+                return result
+        return None
+
+    def ingest(
+        self, events: Iterable[StreamEvent], batch_id: str | None = None
+    ) -> IngestResult:
         """Apply one batch of events atomically and publish the deltas.
 
         Readers either see the state before the whole batch or after it —
@@ -404,6 +496,13 @@ class ViewService:
         mid-batch, the service marks itself failed and refuses further
         operations (:meth:`restore` from a checkpoint recovers it) rather
         than serving state that no longer matches any version.
+
+        With a write-ahead log attached, the batch is logged *before* it
+        touches engine state (the write-ahead invariant: the log is always at
+        or ahead of memory), so recovery replays exactly the accepted
+        batches.  A client-supplied ``batch_id`` makes the call idempotent:
+        a retried id is answered with the original result — deduplicated
+        against the in-memory cache and the WAL — instead of double-applied.
         """
         events = list(events)
         tracer = self._tracer
@@ -411,8 +510,14 @@ class ViewService:
         with tracer.span("service.ingest", {"events": len(events)}):
             with self._lock:
                 self._require_open()
+                if batch_id is not None:
+                    previous = self._deduplicate(batch_id)
+                    if previous is not None:
+                        return dataclass_replace(previous, deduplicated=True)
                 with tracer.span("service.validate"):
                     self._validate_batch(events)
+                if self.wal is not None:
+                    self.wal.append(self._version, events, batch_id)
                 subscribed = self.subscriptions.subscribed_views()
                 before = {view: self.engine.result_dict(view) for view in subscribed}
                 try:
@@ -448,6 +553,8 @@ class ViewService:
                 result = IngestResult(
                     count=count, version=self._version, notifications=notifications
                 )
+                if batch_id is not None:
+                    self._remember_batch(batch_id, result)
                 staleness_hist = self._staleness_hist
                 if staleness_hist is not None and events:
                     # Ingest-to-visible staleness: by here the views reflect the
@@ -544,12 +651,22 @@ class ViewService:
 
     # -- subscriptions ----------------------------------------------------------
     def subscribe(
-        self, name: str | None = None, maxlen: int = DEFAULT_QUEUE_SIZE
+        self,
+        name: str | None = None,
+        maxlen: int = DEFAULT_QUEUE_SIZE,
+        policy: str = "close",
     ) -> Subscription:
-        """Register a consumer for one view's future deltas."""
+        """Register a consumer for one view's future deltas.
+
+        ``policy`` picks the queue-overflow behaviour: ``close`` (default)
+        closes the subscription with an overflow mark, ``coalesce`` collapses
+        backpressured changes into net per-key deltas and stays subscribed.
+        """
         with self._lock:
             self._require_open()
-            return self.subscriptions.subscribe(self._canonical_view(name), maxlen)
+            return self.subscriptions.subscribe(
+                self._canonical_view(name), maxlen, policy
+            )
 
     def unsubscribe(self, subscription: Subscription) -> None:
         """Drop a subscription (pending notifications are discarded)."""
@@ -575,74 +692,232 @@ class ViewService:
 
     # -- checkpoint / restore ----------------------------------------------------
     def checkpoint(self) -> CheckpointInfo:
-        """Persist the engine state and event offset; returns the checkpoint."""
+        """Cut one checkpoint; returns the newest file written at this cut.
+
+        With incremental checkpoints active (the engine supports delta
+        states and ``checkpoint_full_every > 1``), every cut writes a delta
+        of the dirty keys since the previous cut, and every
+        ``checkpoint_full_every``-th cut *also* writes a full base — the
+        chain stays linear through base waypoints, so restore can fall past
+        a corrupt base without losing the deltas above it.  Full cuts also
+        garbage-collect: old bases and unreachable deltas are pruned, and
+        the WAL (when attached) is synced, rotated at the cut and pruned to
+        the oldest kept base.
+        """
         with self._lock:
             self._require_open()
             if self.checkpoints is None:
                 raise ServiceError("service was built without a checkpoint directory")
             self.engine.flush()
+            version = self._version
+            if self.wal is not None:
+                # A checkpoint must never claim an offset the log has not
+                # durably reached: sync, then seal the segment at the cut.
+                self.wal.sync()
+                self.wal.rotate()
             auditor = self._auditor
-            return self.checkpoints.save(
-                self._version,
-                self.engine.checkpoint_state(),
-                self.stream_stats.as_dict(),
-                audit_state=(
-                    auditor.state()
-                    if auditor is not None and auditor.active
-                    else None
-                ),
+            audit_state = (
+                auditor.state() if auditor is not None and auditor.active else None
             )
+            stream_stats = self.stream_stats.as_dict()
+            parent = self._last_cut_version
+            full_due = not self._incremental or self._cuts % self.checkpoint_full_every == 0
+            info: CheckpointInfo | None = None
+            if self._incremental and parent is not None and parent < version:
+                info = self.checkpoints.save_delta(
+                    version,
+                    parent,
+                    self.engine.delta_state(),
+                    stream_stats,
+                    audit_state=audit_state,
+                )
+            elif self._incremental:
+                # No parent cut on disk (or nothing new): drain the dirty
+                # sets anyway so the next delta starts at this cut.
+                self.engine.delta_state()
+            if full_due or info is None:
+                info = self.checkpoints.save(
+                    version,
+                    self.engine.checkpoint_state(),
+                    stream_stats,
+                    audit_state=audit_state,
+                )
+                floor = self.checkpoints.prune(self.checkpoint_keep)
+                if self.wal is not None and floor is not None:
+                    self.wal.prune(floor)
+            self._cuts += 1
+            self._last_cut_version = version
+            return info
 
     def restore(self) -> int | None:
-        """Load the newest intact checkpoint, if any; returns the restored version.
+        """Rebuild state from disk, if any; returns the caught-up version.
 
-        Also the recovery path after a mid-batch engine failure: restoring
-        replaces the (possibly inconsistent) engine state wholesale and
-        clears the failed mark.  Live subscriptions are closed — the version
-        may have jumped backwards, so delivering further deltas would break
-        the exactly-once contract; consumers resubscribe with a fresh
-        snapshot, exactly as after an overflow.
+        Three stages, each covering what the previous one misses: the newest
+        intact full base, the intact delta chain on top of it, and — when a
+        write-ahead log is attached — an idempotent replay of the WAL tail
+        past the last restored cut.  Also the recovery path after a mid-batch
+        engine failure: restoring replaces the (possibly inconsistent) engine
+        state wholesale and clears the failed mark.  Live subscriptions are
+        closed — the version may have jumped backwards, so delivering further
+        deltas would break the exactly-once contract; consumers resubscribe
+        with a fresh snapshot, exactly as after an overflow.
         """
         with self._lock:
             if self._closed:
                 raise ServiceError("service is closed")
             if self.checkpoints is None:
                 raise ServiceError("service was built without a checkpoint directory")
-            if self.checkpoints.latest() is None:
-                return None
-            payload = self.checkpoints.load()
-            self.engine.restore_state(payload["engine_state"])
-            self._version = int(payload["version"])
-            stats = payload.get("stream_stats") or {}
-            self.stream_stats = StreamStats(
-                total=stats.get("total", 0),
-                inserts=stats.get("inserts", 0),
-                deletes=stats.get("deletes", 0),
-                per_relation=dict(stats.get("per_relation", {})),
-            )
-            if self._auditor is not None:
-                self._auditor.restore(payload.get("audit_state"))
+            started = perf_counter()
+            version: int | None = None
+            if self.checkpoints.latest() is not None:
+                base, chain = self.checkpoints.load_chain()
+                self.engine.restore_state(base["engine_state"])
+                for delta in chain:
+                    self.engine.apply_delta_state(delta["engine_state"])
+                tip = chain[-1] if chain else base
+                self._version = int(tip["version"])
+                stats = tip.get("stream_stats") or {}
+                self.stream_stats = StreamStats(
+                    total=stats.get("total", 0),
+                    inserts=stats.get("inserts", 0),
+                    deletes=stats.get("deletes", 0),
+                    per_relation=dict(stats.get("per_relation", {})),
+                )
+                if self._auditor is not None:
+                    self._auditor.restore(tip.get("audit_state"))
+                self._last_cut_version = self._version
+                version = self._version
+            maybe_crash("recovery.restored")
+            if self._incremental:
+                # Changes at or below the restored cut are on disk; the next
+                # delta must cover exactly what follows (including any WAL
+                # tail replayed next).
+                self.engine.begin_delta_tracking()
+            if self.wal is not None and version is not None:
+                self._replay_wal_tail()
+                version = self._version
+                maybe_crash("recovery.replayed")
+            self._recovery_seconds = perf_counter() - started
             self.subscriptions.close_all()
             self._failed = False
-            version = self._version
         # Let the server pump the close marks to wire subscribers promptly.
         for hook in list(self._publish_hooks):
             hook()
         return version
 
+    def _replay_wal_tail(self) -> int:
+        """Apply every logged batch past the current version; returns the count.
+
+        Replay is idempotent by offset: records at or below the restored cut
+        are skipped inside the log, and each applied record fast-forwards the
+        version to its end offset, so replaying after a crash *during* replay
+        converges to the same state.
+        """
+        wal = self.wal
+        auditor = self._auditor
+        replayed = 0
+        for record in wal.replay(self._version):
+            if auditor is not None and auditor.active:
+                auditor.record(record.events)
+            self.engine.apply_many(record.events)
+            for event in record.events:
+                self.stream_stats.record(event)
+            self._version = record.end
+            replayed += 1
+        self.engine.flush()
+        if wal.end_offset < self._version:
+            # The checkpoint chain is newer than the retained log (e.g. a
+            # fresh WAL directory next to old checkpoints): everything below
+            # the version is on disk already, so the log restarts here.
+            wal.align_to(self._version)
+        self._wal_replayed_last = replayed
+        return replayed
+
+    def recover(self, load_statics: Callable[[], None] | None = None) -> dict[str, Any]:
+        """Run the full recovery sequence, refusing reads until caught up.
+
+        Orchestrates restart: restore the newest intact base + delta chain +
+        WAL tail when checkpoints exist; otherwise call ``load_statics`` (the
+        cold-start path — static tables are not in the log) and replay the
+        whole WAL from offset zero.  While recovery runs, queries and ingest
+        raise and ``statistics()`` reports ``recovering: true``; once the
+        service is bit-identical with the pre-crash tip it atomically resumes
+        serving.  Returns a report of what each stage contributed.
+        """
+        with self._lock:
+            self._require_open()
+            self._recovering = True
+        try:
+            started = perf_counter()
+            version = (
+                self.restore()
+                if self.checkpoints is not None and self.checkpoints.latest() is not None
+                else None
+            )
+            if version is None:
+                # Cold start: nothing on disk but (possibly) the log.
+                if load_statics is not None:
+                    load_statics()
+                with self._lock:
+                    maybe_crash("recovery.restored")
+                    if self._incremental:
+                        self.engine.begin_delta_tracking()
+                    if self.wal is not None:
+                        self._replay_wal_tail()
+                        maybe_crash("recovery.replayed")
+                    self._recovery_seconds = perf_counter() - started
+            report = {
+                "version": self._version,
+                "restored": version is not None,
+                "wal_batches_replayed": self._wal_replayed_last,
+                "recovery_seconds": perf_counter() - started,
+                "wal": self.wal.stats() if self.wal is not None else None,
+            }
+        finally:
+            with self._lock:
+                self._recovering = False
+        return report
+
     # -- accounting / lifecycle --------------------------------------------------
     def statistics(self) -> dict[str, object]:
-        """Service-level counters plus the owned engine's statistics."""
+        """Service-level counters plus the owned engine's statistics.
+
+        Unlike reads, this works *during* recovery — reporting
+        ``recovering: true`` and the current replay position instead of the
+        engine internals — so operators can watch a restart catch up.
+        """
         with self._lock:
+            if self._recovering:
+                stats: dict[str, object] = {
+                    "version": self._version,
+                    "views": list(self.views()),
+                    "recovering": True,
+                }
+                if self.wal is not None:
+                    stats["durability"] = {"wal": self.wal.stats()}
+                return stats
             self._require_open()
             self.engine.flush()
             stats = {
                 "version": self._version,
                 "views": list(self.views()),
+                "recovering": False,
                 "stream": self.stream_stats.as_dict(),
                 "subscriptions": self.subscriptions.stats(),
                 "engine": self.engine.statistics(),
             }
+            if self.wal is not None or self._cuts:
+                durability: dict[str, object] = {
+                    "incremental_checkpoints": self._incremental,
+                    "cuts": self._cuts,
+                    "last_cut_version": self._last_cut_version,
+                    "wal_batches_replayed": self._wal_replayed_last,
+                }
+                if self._recovery_seconds is not None:
+                    durability["recovery_seconds"] = self._recovery_seconds
+                if self.wal is not None:
+                    durability["wal"] = self.wal.stats()
+                stats["durability"] = durability
             if self._auditor is not None:
                 stats["audit"] = self._auditor.summary()
             return stats
@@ -650,6 +925,11 @@ class ViewService:
     def _require_open(self) -> None:
         if self._closed:
             raise ServiceError("service is closed")
+        if self._recovering:
+            raise ServiceError(
+                "service is recovering; reads and ingest resume once it has "
+                "caught up with the write-ahead log"
+            )
         if self._failed:
             raise ServiceError(
                 "service failed mid-ingest and its state may be inconsistent; "
@@ -657,11 +937,13 @@ class ViewService:
             )
 
     def close(self) -> None:
-        """Release engine resources; further operations raise."""
+        """Release engine resources (syncing the WAL); further operations raise."""
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+            if self.wal is not None:
+                self.wal.close()
             self.engine.close()
 
     def __enter__(self) -> "ViewService":

@@ -3,11 +3,16 @@
 Operations (one request line -> one response line):
 
 * ``{"op": "ping"}`` — liveness plus the current version;
-* ``{"op": "ingest", "events": [...]}`` — apply one atomic batch;
+* ``{"op": "ingest", "events": [...], "batch_id": id?}`` — apply one atomic
+  batch; a client-supplied ``batch_id`` makes the ingest idempotent (a retry
+  of an already-applied batch is acknowledged with ``deduplicated: true``
+  instead of applied twice);
 * ``{"op": "query", "view": name?}`` — version-tagged snapshot of one view;
-* ``{"op": "subscribe", "view": name?}`` — switch this connection into push
-  mode: after the ack the server streams ``{"type": "delta", ...}`` lines for
-  every output-key change of the view (ordered, exactly-once);
+* ``{"op": "subscribe", "view": name?, "policy": name?}`` — switch this
+  connection into push mode: after the ack the server streams
+  ``{"type": "delta", ...}`` lines for every output-key change of the view
+  (ordered, exactly-once); ``policy`` picks the queue-overflow behaviour
+  (``close`` or ``coalesce``);
 * ``{"op": "stats"}`` — service + engine statistics;
 * ``{"op": "metrics"}`` — the telemetry registry: Prometheus text plus a
   structured JSON snapshot and the unified statistics schema;
@@ -192,7 +197,7 @@ class ViewServer:
                 event_from_dict(payload, context=f"events[{i}]")
                 for i, payload in enumerate(request.get("events", ()))
             ]
-            result = service.ingest(events)
+            result = service.ingest(events, batch_id=request.get("batch_id"))
             await self._pump_subscribers()
             return (
                 {
@@ -200,6 +205,7 @@ class ViewServer:
                     "count": result.count,
                     "version": result.version,
                     "notifications": result.notifications,
+                    "deduplicated": result.deduplicated,
                 },
                 subscription,
             )
@@ -224,6 +230,8 @@ class ViewServer:
             kwargs = {}
             if request.get("queue_size") is not None:
                 kwargs["maxlen"] = int(request["queue_size"])
+            if request.get("policy") is not None:
+                kwargs["policy"] = str(request["policy"])
             subscription = service.subscribe(request.get("view"), **kwargs)
             self._subscribers.append((subscription, writer))
             return (

@@ -10,9 +10,15 @@ every delta exactly once, regardless of the execution mode (per-event,
 batched or partitioned) underneath.
 
 Bounded queues make slow consumers safe: when a queue would overflow, the
-subscription is *closed with an overflow mark* instead of silently dropping
-notifications — the consumer can detect the gap and resubscribe with a fresh
-snapshot, which is the standard change-data-capture recovery contract.
+default ``close`` policy *closes the subscription with an overflow mark*
+instead of silently dropping notifications — the consumer can detect the gap
+and resubscribe with a fresh snapshot, which is the standard
+change-data-capture recovery contract.  The opt-in ``coalesce`` policy keeps
+the subscription alive under backpressure instead: overflowing changes
+collapse into one net ``old -> new`` delta per output key (``old`` from the
+first absorbed change, ``new`` from the last), which the next drain emits
+after the queued prefix — per-key ordering survives, only intermediate
+values are elided, and a key whose net effect is a no-op is skipped.
 Queue lag and delivery counters are reported through
 :class:`repro.streams.stats.QueueStats`.
 """
@@ -31,6 +37,9 @@ from repro.streams.stats import QueueStats
 
 #: Default bound of a subscription queue.
 DEFAULT_QUEUE_SIZE = 65536
+
+#: Queue-overflow policies a subscription can be created with.
+OVERFLOW_POLICIES = ("close", "coalesce")
 
 
 @dataclass(frozen=True)
@@ -71,13 +80,31 @@ class DeltaNotification:
 class Subscription:
     """A bounded, ordered queue of delta notifications for one view."""
 
-    def __init__(self, view: str, subscription_id: int, maxlen: int = DEFAULT_QUEUE_SIZE):
+    def __init__(
+        self,
+        view: str,
+        subscription_id: int,
+        maxlen: int = DEFAULT_QUEUE_SIZE,
+        policy: str = "close",
+    ):
         if maxlen < 1:
             raise ServiceError(f"subscription queue bound must be >= 1, got {maxlen}")
+        if policy not in OVERFLOW_POLICIES:
+            raise ServiceError(
+                f"unknown overflow policy {policy!r}; "
+                f"expected one of {', '.join(OVERFLOW_POLICIES)}"
+            )
         self.view = view
         self.subscription_id = subscription_id
         self.maxlen = maxlen
+        self.policy = policy
         self._queue: deque[DeltaNotification] = deque()
+        # Net per-key deltas absorbed under backpressure (coalesce policy):
+        # key -> [old-from-first, new-from-last, version-of-last], insertion
+        # ordered.  Non-empty means everything publishes here until drained,
+        # so per-key ordering relative to the queued prefix is preserved.
+        self._coalesced: dict[tuple, list[Any]] = {}
+        self._coalesced_absorbed = 0
         self._sequence = 0
         self._delivered = 0
         self._closed = False
@@ -92,7 +119,10 @@ class Subscription:
         """Enqueue one notification; False when nothing was enqueued."""
         if self._closed:
             return False
-        if len(self._queue) >= self.maxlen:
+        if self._coalesced or len(self._queue) >= self.maxlen:
+            if self.policy == "coalesce":
+                self._coalesce(version, key, old, new)
+                return True
             # Never drop silently: mark the gap and stop the subscription.
             self._overflowed = True
             self._closed = True
@@ -104,6 +134,16 @@ class Subscription:
         if len(self._queue) > self._high_watermark:
             self._high_watermark = len(self._queue)
         return True
+
+    def _coalesce(self, version: int, key: tuple, old: Any, new: Any) -> None:
+        """Fold one change into the net per-key delta map."""
+        self._coalesced_absorbed += 1
+        entry = self._coalesced.get(key)
+        if entry is None:
+            self._coalesced[key] = [old, new, version]
+        else:
+            entry[1] = new
+            entry[2] = version
 
     # -- consumer side ---------------------------------------------------------
     @property
@@ -117,13 +157,33 @@ class Subscription:
         return self._overflowed
 
     def __len__(self) -> int:
-        return len(self._queue)
+        return len(self._queue) + len(self._coalesced)
 
     def poll(self, max_items: int | None = None) -> list[DeltaNotification]:
-        """Drain up to ``max_items`` pending notifications, oldest first."""
+        """Drain up to ``max_items`` pending notifications, oldest first.
+
+        Under the ``coalesce`` policy, once the queued prefix is drained the
+        net per-key deltas absorbed during backpressure are emitted (in
+        first-touched order, with fresh contiguous sequence numbers); keys
+        whose net effect is a no-op are skipped silently — the consumer never
+        saw any of the elided intermediate values.
+        """
         out: list[DeltaNotification] = []
         while self._queue and (max_items is None or len(out) < max_items):
             out.append(self._queue.popleft())
+        while (
+            not self._queue
+            and self._coalesced
+            and (max_items is None or len(out) < max_items)
+        ):
+            key, (old, new, version) = next(iter(self._coalesced.items()))
+            del self._coalesced[key]
+            if old == new and type(old) is type(new):
+                continue  # net no-op: nothing the consumer can observe
+            out.append(
+                DeltaNotification(self._sequence, version, self.view, key, old, new)
+            )
+            self._sequence += 1
         if out:
             self._delivered += len(out)
             self._last_delivery = time.monotonic()
@@ -134,10 +194,11 @@ class Subscription:
         return QueueStats(
             published=self._sequence,
             delivered=self._delivered,
-            pending=len(self._queue),
+            pending=len(self),
             overflowed=self._overflowed,
             high_watermark=self._high_watermark,
             last_delivery_age_seconds=time.monotonic() - self._last_delivery,
+            coalesced=self._coalesced_absorbed,
         )
 
 
@@ -151,9 +212,11 @@ class SubscriptionRegistry:
         #: Subscriptions ever closed by queue overflow (survives removal).
         self.overflows = 0
 
-    def subscribe(self, view: str, maxlen: int = DEFAULT_QUEUE_SIZE) -> Subscription:
+    def subscribe(
+        self, view: str, maxlen: int = DEFAULT_QUEUE_SIZE, policy: str = "close"
+    ) -> Subscription:
         """Register a consumer for one view's deltas."""
-        subscription = Subscription(view, next(self._ids), maxlen)
+        subscription = Subscription(view, next(self._ids), maxlen, policy)
         with self._lock:
             self._by_view.setdefault(view, []).append(subscription)
         return subscription

@@ -48,7 +48,9 @@ class QueueStats:
 
     ``lag`` is the number of published-but-undelivered notifications; a
     non-zero ``overflowed`` means the queue hit its bound and the subscription
-    was closed rather than silently dropping notifications.
+    was closed rather than silently dropping notifications.  ``coalesced``
+    counts the changes a ``coalesce``-policy subscription absorbed into net
+    per-key deltas under backpressure instead of closing.
 
     ``high_watermark`` is the deepest the queue ever got, and
     ``last_delivery_age_seconds`` is the monotonic-clock age of the last
@@ -63,6 +65,7 @@ class QueueStats:
     overflowed: bool
     high_watermark: int = 0
     last_delivery_age_seconds: float | None = None
+    coalesced: int = 0
 
     @property
     def lag(self) -> int:
@@ -84,6 +87,7 @@ class QueueStats:
             "overflowed": self.overflowed,
             "high_watermark": self.high_watermark,
             "last_delivery_age_seconds": self.last_delivery_age_seconds,
+            "coalesced": self.coalesced,
         }
 
 

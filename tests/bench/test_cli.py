@@ -87,7 +87,8 @@ def test_codegen_command_writes_json_and_gates(capsys, tmp_path):
     # everywhere they are not themselves under test.
     code = main(["codegen", "--queries", "Q6", "--events", "150",
                  "--budget", "3", "--output", str(output),
-                 "--min-fused-speedup", "0", "--max-telemetry-overhead", "inf"])
+                 "--min-fused-speedup", "0", "--max-telemetry-overhead", "inf",
+                 "--max-provenance-overhead", "inf"])
     assert code == 0
     out = capsys.readouterr().out
     assert "compiled vs interpreted" in out and "Q6" in out
@@ -129,7 +130,8 @@ def test_codegen_command_exempts_fallback_dominated_queries(capsys, monkeypatch)
     )
     code = main(["codegen", "--queries", "VWAP", "--events", "60", "--budget", "2",
                  "--output", "-", "--min-speedup", "1e9",
-                 "--max-telemetry-overhead", "inf"])
+                 "--max-telemetry-overhead", "inf",
+                 "--max-provenance-overhead", "inf"])
     assert code == 0
 
 
@@ -139,7 +141,8 @@ def test_finance_command_requires_compiled(capsys, tmp_path):
     output = tmp_path / "BENCH_finance.json"
     code = main(["finance", "--queries", "VWAP", "--events", "120", "--budget", "3",
                  "--output", str(output), "--require-compiled", "VWAP",
-                 "--min-fused-speedup", "0", "--max-telemetry-overhead", "inf"])
+                 "--min-fused-speedup", "0", "--max-telemetry-overhead", "inf",
+                 "--max-provenance-overhead", "inf"])
     assert code == 0
     import json
 
@@ -167,6 +170,61 @@ def test_finance_command_fallback_gate_trips(capsys, monkeypatch):
                  "--max-telemetry-overhead", "inf"])
     assert code == 3
     assert "fallback regression" in capsys.readouterr().out
+
+
+def test_codegen_command_reports_the_durable_axis(capsys, tmp_path):
+    import json
+
+    output = tmp_path / "BENCH_codegen.json"
+    # Q1 is the durability query: the sweep adds the WAL-backed service run.
+    # Tiny event counts make every ratio timer noise, so all other gates are
+    # disabled and the WAL gate set to 'inf' for the passing run.
+    code = main(["codegen", "--queries", "Q1", "--events", "200", "--budget", "3",
+                 "--output", str(output), "--min-fused-speedup", "0",
+                 "--max-telemetry-overhead", "inf",
+                 "--max-provenance-overhead", "inf",
+                 "--max-wal-overhead", "inf"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "wal ovh" in out
+    payload = json.loads(output.read_text())
+    assert payload["Q1"]["durable_rate"] > 0
+    assert payload["Q1"]["wal_fsyncs"] > 0
+    assert payload["Q1"]["wal_bytes"] > 0
+    assert "wal_overhead" in payload["Q1"]
+    # An impossible bound trips the durable ingest gate.
+    code = main(["codegen", "--queries", "Q1", "--events", "100", "--budget", "2",
+                 "--output", "-", "--min-fused-speedup", "0",
+                 "--max-telemetry-overhead", "inf",
+                 "--max-provenance-overhead", "inf",
+                 "--max-wal-overhead", "-1"])
+    assert code == 2
+    assert "durable ingest overhead regression" in capsys.readouterr().out
+
+
+def test_durability_command_writes_json_and_gates(capsys, tmp_path):
+    import json
+
+    output = tmp_path / "BENCH_durability.json"
+    code = main(["durability", "--query", "Q1", "--events", "2000",
+                 "--ingest-batch", "100", "--checkpoint-every", "4",
+                 "--output", str(output), "--min-recovery-speedup", "0"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "durability run: Q1" in out and "recovery speedup" in out
+    payload = json.loads(output.read_text())
+    assert payload["recovered_version"] == 2000
+    assert payload["restored_from_checkpoint"] is True
+    assert payload["wal_batches_replayed"] >= 1
+    assert payload["durable_ingest_rate"] > 0
+    assert payload["wal"]["fsyncs"] > 0
+    assert payload["recovery_speedup"] > 0
+    # An absurd bound trips the recovery-time gate.
+    code = main(["durability", "--query", "Q1", "--events", "600",
+                 "--ingest-batch", "100", "--checkpoint-every", "2",
+                 "--output", "-", "--min-recovery-speedup", "1e9"])
+    assert code == 2
+    assert "recovery-time regression" in capsys.readouterr().out
 
 
 def test_rates_command_with_compiled_strategy(capsys):

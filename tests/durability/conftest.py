@@ -1,0 +1,22 @@
+"""Shared fixtures for the durability tests.
+
+Q1 (single relation, linear aggregate, bounded live working set so the
+stream deletes as well as inserts) is the default workload; Q3 adds a join
+with a static table, which recovery must restore without reloading.
+"""
+
+import pytest
+
+from dur_helpers import make_workload_fixture
+
+
+@pytest.fixture(scope="package")
+def q1():
+    fixture = make_workload_fixture("Q1", events=300, max_live_orders=20)
+    assert any(event.sign < 0 for event in fixture.events)
+    return fixture
+
+
+@pytest.fixture(scope="package")
+def q3():
+    return make_workload_fixture("Q3", events=260, max_live_orders=25)

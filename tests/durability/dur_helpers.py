@@ -1,4 +1,4 @@
-"""Helper functions shared by the serving-layer tests (imported by name)."""
+"""Helpers shared by the durability tests (imported by name)."""
 
 from types import SimpleNamespace
 
@@ -6,6 +6,11 @@ from repro.compiler.hoivm import compile_query
 from repro.runtime.engine import IncrementalEngine
 from repro.service import ViewService, engine_for_mode
 from repro.workloads import workload
+
+
+def typed(entries):
+    """Entries with value types pinned: bit-identical, not merely ==."""
+    return {key: (type(value), value) for key, value in entries.items()}
 
 
 def load_statics(engine_or_service, program, statics):
@@ -20,30 +25,6 @@ def reference_entries(program, statics, events, version=None, name=None):
     load_statics(engine, program, statics)
     engine.apply_many(events if version is None else events[:version])
     return engine.result_dict(name)
-
-
-#: build_service kwargs routed to ViewService instead of engine_for_mode.
-_SERVICE_KWARGS = frozenset(
-    {
-        "wal_dir",
-        "fsync_every",
-        "fsync_interval_ms",
-        "checkpoint_full_every",
-        "checkpoint_keep",
-    }
-)
-
-
-def build_service(fixture, mode="incremental", checkpoint_dir=None, **kwargs):
-    """A service over one workload fixture with statics loaded."""
-    service_kwargs = {k: kwargs.pop(k) for k in list(kwargs) if k in _SERVICE_KWARGS}
-    service = ViewService(
-        engine_for_mode(fixture.program, mode, **kwargs),
-        checkpoint_dir=checkpoint_dir,
-        **service_kwargs,
-    )
-    load_statics(service, fixture.program, fixture.statics)
-    return service
 
 
 def make_workload_fixture(query_name, events, **stream_kwargs):
@@ -62,3 +43,19 @@ def make_workload_fixture(query_name, events, **stream_kwargs):
         events=list(spec.stream_factory(events=events, **stream_kwargs)),
         root=next(iter(translated.roots())),
     )
+
+
+def build_durable_service(fixture, mode="incremental", *, base, statics=True, **kwargs):
+    """A service with checkpoints under ``base/ckpt`` and its WAL under ``base/wal``."""
+    engine_kwargs = {
+        k: kwargs.pop(k) for k in ("batch_size", "partitions", "backend") if k in kwargs
+    }
+    service = ViewService(
+        engine_for_mode(fixture.program, mode, **engine_kwargs),
+        checkpoint_dir=base / "ckpt",
+        wal_dir=base / "wal",
+        **kwargs,
+    )
+    if statics:
+        load_statics(service, fixture.program, fixture.statics)
+    return service

@@ -1,0 +1,70 @@
+"""Client-side robustness: reconnect with backoff, idempotent wire ingest."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import ServiceClient, start_in_thread
+from dur_helpers import build_durable_service, load_statics, typed
+
+
+def test_client_survives_a_server_restart(q1, tmp_path):
+    """Kill the server between requests: the same client object reconnects
+    (exponential backoff + jitter) and its retried ingest is deduplicated by
+    batch id instead of double-applied."""
+    service = build_durable_service(q1, base=tmp_path)
+    handle = start_in_thread(service)
+    client = ServiceClient(*handle.address, timeout=5)
+    try:
+        client.ingest(q1.events[:60], batch_id="first")
+        before = client.query(q1.root)
+
+        # The "crash": server thread and service both go away...
+        handle.stop()
+        service.close()
+        # ...and a recovered service comes back on the same port.
+        service = build_durable_service(q1, base=tmp_path, statics=False)
+        service.recover(
+            load_statics=lambda: load_statics(service, q1.program, q1.statics)
+        )
+        handle = start_in_thread(service, host=handle.host, port=handle.port)
+
+        # Same client object: the next request transparently reconnects.
+        after = client.query(q1.root)
+        assert client.reconnects >= 1
+        assert after.version == before.version == 60
+        assert typed(after.entries) == typed(before.entries)
+
+        # The ack of "first" could have been lost in the crash; the retry
+        # must be acknowledged, not applied again.
+        retried = client.ingest(q1.events[:60], batch_id="first")
+        assert retried.deduplicated and retried.version == 60
+        fresh = client.ingest(q1.events[60:90], batch_id="second")
+        assert not fresh.deduplicated and fresh.version == 90
+    finally:
+        client.close()
+        handle.stop()
+        service.close()
+
+
+def test_client_gives_up_after_exhausting_retries(q1):
+    from repro.service import ViewService, engine_for_mode
+
+    live = ViewService(engine_for_mode(q1.program, "incremental"))
+    handle = start_in_thread(live)
+    client = ServiceClient(*handle.address, timeout=2, retries=1, backoff=0.01)
+    handle.stop()
+    live.close()
+    with pytest.raises(ServiceError, match="after 2 attempt"):
+        client.ping()
+    client.close()
+
+
+def test_closed_client_refuses_requests(q1, tmp_path):
+    service = build_durable_service(q1, base=tmp_path)
+    handle = start_in_thread(service)
+    client = ServiceClient(*handle.address, timeout=5)
+    client.close()
+    with pytest.raises(ServiceError, match="closed"):
+        client.ping()
+    handle.stop()
+    service.close()

@@ -1,0 +1,208 @@
+"""Recovery orchestration: incremental checkpoint chains + WAL tail replay.
+
+Every test asserts *bit-identical* recovery — values and their runtime types
+(int vs float vs Fraction) — because the paper's aggregates are only correct
+if exactness survives a restart.
+"""
+
+import pytest
+
+from repro.errors import ServiceError
+from dur_helpers import build_durable_service, load_statics, typed
+
+ENGINE_MODES = [
+    ("incremental", {}),
+    ("compiled", {}),
+    ("batched", {"batch_size": 13}),
+]
+
+
+def run_with_cuts(fixture, tmp_path, mode="incremental", events=200, step=20,
+                  **kwargs):
+    """Ingest ``events`` in ``step``-sized batches, checkpointing every batch."""
+    service = build_durable_service(fixture, mode, base=tmp_path, **kwargs)
+    for start in range(0, events, step):
+        service.ingest(fixture.events[start:start + step])
+        service.checkpoint()
+    return service
+
+
+def recover_and_finish(fixture, tmp_path, mode="incremental", **kwargs):
+    """Recover a fresh service, ingest whatever the stream still holds."""
+    service = build_durable_service(fixture, mode, base=tmp_path, statics=False,
+                                    **kwargs)
+    report = service.recover(
+        load_statics=lambda: load_statics(service, fixture.program, fixture.statics)
+    )
+    service.ingest(fixture.events[service.version:])
+    return service, report
+
+
+def reference_views(fixture):
+    from dur_helpers import reference_entries
+
+    return reference_entries(
+        fixture.program, fixture.statics, fixture.events, None, fixture.root
+    )
+
+
+# -- the happy path ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode,kwargs", ENGINE_MODES)
+def test_chain_plus_wal_tail_recovers_bit_identically(q3, tmp_path, mode, kwargs):
+    """Base + delta chain + WAL tail: a service killed mid-stream recovers to
+    exactly the state an uninterrupted run reaches."""
+    first = run_with_cuts(q3, tmp_path, mode, events=200, checkpoint_full_every=3,
+                          **kwargs)
+    first.ingest(q3.events[200:240])  # tail lives only in the WAL
+    first.close()
+
+    recovered, report = recover_and_finish(q3, tmp_path, mode, **kwargs)
+    assert report["restored"] and report["wal_batches_replayed"] >= 1
+    assert typed(recovered.query(q3.root).entries) == typed(reference_views(q3))
+    stats = recovered.statistics()
+    assert stats["recovering"] is False
+    assert stats["durability"]["wal"]["end_offset"] == len(q3.events)
+    recovered.close()
+
+
+def test_cold_start_replays_the_whole_wal(q3, tmp_path):
+    """No checkpoints at all: statics load via the callback, then the log
+    replays from offset zero."""
+    first = build_durable_service(q3, base=tmp_path)
+    first.ingest(q3.events[:120])
+    first.close()
+
+    recovered, report = recover_and_finish(q3, tmp_path)
+    assert not report["restored"]
+    assert report["wal_batches_replayed"] == 1
+    assert typed(recovered.query(q3.root).entries) == typed(reference_views(q3))
+    recovered.close()
+
+
+def test_reads_are_refused_until_recovery_catches_up(q1, tmp_path):
+    first = build_durable_service(q1, base=tmp_path)
+    first.ingest(q1.events[:100])
+    first.checkpoint()
+    first.close()
+
+    service = build_durable_service(q1, base=tmp_path, statics=False)
+    probed = {}
+
+    # A service with checkpoints never fires the statics hook, so probe the
+    # mid-recovery contract on the cold-start path of a checkpoint-less
+    # sibling: while its recover() runs, reads and ingest must raise but
+    # statistics() must keep working (and say so).
+    sibling = build_durable_service(q1, base=tmp_path / "cold", statics=False)
+
+    def probe():  # runs mid-recovery (the cold-start statics hook)
+        probed["stats"] = sibling.statistics()
+        with pytest.raises(ServiceError, match="recovering"):
+            sibling.query(q1.root)
+        with pytest.raises(ServiceError, match="recovering"):
+            sibling.ingest(q1.events[:1])
+
+    sibling.recover(load_statics=probe)
+    assert probed["stats"]["recovering"] is True
+    sibling.close()
+
+    report = service.recover()
+    assert report["restored"] and service.statistics()["recovering"] is False
+    assert service.version == 100
+    service.close()
+
+
+# -- corruption (satellite: corrupt base / mid-chain delta / WAL tail) -------------
+
+
+def test_corrupt_newest_base_falls_back_and_walks_the_shared_chain(q3, tmp_path):
+    service = run_with_cuts(q3, tmp_path, events=200, checkpoint_full_every=3)
+    service.close()
+    bases = service.checkpoints.list()
+    assert len(bases) == 2, "expected pruned layout with two bases"
+    bases[-1].path.write_bytes(bases[-1].path.read_bytes()[:32])
+
+    recovered, report = recover_and_finish(q3, tmp_path)
+    assert report["restored"]
+    assert typed(recovered.query(q3.root).entries) == typed(reference_views(q3))
+    recovered.close()
+
+
+def test_corrupt_mid_chain_delta_stops_the_walk_and_wal_covers_the_rest(
+    q3, tmp_path
+):
+    service = run_with_cuts(q3, tmp_path, events=200, checkpoint_full_every=3)
+    service.close()
+    bases = service.checkpoints.list()
+    deltas = service.checkpoints.list_deltas()
+    # Kill the newest base so restore must walk the older base's chain, and
+    # corrupt a delta in the middle of that chain.
+    bases[-1].path.write_bytes(b"\x80not a checkpoint")
+    middle = [d for d in deltas if bases[0].version < d.version < bases[-1].version]
+    assert middle, "expected deltas between the two bases"
+    middle[0].path.write_bytes(middle[0].path.read_bytes()[:16])
+
+    recovered, report = recover_and_finish(q3, tmp_path)
+    assert report["restored"]
+    assert report["wal_batches_replayed"] >= 1  # the chain alone cannot reach 200
+    assert typed(recovered.query(q3.root).entries) == typed(reference_views(q3))
+    recovered.close()
+
+
+def test_corrupt_wal_tail_truncates_to_the_durable_prefix(q3, tmp_path):
+    service = run_with_cuts(q3, tmp_path, events=200, checkpoint_full_every=3)
+    service.ingest(q3.events[200:220])
+    service.ingest(q3.events[220:240])
+    service.close()
+    # Tear the newest WAL segment mid-record: the 220..240 batch is damaged.
+    segments = sorted((tmp_path / "wal").glob("wal-*.log"))
+    tail = segments[-1]
+    tail.write_bytes(tail.read_bytes()[:-40])
+
+    recovered, report = recover_and_finish(q3, tmp_path)
+    assert report["restored"]
+    # Recovery caught up to the last *intact* record, then our re-ingest of
+    # events[version:] replayed the torn batch from the source.
+    assert typed(recovered.query(q3.root).entries) == typed(reference_views(q3))
+    recovered.close()
+
+
+# -- idempotent ingest -------------------------------------------------------------
+
+
+def test_batch_ids_deduplicate_within_a_run(q1, tmp_path):
+    service = build_durable_service(q1, base=tmp_path)
+    first = service.ingest(q1.events[:30], batch_id="batch-a")
+    assert not first.deduplicated and service.version == 30
+    again = service.ingest(q1.events[:30], batch_id="batch-a")
+    assert again.deduplicated and again.version == 30
+    assert service.version == 30
+    assert typed(service.query(q1.root).entries) == typed(
+        reference_views_prefix(q1, 30)
+    )
+    service.close()
+
+
+def test_batch_ids_deduplicate_across_restart_via_the_wal(q1, tmp_path):
+    """The retry window a crash opens: the ack is lost but the batch is in
+    the log, so the client's retry after recovery must not double-apply."""
+    service = build_durable_service(q1, base=tmp_path)
+    service.ingest(q1.events[:30], batch_id="batch-a")
+    service.close()
+
+    recovered, _ = recover_and_finish(q1, tmp_path)
+    assert recovered.version == len(q1.events)
+    retried = recovered.ingest(q1.events[:30], batch_id="batch-a")
+    assert retried.deduplicated
+    assert recovered.version == len(q1.events)
+    assert typed(recovered.query(q1.root).entries) == typed(reference_views(q1))
+    recovered.close()
+
+
+def reference_views_prefix(fixture, version):
+    from dur_helpers import reference_entries
+
+    return reference_entries(
+        fixture.program, fixture.statics, fixture.events, version, fixture.root
+    )

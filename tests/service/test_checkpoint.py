@@ -174,10 +174,22 @@ def test_restore_returns_none_without_checkpoints(q1, tmp_path):
 
 
 def test_replay_checkpoint_every_leaves_periodic_checkpoints(q1, tmp_path):
+    """Cuts land every 50 events: a full base first, then incremental deltas."""
     service = build_service(q1, checkpoint_dir=tmp_path)
     service.replay(q1.events[:200], batch_size=25, checkpoint_every=50)
+    bases = [info.version for info in service.checkpoints.list()]
+    deltas = [info.version for info in service.checkpoints.list_deltas()]
+    assert bases == [50]
+    assert deltas == [100, 150, 200]
+
+
+def test_replay_checkpoint_every_full_cuts_only(q1, tmp_path):
+    """checkpoint_full_every=1 restores the all-full-checkpoints layout."""
+    service = build_service(q1, checkpoint_dir=tmp_path, checkpoint_full_every=1)
+    service.replay(q1.events[:200], batch_size=25, checkpoint_every=50)
     versions = [info.version for info in service.checkpoints.list()]
-    assert versions == [50, 100, 150, 200]
+    assert versions[-1] == 200
+    assert not service.checkpoints.list_deltas()
 
 
 def test_stream_stats_survive_restarts(q1, tmp_path):

@@ -74,6 +74,41 @@ def test_queue_bound_must_be_positive():
         Subscription("V", 1, maxlen=0)
 
 
+def test_unknown_overflow_policy_is_rejected():
+    with pytest.raises(ServiceError, match="policy"):
+        Subscription("V", 1, policy="drop")
+
+
+def test_coalesce_policy_absorbs_overflow_into_net_deltas():
+    """Backpressured changes collapse per key instead of closing the stream:
+    the queued prefix is delivered verbatim, then one net old->new per key
+    touched during backpressure (old from the first absorbed change, new from
+    the last), with net no-ops elided — so replaying notifications still
+    reconstructs the view exactly."""
+    registry = SubscriptionRegistry()
+    subscription = registry.subscribe("V", maxlen=2, policy="coalesce")
+    registry.publish("V", 1, [(("a",), None, 1), (("b",), None, 2)])  # fills queue
+    registry.publish(
+        "V", 2, [(("a",), 1, 5), (("c",), None, 3), (("a",), 5, 7)]
+    )
+    registry.publish("V", 3, [(("b",), 2, 4), (("b",), 4, 2)])  # net no-op
+    assert not subscription.closed and not subscription.overflowed
+    notifications = subscription.poll()
+    assert [n.sequence for n in notifications] == [0, 1, 2, 3]
+    assert [(n.version, n.key, n.old, n.new) for n in notifications] == [
+        (1, ("a",), None, 1),
+        (1, ("b",), None, 2),
+        (2, ("a",), 1, 7),   # intermediate value 5 elided
+        (2, ("c",), None, 3),  # ("b",) net no-op: skipped entirely
+    ]
+    assert apply_deltas({}, notifications) == {("a",): 7, ("b",): 2, ("c",): 3}
+    stats = subscription.stats()
+    assert stats.coalesced == 5 and not stats.overflowed
+    # Drained: publishing goes back to the queue, ordering intact.
+    registry.publish("V", 4, [(("c",), 3, 9)])
+    assert [(n.key, n.old, n.new) for n in subscription.poll()] == [(("c",), 3, 9)]
+
+
 def test_queue_stats_report_lag():
     registry = SubscriptionRegistry()
     subscription = registry.subscribe("V")
@@ -142,6 +177,23 @@ def test_deltas_cover_added_changed_and_deleted_keys(mode, kwargs):
         (4, (2,), 5, None),
     ]
     assert apply_deltas({}, notifications) == service.query("V").entries == {(1,): 13}
+
+
+def test_coalescing_subscriber_reconstructs_the_view_under_backpressure(q1):
+    """A tiny coalescing queue over a long stream: the subscription stays
+    open and its (fewer) net notifications still rebuild the final view."""
+    service = build_service(q1)
+    service.ingest(q1.events[:40])
+    initial = service.query(q1.root).entries
+    subscription = service.subscribe(q1.root, maxlen=4, policy="coalesce")
+    for start in range(40, 240, 25):
+        service.ingest(q1.events[start:start + 25])
+    notifications = subscription.poll()
+    assert not subscription.closed and not subscription.overflowed
+    assert subscription.stats().coalesced > 0
+    assert [n.sequence for n in notifications] == list(range(len(notifications)))
+    assert apply_deltas(initial, notifications) == service.query(q1.root).entries
+    service.close()
 
 
 def test_two_subscribers_get_independent_sequences(q1):
