@@ -160,6 +160,18 @@ def _build_parser() -> argparse.ArgumentParser:
                               "fsync behind the service) loses more than this "
                               "fraction of fused throughput on the durability "
                               "queries (best-of-retries; 'inf' disables the gate)")
+    codegen.add_argument("--min-vector-speedup", type=float, default=0.0,
+                         help="exit nonzero when the columnar numpy backend's "
+                              "staged rate falls below this multiple of the "
+                              "fused rate on any query that vectorized (0 "
+                              "disables; the gate is skipped per-query when "
+                              "numpy is missing or nothing vectorized)")
+    codegen.add_argument("--vector-batch-size", type=int, default=None,
+                         help="delta batch size of the vector axis (default "
+                              "10000; 0 skips the axis entirely)")
+    codegen.add_argument("--vector-events", type=int, default=None,
+                         help="events replayed for the vector axis "
+                              "(default 30000)")
 
     finance = sub.add_parser(
         "finance",
@@ -196,6 +208,17 @@ def _build_parser() -> argparse.ArgumentParser:
                               "this fraction of fused throughput on the "
                               "durability queries, when any are in the sweep "
                               "('inf' disables the gate)")
+    finance.add_argument("--min-vector-speedup", type=float, default=0.0,
+                         help="exit nonzero when the columnar numpy backend's "
+                              "staged rate falls below this multiple of the "
+                              "fused rate on any query that vectorized (0 "
+                              "disables)")
+    finance.add_argument("--vector-batch-size", type=int, default=None,
+                         help="delta batch size of the vector axis (default "
+                              "10000; 0 skips the axis entirely)")
+    finance.add_argument("--vector-events", type=int, default=None,
+                         help="events replayed for the vector axis "
+                              "(default 30000)")
 
     stats = sub.add_parser("stats", help="Per-map / per-partition memory statistics")
     stats.add_argument("query")
@@ -319,6 +342,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.command in ("codegen", "finance"):
         import json
 
+        from repro.bench.scenarios import VECTOR_BATCH_SIZE, VECTOR_EVENTS
+
+        vector_batch_size = (
+            args.vector_batch_size if args.vector_batch_size is not None
+            else VECTOR_BATCH_SIZE
+        )
         results = run_codegen_sweep(
             queries=tuple(args.queries),
             events=args.events,
@@ -326,6 +355,8 @@ def main(argv: list[str] | None = None) -> int:
             telemetry_overhead_target=args.max_telemetry_overhead,
             provenance_overhead_target=args.max_provenance_overhead,
             wal_overhead_target=args.max_wal_overhead,
+            vector_batch_size=vector_batch_size or None,
+            vector_events=args.vector_events or VECTOR_EVENTS,
         )
         print("compiled vs interpreted per-event throughput:")
         print(format_codegen_sweep(results))
@@ -414,6 +445,22 @@ def main(argv: list[str] | None = None) -> int:
         if wal_failures:
             print("durable ingest overhead regression: " + "; ".join(wal_failures))
             return 2
+        # Vector gate: on queries where the columnar backend actually ran
+        # (numpy present, >= 1 statement vectorized), its staged throughput
+        # must beat fused by the configured multiple.  Queries that fell
+        # back wholesale record a vector_reason instead and are exempt —
+        # the fallback path is the correctness contract, not a regression.
+        if args.min_vector_speedup > 0:
+            vector_failures = [
+                f"{query}: vector {row['vector_speedup']:.2f}x < "
+                f"{args.min_vector_speedup:.2f}x of fused"
+                for query, row in results.items()
+                if row.get("vector_speedup") is not None
+                and row["vector_speedup"] < args.min_vector_speedup
+            ]
+            if vector_failures:
+                print("vector throughput regression: " + "; ".join(vector_failures))
+                return 2
         return 0
 
     if args.command == "stats":

@@ -117,6 +117,7 @@ def format_codegen_sweep(results: Mapping[str, Mapping[str, object]]) -> str:
     lines = [
         f"{'query':>8} {'events':>8} {'interp/s':>12} {'compiled/s':>12} "
         f"{'fused/s':>12} {'speedup':>9} {'fusion':>8} {'stmts':>12} "
+        f"{'vector/s':>12} {'vec spd':>8} "
         f"{'tele ovh':>9} {'prov ovh':>9} {'wal ovh':>8} {'ev p50/p99':>16}"
     ]
     for query, row in results.items():
@@ -135,12 +136,19 @@ def format_codegen_sweep(results: Mapping[str, Mapping[str, object]]) -> str:
         quantiles = (
             f"{p50:.1f}/{p99:.1f}us" if p50 is not None and p99 is not None else "-"
         )
+        vector: RunResult | None = row.get("vector")  # type: ignore[assignment]
+        vector_text = _format_rate(vector.refresh_rate) if vector is not None else "-"
+        vector_speedup = row.get("vector_speedup")
+        vector_speedup_text = (
+            f"{vector_speedup:.1f}x" if vector_speedup is not None else "-"
+        )
         lines.append(
             f"{query:>8} {row['events']:>8} "
             f"{_format_rate(interpreted.refresh_rate):>12} "
             f"{_format_rate(compiled.refresh_rate):>12} "
             f"{_format_rate(fused.refresh_rate):>12} "
             f"{row['speedup']:>8.2f}x {row['fused_speedup']:>7.2f}x {coverage:>12} "
+            f"{vector_text:>12} {vector_speedup_text:>8} "
             f"{overhead_text:>9} {prov_text:>9} {wal_text:>8} {quantiles:>16}"
         )
     return "\n".join(lines)
@@ -189,6 +197,16 @@ def codegen_sweep_json(results: Mapping[str, Mapping[str, object]]) -> dict:
             record["wal_overhead"] = row["wal_overhead"]
             record["wal_fsyncs"] = wal.get("fsyncs", 0)
             record["wal_bytes"] = wal.get("bytes_appended", 0)
+        vector: RunResult | None = row.get("vector")  # type: ignore[assignment]
+        if vector is not None:
+            record["vector_rate"] = vector.refresh_rate
+            record["vector_batch_size"] = row["vector_batch_size"]
+            record["vector_statements"] = row["vector_statements"]
+            record["vector_fallbacks"] = dict(row["vector_fallbacks"])
+            if "vector_speedup" in row:
+                record["vector_speedup"] = row["vector_speedup"]
+            else:
+                record["vector_reason"] = row["vector_reason"]
         payload[query] = record
     return payload
 

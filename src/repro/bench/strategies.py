@@ -136,11 +136,25 @@ def _dbtoaster_comp(query: TranslatedQuery, fused: bool = True, telemetry=None):
 
 
 def _dbtoaster_batch(
-    query: TranslatedQuery, batch_size: int | None = None, compiled: bool = False
+    query: TranslatedQuery,
+    batch_size: int | None = None,
+    compiled: bool = False,
+    backend: str = "scalar",
+    telemetry=None,
 ):
     if batch_size is None:
         batch_size = DEFAULT_BATCH_SIZE
-    return BatchedEngine(_dbtoaster_program(query), batch_size, compiled=compiled)
+    if backend in ("sequential", "process"):
+        # Executor-backend names (the partitioned engine's axis) mean
+        # "scalar" here, so one --backend flag can drive either strategy.
+        backend = "scalar"
+    return BatchedEngine(
+        _dbtoaster_program(query),
+        batch_size,
+        compiled=compiled,
+        backend=backend,
+        telemetry=telemetry,
+    )
 
 
 def _dbtoaster_par(

@@ -62,7 +62,57 @@ def _build_parser() -> argparse.ArgumentParser:
         help="emit the repro.kernels/1 machine-readable kernel description "
              "(the same document the repro.inspect explain report embeds)",
     )
+    dump.add_argument(
+        "--backend", choices=("scalar", "vector"), default="scalar",
+        help="which emitter's kernels to print: the scalar/fused source "
+             "(default) or the columnar numpy batch kernels with the "
+             "per-statement reason wherever vectorization does not apply",
+    )
     return parser
+
+
+def _dump_vector(query_name: str, program, triggers) -> int:
+    """Print the columnar batch kernel (or the reason there is none) per statement."""
+    from repro.codegen import vector
+
+    if not vector.numpy_available():
+        print(f"{query_name}: vector backend unavailable ({vector.vector_unavailable_reason()})")
+        return 2
+
+    from repro.codegen.lowering import Unsupported
+
+    statements = [(t, s) for t in triggers for s in t.statements]
+    kernels: dict[int, object] = {}
+    for trigger, statement in statements:
+        try:
+            kernels[id(statement)] = vector.compile_vector(statement, program)
+        except Unsupported as exc:
+            kernels[id(statement)] = str(exc)
+    compiled = sum(1 for k in kernels.values() if not isinstance(k, str))
+    print(
+        f"{query_name}: {compiled}/{len(statements)} statements vectorized "
+        f"(columnar batch kernels; the rest run the scalar path)"
+    )
+    for trigger in triggers:
+        print()
+        print(f"== {trigger.name}: vector backend ==")
+        for position, statement in enumerate(trigger.statements):
+            kernel = kernels[id(statement)]
+            print()
+            if isinstance(kernel, str):
+                print(
+                    f"-- statement {position} -> {statement.target}: "
+                    f"scalar ({kernel})"
+                )
+                continue
+            print(f"-- statement {position} -> {statement.target}:")
+            print(kernel.source, end="")
+            if kernel.key_columns:
+                keys = ", ".join(kernel.key_columns)
+                print(f"-- sink keys: {keys} (segmented cumsum merge)")
+            else:
+                print("-- sink keys: none (single running total)")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -86,8 +136,6 @@ def main(argv: list[str] | None = None) -> int:
 
         print(json.dumps(describe_program(program), indent=2, sort_keys=True))
         return 0
-    engine = CompiledEngine(program)
-    executor = engine.codegen
 
     triggers = sorted(
         program.triggers.values(), key=lambda t: (t.relation, -t.sign)
@@ -98,6 +146,10 @@ def main(argv: list[str] | None = None) -> int:
         if not triggers:
             print(f"no trigger for {relation}:{'+' if sign > 0 else '-'} in {args.query}")
             return 2
+    if args.backend == "vector":
+        return _dump_vector(args.query, program, triggers)
+    engine = CompiledEngine(program)
+    executor = engine.codegen
 
     summary = executor.codegen_statistics()
     print(

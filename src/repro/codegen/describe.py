@@ -97,11 +97,35 @@ def describe_statement(statement: Statement, program: TriggerProgram) -> dict[st
     except Unsupported as exc:
         description["compiled"] = False
         description["fallback_reason"] = str(exc)
+        description["vectorized"] = False
+        description["vector_reason"] = "statement does not plan"
         return description
     description["compiled"] = True
     description["ir_ops"] = ir.count_ops(nodes)
     description["accesses"] = _accesses(nodes, compiler.ctx)
+    description.update(_vector_status(statement, program))
     return description
+
+
+def _vector_status(statement: Statement, program: TriggerProgram) -> dict[str, Any]:
+    """Whether the columnar batch emitter covers one statement, and why not.
+
+    ``vectorized`` answers for the statement shape alone — the batched
+    engine additionally requires the owning trigger to be bulk-safe, and
+    falls back per batch on regime violations at runtime.
+    """
+    from repro.codegen import vector
+
+    if not vector.numpy_available():
+        return {
+            "vectorized": False,
+            "vector_reason": vector.vector_unavailable_reason(),
+        }
+    try:
+        vector.compile_vector(statement, program)
+    except Unsupported as exc:
+        return {"vectorized": False, "vector_reason": str(exc)}
+    return {"vectorized": True}
 
 
 def describe_trigger(trigger: Trigger, program: TriggerProgram) -> dict[str, Any]:
@@ -173,6 +197,10 @@ def describe_program(program: TriggerProgram) -> dict[str, Any]:
         "summary": {
             "triggers": len(triggers),
             "compiled_statements": compiled,
+            "vectorized_statements": sum(
+                1 for t in triggers for s in t["statements"]
+                if s.get("vectorized")
+            ),
             "fallback_statements": len(fallbacks),
             "fallbacks": fallbacks,
             "fused_kernels": sum(1 for t in triggers if t["fused"]),

@@ -21,6 +21,7 @@ from repro.exec.batching import (
     BatchedEngine,
     BatchPlan,
     DeltaGroup,
+    StagedBatch,
     TriggerAnalysis,
 )
 from repro.exec.executor import (
@@ -48,6 +49,7 @@ __all__ = [
     "PartitionSpec",
     "PartitionedEngine",
     "SequentialBackend",
+    "StagedBatch",
     "TriggerAnalysis",
     "infer_partition_spec",
     "make_backend",

@@ -33,6 +33,13 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.agca.ast import free_variables
 from repro.codegen.statement import compile_scalar_kernel
+from repro.codegen.vector import (
+    ColumnBatch,
+    VectorFallback,
+    numpy_available,
+    try_compile_vector,
+    vector_unavailable_reason,
+)
 from repro.compiler.program import ASSIGN, INCREMENT, Statement, TriggerProgram
 from repro.core.gmr import GMR
 from repro.core.rows import Row
@@ -42,6 +49,13 @@ from repro.runtime.engine import IncrementalEngine
 
 #: Default number of events coalesced into one delta batch.
 DEFAULT_BATCH_SIZE = 100
+
+#: Smallest folded group dispatched to the vector backend.  Below this the
+#: fixed numpy kernel-invocation cost (array wrapping, mask allocation, probe
+#: setup) exceeds the scalar loop's total work, so tiny groups — the common
+#: shape when interleaved multi-relation streams fold into many short runs —
+#: stay on the scalar path.  Breakeven sits around 6-10 rows per group.
+DEFAULT_MIN_VECTOR_ROWS = 16
 
 #: How many trailing groups the folder scans for a commuting merge target.
 _MERGE_LOOKBACK = 8
@@ -74,6 +88,8 @@ class TriggerAnalysis:
         self.updates_base = relation in program.requires_base_relations()
 
         self.safe = self._bulk_safe()
+        self._program = program
+        self._vector: dict[int, Any] | None = None
         self.fast_increments: list[tuple[Statement, Callable]] = []
         self.slow_increments: list[Statement] = []
         if self.safe:
@@ -86,6 +102,24 @@ class TriggerAnalysis:
                     self.fast_increments.append((statement, compiled))
                 else:
                     self.slow_increments.append(statement)
+
+    def vector_kernels(self) -> dict[int, Any]:
+        """Columnar batch kernels by ``id(statement)`` (compiled lazily).
+
+        Only bulk-safe triggers qualify (vector application is one pass per
+        statement over the folded delta, which is exactly the bulk
+        contract); within them, any ``+=`` statement the vector emitter can
+        lower gets a kernel, the rest stay on their scalar paths.
+        """
+        if self._vector is None:
+            kernels: dict[int, Any] = {}
+            if self.safe:
+                for statement in self.increments:
+                    kernel = try_compile_vector(statement, self._program)
+                    if kernel is not None:
+                        kernels[id(statement)] = kernel
+            self._vector = kernels
+        return self._vector
 
     def _bulk_safe(self) -> bool:
         for statement in self.increments:
@@ -186,6 +220,16 @@ class BatchPlan:
         return groups
 
 
+class StagedBatch:
+    """A pre-folded, pre-columnarized event slice (see ``BatchedEngine.stage``)."""
+
+    __slots__ = ("groups", "events")
+
+    def __init__(self, groups: list, events: int) -> None:
+        self.groups = groups
+        self.events = events
+
+
 class BatchedEngine:
     """Delta-batched execution of a compiled trigger program.
 
@@ -195,6 +239,8 @@ class BatchedEngine:
     triggers replay their events in order inside the batch).
     """
 
+    BACKENDS = ("scalar", "vector")
+
     def __init__(
         self,
         program: TriggerProgram,
@@ -202,9 +248,26 @@ class BatchedEngine:
         plan: BatchPlan | None = None,
         compiled: bool = False,
         telemetry=None,
+        backend: str = "scalar",
+        min_vector_rows: int | None = None,
     ) -> None:
         if batch_size < 1:
             raise ExecutionError(f"batch_size must be >= 1, got {batch_size}")
+        if backend not in self.BACKENDS:
+            raise ExecutionError(
+                f"unknown batch backend {backend!r}; expected one of {self.BACKENDS}"
+            )
+        self.backend = backend
+        self.vector_reason: str | None = None
+        if backend == "vector" and not numpy_available():
+            # Auto-disable instead of failing: numpy is optional, and the
+            # scalar path is the semantics of record anyway.
+            self.vector_reason = vector_unavailable_reason()
+            backend = "scalar"
+        self.backend_active = backend
+        self.min_vector_rows = (
+            DEFAULT_MIN_VECTOR_ROWS if min_vector_rows is None else min_vector_rows
+        )
         self.program = program
         self.batch_size = batch_size
         self.compiled = compiled
@@ -231,6 +294,11 @@ class BatchedEngine:
         self.groups_applied = 0
         self.bulk_events = 0
         self.fallback_events = 0
+        self.vector_events = 0
+        self.vector_fallbacks: dict[str, int] = {}
+        # Bound vector kernels per trigger, dropped whenever the inner
+        # engine's tables are replaced wholesale (state restores).
+        self._vector_bound: dict[TriggerKey, dict[int, Any]] = {}
         if telemetry.enabled:
             registry = telemetry.registry
             self._fold_hist = registry.histogram(
@@ -260,6 +328,14 @@ class BatchedEngine:
             "repro_exec_fallback_events_total",
             help="Events replayed per-event inside batches",
         ).value = self.fallback_events
+        registry.counter(
+            "repro_exec_vector_events_total",
+            help="Events applied through columnar vector kernels",
+        ).value = self.vector_events
+        registry.counter(
+            "repro_exec_vector_fallbacks_total",
+            help="Vector-kernel statement applications that fell back to scalar",
+        ).value = sum(self.vector_fallbacks.values())
         registry.gauge(
             "repro_exec_batch_buffer_events", help="Events currently buffered"
         ).set(len(self._buffer))
@@ -308,7 +384,46 @@ class BatchedEngine:
             self._apply_group(group)
         self._apply_hist.observe(perf_counter() - started)
 
-    def _apply_group(self, group: DeltaGroup) -> None:
+    def _vector_bindings(self, analysis: TriggerAnalysis) -> dict[int, Any]:
+        key = (analysis.relation, analysis.sign)
+        bound = self._vector_bound.get(key)
+        if bound is None:
+            bound = {
+                sid: kernel.bind(self.engine.maps, self.engine.database)
+                for sid, kernel in analysis.vector_kernels().items()
+            }
+            self._vector_bound[key] = bound
+        return bound
+
+    def _note_fallback(self, reason: str) -> None:
+        self.vector_fallbacks[reason] = self.vector_fallbacks.get(reason, 0) + 1
+
+    def _try_vector(self, kernel, statement: Statement, batch) -> bool:
+        """Run one statement through its vector kernel; False demands scalar replay.
+
+        ``compute`` touches no engine state, so a failure at any point —
+        regime violation, overflow risk, or an unexpected error a masked-out
+        scalar path would never hit — leaves the tables untouched and the
+        scalar replay produces the exact sequential result.
+        """
+        table = self.engine.maps.table(statement.target)
+        if table._watcher is not None:
+            # set_total skips no-op notifications the per-tuple path would
+            # emit; keep dirty-delta tracking exact by staying scalar.
+            self._note_fallback("watcher")
+            return False
+        try:
+            writes = kernel.compute(batch, table)
+        except VectorFallback as exc:
+            self._note_fallback(str(exc) or "fallback")
+            return False
+        except Exception as exc:  # masked rows may poison full-array ops
+            self._note_fallback(f"error:{type(exc).__name__}")
+            return False
+        kernel.commit(table, writes)
+        return True
+
+    def _apply_group(self, group: DeltaGroup, prebuilt=None) -> None:
         self.groups_applied += 1
         engine = self.engine
         if group.events is not None:
@@ -321,7 +436,10 @@ class BatchedEngine:
         engine.count_bulk_events(group.sign, group.relation, group.count)
         analysis = self.plan.analysis(group.relation, group.sign)
         executor = engine.executor
-        items = list(group.folded.items())
+        folded = group.folded
+        # Materialized lazily: a fully-vectorized group never needs the
+        # per-tuple list, and building it costs ~50ns/event at large batches.
+        items: list | None = None
 
         # Bulk folds bypass per-event apply, so provenance attributes every
         # transition of this group to the fold descriptor (the documented
@@ -334,12 +452,39 @@ class BatchedEngine:
                 group.relation,
                 "insert" if group.sign > 0 else "delete",
                 group.count,
-                len(items),
+                len(folded),
             )
+
+        # Vector dispatch: per statement, in exactly the scalar order (slow
+        # then fast), try the columnar kernel and replay that one statement
+        # through its scalar path on any fallback.  Provenance groups stay
+        # scalar wholesale — set_total does not record transitions.
+        vec: dict[int, Any] = {}
+        if self.backend_active == "vector" and prov is None:
+            vec = self._vector_bindings(analysis)
+        batch = prebuilt
+        if vec and batch is None:
+            if len(folded) < self.min_vector_rows:
+                # Tiny folded groups (interleaved multi-relation streams fold
+                # into runs of a handful of tuples) pay more in per-call
+                # numpy overhead than vectorization saves; the scalar loop
+                # wins below the cutoff.
+                self._note_fallback("small-group")
+                vec = {}
+            else:
+                items = list(folded.items())
+                batch = ColumnBatch(items)
+        vectorized = False
 
         memo: dict = {}
         runner_for = getattr(executor, "runner_for", None)
         for statement in analysis.slow_increments:
+            kernel = vec.get(id(statement))
+            if kernel is not None and self._try_vector(kernel, statement, batch):
+                vectorized = True
+                continue
+            if items is None:
+                items = list(folded.items())
             # A compiled inner engine takes the folded tuples directly; the
             # interpreter needs per-item bindings dictionaries.
             runner = runner_for(statement) if runner_for is not None else None
@@ -356,18 +501,68 @@ class BatchedEngine:
                     memo=memo,
                 )
         for statement, run in analysis.fast_increments:
+            kernel = vec.get(id(statement))
+            if kernel is not None and self._try_vector(kernel, statement, batch):
+                vectorized = True
+                continue
+            if items is None:
+                items = list(folded.items())
             run(engine.maps.table(statement.target), items)
+        if vectorized:
+            self.vector_events += group.count
 
         if analysis.updates_base:
+            if items is None:
+                items = list(folded.items())
             table = engine.database.table(group.relation)
             for values, multiplicity in items:
                 table.add(values, group.sign * multiplicity)
 
         for statement in analysis.assigns:
             trigger_vars = statement.event.trigger_vars
-            executor.execute_assign(statement, dict(zip(trigger_vars, items[0][0])))
+            first = next(iter(folded))
+            executor.execute_assign(statement, dict(zip(trigger_vars, first)))
 
         engine.events_processed += group.count
+
+    # -- staged ingest -----------------------------------------------------------
+    def stage(self, events: Iterable[StreamEvent]) -> "StagedBatch":
+        """Fold and pre-columnarize ``events`` ahead of :meth:`apply_staged`.
+
+        Folding and row→column conversion are per-event costs that do not
+        depend on engine state; staging performs them up front so the apply
+        call measures (and spends) only the actual view-maintenance work.
+        Results are identical to ``apply_many(events)`` + ``flush()``.
+        """
+        events = list(events)
+        for event in events:
+            if event.relation not in self._stream_relations:
+                raise ExecutionError(
+                    f"relation {event.relation!r} is not a stream relation of this program"
+                )
+        groups = self.plan.fold(events)
+        staged: list[tuple[DeltaGroup, Any]] = []
+        for group in groups:
+            batch = None
+            if group.folded is not None and self.backend_active == "vector":
+                analysis = self.plan.analysis(group.relation, group.sign)
+                kernels = analysis.vector_kernels()
+                if kernels and len(group.folded) >= self.min_vector_rows:
+                    batch = ColumnBatch(list(group.folded.items()))
+                    for kernel in kernels.values():
+                        batch.prewarm(kernel.uses)
+            staged.append((group, batch))
+        return StagedBatch(staged, len(events))
+
+    def apply_staged(self, staged: "StagedBatch") -> int:
+        """Apply a staged batch; buffered events flush first to keep order."""
+        self.flush()
+        if not staged.groups:
+            return 0
+        self.batches_flushed += 1
+        for group, batch in staged.groups:
+            self._apply_group(group, prebuilt=batch)
+        return staged.events
 
     # -- row provenance ----------------------------------------------------------
     @property
@@ -408,12 +603,29 @@ class BatchedEngine:
         """Inner-engine statistics plus batching counters."""
         self.flush()
         stats = self.engine.statistics()
+        if self.backend_active == "vector":
+            vector_statements = sum(
+                len(analysis.vector_kernels())
+                for analysis in self.plan._analyses.values()
+            )
+        else:
+            vector_statements = sum(
+                len(analysis._vector or ())
+                for analysis in self.plan._analyses.values()
+            )
         stats["batching"] = {
             "batch_size": self.batch_size,
             "batches_flushed": self.batches_flushed,
             "groups_applied": self.groups_applied,
             "bulk_events": self.bulk_events,
             "fallback_events": self.fallback_events,
+            "backend": self.backend,
+            "backend_active": self.backend_active,
+            "vector_reason": self.vector_reason,
+            "vector_statements": vector_statements,
+            "min_vector_rows": self.min_vector_rows,
+            "vector_events": self.vector_events,
+            "vector_fallbacks": dict(self.vector_fallbacks),
         }
         return stats
 
@@ -433,6 +645,7 @@ class BatchedEngine:
     def restore_state(self, state) -> None:
         """Load a single-engine state, discarding any buffered events."""
         self._buffer = []
+        self._vector_bound = {}
         self.engine.restore_state(state)
 
     # -- incremental state (delta checkpoints) ----------------------------------
@@ -452,6 +665,7 @@ class BatchedEngine:
     def apply_delta_state(self, state) -> None:
         """Apply a delta cut, discarding any buffered events."""
         self._buffer = []
+        self._vector_bound = {}
         self.engine.apply_delta_state(state)
 
     def close(self) -> None:

@@ -126,7 +126,8 @@ def render_explain_text(report: Mapping[str, Any]) -> str:
         f"{summary['fallback_statements']} interpreter fallbacks; "
         f"{summary['fused_kernels']}/{summary['triggers']} triggers fused "
         f"({summary['deduped_probes']} probes, "
-        f"{summary['deduped_scalars']} scalars deduped)"
+        f"{summary['deduped_scalars']} scalars deduped); "
+        f"{summary.get('vectorized_statements', 0)} statements vectorizable"
     )
     lines.append("maps:")
     for name, entry in sorted(report["maps"].items()):
@@ -176,6 +177,22 @@ def render_explain_text(report: Mapping[str, Any]) -> str:
                 f" bulk_events={batching.get('bulk_events', 0)}"
                 f" fallback_events={batching.get('fallback_events', 0)}"
             )
+            if batching.get("backend", "scalar") != "scalar" or batching.get(
+                "vector_reason"
+            ):
+                line += (
+                    f" backend={batching.get('backend_active', batching['backend'])}"
+                    f" vector_events={batching.get('vector_events', 0)}"
+                )
+                fallbacks = batching.get("vector_fallbacks") or {}
+                if fallbacks:
+                    detail = ",".join(
+                        f"{reason}x{count}"
+                        for reason, count in sorted(fallbacks.items())
+                    )
+                    line += f" vector_fallbacks={detail}"
+                if batching.get("vector_reason"):
+                    line += f" vector_disabled={batching['vector_reason']!r}"
         if "partitioning" in observed and observed["partitioning"]:
             line += f" partitions={observed['partitioning'].get('partitions')}"
         lines.append(line)

@@ -34,6 +34,7 @@ class IndexedTable:
     __slots__ = (
         "columns", "_data", "_indexes", "_ordered", "probes", "scans",
         "range_probes", "_watcher", "write_epoch", "_dirty", "_dirty_full",
+        "_vector_cache",
     )
 
     def __init__(self, columns: Sequence[str]) -> None:
@@ -63,6 +64,10 @@ class IndexedTable:
         # (clear/replace) set _dirty_full instead of enumerating rows.
         self._dirty: set[Row] | None = None
         self._dirty_full = False
+        # Columnar-view cache for the vector backend: ``(write_epoch, payload)``
+        # pairs owned by repro.codegen.vector, invalidated by epoch comparison
+        # (the epoch bumps on every actual value transition).
+        self._vector_cache: tuple | None = None
 
     # -- basic access -------------------------------------------------------
     def __len__(self) -> int:
@@ -212,6 +217,45 @@ class IndexedTable:
         new = normalize_number(value)
         self._data[row] = new
         self._index_add(row)
+        if self._ordered:
+            self._ordered_change(row, old, new)
+        if old is None or old != new or type(old) is not type(new):
+            self.write_epoch += 1
+            if self._dirty is not None:
+                self._dirty.add(row)
+            if self._watcher is not None:
+                self._watcher(row, 0 if old is None else old, new)
+
+    def set_total(self, key: Row | Mapping[str, Any] | Sequence[Any], value: Any) -> None:
+        """Overwrite one key's total with *add-shaped* index maintenance.
+
+        The vector backend commits per-key chain totals through this method:
+        semantically :meth:`set` (store the normalized value, delete on
+        zero), but an existing entry is updated in place in its secondary
+        index buckets — like a chain of :meth:`add` calls would — instead of
+        being removed and re-appended, so bucket iteration order stays
+        bit-identical to the scalar path.
+        """
+        row = self._normalize(key)
+        old = self._data.get(row)
+        if is_zero(value):
+            if old is not None:
+                del self._data[row]
+                self._index_remove(row)
+                if self._ordered:
+                    self._ordered_change(row, old, None)
+                self.write_epoch += 1
+                if self._dirty is not None:
+                    self._dirty.add(row)
+                if self._watcher is not None:
+                    self._watcher(row, old, 0)
+            return
+        new = normalize_number(value)
+        self._data[row] = new
+        if old is None:
+            self._index_add(row)
+        else:
+            self._index_update(row, new)
         if self._ordered:
             self._ordered_change(row, old, new)
         if old is None or old != new or type(old) is not type(new):

@@ -79,6 +79,7 @@ class OrderedRangeIndex:
         "_keys",
         "_prefix",
         "_broken",
+        "_array_view",
         "probes",
         "scan_fallbacks",
         "rebuilds",
@@ -97,6 +98,10 @@ class OrderedRangeIndex:
         self._keys: list[Any] = []
         self._prefix: list[Any] = [0]
         self._broken = False
+        # ndarray view cache owned by repro.codegen.vector: a
+        # ``((rebuilds, refreshes), payload)`` pair, keyed on the refresh
+        # counters so any totals change invalidates it.
+        self._array_view: tuple | None = None
         self.probes = 0
         self.scan_fallbacks = 0
         self.rebuilds = 0

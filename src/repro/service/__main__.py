@@ -47,8 +47,11 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
                         help="delta batch size (batched/partitioned engines)")
     parser.add_argument("--partitions", type=int, default=None,
                         help="partition count (partitioned engine)")
-    parser.add_argument("--backend", choices=["sequential", "process"],
-                        default="sequential", help="partitioned-engine backend")
+    parser.add_argument("--backend", choices=["sequential", "process", "vector"],
+                        default="sequential",
+                        help="partitioned-engine executor (sequential/process) "
+                             "or the batched engine's columnar numpy backend "
+                             "(vector, with --engine batched)")
     parser.add_argument("--checkpoint-dir", default=None,
                         help="directory for durable checkpoints")
     parser.add_argument("--wal-dir", default=None,

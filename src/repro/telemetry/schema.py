@@ -110,7 +110,12 @@ def flatten_statistics(stats: Mapping[str, Any]) -> dict[str, Any]:
     batching = unified.get("batching")
     if batching:
         for key, value in batching.items():
-            flat[f"batching.{key}"] = value
+            if isinstance(value, Mapping):
+                # vector_fallbacks: reason -> count, one dotted key per reason.
+                for inner, count in value.items():
+                    flat[f"batching.{key}.{inner}"] = count
+            else:
+                flat[f"batching.{key}"] = value
     partitioning = unified.get("partitioning")
     if partitioning:
         flat["partitioning.events_broadcast"] = partitioning.get("events_broadcast")

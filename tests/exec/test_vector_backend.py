@@ -1,0 +1,459 @@
+"""Tests for the columnar vector backend: bit-identity, fallbacks, staging.
+
+The contract under test is the one DESIGN.md states for ``backend="vector"``:
+default-mode results are bit-identical to the scalar backend — values *and*
+types — with the vector path falling back per statement per batch whenever a
+batch leaves the fast-numeric regime (int64 overflow, Fractions, mixed
+columns), and disabling itself entirely (with a reason) when numpy is
+missing.
+"""
+
+import os
+import subprocess
+import sys
+from fractions import Fraction
+
+import pytest
+
+from repro.bench.scenarios import _prepare
+from repro.codegen import vector
+from repro.compiler.hoivm import compile_query
+from repro.core.rows import Row
+from repro.delta.events import delete, insert
+from repro.errors import ExecutionError, ServiceError
+from repro.exec import BatchedEngine
+from repro.runtime.maps import IndexedTable
+from repro.sql import Catalog, parse_sql_query
+from repro.workloads import all_workloads, workload
+
+needs_numpy = pytest.mark.skipif(
+    not vector.numpy_available(),
+    reason="numpy unavailable; the vector backend auto-disables",
+)
+
+#: Workloads whose lineitem-style triggers are known to vectorize (the
+#: regression canary: losing one of these to the scalar path is a bug).
+VECTORIZED_WORKLOADS = ("Q1", "Q6", "VWAP")
+
+CATALOG = Catalog.from_dict({"R": ("k", "grp", "x", "s")})
+
+
+def _workload_program(query_name):
+    spec = workload(query_name)
+    translated = spec.query_factory()
+    program = compile_query(
+        translated.roots(),
+        translated.schemas(),
+        static_relations=translated.static_relations(),
+    )
+    return spec, translated, program
+
+
+def _custom_program(sql):
+    translated = parse_sql_query(sql, CATALOG, name="T")
+    return translated, compile_query(translated.roots(), translated.schemas())
+
+
+def _run(program, static, events, backend, batch_size, compiled=True):
+    # min_vector_rows=1 disables the small-group dispatch cutoff so tiny
+    # test batches still exercise the vector kernels (the default cutoff
+    # has its own test below).
+    engine = BatchedEngine(
+        program, batch_size=batch_size, compiled=compiled, backend=backend,
+        min_vector_rows=1,
+    )
+    for relation, rows in static.items():
+        engine.load_static(relation, rows)
+    for event in events:
+        engine.apply(event)
+    engine.flush()
+    results = {root: engine.result_dict(root) for root in program.roots}
+    return engine, results
+
+
+def _assert_bit_identical(reference, observed, context=""):
+    assert set(reference) == set(observed), context
+    for root, expected in reference.items():
+        got = observed[root]
+        assert got == expected, f"{context}: values diverged for {root}"
+        for key, value in expected.items():
+            assert type(got[key]) is type(value), (
+                f"{context}: {root}{key!r} is {type(got[key]).__name__}, "
+                f"scalar has {type(value).__name__}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Cross-backend bit-identity property suite
+# ---------------------------------------------------------------------------
+
+_EVENTS = 240
+_scenario_cache = {}
+
+
+def _scenario(name):
+    """(program, static, events, scalar reference results) per workload."""
+    cached = _scenario_cache.get(name)
+    if cached is None:
+        spec, translated, program = _workload_program(name)
+        agenda, static = _prepare(spec, _EVENTS, None, 7)
+        events = list(agenda)
+        _, reference = _run(program, static, events, "scalar", 7)
+        cached = _scenario_cache[name] = (program, static, events, reference)
+    return cached
+
+
+@needs_numpy
+@pytest.mark.parametrize("name", sorted(all_workloads()))
+def test_vector_backend_bit_identical_across_batch_sizes(name):
+    program, static, events, reference = _scenario(name)
+    for batch_size in (1, 7, 100):
+        engine, results = _run(program, static, events, "vector", batch_size)
+        _assert_bit_identical(reference, results, f"{name} bs={batch_size}")
+
+
+@needs_numpy
+@pytest.mark.parametrize("name", VECTORIZED_WORKLOADS)
+def test_known_vectorizable_workloads_take_the_vector_path(name):
+    program, static, events, _ = _scenario(name)
+    engine, _results = _run(program, static, events, "vector", 100)
+    stats = engine.statistics()["batching"]
+    assert stats["vector_statements"] > 0
+    assert stats["vector_events"] > 0
+
+
+@needs_numpy
+def test_range_probe_workload_vectorizes():
+    """VWAP's correlated range condition runs through the prefix-sum probe."""
+    program, static, events, reference = _scenario("VWAP")
+    engine, results = _run(program, static, events, "vector", 100)
+    _assert_bit_identical(reference, results, "VWAP range probes")
+    assert engine.statistics()["batching"]["vector_events"] > 0
+
+
+@needs_numpy
+def test_vector_backend_with_interpreted_statements():
+    """compiled=False still dispatches vector kernels per bulk-safe group."""
+    program, static, events, reference = _scenario("Q6")
+    engine, results = _run(program, static, events, "vector", 100, compiled=False)
+    _assert_bit_identical(reference, results, "Q6 interpreted")
+    assert engine.statistics()["batching"]["vector_events"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Staged ingestion
+# ---------------------------------------------------------------------------
+
+
+@needs_numpy
+def test_staged_apply_matches_per_event_results():
+    program, static, events, reference = _scenario("Q1")
+    engine = BatchedEngine(program, batch_size=100, compiled=True,
+                           backend="vector", min_vector_rows=1)
+    for relation, rows in static.items():
+        engine.load_static(relation, rows)
+    applied = 0
+    for start in range(0, len(events), 100):
+        staged = engine.stage(events[start:start + 100])
+        applied += engine.apply_staged(staged)
+    engine.flush()
+    assert applied == len(events)
+    results = {root: engine.result_dict(root) for root in program.roots}
+    _assert_bit_identical(reference, results, "Q1 staged")
+    assert engine.statistics()["batching"]["vector_events"] > 0
+
+
+@needs_numpy
+def test_empty_and_singleton_batches():
+    translated, program = _custom_program(
+        "SELECT r.grp, SUM(r.x) AS total FROM R r GROUP BY r.grp"
+    )
+    engine = BatchedEngine(program, batch_size=1, compiled=True,
+                           backend="vector", min_vector_rows=1)
+    assert engine.apply_staged(engine.stage([])) == 0
+    engine.apply(insert("R", 1, "a", 5, "s"))
+    engine.flush()
+    assert engine.apply_staged(engine.stage([insert("R", 2, "a", 7, "s")])) == 1
+    engine.flush()
+    assert engine.result_dict() == {("a",): 12}
+    assert type(engine.result_dict()[("a",)]) is int
+
+
+@needs_numpy
+def test_small_groups_stay_scalar_under_default_cutoff():
+    """Folded groups below min_vector_rows skip vector dispatch entirely.
+
+    Tiny groups pay more in per-call numpy overhead than vectorization
+    saves, so the default engine routes them through the scalar loop and
+    records the decision as a "small-group" fallback.
+    """
+    from repro.exec.batching import DEFAULT_MIN_VECTOR_ROWS
+
+    _, program = _custom_program(
+        "SELECT r.grp, SUM(r.x) AS total FROM R r GROUP BY r.grp"
+    )
+    events = [insert("R", i, "a", float(i), "s") for i in range(12)]
+    _, reference = _run(program, {}, events, "scalar", 4)
+    engine = BatchedEngine(program, batch_size=4, compiled=True, backend="vector")
+    assert engine.min_vector_rows == DEFAULT_MIN_VECTOR_ROWS
+    for event in events:
+        engine.apply(event)
+    engine.flush()
+    results = {root: engine.result_dict(root) for root in program.roots}
+    _assert_bit_identical(reference, results, "small groups")
+    stats = engine.statistics()["batching"]
+    assert stats["vector_events"] == 0
+    assert "small-group" in stats["vector_fallbacks"]
+    # Raising the batch above the cutoff re-enables vector dispatch.
+    big = BatchedEngine(program, batch_size=32, compiled=True, backend="vector")
+    for event in events + [insert("R", 100 + i, "b", 1.0, "s") for i in range(20)]:
+        big.apply(event)
+    big.flush()
+    assert big.statistics()["batching"]["vector_events"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Regime fallbacks
+# ---------------------------------------------------------------------------
+
+
+@needs_numpy
+def test_int64_overflow_mid_stream_falls_back_per_batch():
+    sql = "SELECT r.grp, SUM(r.x) AS total FROM R r GROUP BY r.grp"
+    _, program = _custom_program(sql)
+    events = [insert("R", i, "a", 10) for i in range(4)]
+    # Above 2**53 int64 holds the values but float64 cannot represent them
+    # exactly; above 2**63 numpy cannot even build the int64 column.
+    events += [insert("R", 10 + i, "a", 2**60 + i) for i in range(4)]
+    events += [insert("R", 20 + i, "a", 2**70 + i) for i in range(4)]
+    events = [
+        insert(e.relation, *e.values, "s") for e in events
+    ]
+    _, program = _custom_program(sql)
+    _, reference = _run(program, {}, events, "scalar", 4)
+    engine, results = _run(program, {}, events, "vector", 4)
+    _assert_bit_identical(reference, results, "int overflow")
+    total = results["T_total"][("a",)]
+    assert type(total) is int and total == 40 + 4 * 2**60 + 4 * 2**70 + 12
+    fallbacks = engine.statistics()["batching"]["vector_fallbacks"]
+    assert "int-magnitude" in fallbacks
+    assert "int-overflow" in fallbacks
+    # The in-regime prefix still vectorized before the stream went hot.
+    assert engine.statistics()["batching"]["vector_events"] >= 4
+
+
+@needs_numpy
+def test_fraction_batches_never_vectorize():
+    _, program = _custom_program(
+        "SELECT r.grp, SUM(r.x) AS total FROM R r GROUP BY r.grp"
+    )
+    events = [
+        insert("R", i, "a", Fraction(1, 3) if i % 2 else Fraction(i, 7), "s")
+        for i in range(12)
+    ]
+    _, reference = _run(program, {}, events, "scalar", 4)
+    engine, results = _run(program, {}, events, "vector", 4)
+    _assert_bit_identical(reference, results, "fractions")
+    stats = engine.statistics()["batching"]
+    assert stats["vector_events"] == 0
+    assert "mixed-column" in stats["vector_fallbacks"]
+    assert type(results["T_total"][("a",)]) is Fraction
+
+
+@needs_numpy
+def test_string_guards_vectorize_with_identical_results():
+    _, program = _custom_program(
+        "SELECT SUM(r.x) AS total FROM R r WHERE r.s = 'keep'"
+    )
+    events = [
+        insert("R", i, "g", float(i), "keep" if i % 3 else "drop")
+        for i in range(30)
+    ]
+    _, reference = _run(program, {}, events, "scalar", 10)
+    engine, results = _run(program, {}, events, "vector", 10)
+    _assert_bit_identical(reference, results, "string guards")
+    assert engine.statistics()["batching"]["vector_events"] == 30
+
+
+@needs_numpy
+def test_deletes_fold_and_stay_bit_identical():
+    _, program = _custom_program(
+        "SELECT r.grp, SUM(r.x) AS total FROM R r GROUP BY r.grp"
+    )
+    events = []
+    for i in range(20):
+        events.append(insert("R", i, "a" if i % 2 else "b", i + 1, "s"))
+    for i in range(0, 20, 3):
+        events.append(delete("R", i, "a" if i % 2 else "b", i + 1, "s"))
+    _, reference = _run(program, {}, events, "scalar", 8)
+    engine, results = _run(program, {}, events, "vector", 8)
+    _assert_bit_identical(reference, results, "deletes")
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint / restore mid-stream
+# ---------------------------------------------------------------------------
+
+
+@needs_numpy
+def test_checkpoint_restore_mid_stream_keeps_identity():
+    program, static, events, reference = _scenario("Q1")
+    half = len(events) // 2
+    first = BatchedEngine(program, batch_size=50, compiled=True,
+                          backend="vector", min_vector_rows=1)
+    for relation, rows in static.items():
+        first.load_static(relation, rows)
+    for event in events[:half]:
+        first.apply(event)
+    first.flush()
+    state = first.checkpoint_state()
+
+    resumed = BatchedEngine(program, batch_size=50, compiled=True,
+                            backend="vector", min_vector_rows=1)
+    resumed.restore_state(state)
+    for event in events[half:]:
+        resumed.apply(event)
+    resumed.flush()
+    results = {root: resumed.result_dict(root) for root in program.roots}
+    _assert_bit_identical(reference, results, "Q1 checkpoint/restore")
+    assert resumed.statistics()["batching"]["vector_events"] > 0
+
+
+# ---------------------------------------------------------------------------
+# numpy-optional behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_unknown_backend_rejected():
+    _, program = _custom_program("SELECT SUM(r.x) AS total FROM R r")
+    with pytest.raises(ExecutionError):
+        BatchedEngine(program, batch_size=4, backend="simd")
+
+
+def test_missing_numpy_downgrades_with_reason(monkeypatch):
+    monkeypatch.setattr(vector, "np", None)
+    monkeypatch.setattr(vector, "_NUMPY_REASON", "numpy unavailable (test)")
+    _, program = _custom_program(
+        "SELECT r.grp, SUM(r.x) AS total FROM R r GROUP BY r.grp"
+    )
+    engine = BatchedEngine(program, batch_size=4, compiled=True, backend="vector")
+    assert engine.backend == "vector"
+    assert engine.backend_active == "scalar"
+    for i in range(8):
+        engine.apply(insert("R", i, "a", i, "s"))
+    engine.flush()
+    assert engine.result_dict() == {("a",): 28}
+    stats = engine.statistics()["batching"]
+    assert stats["vector_reason"] == "numpy unavailable (test)"
+    assert stats["vector_events"] == 0
+
+
+def test_missing_numpy_surfaces_in_describe(monkeypatch):
+    monkeypatch.setattr(vector, "np", None)
+    monkeypatch.setattr(vector, "_NUMPY_REASON", "numpy unavailable (test)")
+    from repro.codegen.describe import describe_program
+
+    _, program = _custom_program("SELECT SUM(r.x) AS total FROM R r")
+    doc = describe_program(program)
+    assert doc["summary"]["vectorized_statements"] == 0
+    statement = doc["triggers"][0]["statements"][0]
+    assert statement["vectorized"] is False
+    assert statement["vector_reason"] == "numpy unavailable (test)"
+
+
+def test_repro_no_numpy_env_disables_backend():
+    """The CI no-numpy leg's switch: REPRO_NO_NUMPY blocks the import."""
+    code = (
+        "from repro.codegen import vector; "
+        "assert not vector.numpy_available(); "
+        "assert 'REPRO_NO_NUMPY' in (vector.vector_unavailable_reason() or ''), "
+        "vector.vector_unavailable_reason()"
+    )
+    env = dict(os.environ, REPRO_NO_NUMPY="1")
+    src = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    subprocess.run([sys.executable, "-c", code], check=True, env=env)
+
+
+# ---------------------------------------------------------------------------
+# Introspection and service plumbing
+# ---------------------------------------------------------------------------
+
+
+@needs_numpy
+def test_describe_reports_vector_status():
+    from repro.codegen.describe import describe_program
+
+    _, _, program = _workload_program("Q6")
+    doc = describe_program(program)
+    assert doc["summary"]["vectorized_statements"] == 2
+    _, _, q3 = _workload_program("Q3")
+    doc = describe_program(q3)
+    reasons = {
+        s["vector_reason"]
+        for t in doc["triggers"]
+        for s in t["statements"]
+        if not s["vectorized"]
+    }
+    assert reasons, "Q3 has statements the vector emitter cannot lower"
+
+
+@needs_numpy
+def test_codegen_dump_vector_backend_cli(capsys):
+    from repro.codegen.__main__ import main
+
+    assert main(["dump", "Q6", "--backend", "vector"]) == 0
+    out = capsys.readouterr().out
+    assert "statements vectorized" in out
+    assert "_vkernel" in out
+
+
+@needs_numpy
+def test_service_mode_routes_vector_backend():
+    from repro.service.core import engine_for_mode
+
+    _, program = _custom_program("SELECT SUM(r.x) AS total FROM R r")
+    engine = engine_for_mode(program, mode="batched", batch_size=8, backend="vector")
+    assert isinstance(engine, BatchedEngine)
+    assert engine.backend == "vector"
+    with pytest.raises(ServiceError):
+        engine_for_mode(program, mode="partitioned", backend="vector")
+
+
+# ---------------------------------------------------------------------------
+# set_total: the vector sink's write primitive
+# ---------------------------------------------------------------------------
+
+
+def test_set_total_preserves_index_bucket_order():
+    table = IndexedTable(("a", "b"))
+    index_cols = frozenset({"a"})
+    table.index_for(index_cols)
+    first = Row((("a", 1), ("b", 1)))
+    second = Row((("a", 1), ("b", 2)))
+    table.add(first, 10)
+    table.add(second, 20)
+
+    def bucket_order():
+        bucket = table.index_for(index_cols)[Row((("a", 1),))]
+        return list(bucket)
+
+    before = bucket_order()
+    table.set_total(first, 11)
+    assert bucket_order() == before, "set_total must update in place"
+    assert dict(table.items())[first] == 11
+    # set() by contrast pops and re-appends, reordering the bucket — the
+    # divergence that made the vector sink grow its own write primitive.
+    table.set(first, 12)
+    assert bucket_order() == [second, first]
+
+
+def test_set_total_deletes_on_zero_and_skips_noops():
+    table = IndexedTable(("a",))
+    row = Row((("a", 1),))
+    table.add(row, 5)
+    epoch = table.write_epoch
+    table.set_total(row, 5)
+    assert table.write_epoch == epoch, "same value+type must not bump the epoch"
+    table.set_total(row, 0.0)
+    assert row not in dict(table.items())
